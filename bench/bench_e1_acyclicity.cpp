@@ -1,0 +1,115 @@
+/// Experiment E1 — Theorems 4.3 / 5.5: acyclicity in every reachable state.
+///
+/// For each algorithm (PR set-step, OneStepPR, NewPR, FR), graph family and
+/// size, runs a seeded random execution checking acyclicity after *every*
+/// action, and reports steps plus the violation count (always 0).  The
+/// micro-benchmarks time the per-step acyclicity check itself.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/full_reversal.hpp"
+#include "core/invariants.hpp"
+#include "core/newpr.hpp"
+#include "core/pr.hpp"
+#include "graph/generators.hpp"
+
+#include "bench_util.hpp"
+
+namespace lr {
+namespace {
+
+Instance family_instance(const std::string& family, std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  if (family == "chain") return make_worst_case_chain(n);
+  if (family == "random") return make_random_instance(n, n, rng);
+  if (family == "grid") return make_grid_instance(n / 8 + 2, 8, rng);
+  return make_layered_bad_instance(n / 8 + 2, 8, 0.3, rng);
+}
+
+template <typename A>
+std::pair<std::uint64_t, std::uint64_t> run_checked_single(const Instance& inst,
+                                                           std::uint64_t seed) {
+  A automaton(inst);
+  RandomScheduler scheduler(seed);
+  std::uint64_t violations = 0;
+  const RunResult result =
+      run_to_quiescence(automaton, scheduler, [&violations](const A& a, NodeId) {
+        if (!check_acyclic(a.orientation())) ++violations;
+      });
+  return {result.steps, violations};
+}
+
+std::pair<std::uint64_t, std::uint64_t> run_checked_set(const Instance& inst,
+                                                        std::uint64_t seed) {
+  PRAutomaton automaton(inst);
+  RandomSetScheduler scheduler(seed);
+  std::uint64_t violations = 0;
+  const RunResult result = run_to_quiescence_set(
+      automaton, scheduler, [&violations](const PRAutomaton& a, const std::vector<NodeId>&) {
+        if (!check_acyclic(a.orientation())) ++violations;
+      });
+  return {result.steps, violations};
+}
+
+void print_table() {
+  bench::print_header("E1: acyclicity at every reachable state (Thm 4.3 / 5.5)",
+                      "0 violations for every algorithm, family, size, seed");
+  bench::print_row({"algorithm", "family", "n", "steps", "violations"});
+  for (const std::string family : {"chain", "random", "grid", "layered"}) {
+    for (const std::size_t n : {8u, 32u, 128u}) {
+      const Instance inst = family_instance(family, n, n * 31 + 7);
+      const auto [pr_steps, pr_viol] = run_checked_set(inst, 1);
+      const auto [os_steps, os_viol] = run_checked_single<OneStepPRAutomaton>(inst, 2);
+      const auto [np_steps, np_viol] = run_checked_single<NewPRAutomaton>(inst, 3);
+      const auto [fr_steps, fr_viol] = run_checked_single<FullReversalAutomaton>(inst, 4);
+      bench::print_row({"PR(set)", family, std::to_string(n), bench::fmt_u(pr_steps),
+                        bench::fmt_u(pr_viol)});
+      bench::print_row({"OneStepPR", family, std::to_string(n), bench::fmt_u(os_steps),
+                        bench::fmt_u(os_viol)});
+      bench::print_row({"NewPR", family, std::to_string(n), bench::fmt_u(np_steps),
+                        bench::fmt_u(np_viol)});
+      bench::print_row({"FR", family, std::to_string(n), bench::fmt_u(fr_steps),
+                        bench::fmt_u(fr_viol)});
+    }
+  }
+}
+
+void BM_AcyclicityCheck(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(42);
+  const Instance inst = make_random_instance(n, 2 * n, rng);
+  const Orientation o = inst.make_orientation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_acyclic(o).ok);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AcyclicityCheck)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+void BM_NewPRExecutionWithPerStepCheck(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  const Instance inst = make_random_instance(n, n, rng);
+  for (auto _ : state) {
+    NewPRAutomaton automaton(inst);
+    RandomScheduler scheduler(5);
+    const RunResult result =
+        run_to_quiescence(automaton, scheduler, [](const NewPRAutomaton& a, NodeId) {
+          benchmark::DoNotOptimize(check_acyclic(a.orientation()).ok);
+        });
+    benchmark::DoNotOptimize(result.steps);
+  }
+}
+BENCHMARK(BM_NewPRExecutionWithPerStepCheck)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace lr
+
+int main(int argc, char** argv) {
+  lr::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

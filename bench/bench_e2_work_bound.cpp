@@ -1,0 +1,134 @@
+/// Experiment E2 — the Θ(n_b²) worst-case work bound (Busch et al.;
+/// Welch–Walter), the quantitative backdrop of the paper's Section 1.
+///
+/// Series reproduced:
+///  1. FR on the away-oriented chain: exactly n_b(n_b+1)/2 reversals —
+///     growth exponent ≈ 2 (the tight worst case).
+///  2. PR on the same chain: exactly n_b reversals — exponent ≈ 1 (the
+///     chain is PR's *best* case; its Θ(n_b²) worst case needs a different
+///     gadget, approximated below by an empirical adversarial search, per
+///     DESIGN.md §3).
+///  3. Layered bad instances: measured work for both, still within the
+///     quadratic ceiling.
+///  4. Empirical PR worst case: max work/n_b over random dense instances
+///     and the farthest-first adversarial scheduler.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "analysis/bounds.hpp"
+#include "analysis/game.hpp"
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/full_reversal.hpp"
+#include "core/pr.hpp"
+#include "graph/generators.hpp"
+
+#include "bench_util.hpp"
+
+namespace lr {
+namespace {
+
+void print_chain_series() {
+  bench::print_header("E2.1/E2.2: away-chain work, FR vs PR",
+                      "FR = nb(nb+1)/2 exactly (Θ(nb²)); PR = nb exactly (Θ(nb))");
+  bench::print_row({"nb", "FR_measured", "FR_closed", "PR_measured", "PR_closed"});
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fr_series, pr_series;
+  for (std::size_t nb = 4; nb <= 512; nb *= 2) {
+    const Instance inst = make_worst_case_chain(nb + 1);
+    const auto fr = measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, 1);
+    const auto pr = measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, 1);
+    fr_series.emplace_back(nb, fr.social_cost);
+    pr_series.emplace_back(nb, pr.social_cost);
+    bench::print_row({bench::fmt_u(nb), bench::fmt_u(fr.social_cost),
+                      bench::fmt_u(fr_chain_work(nb)), bench::fmt_u(pr.social_cost),
+                      bench::fmt_u(pr_chain_work(nb))});
+  }
+  std::printf("growth exponent: FR=%.3f (expect ~2), PR=%.3f (expect ~1)\n",
+              fit_growth_exponent(fr_series), fit_growth_exponent(pr_series));
+}
+
+void print_layered_series() {
+  bench::print_header("E2.3: layered all-bad instances",
+                      "work within the 2·nb²+nb ceiling for both algorithms");
+  bench::print_row({"layers", "width", "nb", "FR_work", "PR_work", "ceiling"});
+  std::mt19937_64 rng(11);
+  for (const std::size_t layers : {4u, 8u, 16u}) {
+    for (const std::size_t width : {4u, 8u}) {
+      const Instance inst = make_layered_bad_instance(layers, width, 0.4, rng);
+      const std::uint64_t nb = count_bad_nodes(inst);
+      const auto fr = measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, 1);
+      const auto pr = measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, 1);
+      bench::print_row({std::to_string(layers), std::to_string(width), bench::fmt_u(nb),
+                        bench::fmt_u(fr.social_cost), bench::fmt_u(pr.social_cost),
+                        bench::fmt_u(quadratic_work_ceiling(nb))});
+    }
+  }
+}
+
+void print_pr_adversarial_search() {
+  bench::print_header("E2.4: empirical PR worst case (adversarial search)",
+                      "max PR work / nb over random instances & schedulers; "
+                      "bounded by the quadratic ceiling");
+  bench::print_row({"n", "instances", "max_work/nb", "max_work/nb^2", "ceiling_ok"});
+  for (const std::size_t n : {16u, 32u, 64u}) {
+    double max_ratio_linear = 0;
+    double max_ratio_quad = 0;
+    bool ceiling_ok = true;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      std::mt19937_64 rng(seed * 7 + n);
+      const Instance inst = make_random_instance(n, 2 * n, rng);
+      const std::uint64_t nb = count_bad_nodes(inst);
+      if (nb == 0) continue;
+      for (const SchedulerKind kind :
+           {SchedulerKind::kLowestId, SchedulerKind::kFarthestFirst, SchedulerKind::kRandom}) {
+        const auto pr = measure_cost(inst, Strategy::kPartialReversal, kind, seed);
+        max_ratio_linear = std::max(
+            max_ratio_linear, static_cast<double>(pr.social_cost) / static_cast<double>(nb));
+        max_ratio_quad =
+            std::max(max_ratio_quad,
+                     static_cast<double>(pr.social_cost) / static_cast<double>(nb * nb));
+        if (pr.social_cost > quadratic_work_ceiling(nb)) ceiling_ok = false;
+      }
+    }
+    bench::print_row({std::to_string(n), "40x3", bench::fmt(max_ratio_linear),
+                      bench::fmt(max_ratio_quad), ceiling_ok ? "yes" : "NO"});
+  }
+}
+
+void BM_FRChain(benchmark::State& state) {
+  const std::size_t nb = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_worst_case_chain(nb + 1);
+  for (auto _ : state) {
+    FullReversalAutomaton fr(inst);
+    LowestIdScheduler scheduler;
+    benchmark::DoNotOptimize(run_to_quiescence(fr, scheduler).node_steps);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(nb));
+}
+BENCHMARK(BM_FRChain)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_PRChain(benchmark::State& state) {
+  const std::size_t nb = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_worst_case_chain(nb + 1);
+  for (auto _ : state) {
+    OneStepPRAutomaton pr(inst);
+    LowestIdScheduler scheduler;
+    benchmark::DoNotOptimize(run_to_quiescence(pr, scheduler).node_steps);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(nb));
+}
+BENCHMARK(BM_PRChain)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+}  // namespace
+}  // namespace lr
+
+int main(int argc, char** argv) {
+  lr::print_chain_series();
+  lr::print_layered_series();
+  lr::print_pr_adversarial_search();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,151 @@
+/// Experiment E3 — the Charron-Bost et al. strategy comparison the paper
+/// cites: FR vs PR vs NewPR social cost across instance families and
+/// schedulers.
+///
+/// Expected shape: PR's total cost is below FR's in aggregate and on
+/// structured families (chains, layered); on individual random DAGs PR can
+/// occasionally lose (reproduced and counted here); NewPR's cost is PR's
+/// plus its dummy steps.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/game.hpp"
+#include "graph/generators.hpp"
+
+#include "bench_util.hpp"
+
+namespace lr {
+namespace {
+
+void print_family_table() {
+  bench::print_header("E3.1: social cost by family (lowest-id scheduler)",
+                      "PR <= FR on structured families; NewPR = PR + dummies");
+  bench::print_row({"instance", "FR", "PR", "NewPR", "dummies", "FR/PR"});
+  std::mt19937_64 rng(5);
+  std::vector<Instance> instances;
+  instances.push_back(make_worst_case_chain(65));
+  instances.push_back(make_layered_bad_instance(8, 8, 0.3, rng));
+  instances.push_back(make_grid_instance(8, 8, rng));
+  instances.push_back(make_sink_source_instance(65));
+  instances.push_back(make_random_instance(64, 64, rng));
+  instances.push_back(make_random_instance(256, 256, rng));
+  for (const Instance& inst : instances) {
+    const auto fr = measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, 1);
+    const auto pr = measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, 1);
+    const auto np = measure_cost(inst, Strategy::kNewPR, SchedulerKind::kLowestId, 1);
+    const double ratio = pr.social_cost == 0
+                             ? 0.0
+                             : static_cast<double>(fr.social_cost) /
+                                   static_cast<double>(pr.social_cost);
+    bench::print_row({inst.name, bench::fmt_u(fr.social_cost), bench::fmt_u(pr.social_cost),
+                      bench::fmt_u(np.social_cost), bench::fmt_u(np.dummy_steps),
+                      bench::fmt(ratio)},
+                     22);
+  }
+}
+
+void print_distribution_table() {
+  bench::print_header("E3.2: FR vs PR across 100 random instances per size",
+                      "PR wins in aggregate; occasional per-instance losses counted");
+  bench::print_row({"n", "PR_wins", "FR_wins", "ties", "sum_FR", "sum_PR"});
+  for (const std::size_t n : {16u, 64u, 128u}) {
+    int pr_wins = 0, fr_wins = 0, ties = 0;
+    std::uint64_t fr_sum = 0, pr_sum = 0;
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+      std::mt19937_64 rng(seed * 31 + n);
+      const Instance inst = make_random_instance(n, n, rng);
+      const auto fr = measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, seed);
+      const auto pr =
+          measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, seed);
+      fr_sum += fr.social_cost;
+      pr_sum += pr.social_cost;
+      if (pr.social_cost < fr.social_cost) ++pr_wins;
+      else if (fr.social_cost < pr.social_cost) ++fr_wins;
+      else ++ties;
+    }
+    bench::print_row({std::to_string(n), std::to_string(pr_wins), std::to_string(fr_wins),
+                      std::to_string(ties), bench::fmt_u(fr_sum), bench::fmt_u(pr_sum)});
+  }
+}
+
+void print_scheduler_table() {
+  bench::print_header("E3.3: scheduler sensitivity of the strategies",
+                      "FR's cost is schedule-independent; PR's varies little");
+  bench::print_row({"scheduler", "FR", "PR", "NewPR"});
+  std::mt19937_64 rng(77);
+  const Instance inst = make_random_instance(96, 96, rng);
+  for (const SchedulerKind kind : {SchedulerKind::kLowestId, SchedulerKind::kRandom,
+                                   SchedulerKind::kRoundRobin, SchedulerKind::kFarthestFirst}) {
+    const auto fr = measure_cost(inst, Strategy::kFullReversal, kind, 9);
+    const auto pr = measure_cost(inst, Strategy::kPartialReversal, kind, 9);
+    const auto np = measure_cost(inst, Strategy::kNewPR, kind, 9);
+    bench::print_row({scheduler_name(kind), bench::fmt_u(fr.social_cost),
+                      bench::fmt_u(pr.social_cost), bench::fmt_u(np.social_cost)});
+  }
+}
+
+void print_nash_table() {
+  bench::print_header("E3.4: the strategy game (Charron-Bost et al.)",
+                      "all-FR is always a Nash equilibrium; all-PR only sometimes, "
+                      "but with lower social cost");
+  bench::print_row({"instance", "FR_nash", "PR_nash", "social_FR", "social_PR"}, 22);
+  std::mt19937_64 rng(41);
+  std::vector<Instance> instances;
+  instances.push_back(make_worst_case_chain(9));
+  instances.push_back(make_grid_instance(3, 3, rng));
+  for (int trial = 0; trial < 4; ++trial) {
+    instances.push_back(make_random_instance(10, 8, rng));
+  }
+  for (const Instance& inst : instances) {
+    const std::size_t n = inst.graph.num_nodes();
+    const auto fr_nash = check_nash_equilibrium(inst, HybridStrategyAutomaton::all_full(n));
+    const auto pr_nash = check_nash_equilibrium(inst, HybridStrategyAutomaton::all_partial(n));
+    const auto total = [](const std::vector<std::uint64_t>& v) {
+      std::uint64_t sum = 0;
+      for (const auto x : v) sum += x;
+      return sum;
+    };
+    bench::print_row({inst.name, fr_nash.is_equilibrium ? "yes" : "NO",
+                      pr_nash.is_equilibrium ? "yes" : "no",
+                      bench::fmt_u(total(measure_profile_costs(
+                          inst, HybridStrategyAutomaton::all_full(n)))),
+                      bench::fmt_u(total(measure_profile_costs(
+                          inst, HybridStrategyAutomaton::all_partial(n))))},
+                     22);
+  }
+}
+
+void BM_MeasureCostPR(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(3);
+  const Instance inst = make_random_instance(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, 1).social_cost);
+  }
+}
+BENCHMARK(BM_MeasureCostPR)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MeasureCostFR(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(3);
+  const Instance inst = make_random_instance(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, 1).social_cost);
+  }
+}
+BENCHMARK(BM_MeasureCostFR)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace lr
+
+int main(int argc, char** argv) {
+  lr::print_family_table();
+  lr::print_distribution_table();
+  lr::print_scheduler_table();
+  lr::print_nash_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// Experiment E4 — NewPR's dummy-step overhead (Section 4.1's discussion:
+/// "This extra step in NewPR causes it to incur a greater cost in certain
+/// situations, compared to PR").
+///
+/// Dummy steps are taken only by nodes that start as sinks or sources, so
+/// the overhead is governed by how many such nodes the initial DAG has.
+/// The star family maximizes it; random DAGs sit in between; the
+/// away-chain (no interior initial sinks/sources) shows near-zero overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/game.hpp"
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/newpr.hpp"
+#include "graph/generators.hpp"
+
+#include "bench_util.hpp"
+
+namespace lr {
+namespace {
+
+std::size_t initial_degenerate_nodes(const Instance& inst) {
+  const Orientation o = inst.make_orientation();
+  std::size_t count = 0;
+  for (NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+    if (u == inst.destination) continue;
+    if (o.is_sink(u) || o.is_source(u)) ++count;
+  }
+  return count;
+}
+
+void print_overhead_table() {
+  bench::print_header("E4: NewPR dummy-step overhead vs OneStepPR",
+                      "overhead grows with initial sinks+sources; 0 when none");
+  bench::print_row({"instance", "init_degen", "PR_steps", "NewPR_steps", "dummies",
+                    "overhead%"},
+                   20);
+  std::mt19937_64 rng(13);
+  std::vector<Instance> instances;
+  instances.push_back(make_worst_case_chain(65));
+  instances.push_back(make_sink_source_instance(17));
+  instances.push_back(make_sink_source_instance(65));
+  instances.push_back(make_sink_source_instance(257));
+  instances.push_back(make_grid_instance(8, 8, rng));
+  instances.push_back(make_random_instance(64, 32, rng));
+  instances.push_back(make_random_instance(64, 256, rng));
+  for (const Instance& inst : instances) {
+    const auto pr = measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, 1);
+    const auto np = measure_cost(inst, Strategy::kNewPR, SchedulerKind::kLowestId, 1);
+    const double overhead =
+        pr.social_cost == 0 ? 0.0
+                            : 100.0 * static_cast<double>(np.dummy_steps) /
+                                  static_cast<double>(pr.social_cost);
+    bench::print_row({inst.name, std::to_string(initial_degenerate_nodes(inst)),
+                      bench::fmt_u(pr.social_cost), bench::fmt_u(np.social_cost),
+                      bench::fmt_u(np.dummy_steps), bench::fmt(overhead)},
+                     20);
+  }
+}
+
+void print_scaling_table() {
+  bench::print_header("E4.2: dummy overhead scaling on the star family",
+                      "dummies scale linearly with the number of initial sources");
+  bench::print_row({"leaves", "dummies", "NewPR_steps", "dummy_fraction"});
+  for (const std::size_t n : {9u, 17u, 33u, 65u, 129u, 257u}) {
+    const Instance inst = make_sink_source_instance(n);
+    const auto np = measure_cost(inst, Strategy::kNewPR, SchedulerKind::kLowestId, 1);
+    bench::print_row({std::to_string(n - 1), bench::fmt_u(np.dummy_steps),
+                      bench::fmt_u(np.social_cost),
+                      bench::fmt(static_cast<double>(np.dummy_steps) /
+                                 static_cast<double>(np.social_cost))});
+  }
+}
+
+void BM_NewPROnStar(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_sink_source_instance(n | 1);
+  for (auto _ : state) {
+    NewPRAutomaton automaton(inst);
+    LowestIdScheduler scheduler;
+    benchmark::DoNotOptimize(run_to_quiescence(automaton, scheduler).steps);
+  }
+}
+BENCHMARK(BM_NewPROnStar)->Arg(33)->Arg(129)->Arg(513);
+
+}  // namespace
+}  // namespace lr
+
+int main(int argc, char** argv) {
+  lr::print_overhead_table();
+  lr::print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+/// Experiment E5 — the Section 5 simulation relations, measured: every PR
+/// step maps to |S| OneStepPR steps (Lemma 5.1) and every OneStepPR step to
+/// 1..2 NewPR steps (Lemma 5.3); the relations hold at every matched point;
+/// the reverse direction (the conclusion's proposed extension) holds with
+/// dummy steps mapping to empty sequences.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/scheduler.hpp"
+#include "automata/simulation.hpp"
+#include "core/relations.hpp"
+#include "graph/generators.hpp"
+
+#include "bench_util.hpp"
+
+namespace lr {
+namespace {
+
+void print_expansion_table() {
+  bench::print_header("E5: simulation-relation checks & step expansion factors",
+                      "R'/R hold everywhere; expansion in [1,2] for R, = |S| for R'");
+  bench::print_row({"n", "relation", "concrete", "abstract", "expansion", "ok"});
+  for (const std::size_t n : {16u, 64u, 256u}) {
+    std::mt19937_64 rng(n * 13 + 1);
+    const Instance inst = make_random_instance(n, n, rng);
+
+    {
+      PRAutomaton concrete(inst);
+      OneStepPRAutomaton abstract(inst);
+      RandomSetScheduler scheduler(n);
+      const auto r = check_forward_simulation(
+          concrete, abstract, scheduler,
+          [](const PRAutomaton& s, const OneStepPRAutomaton& t) {
+            return relation_R_prime(s, t);
+          },
+          correspondence_R_prime);
+      bench::print_row({std::to_string(n), "R'(PR->1Step)", bench::fmt_u(r.concrete_steps),
+                        bench::fmt_u(r.abstract_steps),
+                        bench::fmt(r.concrete_steps == 0
+                                       ? 0.0
+                                       : static_cast<double>(r.abstract_steps) /
+                                             static_cast<double>(r.concrete_steps)),
+                        r.ok ? "yes" : "NO"});
+    }
+    {
+      OneStepPRAutomaton concrete(inst);
+      NewPRAutomaton abstract(inst);
+      RandomScheduler scheduler(n + 1);
+      const auto r = check_forward_simulation(
+          concrete, abstract, scheduler,
+          [](const OneStepPRAutomaton& s, const NewPRAutomaton& t) { return relation_R(s, t); },
+          correspondence_R);
+      bench::print_row({std::to_string(n), "R(1Step->New)", bench::fmt_u(r.concrete_steps),
+                        bench::fmt_u(r.abstract_steps),
+                        bench::fmt(r.concrete_steps == 0
+                                       ? 0.0
+                                       : static_cast<double>(r.abstract_steps) /
+                                             static_cast<double>(r.concrete_steps)),
+                        r.ok ? "yes" : "NO"});
+    }
+    {
+      NewPRAutomaton concrete(inst);
+      OneStepPRAutomaton abstract(inst);
+      RandomScheduler scheduler(n + 2);
+      const auto r = check_forward_simulation(
+          concrete, abstract, scheduler,
+          [](const NewPRAutomaton& t, const OneStepPRAutomaton& s) {
+            return reverse_relation_R(t, s);
+          },
+          correspondence_R_reverse);
+      bench::print_row({std::to_string(n), "Rrev(New->1Step)", bench::fmt_u(r.concrete_steps),
+                        bench::fmt_u(r.abstract_steps),
+                        bench::fmt(r.concrete_steps == 0
+                                       ? 0.0
+                                       : static_cast<double>(r.abstract_steps) /
+                                             static_cast<double>(r.concrete_steps)),
+                        r.ok ? "yes" : "NO"});
+    }
+  }
+}
+
+void BM_SimulationCheckRPrime(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(9);
+  const Instance inst = make_random_instance(n, n, rng);
+  for (auto _ : state) {
+    PRAutomaton concrete(inst);
+    OneStepPRAutomaton abstract(inst);
+    RandomSetScheduler scheduler(1);
+    const auto r = check_forward_simulation(
+        concrete, abstract, scheduler,
+        [](const PRAutomaton& s, const OneStepPRAutomaton& t) { return relation_R_prime(s, t); },
+        correspondence_R_prime);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_SimulationCheckRPrime)->Arg(32)->Arg(128);
+
+void BM_RelationRPredicate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(10);
+  const Instance inst = make_random_instance(n, n, rng);
+  OneStepPRAutomaton s(inst);
+  NewPRAutomaton t(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relation_R(s, t));
+  }
+}
+BENCHMARK(BM_RelationRPredicate)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace lr
+
+int main(int argc, char** argv) {
+  lr::print_expansion_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,170 @@
+/// Experiment E7 — the distributed deployment: message complexity and
+/// simulated convergence time of height-based FR/PR over the asynchronous
+/// network, swept over size, delay spread, and link churn; plus the
+/// TORA-style routing service under scripted churn.
+///
+/// Expected shape: PR sends fewer messages than FR on structured
+/// instances; convergence time grows with delay spread; churn adds
+/// maintenance reversals but never breaks delivery in connected periods.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "routing/tora.hpp"
+#include "sim/dist_lr.hpp"
+#include "sim/dist_router.hpp"
+
+#include "bench_util.hpp"
+
+namespace lr {
+namespace {
+
+struct DistOutcome {
+  std::uint64_t messages = 0;
+  std::uint64_t steps = 0;
+  SimTime finish_time = 0;
+  bool converged = false;
+};
+
+DistOutcome run_dist(const Instance& inst, ReversalRule rule, SimTime max_delay,
+                     std::uint64_t seed) {
+  Network net(inst.graph, {.min_delay = 1, .max_delay = max_delay, .seed = seed});
+  DistLinkReversal proto(inst, rule, net);
+  proto.start();
+  net.run_until_idle();
+  return {net.messages_sent(), proto.total_steps(), net.now(), proto.converged()};
+}
+
+void print_size_sweep() {
+  bench::print_header("E7.1: distributed FR vs PR, size sweep (delay 1..10)",
+                      "both converge; PR does fewer steps/messages on structured DAGs");
+  bench::print_row({"instance", "rule", "steps", "messages", "sim_time", "converged"}, 20);
+  for (const std::size_t n : {16u, 64u, 128u}) {
+    const Instance chain = make_worst_case_chain(n);
+    std::mt19937_64 rng(n);
+    const Instance random = make_random_instance(n, n, rng);
+    for (const Instance* inst : {&chain, &random}) {
+      for (const ReversalRule rule : {ReversalRule::kFull, ReversalRule::kPartial}) {
+        const DistOutcome out = run_dist(*inst, rule, 10, n + 1);
+        bench::print_row({inst->name, rule == ReversalRule::kFull ? "FR" : "PR",
+                          bench::fmt_u(out.steps), bench::fmt_u(out.messages),
+                          bench::fmt_u(out.finish_time), out.converged ? "yes" : "NO"},
+                         20);
+      }
+    }
+  }
+}
+
+void print_delay_sweep() {
+  bench::print_header("E7.2: delay-spread sweep (random n=64, PR rule)",
+                      "convergence time grows with delay spread; steps stay stable");
+  bench::print_row({"max_delay", "steps", "messages", "sim_time", "converged"});
+  std::mt19937_64 rng(64);
+  const Instance inst = make_random_instance(64, 64, rng);
+  for (const SimTime max_delay : {2u, 10u, 50u, 200u}) {
+    const DistOutcome out = run_dist(inst, ReversalRule::kPartial, max_delay, 5);
+    bench::print_row({bench::fmt_u(max_delay), bench::fmt_u(out.steps),
+                      bench::fmt_u(out.messages), bench::fmt_u(out.finish_time),
+                      out.converged ? "yes" : "NO"});
+  }
+}
+
+void print_churn_sweep() {
+  bench::print_header("E7.3: TORA-style routing under link churn",
+                      "delivery stays high; maintenance reversals grow with churn");
+  bench::print_row({"n", "events", "delivered", "sent", "reversals", "mean_hops"});
+  for (const std::size_t n : {16u, 32u, 64u}) {
+    for (const std::size_t events : {20u, 80u}) {
+      std::mt19937_64 rng(n * 7 + events);
+      const Graph g = make_random_connected_graph(n, 2 * n, rng);
+      const ToraStats stats = run_churn_scenario(g, 0, events, 10, n + events);
+      const double mean_hops =
+          stats.packets_delivered == 0
+              ? 0.0
+              : static_cast<double>(stats.total_hops) /
+                    static_cast<double>(stats.packets_delivered);
+      bench::print_row({std::to_string(n), std::to_string(events),
+                        bench::fmt_u(stats.packets_delivered), bench::fmt_u(stats.packets_sent),
+                        bench::fmt_u(stats.reversals), bench::fmt(mean_hops)});
+    }
+  }
+}
+
+void print_data_plane_sweep() {
+  bench::print_header("E7.4: data-plane delivery during DAG repair (DistRouter)",
+                      "packets injected mid-repair are delivered or accounted, never looped");
+  bench::print_row({"instance", "injected", "delivered", "no_route", "ttl_drop", "mean_hops"},
+                   22);
+  for (const std::size_t n : {16u, 64u}) {
+    std::mt19937_64 rng(n * 3 + 1);
+    for (const Instance& inst :
+         {make_worst_case_chain(n), make_unit_disk_instance(n, 0.35, rng)}) {
+      Network net(inst.graph, {.min_delay = 1, .max_delay = 8, .seed = n});
+      DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+      DistRouter router(proto, net);
+      proto.start();
+      // Inject one packet per node while the control plane is still busy.
+      for (NodeId u = 0; u < inst.graph.num_nodes(); ++u) router.inject(u);
+      net.run_until_idle();
+      // And another wave after convergence.
+      for (NodeId u = 0; u < inst.graph.num_nodes(); ++u) router.inject(u);
+      net.run_until_idle();
+      const PacketStats& s = router.stats();
+      bench::print_row({inst.name, bench::fmt_u(s.injected), bench::fmt_u(s.delivered),
+                        bench::fmt_u(s.dropped_no_route), bench::fmt_u(s.dropped_ttl),
+                        bench::fmt(router.mean_hops())},
+                       22);
+    }
+  }
+}
+
+void print_loss_recovery_sweep() {
+  bench::print_header("E7.5: convergence under message loss with resync rounds",
+                      "resync repairs stale views; rounds grow with loss rate");
+  bench::print_row({"loss", "resync_rounds", "steps", "messages", "converged"});
+  std::mt19937_64 rng(77);
+  const Instance inst = make_random_instance(32, 32, rng);
+  for (const double loss : {0.0, 0.2, 0.4, 0.6}) {
+    Network net(inst.graph,
+                {.min_delay = 1, .max_delay = 5, .seed = 3, .drop_probability = loss});
+    DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+    const auto rounds = proto.run_with_resync(500);
+    bench::print_row({bench::fmt(loss), rounds ? bench::fmt_u(*rounds) : "none",
+                      bench::fmt_u(proto.total_steps()), bench::fmt_u(net.messages_sent()),
+                      proto.converged() ? "yes" : "NO"});
+  }
+}
+
+void BM_DistributedPRConvergence(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(21);
+  const Instance inst = make_random_instance(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_dist(inst, ReversalRule::kPartial, 10, 3).messages);
+  }
+}
+BENCHMARK(BM_DistributedPRConvergence)->Arg(32)->Arg(128);
+
+void BM_ChurnScenario(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(22);
+  const Graph g = make_random_connected_graph(n, 2 * n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_churn_scenario(g, 0, 20, 5, 9).packets_delivered);
+  }
+}
+BENCHMARK(BM_ChurnScenario)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace lr
+
+int main(int argc, char** argv) {
+  lr::print_size_sweep();
+  lr::print_delay_sweep();
+  lr::print_churn_sweep();
+  lr::print_data_plane_sweep();
+  lr::print_loss_recovery_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file bench_util.hpp
+/// Small fixed-width table printer shared by the experiment harnesses.
+/// Every bench binary first prints its experiment table (the series
+/// EXPERIMENTS.md records), then runs its google-benchmark micro-timings.
+
+namespace lr::bench {
+
+inline void print_header(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, std::size_t width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", static_cast<int>(width), cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+  return buffer;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace lr::bench

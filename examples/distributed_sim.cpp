@@ -1,0 +1,44 @@
+/// Distributed link reversal over the asynchronous network simulator.
+///
+/// Runs the height-based (TORA-style) distributed protocol for both Full
+/// and Partial Reversal on the same instance and compares steps, messages,
+/// and simulated convergence time — the setting the algorithms were
+/// invented for.
+///
+///   $ ./distributed_sim [n] [seed]          (defaults: n=32, seed=1)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/digraph_algos.hpp"
+#include "graph/generators.hpp"
+#include "sim/dist_lr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lr;
+
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 32;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  std::mt19937_64 rng(seed);
+  const Instance instance = make_random_instance(n, n, rng);
+  std::printf("instance: %s (message delays 1..10 ticks)\n\n", instance.name.c_str());
+
+  for (const ReversalRule rule : {ReversalRule::kFull, ReversalRule::kPartial}) {
+    Network network(instance.graph, {.min_delay = 1, .max_delay = 10, .seed = seed});
+    DistLinkReversal protocol(instance, rule, network);
+    protocol.start();
+    network.run_until_idle();
+
+    std::printf("%s:\n", rule == ReversalRule::kFull ? "Full Reversal" : "Partial Reversal");
+    std::printf("  node steps       : %llu\n",
+                static_cast<unsigned long long>(protocol.total_steps()));
+    std::printf("  messages sent    : %llu\n",
+                static_cast<unsigned long long>(network.messages_sent()));
+    std::printf("  sim time (ticks) : %llu\n",
+                static_cast<unsigned long long>(network.now()));
+    std::printf("  converged        : %s\n", protocol.converged() ? "yes" : "NO");
+    std::printf("  acyclic          : %s\n\n",
+                is_acyclic(protocol.derived_orientation()) ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+/// lr_cli — command-line front end to the whole library.
+///
+///   lr_cli gen <family> <n> <seed> <out.lri>
+///       Families: chain | random | grid | layered | star.
+///       Writes a workload instance file (text format, see serialize.hpp).
+///
+///   lr_cli info <in.lri>
+///       Prints topology, initial bad nodes, sinks, acyclicity.
+///
+///   lr_cli run <in.lri> <pr|newpr|fr> <lowest|random|rr|farthest> [seed]
+///       Runs the algorithm to quiescence, prints work stats, and emits
+///       the final DAG as DOT on stdout (pipe into `dot -Tpng`).
+///
+///   lr_cli modelcheck <in.lri> <pr|newpr|fr>
+///       Exhaustively explores ALL schedules and checks acyclicity in
+///       every reachable state (small instances only).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "automata/executor.hpp"
+#include "automata/model_check.hpp"
+#include "automata/scheduler.hpp"
+#include "core/full_reversal.hpp"
+#include "core/invariants.hpp"
+#include "core/newpr.hpp"
+#include "core/pr.hpp"
+#include "graph/digraph_algos.hpp"
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+#include "graph/serialize.hpp"
+
+namespace {
+
+using namespace lr;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lr_cli gen <chain|random|grid|layered|star> <n> <seed> <out.lri>\n"
+               "  lr_cli info <in.lri>\n"
+               "  lr_cli run <in.lri> <pr|newpr|fr> <lowest|random|rr|farthest> [seed]\n"
+               "  lr_cli modelcheck <in.lri> <pr|newpr|fr>\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 6) return usage();
+  const std::string family = argv[2];
+  const std::size_t n = std::strtoull(argv[3], nullptr, 10);
+  const std::uint64_t seed = std::strtoull(argv[4], nullptr, 10);
+  std::mt19937_64 rng(seed);
+  Instance inst;
+  if (family == "chain") {
+    inst = make_worst_case_chain(n);
+  } else if (family == "random") {
+    inst = make_random_instance(n, n, rng);
+  } else if (family == "grid") {
+    inst = make_grid_instance(n / 8 + 2, 8, rng);
+  } else if (family == "layered") {
+    inst = make_layered_bad_instance(n / 8 + 2, 8, 0.3, rng);
+  } else if (family == "star") {
+    inst = make_sink_source_instance(n | 1);
+  } else {
+    return usage();
+  }
+  save_instance(argv[5], inst);
+  std::printf("wrote %s: %s, destination %u\n", argv[5], inst.graph.describe().c_str(),
+              inst.destination);
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const Instance inst = load_instance(argv[2]);
+  const Orientation o = inst.make_orientation();
+  std::printf("name        : %s\n", inst.name.c_str());
+  std::printf("topology    : %s\n", inst.graph.describe().c_str());
+  std::printf("destination : %u\n", inst.destination);
+  std::printf("acyclic     : %s\n", is_acyclic(o) ? "yes" : "NO");
+  std::printf("bad nodes   : %zu\n", bad_nodes(o, inst.destination).size());
+  std::printf("sinks       : %zu\n", sinks_excluding(o, inst.destination).size());
+  return 0;
+}
+
+template <typename A>
+int run_algorithm(const Instance& inst, const std::string& scheduler_name, std::uint64_t seed) {
+  A automaton(inst);
+  RunResult result;
+  if (scheduler_name == "lowest") {
+    LowestIdScheduler s;
+    result = run_to_quiescence(automaton, s);
+  } else if (scheduler_name == "random") {
+    RandomScheduler s(seed);
+    result = run_to_quiescence(automaton, s);
+  } else if (scheduler_name == "rr") {
+    RoundRobinScheduler s;
+    result = run_to_quiescence(automaton, s);
+  } else if (scheduler_name == "farthest") {
+    FarthestFirstScheduler s;
+    result = run_to_quiescence(automaton, s);
+  } else {
+    return usage();
+  }
+  std::fprintf(stderr, "steps=%llu edge_reversals=%llu quiescent=%s destination_oriented=%s\n",
+               static_cast<unsigned long long>(result.steps),
+               static_cast<unsigned long long>(result.edge_reversals),
+               result.quiescent ? "yes" : "no", result.destination_oriented ? "yes" : "no");
+  write_dot(std::cout, automaton.orientation(), {.destination = automaton.destination()});
+  return result.destination_oriented ? 0 : 1;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc != 5 && argc != 6) return usage();
+  const Instance inst = load_instance(argv[2]);
+  const std::string algo = argv[3];
+  const std::string sched = argv[4];
+  const std::uint64_t seed = argc == 6 ? std::strtoull(argv[5], nullptr, 10) : 1;
+  if (algo == "pr") return run_algorithm<OneStepPRAutomaton>(inst, sched, seed);
+  if (algo == "newpr") return run_algorithm<NewPRAutomaton>(inst, sched, seed);
+  if (algo == "fr") return run_algorithm<FullReversalAutomaton>(inst, sched, seed);
+  return usage();
+}
+
+template <typename A>
+int model_check_algorithm(const Instance& inst) {
+  A initial(inst);
+  const auto result = model_check(initial, [](const A& a) -> std::string {
+    const auto check = check_acyclic(a.orientation());
+    return check.ok ? std::string{} : check.detail;
+  });
+  std::printf("states explored      : %zu\n", result.states_explored);
+  std::printf("transitions explored : %zu\n", result.transitions_explored);
+  std::printf("acyclic everywhere   : %s\n", result.ok ? "yes" : "NO");
+  if (!result.ok) {
+    std::printf("violation            : %s\n", result.failure.c_str());
+    std::printf("counterexample       :");
+    for (const NodeId u : result.counterexample) std::printf(" %u", u);
+    std::printf("\n");
+  }
+  return result.ok ? 0 : 1;
+}
+
+int cmd_modelcheck(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const Instance inst = load_instance(argv[2]);
+  const std::string algo = argv[3];
+  if (algo == "pr") return model_check_algorithm<OneStepPRAutomaton>(inst);
+  if (algo == "newpr") return model_check_algorithm<NewPRAutomaton>(inst);
+  if (algo == "fr") return model_check_algorithm<FullReversalAutomaton>(inst);
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "gen") return cmd_gen(argc, argv);
+    if (command == "info") return cmd_info(argc, argv);
+    if (command == "run") return cmd_run(argc, argv);
+    if (command == "modelcheck") return cmd_modelcheck(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

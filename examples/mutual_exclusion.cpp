@@ -1,0 +1,43 @@
+/// Mutual exclusion via link reversal (application #3 from the paper's
+/// abstract).
+///
+/// The token holder is the DAG's destination; requests travel along the
+/// destination-oriented DAG; granting the token re-targets the DAG with
+/// partial reversal.  Acyclicity keeps every request route loop-free.
+///
+///   $ ./mutual_exclusion
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "routing/mutex.hpp"
+
+int main() {
+  using namespace lr;
+
+  const Graph grid = make_grid_graph(3, 3);
+  LinkReversalMutex mutex(grid, /*initial_holder=*/4);  // center of the grid
+  std::printf("3x3 grid, token starts at node %u\n\n", mutex.holder());
+
+  // Three nodes request the critical section.
+  for (const NodeId u : {0u, 8u, 2u}) {
+    const std::size_t hops = mutex.request(u);
+    std::printf("node %u requests the CS (request traveled %zu hops)\n", u, hops);
+  }
+
+  // Serve the queue FIFO.
+  while (!mutex.queue().empty()) {
+    const NodeId granted = mutex.release();
+    std::printf("token granted to %u; may_enter(%u)=%s, everyone else blocked\n", granted,
+                granted, mutex.may_enter(granted) ? "yes" : "no");
+    // ... critical section work would happen here ...
+  }
+
+  const MutexStats& stats = mutex.stats();
+  std::printf("\nstats: requests=%llu grants=%llu request_hops=%llu reversals=%llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.grants),
+              static_cast<unsigned long long>(stats.total_request_hops),
+              static_cast<unsigned long long>(stats.total_reversals));
+  return 0;
+}

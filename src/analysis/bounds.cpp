@@ -1,0 +1,34 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+
+#include "graph/digraph_algos.hpp"
+
+namespace lr {
+
+std::size_t count_bad_nodes(const Instance& instance) {
+  const Orientation o = instance.make_orientation();
+  return bad_nodes(o, instance.destination).size();
+}
+
+double fit_growth_exponent(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& samples) {
+  // Linear regression of log(work) against log(n_b); slope = exponent.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (const auto& [nb, work] : samples) {
+    if (nb == 0 || work == 0) continue;
+    const double x = std::log(static_cast<double>(nb));
+    const double y = std::log(static_cast<double>(work));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace lr

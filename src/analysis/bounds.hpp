@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+/// \file bounds.hpp
+/// Theoretical work bounds from the literature the paper builds on
+/// (Busch–Surapaneni–Tirthapura; Busch–Tirthapura; Welch–Walter):
+///
+///  * FR and PR both have worst-case total work Θ(n_b²), where n_b is the
+///    number of nodes with no initial path to the destination.
+///  * On the away-oriented chain, FR performs exactly
+///    n_b(n_b+1)/2 node reversals while PR performs exactly n_b.
+///
+/// Experiment E2 regenerates these series; this header provides the n_b
+/// computation and the closed-form envelopes to compare against.
+
+namespace lr {
+
+/// n_b of an instance: nodes with no directed path to the destination in
+/// the initial orientation.
+std::size_t count_bad_nodes(const Instance& instance);
+
+/// Exact FR work on the away-oriented chain with n_b bad nodes:
+/// n_b (n_b + 1) / 2.
+constexpr std::uint64_t fr_chain_work(std::uint64_t nb) { return nb * (nb + 1) / 2; }
+
+/// Exact PR work on the away-oriented chain with n_b bad nodes: n_b (one
+/// reversal wave).
+constexpr std::uint64_t pr_chain_work(std::uint64_t nb) { return nb; }
+
+/// Upper envelope for any execution of FR or PR (Welch–Walter Θ(n_b²)
+/// analysis): c · n_b² with the standard constant c = 1 for FR on the chain
+/// is tight; we use 2·n_b² + n_b as a conservative ceiling for assertions.
+constexpr std::uint64_t quadratic_work_ceiling(std::uint64_t nb) { return 2 * nb * nb + nb; }
+
+/// Least-squares exponent fit of work = a · n_b^k over a series of
+/// (n_b, work) samples — used by E2 to report the empirical growth
+/// exponent (≈2 for FR on chains, ≈1 for PR on chains).
+double fit_growth_exponent(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& samples);
+
+}  // namespace lr

@@ -1,0 +1,78 @@
+#include "analysis/rounds.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "automata/scheduler.hpp"
+#include "core/full_reversal.hpp"
+#include "core/pr.hpp"
+#include "graph/digraph_algos.hpp"
+
+namespace lr {
+
+std::uint64_t RoundHistory::total_node_steps() const {
+  std::uint64_t total = 0;
+  for (const RoundRecord& r : rounds) total += r.sinks_fired;
+  return total;
+}
+
+std::uint64_t RoundHistory::peak_parallelism() const {
+  std::uint64_t peak = 0;
+  for (const RoundRecord& r : rounds) peak = std::max(peak, r.sinks_fired);
+  return peak;
+}
+
+std::uint64_t RoundHistory::rounds_to_routes() const {
+  for (const RoundRecord& r : rounds) {
+    if (r.bad_nodes_after == 0) return r.round;
+  }
+  return rounds.size();
+}
+
+namespace {
+
+template <typename A>
+RoundHistory run_rounds(A automaton, RoundStrategy strategy, std::uint64_t max_rounds) {
+  RoundHistory history;
+  history.strategy = strategy;
+  MaximalSetScheduler scheduler;
+  std::uint64_t reversals_before = automaton.orientation().reversal_count();
+  for (std::uint64_t round = 1; round <= max_rounds; ++round) {
+    const auto action = scheduler.choose(automaton);
+    if (!action) {
+      history.converged = true;
+      break;
+    }
+    automaton.apply(*action);
+    RoundRecord record;
+    record.round = round;
+    record.sinks_fired = action->size();
+    const std::uint64_t reversals_now = automaton.orientation().reversal_count();
+    record.edges_reversed = reversals_now - reversals_before;
+    reversals_before = reversals_now;
+    record.bad_nodes_after =
+        bad_nodes(automaton.orientation(), automaton.destination()).size();
+    history.rounds.push_back(record);
+  }
+  return history;
+}
+
+}  // namespace
+
+RoundHistory run_greedy_rounds(const Instance& instance, RoundStrategy strategy,
+                               std::uint64_t max_rounds) {
+  if (strategy == RoundStrategy::kPartialReversal) {
+    return run_rounds(PRAutomaton(instance), strategy, max_rounds);
+  }
+  return run_rounds(FullReversalSetAutomaton(instance), strategy, max_rounds);
+}
+
+void write_round_history_csv(std::ostream& os, const RoundHistory& history) {
+  os << "round,sinks_fired,edges_reversed,bad_nodes_after\n";
+  for (const RoundRecord& r : history.rounds) {
+    os << r.round << ',' << r.sinks_fired << ',' << r.edges_reversed << ','
+       << r.bad_nodes_after << '\n';
+  }
+}
+
+}  // namespace lr

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+/// \file rounds.hpp
+/// Greedy-round ("time complexity") analysis of link reversal.
+///
+/// The work experiments (E2/E3) count node reversals; the *time* measure in
+/// the link-reversal literature counts greedy rounds: in each round every
+/// current sink fires simultaneously (the paper's reverse(S) with maximal
+/// S).  This module records per-round histories — how many sinks fired, how
+/// many edges flipped, how many nodes still lack a route — giving the
+/// convergence *profile*, not just the endpoint.
+
+namespace lr {
+
+enum class RoundStrategy : std::uint8_t { kPartialReversal, kFullReversal };
+
+struct RoundRecord {
+  std::uint64_t round = 0;            ///< 1-based round index
+  std::uint64_t sinks_fired = 0;      ///< |S| of this round
+  std::uint64_t edges_reversed = 0;   ///< edge flips caused by the round
+  std::uint64_t bad_nodes_after = 0;  ///< nodes without a route afterwards
+};
+
+struct RoundHistory {
+  RoundStrategy strategy = RoundStrategy::kPartialReversal;
+  std::vector<RoundRecord> rounds;
+  bool converged = false;
+
+  std::uint64_t total_rounds() const { return rounds.size(); }
+  std::uint64_t total_node_steps() const;
+  /// Largest |S| over the execution — the available parallelism.
+  std::uint64_t peak_parallelism() const;
+  /// Rounds until the bad-node count first reaches zero (may be smaller
+  /// than total_rounds(): the DAG can become destination-oriented while
+  /// stragglers still need to fire — never, actually: oriented == no sinks;
+  /// kept for the CSV schema and asserted equal in tests).
+  std::uint64_t rounds_to_routes() const;
+};
+
+/// Runs the greedy (maximal set) execution of the chosen strategy and
+/// records the per-round history.
+RoundHistory run_greedy_rounds(const Instance& instance, RoundStrategy strategy,
+                               std::uint64_t max_rounds = 1'000'000);
+
+/// Writes "round,sinks_fired,edges_reversed,bad_nodes_after" rows.
+void write_round_history_csv(std::ostream& os, const RoundHistory& history);
+
+}  // namespace lr

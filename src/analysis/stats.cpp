@@ -1,0 +1,48 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace lr {
+
+std::uint64_t WorkStats::max_steps_per_node() const {
+  if (steps_per_node.empty()) return 0;
+  return *std::max_element(steps_per_node.begin(), steps_per_node.end());
+}
+
+double WorkStats::mean_steps_per_node() const {
+  if (steps_per_node.empty()) return 0.0;
+  return static_cast<double>(total_steps) / static_cast<double>(steps_per_node.size());
+}
+
+std::string WorkStats::summary() const {
+  std::ostringstream oss;
+  oss << "WorkStats(total=" << total_steps << ", max/node=" << max_steps_per_node()
+      << ", mean/node=" << mean_steps_per_node() << ", edge_reversals=" << edge_reversals
+      << ", rounds=" << rounds << ")";
+  return oss.str();
+}
+
+void Aggregate::add(double x) {
+  if (count == 0) {
+    min = max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  ++count;
+  sum += x;
+  sum_sq += x * x;
+}
+
+double Aggregate::variance() const {
+  if (count < 2) return 0.0;
+  const double m = mean();
+  return sum_sq / static_cast<double>(count) - m * m;
+}
+
+double Aggregate::stddev() const { return std::sqrt(std::max(0.0, variance())); }
+
+}  // namespace lr

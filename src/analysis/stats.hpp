@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+/// \file stats.hpp
+/// Work and convergence statistics for link-reversal executions — the
+/// measurement substrate behind experiments E2 (Θ(n_b²) bound), E3 (social
+/// cost), E4 (dummy overhead) and E6 (convergence).
+///
+/// The complexity measure of the paper and the literature it cites is the
+/// number of *node reversals* ("the total number of reversals performed by
+/// all nodes"); we additionally track single-edge reversals and greedy
+/// rounds.
+
+namespace lr {
+
+/// Per-execution work profile.
+struct WorkStats {
+  std::vector<std::uint64_t> steps_per_node;  ///< reverse actions fired per node
+  std::uint64_t total_steps = 0;              ///< sum of steps_per_node
+  std::uint64_t edge_reversals = 0;           ///< individual edge flips
+  std::uint64_t rounds = 0;                   ///< greedy rounds (set executions only)
+
+  std::uint64_t max_steps_per_node() const;
+  double mean_steps_per_node() const;
+
+  /// Adds one fired action for node u.
+  void record_step(NodeId u) {
+    if (u >= steps_per_node.size()) steps_per_node.resize(u + 1, 0);
+    ++steps_per_node[u];
+    ++total_steps;
+  }
+
+  std::string summary() const;
+};
+
+/// Accumulates per-node work over an execution; usable as a
+/// run_to_quiescence observer via `observer()`.
+class WorkRecorder {
+ public:
+  explicit WorkRecorder(std::size_t num_nodes) { stats_.steps_per_node.resize(num_nodes, 0); }
+
+  /// Single-step observer.
+  template <typename A>
+  void on_step(const A& /*automaton*/, NodeId u) {
+    stats_.record_step(u);
+  }
+
+  /// Set-step observer.
+  template <typename A>
+  void on_set_step(const A& /*automaton*/, const std::vector<NodeId>& s) {
+    for (const NodeId u : s) stats_.record_step(u);
+    ++stats_.rounds;
+  }
+
+  const WorkStats& stats() const noexcept { return stats_; }
+  WorkStats& stats() noexcept { return stats_; }
+
+ private:
+  WorkStats stats_;
+};
+
+/// Simple online aggregate over repeated trials (per experiment cell).
+struct Aggregate {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void add(double x);
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  double variance() const;
+  double stddev() const;
+};
+
+}  // namespace lr

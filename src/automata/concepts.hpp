@@ -1,0 +1,60 @@
+#pragma once
+
+#include <concepts>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/orientation.hpp"
+
+/// \file concepts.hpp
+/// Compile-time interface for link-reversal I/O automata.
+///
+/// The paper models each algorithm (PR, OneStepPR, NewPR) as a single I/O
+/// automaton in the style of Lynch's *Distributed Algorithms*: a state, a
+/// set of actions, a precondition per action, and an effect per action.
+/// Our automata expose exactly that shape:
+///
+///  * `Action`           — the action type (a node for one-step automata, a
+///                          node set for PR's `reverse(S)`),
+///  * `enabled(a)`        — the precondition,
+///  * `apply(a)`          — the effect (precondition must hold),
+///  * `enabled_sinks()`   — the sinks other than the destination, from
+///                          which schedulers assemble actions,
+///  * `quiescent()`       — no action is enabled.
+///
+/// Automata are regular values: copyable so that invariant checkers and the
+/// simulation-relation framework can snapshot states.
+
+namespace lr {
+
+/// One-step automata: an action is a single node performing reverse(u).
+template <typename A>
+concept SingleStepAutomaton = requires(A a, const A ca, NodeId u) {
+  requires std::same_as<typename A::Action, NodeId>;
+  { ca.graph() } -> std::convertible_to<const Graph&>;
+  { ca.orientation() } -> std::convertible_to<const Orientation&>;
+  { ca.destination() } -> std::convertible_to<NodeId>;
+  { ca.enabled(u) } -> std::convertible_to<bool>;
+  { a.apply(u) };
+  { ca.enabled_sinks() } -> std::convertible_to<std::vector<NodeId>>;
+  { ca.quiescent() } -> std::convertible_to<bool>;
+};
+
+/// Set-step automata: an action is a non-empty set of sinks stepping
+/// together, as in the paper's PR signature reverse(S).
+template <typename A>
+concept SetStepAutomaton = requires(A a, const A ca, const std::vector<NodeId>& s) {
+  requires std::same_as<typename A::Action, std::vector<NodeId>>;
+  { ca.graph() } -> std::convertible_to<const Graph&>;
+  { ca.orientation() } -> std::convertible_to<const Orientation&>;
+  { ca.destination() } -> std::convertible_to<NodeId>;
+  { ca.enabled(s) } -> std::convertible_to<bool>;
+  { a.apply(s) };
+  { ca.enabled_sinks() } -> std::convertible_to<std::vector<NodeId>>;
+  { ca.quiescent() } -> std::convertible_to<bool>;
+};
+
+template <typename A>
+concept LinkReversalAutomaton = SingleStepAutomaton<A> || SetStepAutomaton<A>;
+
+}  // namespace lr

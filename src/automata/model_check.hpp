@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "automata/concepts.hpp"
+
+/// \file model_check.hpp
+/// Exhaustive state-space exploration for link-reversal automata.
+///
+/// The schedulers in scheduler.hpp sample *one* execution at a time; the
+/// paper's safety claims quantify over **all** executions.  On small graphs
+/// the reachable state space is finite and small enough to enumerate, so
+/// this checker performs a DFS over every reachable state (following every
+/// enabled action from every state) and verifies a user property in each.
+/// A failure comes back with the exact action schedule that reaches the
+/// violating state, so tests produce replayable counterexamples.
+///
+/// Requirements on the automaton: copyable, and it must expose a
+/// `state_fingerprint()` returning a byte vector that uniquely identifies
+/// its state (orientation + algorithm-specific variables).
+
+namespace lr {
+
+template <typename A>
+concept Fingerprintable = requires(const A a) {
+  { a.state_fingerprint() } -> std::convertible_to<std::vector<std::uint8_t>>;
+};
+
+struct ModelCheckResult {
+  bool ok = true;
+  std::size_t states_explored = 0;
+  std::size_t transitions_explored = 0;
+  std::string failure;                      ///< property's message at the violation
+  std::vector<NodeId> counterexample;       ///< schedule reaching the violating state
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Explores every reachable state of `initial` (single-step automata).
+///
+/// \param property callable (const A&) -> std::string; empty string means
+///        the property holds, non-empty is the violation message.
+/// \param max_states exploration budget; exceeding it throws
+///        std::runtime_error (the graph was too large to model-check).
+template <SingleStepAutomaton A, typename Property>
+  requires Fingerprintable<A>
+ModelCheckResult model_check(const A& initial, Property&& property,
+                             std::size_t max_states = 1'000'000) {
+  ModelCheckResult result;
+
+  struct Frame {
+    A state;
+    std::vector<NodeId> schedule;
+  };
+
+  std::set<std::vector<std::uint8_t>> visited;
+  std::vector<Frame> stack;
+  visited.insert(initial.state_fingerprint());
+  stack.push_back(Frame{initial, {}});
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    ++result.states_explored;
+
+    const std::string violation = property(frame.state);
+    if (!violation.empty()) {
+      result.ok = false;
+      result.failure = violation;
+      result.counterexample = frame.schedule;
+      return result;
+    }
+
+    for (const NodeId u : frame.state.enabled_sinks()) {
+      A next = frame.state;
+      next.apply(u);
+      ++result.transitions_explored;
+      auto fingerprint = next.state_fingerprint();
+      if (visited.insert(std::move(fingerprint)).second) {
+        if (visited.size() > max_states) {
+          throw std::runtime_error("model_check: state budget exceeded");
+        }
+        std::vector<NodeId> schedule = frame.schedule;
+        schedule.push_back(u);
+        stack.push_back(Frame{std::move(next), std::move(schedule)});
+      }
+    }
+  }
+  return result;
+}
+
+/// Convenience property combinator: all of the given properties.
+template <typename... Properties>
+auto all_properties(Properties&&... properties) {
+  return [... props = std::forward<Properties>(properties)](const auto& state) -> std::string {
+    std::string message;
+    (void)((message = props(state), message.empty()) && ...);
+    return message;
+  };
+}
+
+}  // namespace lr

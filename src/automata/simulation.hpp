@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "automata/concepts.hpp"
+
+/// \file simulation.hpp
+/// Mechanical checking of forward simulation relations (Section 5).
+///
+/// A forward simulation from concrete automaton C to abstract automaton B
+/// consists of a relation R over (state of C, state of B) such that
+///  (a) related initial states exist, and
+///  (b) for every concrete step from an R-related pair there is a finite
+///      abstract step sequence re-establishing R (Lemmas 5.1 / 5.3).
+///
+/// The checker below validates (b) *along an execution*: it drives the
+/// concrete automaton with a scheduler, asks a step-correspondence function
+/// for the matching abstract action sequence, applies both, and verifies R
+/// after every matched pair.  This does not constitute a proof (the paper
+/// supplies that); it is the executable counterpart that catches any
+/// implementation divergence from the paper's argument.
+
+namespace lr {
+
+struct SimulationCheckResult {
+  bool ok = true;
+  std::uint64_t concrete_steps = 0;   ///< concrete actions fired
+  std::uint64_t abstract_steps = 0;   ///< abstract actions fired in response
+  std::string failure;                ///< human-readable diagnosis when !ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Checks a forward simulation along one execution.
+///
+/// \param concrete   the low-level automaton (e.g. PR)
+/// \param abstract   the high-level automaton (e.g. OneStepPR)
+/// \param scheduler  drives the concrete automaton; any scheduler type whose
+///                   choose(concrete) yields std::optional<C::Action>
+/// \param relation   callable (const C&, const B&) -> bool, the relation R
+/// \param correspond callable (const C&, const C::Action&, const B&)
+///                   -> std::vector<B::Action>, Lemma 5.x's step mapping,
+///                   evaluated *before* the concrete step fires
+/// \param max_steps  execution length bound
+template <typename C, typename B, typename Scheduler, typename Relation, typename Correspondence>
+SimulationCheckResult check_forward_simulation(C& concrete, B& abstract, Scheduler& scheduler,
+                                               Relation&& relation, Correspondence&& correspond,
+                                               std::uint64_t max_steps = 1'000'000) {
+  SimulationCheckResult result;
+  if (!relation(concrete, abstract)) {
+    result.ok = false;
+    result.failure = "relation does not hold between the initial states";
+    return result;
+  }
+  while (result.concrete_steps < max_steps) {
+    const auto action = scheduler.choose(concrete);
+    if (!action) break;  // concrete automaton quiescent under this scheduler
+
+    const auto abstract_actions = correspond(concrete, *action, abstract);
+
+    concrete.apply(*action);
+    ++result.concrete_steps;
+
+    for (const auto& abstract_action : abstract_actions) {
+      if (!abstract.enabled(abstract_action)) {
+        result.ok = false;
+        std::ostringstream oss;
+        oss << "abstract action not enabled at concrete step " << result.concrete_steps;
+        result.failure = oss.str();
+        return result;
+      }
+      abstract.apply(abstract_action);
+      ++result.abstract_steps;
+    }
+
+    if (!relation(concrete, abstract)) {
+      result.ok = false;
+      std::ostringstream oss;
+      oss << "relation violated after concrete step " << result.concrete_steps << " ("
+          << abstract_actions.size() << " abstract steps applied)";
+      result.failure = oss.str();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace lr

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lr_base.hpp"
+
+/// \file bll.hpp
+/// Binary Link Labels (BLL) — the Welch–Walter generalization of Partial
+/// Reversal that the paper cites as the *other* existing acyclicity proof
+/// route ("The BLL algorithm assumes that each edge in the graph is
+/// labeled, and reverses edges based on these labels").
+///
+/// Mechanism implemented here: every node u holds one binary label per
+/// incident edge ("marked"/"unmarked" from u's side).  When sink u fires:
+///
+///   * if at least one incident edge is unmarked at u: reverse exactly the
+///     unmarked edges,
+///   * otherwise (all marked): reverse all incident edges;
+///
+/// every neighbor v whose edge was reversed marks that edge on its own
+/// side, and u finally clears all of its marks.
+///
+/// Partial Reversal is the special case in which all labels start
+/// unmarked: u's marked set is then always exactly the paper's list[u]
+/// (the neighbors that reversed towards u since u's last step), so PR and
+/// BLL(all-unmarked) produce identical executions — asserted by tests and
+/// experiment E8.  Arbitrary initial labelings interpolate between PR-like
+/// behaviours; Welch–Walter's global acyclicity condition on the initial
+/// labeling is *not* reproduced as a closed-form predicate (their text is
+/// paywalled; DESIGN.md §3), but `initial_labeling_preserves_acyclicity`
+/// model-checks it exhaustively on small graphs.
+
+namespace lr {
+
+class BLLAutomaton : public LinkReversalBase {
+ public:
+  using Action = NodeId;
+
+  /// `initial_marks[slot]` uses the same CSR layout as the adjacency: one
+  /// flag per (node, incidence index).  Use the factories below for the
+  /// common labelings.
+  BLLAutomaton(const Graph& g, Orientation initial, NodeId destination,
+               std::vector<std::uint8_t> initial_marks);
+
+  /// The PR special case: all labels unmarked.
+  static BLLAutomaton pr_labeling(const Graph& g, Orientation initial, NodeId destination);
+  static BLLAutomaton pr_labeling(const Instance& instance);
+
+  /// All labels marked: every node's *first* step reverses all edges.
+  static BLLAutomaton all_marked_labeling(const Graph& g, Orientation initial,
+                                          NodeId destination);
+
+  /// The marked neighbor set of u (sorted) — plays the role of list[u].
+  std::vector<NodeId> marked_neighbors(NodeId u) const;
+
+  std::size_t marked_count(NodeId u) const { return marked_count_[u]; }
+
+  bool enabled(NodeId u) const { return sink_enabled(u); }
+  void apply(NodeId u);
+
+  /// Unique encoding of (G', all marks) for the exhaustive model checker.
+  std::vector<std::uint8_t> state_fingerprint() const {
+    std::vector<std::uint8_t> fp;
+    fp.reserve(graph().num_edges() + marked_.size());
+    append_orientation_fingerprint(fp);
+    fp.insert(fp.end(), marked_.begin(), marked_.end());
+    return fp;
+  }
+
+ private:
+  std::size_t slot(NodeId u, std::size_t incidence_index) const {
+    return offsets_[u] + incidence_index;
+  }
+  std::size_t incidence_index_of(NodeId u, NodeId v) const;
+
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint8_t> marked_;
+  std::vector<std::uint32_t> marked_count_;
+};
+
+/// Exhaustively model-checks (DFS over the full reachable state space)
+/// whether BLL with the given initial labeling keeps the orientation
+/// acyclic in every reachable state.  Exponential; intended for graphs
+/// with at most ~10 edges.  `max_states` bounds the exploration.
+bool initial_labeling_preserves_acyclicity(const Graph& g, const std::vector<EdgeSense>& senses,
+                                           NodeId destination,
+                                           const std::vector<std::uint8_t>& initial_marks,
+                                           std::size_t max_states = 200'000);
+
+}  // namespace lr

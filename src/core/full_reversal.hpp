@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lr_base.hpp"
+
+/// \file full_reversal.hpp
+/// Full Reversal (FR), the Gafni–Bertsekas baseline the paper contrasts
+/// with: "In FR when a node is a sink it reverses all of its incident
+/// edges."  FR's acyclicity argument is the easy one sketched in the
+/// paper's introduction (the last node to fire has only outgoing edges);
+/// the test suite checks it the same way it checks PR, and the work
+/// experiments (E2, E3) use FR as the baseline strategy.
+
+namespace lr {
+
+/// One-step FR: action reverse(u) flips every incident edge of sink u.
+class FullReversalAutomaton : public LinkReversalBase {
+ public:
+  using Action = NodeId;
+
+  FullReversalAutomaton(const Graph& g, Orientation initial, NodeId destination)
+      : LinkReversalBase(g, std::move(initial), destination),
+        count_(graph().num_nodes(), 0) {}
+
+  explicit FullReversalAutomaton(const Instance& instance)
+      : FullReversalAutomaton(instance.graph, instance.make_orientation(), instance.destination) {}
+
+  /// Steps u has taken so far (work measure for E2/E3).
+  std::uint64_t count(NodeId u) const { return count_[u]; }
+
+  bool enabled(NodeId u) const { return sink_enabled(u); }
+
+  void apply(NodeId u);
+
+  /// Unique encoding of the behavioral state for the exhaustive model
+  /// checker.  FR's behavior depends only on the orientation (counts are
+  /// bookkeeping), so the fingerprint is just G' — merging count-variant
+  /// states keeps the explored space small without losing any orientation
+  /// property.
+  std::vector<std::uint8_t> state_fingerprint() const {
+    std::vector<std::uint8_t> fp;
+    fp.reserve(graph().num_edges());
+    append_orientation_fingerprint(fp);
+    return fp;
+  }
+
+ private:
+  std::vector<std::uint64_t> count_;
+};
+
+/// Set-step FR: all nodes of S (pairwise non-adjacent sinks) fire together,
+/// mirroring the paper's PR signature reverse(S).
+class FullReversalSetAutomaton : public LinkReversalBase {
+ public:
+  using Action = std::vector<NodeId>;
+
+  FullReversalSetAutomaton(const Graph& g, Orientation initial, NodeId destination)
+      : LinkReversalBase(g, std::move(initial), destination) {}
+
+  explicit FullReversalSetAutomaton(const Instance& instance)
+      : FullReversalSetAutomaton(instance.graph, instance.make_orientation(),
+                                 instance.destination) {}
+
+  bool enabled(const Action& s) const {
+    if (s.empty()) return false;
+    for (const NodeId u : s) {
+      if (!sink_enabled(u)) return false;
+    }
+    return true;
+  }
+
+  void apply(const Action& s);
+};
+
+}  // namespace lr

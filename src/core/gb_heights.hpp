@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "core/lr_base.hpp"
+
+/// \file gb_heights.hpp
+/// The original Gafni–Bertsekas *height* formulations of link reversal [GB81],
+/// which the paper's acyclicity proof deliberately avoids.
+///
+/// GB assign each node an unbounded label ("height") drawn from a totally
+/// ordered set; every edge points from the higher endpoint to the lower
+/// one, so acyclicity is immediate from the total order.  Two instances:
+///
+///  * **Pair heights** (a, id) — Full Reversal: a sink sets
+///      a_u := 1 + max{ a_v : v ∈ nbrs_u },
+///    rising above every neighbor, i.e. reversing all incident edges.
+///
+///  * **Triple heights** (a, b, id) — Partial Reversal: a sink sets
+///      a_u := 1 + min{ a_v : v ∈ nbrs_u };
+///      if some neighbor v has a_v = a_u (new), then
+///        b_u := min{ b_v : a_v = a_u } − 1, else b_u is unchanged.
+///    This rises above exactly the minimum-a neighbors — the neighbors that
+///    have *not* reversed towards u since u's last step — which is the PR
+///    reversal set.  Experiment E8 and the test suite drive identical
+///    schedules through GBTripleHeights and the list-based PR automaton and
+///    assert the resulting orientations coincide step-by-step.
+///
+/// The initial heights are derived from a topological order of the initial
+/// DAG so that every edge starts pointing from higher to lower height,
+/// matching G'_init exactly.
+
+namespace lr {
+
+/// Full Reversal via pair heights (a, id).
+class GBPairHeightsAutomaton : public LinkReversalBase {
+ public:
+  using Action = NodeId;
+  using Height = std::pair<std::int64_t, NodeId>;  // (a, id), lexicographic
+
+  GBPairHeightsAutomaton(const Graph& g, Orientation initial, NodeId destination);
+  explicit GBPairHeightsAutomaton(const Instance& instance);
+
+  Height height(NodeId u) const { return {a_[u], u}; }
+
+  bool enabled(NodeId u) const { return sink_enabled(u); }
+  void apply(NodeId u);
+
+  /// True iff every edge points from its lexicographically higher endpoint
+  /// to its lower one — the GB consistency property; tests assert it after
+  /// every step.
+  bool heights_consistent() const;
+
+ private:
+  std::vector<std::int64_t> a_;
+};
+
+/// Partial Reversal via triple heights (a, b, id).
+class GBTripleHeightsAutomaton : public LinkReversalBase {
+ public:
+  using Action = NodeId;
+  using Height = std::tuple<std::int64_t, std::int64_t, NodeId>;  // (a, b, id)
+
+  GBTripleHeightsAutomaton(const Graph& g, Orientation initial, NodeId destination);
+  explicit GBTripleHeightsAutomaton(const Instance& instance);
+
+  Height height(NodeId u) const { return {a_[u], b_[u], u}; }
+
+  bool enabled(NodeId u) const { return sink_enabled(u); }
+  void apply(NodeId u);
+
+  bool heights_consistent() const;
+
+ private:
+  std::vector<std::int64_t> a_;
+  std::vector<std::int64_t> b_;
+};
+
+}  // namespace lr

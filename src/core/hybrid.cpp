@@ -1,0 +1,25 @@
+#include "core/hybrid.hpp"
+
+#include <stdexcept>
+
+namespace lr {
+
+HybridStrategyAutomaton::HybridStrategyAutomaton(const Graph& g, Orientation initial,
+                                                 NodeId destination,
+                                                 std::vector<NodeStrategy> strategies)
+    : PartialReversalState(g, std::move(initial), destination),
+      strategies_(std::move(strategies)) {
+  if (strategies_.size() != graph().num_nodes()) {
+    throw std::invalid_argument("HybridStrategyAutomaton: one strategy per node required");
+  }
+}
+
+void HybridStrategyAutomaton::apply(NodeId u) {
+  if (strategies_[u] == NodeStrategy::kFullReversal) {
+    node_step_full(u);
+  } else {
+    node_step(u);
+  }
+}
+
+}  // namespace lr

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pr.hpp"
+
+/// \file hybrid.hpp
+/// Per-node strategy mixing: the game of Charron-Bost, Welch & Widder
+/// ("Link reversal: how to play better to work less"), which the paper
+/// cites to explain PR's practical advantage.
+///
+/// In the game, each node independently picks how much to reverse when it
+/// fires as a sink: everything (the FR strategy) or only the edges not in
+/// its list (the PR strategy).  A *profile* assigns one strategy per node;
+/// all-FR and all-PR are the two uniform profiles.  A node's *cost* is the
+/// number of times it fires before quiescence; the cited results are that
+/// the all-FR profile is always a Nash equilibrium (no node can lower its
+/// own cost by unilaterally switching to PR) yet has the largest social
+/// cost among equilibria, while all-PR — when it is an equilibrium —
+/// achieves the social optimum.  Experiment E3.4 and hybrid_game_test.cpp
+/// verify these properties empirically.
+///
+/// The list bookkeeping is shared with PR: every reversal of the edge
+/// {u, v} by u adds u to list[v], regardless of either node's strategy, so
+/// a PR node correctly skips the neighbors that reversed towards it since
+/// its last step even in mixed profiles.
+
+namespace lr {
+
+enum class NodeStrategy : std::uint8_t { kFullReversal, kPartialReversal };
+
+class HybridStrategyAutomaton : public PartialReversalState {
+ public:
+  using Action = NodeId;
+
+  HybridStrategyAutomaton(const Graph& g, Orientation initial, NodeId destination,
+                          std::vector<NodeStrategy> strategies);
+
+  HybridStrategyAutomaton(const Instance& instance, std::vector<NodeStrategy> strategies)
+      : HybridStrategyAutomaton(instance.graph, instance.make_orientation(),
+                                instance.destination, std::move(strategies)) {}
+
+  /// Uniform profiles.
+  static std::vector<NodeStrategy> all_full(std::size_t n) {
+    return std::vector<NodeStrategy>(n, NodeStrategy::kFullReversal);
+  }
+  static std::vector<NodeStrategy> all_partial(std::size_t n) {
+    return std::vector<NodeStrategy>(n, NodeStrategy::kPartialReversal);
+  }
+
+  NodeStrategy strategy(NodeId u) const { return strategies_[u]; }
+
+  bool enabled(NodeId u) const { return sink_enabled(u); }
+
+  /// Fires sink `u` according to its own strategy.
+  void apply(NodeId u);
+
+ private:
+  std::vector<NodeStrategy> strategies_;
+};
+
+}  // namespace lr

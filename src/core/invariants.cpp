@@ -1,0 +1,192 @@
+#include "core/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/digraph_algos.hpp"
+
+namespace lr {
+
+namespace {
+
+InvariantResult fail(std::string detail) { return InvariantResult{false, std::move(detail)}; }
+
+bool is_subset(const std::vector<NodeId>& sub, const std::vector<NodeId>& super) {
+  // Both vectors are sorted ascending.
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+}  // namespace
+
+InvariantResult check_invariant_3_1(const Orientation& o) {
+  const Graph& g = o.graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId u = g.edge_u(e);
+    const NodeId v = g.edge_v(e);
+    const Dir from_u = o.dir(u, v);
+    const Dir from_v = o.dir(v, u);
+    if (from_u != opposite(from_v)) {
+      std::ostringstream oss;
+      oss << "Invariant 3.1 violated on edge {" << u << ", " << v << "}: both sides report "
+          << (from_u == Dir::kIn ? "in" : "out");
+      return fail(oss.str());
+    }
+  }
+  return {};
+}
+
+InvariantResult check_invariant_3_2(const PartialReversalState& pr) {
+  const Graph& g = pr.graph();
+  const Orientation& o = pr.orientation();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto in_nbrs = pr.initial_in_neighbors(u);
+    const auto out_nbrs = pr.initial_out_neighbors(u);
+    const auto list = pr.list(u);
+
+    // Case 1: all initial out-neighbors point at u, and list[u] is exactly
+    // the initial in-neighbors whose edges point at u.
+    const auto incoming_subset = [&](const std::vector<NodeId>& candidates) {
+      std::vector<NodeId> result;
+      for (const NodeId v : candidates) {
+        if (o.dir(u, v) == Dir::kIn) result.push_back(v);
+      }
+      return result;
+    };
+    const bool out_all_in = std::all_of(out_nbrs.begin(), out_nbrs.end(), [&](NodeId w) {
+      return o.dir(u, w) == Dir::kIn;
+    });
+    const bool in_all_in = std::all_of(in_nbrs.begin(), in_nbrs.end(), [&](NodeId w) {
+      return o.dir(u, w) == Dir::kIn;
+    });
+    const bool part1 = out_all_in && list == incoming_subset(in_nbrs);
+    const bool part2 = in_all_in && list == incoming_subset(out_nbrs);
+    if (part1 == part2) {
+      std::ostringstream oss;
+      oss << "Invariant 3.2 violated at node " << u << ": " << (part1 ? "both" : "neither")
+          << " of the two cases hold (|list|=" << list.size() << ")";
+      return fail(oss.str());
+    }
+  }
+  return {};
+}
+
+InvariantResult check_corollary_3_3(const PartialReversalState& pr) {
+  const Graph& g = pr.graph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto list = pr.list(u);
+    if (list.empty()) continue;
+    if (!is_subset(list, pr.initial_in_neighbors(u)) &&
+        !is_subset(list, pr.initial_out_neighbors(u))) {
+      std::ostringstream oss;
+      oss << "Corollary 3.3 violated at node " << u
+          << ": list[u] is contained in neither in-nbrs nor out-nbrs";
+      return fail(oss.str());
+    }
+  }
+  return {};
+}
+
+InvariantResult check_corollary_3_4(const PartialReversalState& pr) {
+  const Graph& g = pr.graph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u == pr.destination() || !pr.orientation().is_sink(u)) continue;
+    const auto list = pr.list(u);
+    if (list != pr.initial_in_neighbors(u) && list != pr.initial_out_neighbors(u)) {
+      std::ostringstream oss;
+      oss << "Corollary 3.4 violated at sink " << u
+          << ": list[u] equals neither in-nbrs nor out-nbrs";
+      return fail(oss.str());
+    }
+  }
+  return {};
+}
+
+InvariantResult check_invariant_4_1(const NewPRAutomaton& newpr, const LeftRightEmbedding& emb) {
+  const Graph& g = newpr.graph();
+  const Orientation& o = newpr.orientation();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId u = g.edge_u(e);
+    const NodeId v = g.edge_v(e);
+    if (newpr.parity(u) != newpr.parity(v)) continue;
+    const bool left_to_right = emb.directed_left_to_right(o, e);
+    if (newpr.parity(u) == Parity::kEven && !left_to_right) {
+      std::ostringstream oss;
+      oss << "Invariant 4.1(a) violated on edge {" << u << ", " << v
+          << "}: both parities even but edge directed right-to-left";
+      return fail(oss.str());
+    }
+    if (newpr.parity(u) == Parity::kOdd && left_to_right) {
+      std::ostringstream oss;
+      oss << "Invariant 4.1(b) violated on edge {" << u << ", " << v
+          << "}: both parities odd but edge directed left-to-right";
+      return fail(oss.str());
+    }
+  }
+  return {};
+}
+
+InvariantResult check_invariant_4_2(const NewPRAutomaton& newpr, const LeftRightEmbedding& emb) {
+  const Graph& g = newpr.graph();
+  const Orientation& o = newpr.orientation();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (const bool swap : {false, true}) {
+      const NodeId u = swap ? g.edge_v(e) : g.edge_u(e);
+      const NodeId v = swap ? g.edge_u(e) : g.edge_v(e);
+      const std::uint64_t cu = newpr.count(u);
+      const std::uint64_t cv = newpr.count(v);
+
+      // (a) counts of neighbors differ by at most one.
+      if (cu > cv + 1 || cv > cu + 1) {
+        std::ostringstream oss;
+        oss << "Invariant 4.2(a) violated on {" << u << ", " << v << "}: count[" << u
+            << "]=" << cu << ", count[" << v << "]=" << cv;
+        return fail(oss.str());
+      }
+      // (b) odd count and right neighbor: counts equal.
+      if (cu % 2 == 1 && emb.left_of(u, v) && cv != cu) {
+        std::ostringstream oss;
+        oss << "Invariant 4.2(b) violated on {" << u << ", " << v << "}: count[" << u
+            << "]=" << cu << " odd, v right of u, count[" << v << "]=" << cv;
+        return fail(oss.str());
+      }
+      // (c) even count and left neighbor: counts equal.
+      if (cu % 2 == 0 && emb.left_of(v, u) && cv != cu) {
+        std::ostringstream oss;
+        oss << "Invariant 4.2(c) violated on {" << u << ", " << v << "}: count[" << u
+            << "]=" << cu << " even, v left of u, count[" << v << "]=" << cv;
+        return fail(oss.str());
+      }
+      // (d) strictly larger count: edge directed from u to v.
+      if (cu > cv && o.tail(e) != u) {
+        std::ostringstream oss;
+        oss << "Invariant 4.2(d) violated on {" << u << ", " << v << "}: count[" << u
+            << "]=" << cu << " > count[" << v << "]=" << cv << " but edge points at " << u;
+        return fail(oss.str());
+      }
+    }
+  }
+  return {};
+}
+
+InvariantResult check_acyclic(const Orientation& o) {
+  const auto cycle = find_cycle(o);
+  if (!cycle) return {};
+  std::ostringstream oss;
+  oss << "acyclicity violated; directed cycle:";
+  for (const NodeId u : *cycle) oss << ' ' << u;
+  return fail(oss.str());
+}
+
+InvariantResult check_quiescence_consistency(const Orientation& o, NodeId destination) {
+  const bool quiescent = sinks_excluding(o, destination).empty();
+  const bool oriented = is_destination_oriented(o, destination);
+  if (quiescent && !oriented) {
+    return fail("quiescent state is not destination-oriented");
+  }
+  if (oriented && !quiescent) {
+    return fail("destination-oriented state still has a non-destination sink");
+  }
+  return {};
+}
+
+}  // namespace lr

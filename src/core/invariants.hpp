@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+
+#include "core/newpr.hpp"
+#include "core/pr.hpp"
+#include "graph/embedding.hpp"
+
+/// \file invariants.hpp
+/// Executable counterparts of every formal claim in the paper.  Each
+/// checker returns an InvariantResult whose `detail` pinpoints the first
+/// violating node/edge, so a failing property test is immediately
+/// actionable.
+///
+///  * Invariant 3.1  — two-sided dir consistency.
+///  * Invariant 3.2  — the list[u] dichotomy for PR-style state.
+///  * Corollary 3.3  — list[u] ⊆ in-nbrs_u or list[u] ⊆ out-nbrs_u.
+///  * Corollary 3.4  — at a sink, list[u] equals in-nbrs_u or out-nbrs_u.
+///  * Invariant 4.1  — equal parity fixes the left/right direction.
+///  * Invariant 4.2  — step-count relations between neighbors.
+///  * Theorem 4.3 / 5.5 — acyclicity (is_acyclic on the orientation).
+///  * Quiescence     — no enabled sink iff destination-oriented (the
+///                     liveness-goal sanity check).
+
+namespace lr {
+
+struct InvariantResult {
+  bool ok = true;
+  std::string detail;  ///< empty when ok; first violation otherwise
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Invariant 3.1: for each edge {u, v}, dir[u, v] = in iff dir[v, u] = out.
+/// Checked through the two-sided dir() API (our single-sense storage makes
+/// it hold by construction; the checker guards against regressions in that
+/// encoding).
+InvariantResult check_invariant_3_1(const Orientation& o);
+
+/// Invariant 3.2: for every node u exactly one of the two cases holds:
+///  1. every w ∈ out-nbrs_u has dir[u,w] = in, and
+///     list[u] = { v ∈ in-nbrs_u : dir[u,v] = in };
+///  2. every w ∈ in-nbrs_u has dir[u,w] = in, and
+///     list[u] = { v ∈ out-nbrs_u : dir[u,v] = in }.
+InvariantResult check_invariant_3_2(const PartialReversalState& pr);
+
+/// Corollary 3.3: list[u] ⊆ in-nbrs_u or list[u] ⊆ out-nbrs_u.
+InvariantResult check_corollary_3_3(const PartialReversalState& pr);
+
+/// Corollary 3.4: if u is a sink then list[u] = in-nbrs_u or out-nbrs_u.
+InvariantResult check_corollary_3_4(const PartialReversalState& pr);
+
+/// Invariant 4.1: for neighbors u, v with equal parity — both even: the
+/// edge is directed left-to-right; both odd: right-to-left (relative to the
+/// initial-DAG embedding).
+InvariantResult check_invariant_4_1(const NewPRAutomaton& newpr, const LeftRightEmbedding& emb);
+
+/// Invariant 4.2: for neighbors u, v:
+///  (a) |count[u] - count[v]| <= 1;
+///  (b) count[u] odd  and v right of u  => count[v] = count[u];
+///  (c) count[u] even and v left of u   => count[v] = count[u];
+///  (d) count[u] > count[v]             => the edge points from u to v.
+InvariantResult check_invariant_4_2(const NewPRAutomaton& newpr, const LeftRightEmbedding& emb);
+
+/// Theorem 4.3 / 5.5: the directed graph G' is acyclic.  On failure the
+/// detail lists a concrete directed cycle.
+InvariantResult check_acyclic(const Orientation& o);
+
+/// Goal-state sanity: quiescent (no non-destination sink) iff the graph is
+/// destination oriented.  (Quiescent => oriented is the interesting half:
+/// in a connected DAG every node's maximal path must end at the only sink,
+/// the destination.)
+InvariantResult check_quiescence_consistency(const Orientation& o, NodeId destination);
+
+}  // namespace lr

@@ -1,0 +1,45 @@
+#include "core/relations.hpp"
+
+namespace lr {
+
+namespace {
+
+bool is_subset(const std::vector<NodeId>& sub, const std::vector<NodeId>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+}  // namespace
+
+bool relation_R(const PartialReversalState& s, const NewPRAutomaton& t) {
+  if (!(s.orientation() == t.orientation())) return false;
+  const Graph& g = s.graph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto list = s.list(u);
+    if (list.empty()) continue;
+    if (t.parity(u) == Parity::kEven) {
+      if (!is_subset(list, s.initial_out_neighbors(u))) return false;
+    } else {
+      if (!is_subset(list, s.initial_in_neighbors(u))) return false;
+    }
+  }
+  return true;
+}
+
+bool reverse_relation_R(const NewPRAutomaton& t, const PartialReversalState& s) {
+  if (!(t.orientation() == s.orientation())) return false;
+  const Graph& g = t.graph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto list = s.list(u);
+    const auto in_nbrs = s.initial_in_neighbors(u);
+    const auto out_nbrs = s.initial_out_neighbors(u);
+    const bool even = t.parity(u) == Parity::kEven;
+
+    const bool case_regular = even ? is_subset(list, out_nbrs) : is_subset(list, in_nbrs);
+    const bool case_post_dummy_sink = even && out_nbrs.empty() && list.size() == g.degree(u);
+    const bool case_post_dummy_source = !even && in_nbrs.empty() && list.size() == g.degree(u);
+    if (!case_regular && !case_post_dummy_sink && !case_post_dummy_source) return false;
+  }
+  return true;
+}
+
+}  // namespace lr

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/newpr.hpp"
+#include "core/pr.hpp"
+
+/// \file relations.hpp
+/// The binary relations of Section 5, as executable predicates, plus the
+/// step correspondences their proofs construct.  Together with
+/// automata/simulation.hpp these let the test suite mechanically re-play
+/// Lemmas 5.1 and 5.3 along arbitrary executions:
+///
+///  * R' ⊆ states(PR) × states(OneStepPR):   same G', same lists.
+///    One PR step reverse(S) corresponds to |S| OneStepPR steps.
+///  * R  ⊆ states(OneStepPR) × states(NewPR): same G'; parity[u] even =>
+///    list[u] ⊆ out-nbrs_u; parity[u] odd => list[u] ⊆ in-nbrs_u.
+///    One OneStepPR step corresponds to one NewPR step, or two when
+///    list[w] = nbrs_w (the dummy step followed by the real reversal).
+///
+/// We additionally implement the *reverse-direction* relation the paper's
+/// conclusion proposes as future work ("showing a binary relation in the
+/// reverse direction too"): NewPR -> OneStepPR.  A dummy NewPR step maps to
+/// the empty OneStepPR sequence, which temporarily leaves the pair in a
+/// "post-dummy" state the forward relation R does not cover; R_rev extends
+/// R with exactly those two post-dummy cases (see reverse_relation_R).
+
+namespace lr {
+
+// ---------------------------------------------------------------------------
+// R' : PR -> OneStepPR (Section 5.2)
+// ---------------------------------------------------------------------------
+
+/// (s, t) ∈ R'  iff  s.G' = t.G' and s.list[u] = t.list[u] for all u.
+inline bool relation_R_prime(const PartialReversalState& s, const PartialReversalState& t) {
+  return s.orientation() == t.orientation() && s.lists_equal(t);
+}
+
+/// Lemma 5.1's step mapping: reverse(S) with S = {u1, ..., un} corresponds
+/// to the OneStepPR sequence reverse(u1), ..., reverse(un) (any order; we
+/// keep S's order).
+inline std::vector<NodeId> correspondence_R_prime(const PRAutomaton& /*s*/,
+                                                  const std::vector<NodeId>& action,
+                                                  const OneStepPRAutomaton& /*t*/) {
+  return action;
+}
+
+// ---------------------------------------------------------------------------
+// R : OneStepPR -> NewPR (Section 5.3)
+// ---------------------------------------------------------------------------
+
+/// (s, t) ∈ R iff s.G' = t.G', and for each node u:
+///   parity[u] = even  =>  s.list[u] ⊆ out-nbrs_u,
+///   parity[u] = odd   =>  s.list[u] ⊆ in-nbrs_u.
+bool relation_R(const PartialReversalState& s, const NewPRAutomaton& t);
+
+/// Lemma 5.3's step mapping: one reverse(w), except two consecutive
+/// reverse(w) when s.list[w] = nbrs_w (NewPR needs a dummy step first).
+inline std::vector<NodeId> correspondence_R(const OneStepPRAutomaton& s, NodeId action,
+                                            const NewPRAutomaton& /*t*/) {
+  if (s.list_full(action)) return {action, action};
+  return {action};
+}
+
+// ---------------------------------------------------------------------------
+// Reverse direction: NewPR -> OneStepPR (the paper's proposed extension)
+// ---------------------------------------------------------------------------
+
+/// R_rev extends R (with the roles of the automata swapped) by the two
+/// "post-dummy" states that arise because a dummy NewPR step maps to *zero*
+/// OneStepPR steps.  (t, s) ∈ R_rev iff t.G' = s.G' and for each node u one
+/// of:
+///   (1) parity[u] even and s.list[u] ⊆ out-nbrs_u            (as in R)
+///   (2) parity[u] odd  and s.list[u] ⊆ in-nbrs_u             (as in R)
+///   (3) parity[u] even, out-nbrs_u = ∅, s.list[u] = nbrs_u   (initial sink,
+///       dummy already taken, real reversal of in-nbrs pending)
+///   (4) parity[u] odd,  in-nbrs_u = ∅,  s.list[u] = nbrs_u   (initial
+///       source, dummy already taken, real reversal of out-nbrs pending)
+bool reverse_relation_R(const NewPRAutomaton& t, const PartialReversalState& s);
+
+/// Step mapping for the reverse direction: a dummy step corresponds to the
+/// empty OneStepPR sequence; a real step corresponds to reverse(u).
+inline std::vector<NodeId> correspondence_R_reverse(const NewPRAutomaton& t, NodeId action,
+                                                    const OneStepPRAutomaton& /*s*/) {
+  if (t.would_be_dummy_step(action)) return {};
+  return {action};
+}
+
+// ---------------------------------------------------------------------------
+// OneStepPR -> PR (completes the cycle of relations; trivial direction)
+// ---------------------------------------------------------------------------
+
+/// A OneStepPR step reverse(u) is the PR set step reverse({u}).
+inline std::vector<std::vector<NodeId>> correspondence_one_step_to_set(
+    const OneStepPRAutomaton& /*s*/, NodeId action, const PRAutomaton& /*t*/) {
+  return {{action}};
+}
+
+}  // namespace lr

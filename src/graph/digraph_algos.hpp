@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/orientation.hpp"
+
+/// \file digraph_algos.hpp
+/// Algorithms over the directed view G' = (V, E') of an oriented graph.
+///
+/// These are the executable counterparts of the paper's global properties:
+/// acyclicity (Theorems 4.3 / 5.5), destination orientation (the goal of
+/// every link-reversal algorithm), and the bad-node count n_b that
+/// parameterizes the Θ(n_b²) work bound.
+
+namespace lr {
+
+/// True iff the current orientation has no directed cycle (Kahn's
+/// algorithm; O(n + m)).
+bool is_acyclic(const Orientation& o);
+
+/// A topological order of the current orientation, or std::nullopt if it
+/// contains a cycle.  Position in the returned vector is the node's
+/// left-to-right coordinate in the paper's planar-embedding argument.
+std::optional<std::vector<NodeId>> topological_order(const Orientation& o);
+
+/// The set of nodes that currently have a directed path to `destination`
+/// (including the destination itself).  Computed by reverse BFS from the
+/// destination; O(n + m).
+std::vector<bool> reaches_destination(const Orientation& o, NodeId destination);
+
+/// True iff *every* node has a directed path to `destination` — the
+/// paper's definition of a destination-oriented graph.
+bool is_destination_oriented(const Orientation& o, NodeId destination);
+
+/// The paper's "bad" nodes: nodes with no directed path to `destination`.
+/// |bad_nodes| = n_b in the Θ(n_b²) bound.
+std::vector<NodeId> bad_nodes(const Orientation& o, NodeId destination);
+
+/// Current sinks other than the destination.  A state with no such sinks is
+/// quiescent: no reverse action is enabled.
+std::vector<NodeId> sinks_excluding(const Orientation& o, NodeId destination);
+
+/// If the orientation contains a directed cycle, returns one (as a node
+/// sequence in cycle order, first node not repeated); otherwise
+/// std::nullopt.  Used by tests to produce actionable failures.
+std::optional<std::vector<NodeId>> find_cycle(const Orientation& o);
+
+/// Length (hop count) of a shortest directed path from `from` to `to`, or
+/// std::nullopt if unreachable.  BFS over current out-edges.
+std::optional<std::size_t> directed_distance(const Orientation& o, NodeId from, NodeId to);
+
+}  // namespace lr

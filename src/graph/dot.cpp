@@ -1,0 +1,40 @@
+#include "graph/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace lr {
+
+void write_dot(std::ostream& os, const Orientation& orientation, const DotOptions& options) {
+  const Graph& g = orientation.graph();
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=LR;\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    os << "  n" << u << " [label=\"" << u << "\"";
+    if (u == options.destination) {
+      os << ", shape=doublecircle";
+    } else {
+      os << ", shape=circle";
+    }
+    if (options.highlight_sinks && u != options.destination && orientation.is_sink(u) &&
+        g.degree(u) > 0) {
+      os << ", style=filled, fillcolor=lightgray";
+    }
+    if (options.embedding != nullptr) {
+      os << ", pos=\"" << options.embedding->position(u) << ",0!\"";
+    }
+    os << "];\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    os << "  n" << orientation.tail(e) << " -> n" << orientation.head(e) << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Orientation& orientation, const DotOptions& options) {
+  std::ostringstream oss;
+  write_dot(oss, orientation, options);
+  return oss.str();
+}
+
+}  // namespace lr

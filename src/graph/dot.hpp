@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/embedding.hpp"
+#include "graph/orientation.hpp"
+
+/// \file dot.hpp
+/// Graphviz (DOT) export of oriented graphs — the debugging view for every
+/// layer: examples dump DAG snapshots, failing property tests can render
+/// their counterexample states, and the docs' figures are generated from
+/// these functions.
+
+namespace lr {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  NodeId destination = kNoNode;      ///< rendered as a doublecircle if set
+  const LeftRightEmbedding* embedding = nullptr;  ///< adds rank hints if set
+  bool highlight_sinks = true;       ///< sinks filled gray
+};
+
+/// Writes the current orientation as a DOT digraph.
+void write_dot(std::ostream& os, const Orientation& orientation, const DotOptions& options = {});
+
+/// Convenience: DOT text as a string.
+std::string to_dot(const Orientation& orientation, const DotOptions& options = {});
+
+}  // namespace lr

@@ -1,0 +1,20 @@
+#include "graph/embedding.hpp"
+
+#include <stdexcept>
+
+#include "graph/digraph_algos.hpp"
+
+namespace lr {
+
+LeftRightEmbedding::LeftRightEmbedding(const Orientation& initial) {
+  const auto order = topological_order(initial);
+  if (!order) {
+    throw std::invalid_argument("LeftRightEmbedding: initial orientation must be acyclic");
+  }
+  position_.resize(order->size());
+  for (std::uint32_t pos = 0; pos < order->size(); ++pos) {
+    position_[(*order)[pos]] = pos;
+  }
+}
+
+}  // namespace lr

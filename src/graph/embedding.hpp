@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/orientation.hpp"
+
+/// \file embedding.hpp
+/// The left-right planar embedding used by the paper's acyclicity proof.
+///
+/// Section 4.2: "Since the input to the PR algorithm is a DAG, we can embed
+/// it in a plane, ensuring all edges are initially directed from left to
+/// right."  Concretely we assign each node a distinct position — its index
+/// in a topological order of the *initial* orientation — so that every
+/// initial edge goes from a smaller position to a larger one.  The
+/// embedding is fixed for the whole execution even though edge directions
+/// change; Invariants 4.1 and 4.2 are stated relative to it.
+
+namespace lr {
+
+class LeftRightEmbedding {
+ public:
+  /// Builds the embedding from the initial orientation.  Throws
+  /// std::invalid_argument if the orientation is not acyclic (the paper's
+  /// model requires a DAG as input).
+  explicit LeftRightEmbedding(const Orientation& initial);
+
+  /// Builds an embedding directly from per-node positions (used by tests).
+  explicit LeftRightEmbedding(std::vector<std::uint32_t> positions)
+      : position_(std::move(positions)) {}
+
+  /// The left-to-right coordinate of node `u`; smaller means further left.
+  std::uint32_t position(NodeId u) const { return position_[u]; }
+
+  /// True iff `u` is strictly to the left of `v`.
+  bool left_of(NodeId u, NodeId v) const { return position_[u] < position_[v]; }
+
+  /// True iff, in orientation `o`, the edge `e` is directed from its left
+  /// endpoint to its right endpoint.
+  bool directed_left_to_right(const Orientation& o, EdgeId e) const {
+    return left_of(o.tail(e), o.head(e));
+  }
+
+  std::size_t num_nodes() const noexcept { return position_.size(); }
+
+ private:
+  std::vector<std::uint32_t> position_;
+};
+
+}  // namespace lr

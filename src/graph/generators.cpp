@@ -1,0 +1,298 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace lr {
+
+namespace {
+
+std::vector<EdgeSense> senses_from_ranking(const Graph& g, const std::vector<std::uint32_t>& rank) {
+  std::vector<EdgeSense> senses(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    senses[e] = rank[g.edge_u(e)] < rank[g.edge_v(e)] ? EdgeSense::kForward : EdgeSense::kBackward;
+  }
+  return senses;
+}
+
+}  // namespace
+
+Graph make_chain_graph(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_chain_graph: n must be positive");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_ring_graph(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("make_ring_graph: n must be >= 3");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  edges.emplace_back(0, static_cast<NodeId>(n - 1));
+  return Graph(n, std::move(edges));
+}
+
+Graph make_grid_graph(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("make_grid_graph: empty grid");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph make_complete_graph(std::size_t n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_star_graph(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("make_star_graph: n must be >= 2");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_binary_tree_graph(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_binary_tree_graph: n must be positive");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 1; i < n; ++i) edges.emplace_back((i - 1) / 2, i);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_tree_graph(std::size_t n, std::mt19937_64& rng) {
+  if (n == 0) throw std::invalid_argument("make_random_tree_graph: n must be positive");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 1; i < n; ++i) {
+    std::uniform_int_distribution<NodeId> parent(0, i - 1);
+    edges.emplace_back(parent(rng), i);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_connected_graph(std::size_t n, std::size_t extra_edges, std::mt19937_64& rng) {
+  Graph tree = make_random_tree_graph(n, rng);
+  std::set<std::pair<NodeId, NodeId>> edge_set(tree.edges().begin(), tree.edges().end());
+  const std::size_t max_edges = n * (n - 1) / 2;
+  const std::size_t target = std::min(max_edges, (n - 1) + extra_edges);
+  std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(n - 1));
+  while (edge_set.size() < target) {
+    NodeId a = pick(rng);
+    NodeId b = pick(rng);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    edge_set.insert({a, b});
+  }
+  return Graph(n, {edge_set.begin(), edge_set.end()});
+}
+
+Graph make_layered_graph(std::size_t layers, std::size_t width, double p, std::mt19937_64& rng) {
+  if (layers < 2 || width == 0) {
+    throw std::invalid_argument("make_layered_graph: need >= 2 layers and positive width");
+  }
+  // Layer 0 is the single node 0; layer L >= 1 occupies
+  // [1 + (L-1)*width, 1 + L*width).
+  const auto layer_begin = [width](std::size_t layer) {
+    return layer == 0 ? NodeId{0} : static_cast<NodeId>(1 + (layer - 1) * width);
+  };
+  const auto layer_size = [width](std::size_t layer) { return layer == 0 ? std::size_t{1} : width; };
+  const std::size_t n = 1 + (layers - 1) * width;
+
+  std::set<std::pair<NodeId, NodeId>> edge_set;
+  std::bernoulli_distribution flip(p);
+  for (std::size_t layer = 1; layer < layers; ++layer) {
+    const NodeId prev_begin = layer_begin(layer - 1);
+    const std::size_t prev_size = layer_size(layer - 1);
+    std::uniform_int_distribution<NodeId> pick_prev(prev_begin,
+                                                    static_cast<NodeId>(prev_begin + prev_size - 1));
+    for (std::size_t i = 0; i < layer_size(layer); ++i) {
+      const NodeId u = static_cast<NodeId>(layer_begin(layer) + i);
+      // Guarantee connectivity: one mandatory edge to the previous layer.
+      NodeId anchor = pick_prev(rng);
+      edge_set.insert({std::min(anchor, u), std::max(anchor, u)});
+      // Optional extra edges.
+      for (std::size_t j = 0; j < prev_size; ++j) {
+        const NodeId v = static_cast<NodeId>(prev_begin + j);
+        if (v != anchor && flip(rng)) edge_set.insert({std::min(u, v), std::max(u, v)});
+      }
+    }
+  }
+  return Graph(n, {edge_set.begin(), edge_set.end()});
+}
+
+Graph make_unit_disk_graph(std::size_t n, double radius, std::mt19937_64& rng) {
+  if (n == 0) throw std::invalid_argument("make_unit_disk_graph: n must be positive");
+  if (radius <= 0.0) throw std::invalid_argument("make_unit_disk_graph: radius must be positive");
+  std::uniform_real_distribution<double> coordinate(0.0, 1.0);
+  double r = radius;
+  while (true) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::vector<std::pair<double, double>> position(n);
+      for (auto& [x, y] : position) {
+        x = coordinate(rng);
+        y = coordinate(rng);
+      }
+      std::vector<std::pair<NodeId, NodeId>> edges;
+      for (NodeId i = 0; i < n; ++i) {
+        for (NodeId j = i + 1; j < n; ++j) {
+          const double dx = position[i].first - position[j].first;
+          const double dy = position[i].second - position[j].second;
+          if (dx * dx + dy * dy <= r * r) edges.emplace_back(i, j);
+        }
+      }
+      Graph g(n, std::move(edges));
+      if (g.is_connected()) return g;
+    }
+    r *= 1.25;  // too sparse to connect at this radius: grow and retry
+  }
+}
+
+Graph make_barbell_graph(std::size_t clique_size, std::size_t bridge_length) {
+  if (clique_size < 2) throw std::invalid_argument("make_barbell_graph: cliques need >= 2 nodes");
+  const std::size_t n = 2 * clique_size + bridge_length;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  // Left clique: nodes [0, clique_size).
+  for (NodeId i = 0; i < clique_size; ++i) {
+    for (NodeId j = i + 1; j < clique_size; ++j) edges.emplace_back(i, j);
+  }
+  // Right clique: nodes [clique_size + bridge_length, n).
+  const NodeId right_begin = static_cast<NodeId>(clique_size + bridge_length);
+  for (NodeId i = right_begin; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  // Bridge path: last left-clique node, bridge nodes, first right-clique node.
+  NodeId previous = static_cast<NodeId>(clique_size - 1);
+  for (std::size_t k = 0; k < bridge_length; ++k) {
+    const NodeId bridge_node = static_cast<NodeId>(clique_size + k);
+    edges.emplace_back(previous, bridge_node);
+    previous = bridge_node;
+  }
+  edges.emplace_back(previous, right_begin);
+  return Graph(n, std::move(edges));
+}
+
+std::vector<std::uint32_t> identity_ranking(std::size_t n) {
+  std::vector<std::uint32_t> rank(n);
+  std::iota(rank.begin(), rank.end(), 0u);
+  return rank;
+}
+
+std::vector<std::uint32_t> random_ranking(std::size_t n, std::mt19937_64& rng) {
+  auto rank = identity_ranking(n);
+  std::shuffle(rank.begin(), rank.end(), rng);
+  return rank;
+}
+
+std::vector<std::uint32_t> destination_oriented_ranking(const Graph& g, NodeId destination,
+                                                        std::mt19937_64& rng) {
+  const std::size_t n = g.num_nodes();
+  // BFS distances from the destination.
+  std::vector<std::uint32_t> dist(n, std::numeric_limits<std::uint32_t>::max());
+  std::queue<NodeId> frontier;
+  dist[destination] = 0;
+  frontier.push(destination);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Incidence& inc : g.neighbors(u)) {
+      if (dist[inc.neighbor] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[inc.neighbor] = dist[u] + 1;
+        frontier.push(inc.neighbor);
+      }
+    }
+  }
+  for (const std::uint32_t d : dist) {
+    if (d == std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument("destination_oriented_ranking: graph must be connected");
+    }
+  }
+  // Distinct ranks ordered primarily by distance, with random tie-breaking.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::shuffle(order.begin(), order.end(), rng);
+  std::stable_sort(order.begin(), order.end(),
+                   [&dist](NodeId a, NodeId b) { return dist[a] < dist[b]; });
+  std::vector<std::uint32_t> rank(n);
+  for (std::uint32_t pos = 0; pos < n; ++pos) rank[order[pos]] = pos;
+  return rank;
+}
+
+Instance make_worst_case_chain(std::size_t n) {
+  Instance inst;
+  inst.graph = make_chain_graph(n);
+  inst.senses = senses_from_ranking(inst.graph, identity_ranking(n));
+  inst.destination = 0;
+  inst.name = "worst_case_chain(n=" + std::to_string(n) + ")";
+  return inst;
+}
+
+Instance make_random_instance(std::size_t n, std::size_t extra_edges, std::mt19937_64& rng) {
+  Instance inst;
+  inst.graph = make_random_connected_graph(n, extra_edges, rng);
+  inst.senses = senses_from_ranking(inst.graph, random_ranking(n, rng));
+  inst.destination = 0;
+  inst.name = "random(n=" + std::to_string(n) + ", extra=" + std::to_string(extra_edges) + ")";
+  return inst;
+}
+
+Instance make_layered_bad_instance(std::size_t layers, std::size_t width, double p,
+                                   std::mt19937_64& rng) {
+  Instance inst;
+  inst.graph = make_layered_graph(layers, width, p, rng);
+  // Identity ranking points every edge away from node 0 (layer indices grow
+  // with node id), so all non-destination nodes start bad.
+  inst.senses = senses_from_ranking(inst.graph, identity_ranking(inst.graph.num_nodes()));
+  inst.destination = 0;
+  inst.name = "layered_bad(L=" + std::to_string(layers) + ", w=" + std::to_string(width) + ")";
+  return inst;
+}
+
+Instance make_grid_instance(std::size_t rows, std::size_t cols, std::mt19937_64& rng) {
+  Instance inst;
+  inst.graph = make_grid_graph(rows, cols);
+  inst.senses = senses_from_ranking(inst.graph, random_ranking(inst.graph.num_nodes(), rng));
+  inst.destination = 0;
+  inst.name = "grid(" + std::to_string(rows) + "x" + std::to_string(cols) + ")";
+  return inst;
+}
+
+Instance make_unit_disk_instance(std::size_t n, double radius, std::mt19937_64& rng) {
+  Instance inst;
+  inst.graph = make_unit_disk_graph(n, radius, rng);
+  inst.senses = senses_from_ranking(inst.graph, random_ranking(n, rng));
+  inst.destination = 0;
+  inst.name = "unit_disk(n=" + std::to_string(n) + ")";
+  return inst;
+}
+
+Instance make_sink_source_instance(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("make_sink_source_instance: n must be >= 3");
+  Instance inst;
+  inst.graph = make_star_graph(n);
+  // Alternate leaf-edge directions: odd leaves point at the hub, even
+  // leaves receive from the hub.  Odd leaves are initial sources, even
+  // leaves initial sinks; the hub is neither.  Acyclic because the star is
+  // a tree.  Edge e connects hub 0 (edge_u) to leaf e+1 (edge_v).
+  inst.senses.resize(inst.graph.num_edges());
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    const NodeId leaf = inst.graph.edge_v(e);
+    inst.senses[e] = (leaf % 2 == 0) ? EdgeSense::kForward : EdgeSense::kBackward;
+  }
+  inst.destination = 1;  // a leaf, so the hub and other leaves must reorganize
+  inst.name = "sink_source_star(n=" + std::to_string(n) + ")";
+  return inst;
+}
+
+}  // namespace lr

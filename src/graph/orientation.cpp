@@ -1,0 +1,88 @@
+#include "graph/orientation.hpp"
+
+#include <stdexcept>
+
+namespace lr {
+
+Orientation::Orientation(const Graph& g, std::vector<EdgeSense> senses)
+    : graph_(&g), senses_(std::move(senses)) {
+  if (senses_.size() != g.num_edges()) {
+    throw std::invalid_argument("Orientation: one sense required per edge");
+  }
+  rebuild_degrees_and_sinks();
+}
+
+Orientation Orientation::from_ranking(const Graph& g, std::span<const std::uint32_t> rank) {
+  if (rank.size() != g.num_nodes()) {
+    throw std::invalid_argument("Orientation::from_ranking: one rank per node required");
+  }
+  std::vector<EdgeSense> senses(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId u = g.edge_u(e);
+    const NodeId v = g.edge_v(e);
+    if (rank[u] == rank[v]) {
+      throw std::invalid_argument("Orientation::from_ranking: ranks of adjacent nodes must differ");
+    }
+    senses[e] = rank[u] < rank[v] ? EdgeSense::kForward : EdgeSense::kBackward;
+  }
+  return Orientation(g, std::move(senses));
+}
+
+void Orientation::rebuild_degrees_and_sinks() {
+  const std::size_t n = graph_->num_nodes();
+  out_degree_.assign(n, 0);
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    ++out_degree_[tail(e)];
+  }
+  sinks_.clear();
+  sink_pos_.assign(n, kNotSink);
+  for (NodeId u = 0; u < n; ++u) {
+    if (out_degree_[u] == 0) add_sink(u);
+  }
+}
+
+void Orientation::add_sink(NodeId u) {
+  sink_pos_[u] = static_cast<std::uint32_t>(sinks_.size());
+  sinks_.push_back(u);
+}
+
+void Orientation::remove_sink(NodeId u) {
+  const std::uint32_t pos = sink_pos_[u];
+  const NodeId last = sinks_.back();
+  sinks_[pos] = last;
+  sink_pos_[last] = pos;
+  sinks_.pop_back();
+  sink_pos_[u] = kNotSink;
+}
+
+void Orientation::reverse_edge(EdgeId e) {
+  const NodeId old_tail = tail(e);
+  const NodeId old_head = head(e);
+  senses_[e] = senses_[e] == EdgeSense::kForward ? EdgeSense::kBackward : EdgeSense::kForward;
+  ++reversal_count_;
+
+  // old_tail loses an outgoing edge; may become a sink.
+  if (--out_degree_[old_tail] == 0) add_sink(old_tail);
+  // old_head gains an outgoing edge; may stop being a sink.
+  if (out_degree_[old_head]++ == 0) remove_sink(old_head);
+}
+
+std::vector<NodeId> Orientation::out_neighbors(NodeId u) const {
+  std::vector<NodeId> result;
+  result.reserve(out_degree_[u]);
+  for (const Incidence& inc : graph_->neighbors(u)) {
+    if (dir_from(u, inc.edge) == Dir::kOut) result.push_back(inc.neighbor);
+  }
+  return result;
+}
+
+std::vector<NodeId> Orientation::in_neighbors(NodeId u) const {
+  std::vector<NodeId> result;
+  result.reserve(in_degree(u));
+  for (const Incidence& inc : graph_->neighbors(u)) {
+    if (dir_from(u, inc.edge) == Dir::kIn) result.push_back(inc.neighbor);
+  }
+  return result;
+}
+
+}  // namespace lr

@@ -1,0 +1,108 @@
+#include "graph/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lr {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("read_instance: line " + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& instance) {
+  os << "lr-instance 1\n";
+  os << "name " << instance.name << "\n";
+  os << "nodes " << instance.graph.num_nodes() << "\n";
+  os << "destination " << instance.destination << "\n";
+  for (EdgeId e = 0; e < instance.graph.num_edges(); ++e) {
+    os << "edge " << instance.graph.edge_u(e) << ' ' << instance.graph.edge_v(e) << ' '
+       << (instance.senses[e] == EdgeSense::kForward ? "fwd" : "bwd") << "\n";
+  }
+  os << "end\n";
+}
+
+Instance read_instance(std::istream& is) {
+  std::string line;
+  std::size_t line_number = 0;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_number;
+      const auto first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      return true;
+    }
+    return false;
+  };
+
+  if (!next_line()) parse_error(line_number, "empty input");
+  if (line != "lr-instance 1") parse_error(line_number, "bad magic (expected 'lr-instance 1')");
+
+  std::string name;
+  std::size_t nodes = 0;
+  bool have_nodes = false;
+  NodeId destination = 0;
+  bool have_destination = false;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<EdgeSense> senses;
+  bool ended = false;
+
+  while (next_line()) {
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "name") {
+      std::getline(fields, name);
+      if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+    } else if (keyword == "nodes") {
+      if (!(fields >> nodes)) parse_error(line_number, "bad node count");
+      have_nodes = true;
+    } else if (keyword == "destination") {
+      if (!(fields >> destination)) parse_error(line_number, "bad destination");
+      have_destination = true;
+    } else if (keyword == "edge") {
+      NodeId u = 0, v = 0;
+      std::string sense;
+      if (!(fields >> u >> v >> sense)) parse_error(line_number, "bad edge line");
+      if (sense != "fwd" && sense != "bwd") parse_error(line_number, "sense must be fwd or bwd");
+      if (u >= v) parse_error(line_number, "edge endpoints must satisfy u < v");
+      edges.emplace_back(u, v);
+      senses.push_back(sense == "fwd" ? EdgeSense::kForward : EdgeSense::kBackward);
+    } else if (keyword == "end") {
+      ended = true;
+      break;
+    } else {
+      parse_error(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!ended) parse_error(line_number, "missing 'end'");
+  if (!have_nodes) parse_error(line_number, "missing 'nodes'");
+  if (!have_destination) parse_error(line_number, "missing 'destination'");
+
+  Instance instance;
+  instance.graph = Graph(nodes, std::move(edges));  // validates endpoints/duplicates
+  instance.senses = std::move(senses);
+  if (destination >= nodes) parse_error(line_number, "destination out of range");
+  instance.destination = destination;
+  instance.name = name.empty() ? "unnamed" : name;
+  return instance;
+}
+
+void save_instance(const std::string& path, const Instance& instance) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("save_instance: cannot open " + path);
+  write_instance(file, instance);
+  if (!file) throw std::runtime_error("save_instance: write failed for " + path);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_instance: cannot open " + path);
+  return read_instance(file);
+}
+
+}  // namespace lr

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/generators.hpp"
+
+/// \file serialize.hpp
+/// Plain-text serialization of workload instances, so experiments can pin
+/// exact inputs to disk, failing tests can dump reproducers, and external
+/// tools can inject topologies.
+///
+/// Format (line oriented, '#' comments allowed):
+///
+///   lr-instance 1           # magic + version
+///   name <free text>
+///   nodes <n>
+///   destination <d>
+///   edge <u> <v> <fwd|bwd>  # one per edge; fwd = points u->v with u < v
+///   end
+///
+/// Senses are relative to the canonical (smaller, larger) endpoint order,
+/// matching EdgeSense.
+
+namespace lr {
+
+/// Writes `instance` in the format above.
+void write_instance(std::ostream& os, const Instance& instance);
+
+/// Parses an instance; throws std::invalid_argument with a line number on
+/// malformed input.
+Instance read_instance(std::istream& is);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_instance(const std::string& path, const Instance& instance);
+Instance load_instance(const std::string& path);
+
+}  // namespace lr

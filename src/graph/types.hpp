@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental identifier types shared by every module in the library.
+///
+/// The paper (Radeva & Lynch 2011) models the system as an undirected graph
+/// G = (V, E) with a distinguished destination node D, plus a mutable
+/// directed version G' that assigns exactly one direction to every edge.
+/// We use dense integer ids for both nodes and edges so that all per-node
+/// and per-edge state can live in flat vectors.
+
+namespace lr {
+
+/// Dense node identifier: nodes of a graph with n nodes are 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Dense edge identifier: edges of a graph with m edges are 0..m-1.
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+/// Direction of an edge from the perspective of one of its endpoints,
+/// matching the paper's per-node `dir[u, v] ∈ {in, out}` state variable.
+enum class Dir : std::uint8_t {
+  kIn,   ///< The edge currently points *towards* this endpoint.
+  kOut,  ///< The edge currently points *away from* this endpoint.
+};
+
+/// Flips `kIn` to `kOut` and vice versa (Invariant 3.1: the two endpoints
+/// of an edge always see opposite directions).
+constexpr Dir opposite(Dir d) noexcept {
+  return d == Dir::kIn ? Dir::kOut : Dir::kIn;
+}
+
+}  // namespace lr

@@ -1,0 +1,150 @@
+#include "routing/dynamic_heights.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace lr {
+
+DynamicHeightsDag::DynamicHeightsDag(std::size_t num_nodes, NodeId destination)
+    : destination_(destination), adjacency_(num_nodes), a_(num_nodes, 0), b_(num_nodes) {
+  if (destination >= num_nodes) {
+    throw std::invalid_argument("DynamicHeightsDag: destination out of range");
+  }
+  // Distinct b values make the initial height order total and deterministic.
+  // Ascending in id, so orienting towards a high-id destination (e.g. a
+  // newly elected leader) genuinely exercises reversals.
+  for (NodeId u = 0; u < num_nodes; ++u) b_[u] = static_cast<std::int64_t>(u);
+}
+
+void DynamicHeightsDag::set_destination(NodeId d) {
+  if (d >= num_nodes()) {
+    throw std::invalid_argument("DynamicHeightsDag::set_destination: out of range");
+  }
+  destination_ = d;
+}
+
+void DynamicHeightsDag::add_link(NodeId u, NodeId v) {
+  if (u >= num_nodes() || v >= num_nodes() || u == v) {
+    throw std::invalid_argument("DynamicHeightsDag::add_link: bad endpoints");
+  }
+  auto& au = adjacency_[u];
+  const auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it != au.end() && *it == v) return;  // already present
+  au.insert(it, v);
+  auto& av = adjacency_[v];
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+}
+
+void DynamicHeightsDag::remove_link(NodeId u, NodeId v) {
+  const auto erase_from = [](std::vector<NodeId>& list, NodeId x) {
+    const auto it = std::lower_bound(list.begin(), list.end(), x);
+    if (it != list.end() && *it == x) list.erase(it);
+  };
+  if (u >= num_nodes() || v >= num_nodes()) {
+    throw std::invalid_argument("DynamicHeightsDag::remove_link: bad endpoints");
+  }
+  erase_from(adjacency_[u], v);
+  erase_from(adjacency_[v], u);
+}
+
+bool DynamicHeightsDag::has_link(NodeId u, NodeId v) const {
+  const auto& au = adjacency_[u];
+  return std::binary_search(au.begin(), au.end(), v);
+}
+
+bool DynamicHeightsDag::is_sink(NodeId u) const {
+  if (adjacency_[u].empty()) return false;
+  for (const NodeId v : adjacency_[u]) {
+    if (directed_from(u, v)) return false;
+  }
+  return true;
+}
+
+void DynamicHeightsDag::partial_reversal_step(NodeId u) {
+  std::int64_t min_a = std::numeric_limits<std::int64_t>::max();
+  for (const NodeId v : adjacency_[u]) min_a = std::min(min_a, a_[v]);
+  const std::int64_t new_a = min_a + 1;
+  std::int64_t min_b = std::numeric_limits<std::int64_t>::max();
+  bool tie = false;
+  for (const NodeId v : adjacency_[u]) {
+    if (a_[v] == new_a) {
+      tie = true;
+      min_b = std::min(min_b, b_[v]);
+    }
+  }
+  a_[u] = new_a;
+  if (tie) b_[u] = min_b - 1;
+  ++total_reversals_;
+}
+
+std::vector<bool> DynamicHeightsDag::destination_component() const {
+  std::vector<bool> in_component(num_nodes(), false);
+  std::queue<NodeId> frontier;
+  in_component[destination_] = true;
+  frontier.push(destination_);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : adjacency_[u]) {
+      if (!in_component[v]) {
+        in_component[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  return in_component;
+}
+
+std::uint64_t DynamicHeightsDag::stabilize() {
+  const auto in_component = destination_component();
+  std::uint64_t steps = 0;
+  // Simple work-list loop; a step can only create new sinks among the
+  // stepping node's neighbors, so seed with all current sinks and chase.
+  std::queue<NodeId> candidates;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (u != destination_ && in_component[u] && is_sink(u)) candidates.push(u);
+  }
+  while (!candidates.empty()) {
+    const NodeId u = candidates.front();
+    candidates.pop();
+    if (u == destination_ || !is_sink(u)) continue;
+    partial_reversal_step(u);
+    ++steps;
+    for (const NodeId v : adjacency_[u]) {
+      if (v != destination_ && in_component[v] && is_sink(v)) candidates.push(v);
+    }
+    if (is_sink(u)) candidates.push(u);  // defensive; cannot normally happen
+  }
+  return steps;
+}
+
+bool DynamicHeightsDag::routable(NodeId u) const { return destination_component()[u]; }
+
+std::optional<NodeId> DynamicHeightsDag::next_hop(NodeId u) const {
+  if (u == destination_) return std::nullopt;
+  std::optional<NodeId> best;
+  for (const NodeId v : adjacency_[u]) {
+    if (!directed_from(u, v)) continue;
+    if (!best || height(v) < height(*best)) best = v;
+  }
+  return best;
+}
+
+std::optional<std::vector<NodeId>> DynamicHeightsDag::route(NodeId u) const {
+  std::vector<NodeId> path{u};
+  NodeId current = u;
+  // Heights strictly decrease along the path, so it cannot loop; bound by n
+  // anyway as a defensive measure.
+  for (std::size_t hops = 0; hops <= num_nodes(); ++hops) {
+    if (current == destination_) return path;
+    const auto next = next_hop(current);
+    if (!next) return std::nullopt;
+    current = *next;
+    path.push_back(current);
+  }
+  return std::nullopt;
+}
+
+}  // namespace lr

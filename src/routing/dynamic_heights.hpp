@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "graph/types.hpp"
+
+/// \file dynamic_heights.hpp
+/// A dynamic-topology partial-reversal core shared by the routing services
+/// (TORA-style routing, leader election, mutual exclusion).
+///
+/// Unlike the Section 3/4 automata — which fix G once — the applications
+/// the paper's abstract names (routing, leader election, mutual exclusion)
+/// live on networks whose links come and go and whose "destination" can
+/// change (a new leader, the next token holder).  This class maintains
+/// Gafni–Bertsekas triple heights over a mutable undirected topology:
+///
+///   * every link is directed from its lexicographically higher endpoint's
+///     height to the lower one (acyclic by total order, always),
+///   * `stabilize()` repeatedly applies the partial-reversal height update
+///     to non-destination sinks until the destination's component is
+///     destination-oriented,
+///   * nodes outside the destination's component are reported unroutable
+///     rather than reversed forever (the paper's model assumes
+///     connectivity; TORA handles partition detection separately, which we
+///     approximate by the component check — DESIGN.md §3).
+
+namespace lr {
+
+class DynamicHeightsDag {
+ public:
+  /// Starts with `num_nodes` nodes, no links, and the given destination.
+  /// Heights start at (0, id) — distinct, so any initial link set is
+  /// acyclic by total order.
+  DynamicHeightsDag(std::size_t num_nodes, NodeId destination);
+
+  std::size_t num_nodes() const noexcept { return a_.size(); }
+  NodeId destination() const noexcept { return destination_; }
+
+  /// Re-targets the DAG (new leader / token holder).  Call stabilize()
+  /// afterwards.
+  void set_destination(NodeId d);
+
+  /// Adds / removes an undirected link.  Idempotent.  Call stabilize()
+  /// afterwards to restore destination orientation.
+  void add_link(NodeId u, NodeId v);
+  void remove_link(NodeId u, NodeId v);
+  bool has_link(NodeId u, NodeId v) const;
+
+  std::tuple<std::int64_t, std::int64_t, NodeId> height(NodeId u) const {
+    return {a_[u], b_[u], u};
+  }
+
+  /// True iff the link {u, v} is currently directed u -> v.
+  bool directed_from(NodeId u, NodeId v) const { return height(u) > height(v); }
+
+  /// True iff u has no outgoing link (and at least one link).
+  bool is_sink(NodeId u) const;
+
+  /// Applies partial-reversal height updates to non-destination sinks in
+  /// the destination's component until none remain.  Returns the number of
+  /// reversal steps performed.  Nodes in other components are left alone.
+  std::uint64_t stabilize();
+
+  /// True iff u is in the destination's component (i.e. routable once
+  /// stabilized).
+  bool routable(NodeId u) const;
+
+  /// The out-neighbor with the smallest height (the steepest-descent next
+  /// hop), or nullopt if u is the destination, a sink, or unroutable.
+  std::optional<NodeId> next_hop(NodeId u) const;
+
+  /// Follows next hops from u to the destination; nullopt if unroutable.
+  /// The returned path starts at u and ends at the destination.
+  std::optional<std::vector<NodeId>> route(NodeId u) const;
+
+  /// Total reversal steps performed by all stabilize() calls so far.
+  std::uint64_t total_reversals() const noexcept { return total_reversals_; }
+
+  const std::vector<NodeId>& neighbors(NodeId u) const { return adjacency_[u]; }
+
+ private:
+  void partial_reversal_step(NodeId u);
+  std::vector<bool> destination_component() const;
+
+  NodeId destination_;
+  std::vector<std::vector<NodeId>> adjacency_;  // sorted neighbor lists
+  std::vector<std::int64_t> a_;
+  std::vector<std::int64_t> b_;
+  std::uint64_t total_reversals_ = 0;
+};
+
+}  // namespace lr

@@ -1,0 +1,59 @@
+#include "routing/leader_election.hpp"
+
+namespace lr {
+
+LeaderElectionService::LeaderElectionService(const Graph& topology)
+    : dag_(topology.num_nodes(), 0), alive_(topology.num_nodes(), true),
+      alive_count_(topology.num_nodes()) {
+  for (EdgeId e = 0; e < topology.num_edges(); ++e) {
+    dag_.add_link(topology.edge_u(e), topology.edge_v(e));
+  }
+  elect_and_orient();
+}
+
+std::optional<NodeId> LeaderElectionService::leader() const {
+  if (alive_count_ == 0) return std::nullopt;
+  return dag_.destination();
+}
+
+void LeaderElectionService::elect_and_orient() {
+  // Highest alive id wins (a deterministic, locally computable rule).
+  std::optional<NodeId> winner;
+  for (NodeId u = 0; u < alive_.size(); ++u) {
+    if (alive_[u]) winner = u;
+  }
+  if (!winner) return;
+  dag_.set_destination(*winner);
+  dag_.stabilize();
+}
+
+std::uint64_t LeaderElectionService::fail_node(NodeId u) {
+  if (!alive_[u]) return 0;
+  alive_[u] = false;
+  --alive_count_;
+  // Remove all of u's links.
+  const std::vector<NodeId> nbrs = dag_.neighbors(u);
+  for (const NodeId v : nbrs) dag_.remove_link(u, v);
+
+  const std::uint64_t before = dag_.total_reversals();
+  if (alive_count_ > 0 && dag_.destination() == u) {
+    elect_and_orient();
+  } else if (alive_count_ > 0) {
+    // A non-leader failure can still strand sinks: re-stabilize.
+    dag_.stabilize();
+  }
+  return dag_.total_reversals() - before;
+}
+
+bool LeaderElectionService::leader_reachable_from_all() const {
+  if (alive_count_ == 0) return true;
+  const NodeId leader_id = dag_.destination();
+  for (NodeId u = 0; u < alive_.size(); ++u) {
+    if (!alive_[u] || u == leader_id) continue;
+    if (!dag_.routable(u)) continue;  // different component: exempt
+    if (!dag_.route(u)) return false;
+  }
+  return true;
+}
+
+}  // namespace lr

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/dynamic_heights.hpp"
+
+/// \file leader_election.hpp
+/// Leader election via link reversal — the second application named in the
+/// paper's abstract (and a chapter of Welch–Walter's *Link Reversal
+/// Algorithms*).
+///
+/// The elected leader plays the destination's role: the DAG is oriented so
+/// every node has a directed path to the leader, which simultaneously gives
+/// every node a *route* to the leader and makes the leader the unique sink
+/// — a locally checkable certificate of leadership.  When the leader fails,
+/// its links are removed, stranded nodes become sinks, and partial reversal
+/// re-orients the component towards the new leader (the highest-id
+/// survivor), exactly as link-reversal leader election prescribes.
+
+namespace lr {
+
+class LeaderElectionService {
+ public:
+  explicit LeaderElectionService(const Graph& topology);
+
+  /// The current leader, or nullopt if every node has failed.
+  std::optional<NodeId> leader() const;
+
+  /// True iff `u` is alive.
+  bool alive(NodeId u) const { return alive_[u]; }
+
+  /// Number of alive nodes.
+  std::size_t alive_count() const noexcept { return alive_count_; }
+
+  /// Fails a node (leader or not): removes it and its links.  If the
+  /// leader failed, re-elects (highest alive id in the failed leader's
+  /// former component) and re-orients via partial reversal.  Returns the
+  /// number of reversal steps the re-election cost.
+  std::uint64_t fail_node(NodeId u);
+
+  /// True iff every alive node in the leader's component has a directed
+  /// path to the leader (the election's correctness condition).
+  bool leader_reachable_from_all() const;
+
+  /// Reversal steps across all elections so far.
+  std::uint64_t total_reversals() const noexcept { return dag_.total_reversals(); }
+
+  const DynamicHeightsDag& dag() const noexcept { return dag_; }
+
+ private:
+  void elect_and_orient();
+
+  DynamicHeightsDag dag_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_;
+};
+
+}  // namespace lr

@@ -1,0 +1,164 @@
+#include "sim/dist_leader.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+namespace lr {
+
+DistLeaderElection::DistLeaderElection(const Graph& topology, Network& network)
+    : graph_(&topology), network_(&network) {
+  const std::size_t n = graph_->num_nodes();
+  candidate_.resize(n);
+  a_.assign(n, 0);
+  b_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    candidate_[u] = u;  // everyone starts believing in itself
+    b_[u] = static_cast<std::int64_t>(u);
+  }
+  offsets_.resize(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) offsets_[u + 1] = offsets_[u] + graph_->degree(u);
+  views_.resize(offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = graph_->neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i].neighbor;
+      views_[offsets_[u] + i] = View{v, a_[v], b_[v]};
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    network_->set_handler(u, [this](const NetMessage& message) { on_message(message); });
+  }
+}
+
+void DistLeaderElection::start() {
+  // Views start exact, so no initial broadcast is needed; every node just
+  // evaluates its first action (adopt the best neighboring candidate, or
+  // fire a PR step if it is an initial non-leader sink).
+  for (NodeId u = 0; u < graph_->num_nodes(); ++u) maybe_act(u);
+}
+
+std::optional<NodeId> DistLeaderElection::agreed_leader() const {
+  const NodeId first = candidate_.empty() ? kNoNode : candidate_[0];
+  for (const NodeId c : candidate_) {
+    if (c != first) return std::nullopt;
+  }
+  return first;
+}
+
+bool DistLeaderElection::leader_is_unique_sink() const {
+  const auto leader = agreed_leader();
+  if (!leader) return false;
+  // Direction by actual heights (valid once candidates agree): node u is a
+  // sink iff its height is below all its neighbors'.
+  std::size_t sinks = 0;
+  bool leader_sink = false;
+  for (NodeId u = 0; u < graph_->num_nodes(); ++u) {
+    if (graph_->degree(u) == 0) continue;
+    bool below_all = true;
+    for (const Incidence& inc : graph_->neighbors(u)) {
+      const NodeId v = inc.neighbor;
+      if (std::tuple(a_[u], b_[u], u) > std::tuple(a_[v], b_[v], v)) {
+        below_all = false;
+        break;
+      }
+    }
+    if (below_all) {
+      ++sinks;
+      if (u == *leader) leader_sink = true;
+    }
+  }
+  return sinks == 1 && leader_sink;
+}
+
+std::size_t DistLeaderElection::view_slot(NodeId u, NodeId neighbor) const {
+  const auto nbrs = graph_->neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), neighbor,
+                                   [](const Incidence& inc, NodeId target) {
+                                     return inc.neighbor < target;
+                                   });
+  return offsets_[u] + static_cast<std::size_t>(it - nbrs.begin());
+}
+
+bool DistLeaderElection::height_below_all_neighbors(NodeId u) const {
+  const auto nbrs = graph_->neighbors(u);
+  if (nbrs.empty()) return false;
+  const auto own = std::tuple(a_[u], b_[u], u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const View& view = views_[offsets_[u] + i];
+    // A PR step is only meaningful among nodes that agree on the candidate.
+    if (view.candidate != candidate_[u]) return false;
+    if (std::tuple(view.a, view.b, nbrs[i].neighbor) < own) return false;
+  }
+  return true;
+}
+
+void DistLeaderElection::maybe_act(NodeId u) {
+  // 1. Adopt the best candidate any neighbor reports.
+  const auto nbrs = graph_->neighbors(u);
+  std::size_t best_slot = 0;
+  NodeId best_candidate = candidate_[u];
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const View& view = views_[offsets_[u] + i];
+    if (view.candidate > best_candidate) {
+      best_candidate = view.candidate;
+      best_slot = offsets_[u] + i;
+    }
+  }
+  if (best_candidate > candidate_[u]) {
+    candidate_[u] = best_candidate;
+    // Re-orient towards the adoptee's region: land just above the neighbor
+    // we heard it from, so our edge points at them.
+    a_[u] = views_[best_slot].a;
+    b_[u] = views_[best_slot].b + 1;
+    ++adoptions_;
+    broadcast(u);
+    return;
+  }
+
+  // 2. Ordinary partial-reversal step when u is a non-leader local sink.
+  if (candidate_[u] == u || !height_below_all_neighbors(u)) return;
+  std::int64_t min_a = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    min_a = std::min(min_a, views_[offsets_[u] + i].a);
+  }
+  const std::int64_t new_a = min_a + 1;
+  std::int64_t min_b = std::numeric_limits<std::int64_t>::max();
+  bool tie = false;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (views_[offsets_[u] + i].a == new_a) {
+      tie = true;
+      min_b = std::min(min_b, views_[offsets_[u] + i].b);
+    }
+  }
+  a_[u] = new_a;
+  if (tie) b_[u] = min_b - 1;
+  ++height_steps_;
+  broadcast(u);
+}
+
+void DistLeaderElection::broadcast(NodeId u) {
+  for (const Incidence& inc : graph_->neighbors(u)) {
+    network_->send(u, inc.neighbor,
+                   {static_cast<std::int64_t>(candidate_[u]), a_[u], b_[u]});
+  }
+}
+
+void DistLeaderElection::on_message(const NetMessage& message) {
+  const NodeId u = message.to;
+  const NodeId from = message.from;
+  const std::size_t slot = view_slot(u, from);
+  View& view = views_[slot];
+  // (candidate, a, b) grows monotonically per sender, so this filter drops
+  // stale re-ordered messages.
+  const auto incoming = std::tuple(static_cast<NodeId>(message.payload.at(0)),
+                                   message.payload.at(1), message.payload.at(2));
+  const auto current = std::tuple(view.candidate, view.a, view.b);
+  if (incoming <= current) return;
+  view.candidate = static_cast<NodeId>(message.payload[0]);
+  view.a = message.payload[1];
+  view.b = message.payload[2];
+  maybe_act(u);
+}
+
+}  // namespace lr

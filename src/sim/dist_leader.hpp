@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+/// \file dist_leader.hpp
+/// Distributed leader election by link reversal over the simulated
+/// asynchronous network — the message-passing counterpart of
+/// routing/leader_election.hpp.
+///
+/// Protocol sketch (a simplified variant of the Welch–Walter / Ingram et
+/// al. leader-election-by-link-reversal family, adapted to our height
+/// substrate):
+///
+///  * Every node u keeps a *candidate* c_u (initially itself) and a
+///    partial-reversal height; the DAG is conceptually oriented towards
+///    the current best candidate.
+///  * Nodes gossip CANDIDATE(c, height) messages.  A node adopting a
+///    better candidate (higher id) resets its height below its neighbors'
+///    so the DAG re-orients towards the better candidate's region.
+///  * When candidates are equal, ordinary partial-reversal height updates
+///    fire at local sinks that are not the candidate itself, routing
+///    everyone towards the leader.
+///
+/// On a connected component the maximum id wins everywhere (gossip
+/// convergence), after which the height mechanics make the leader the
+/// unique sink.  We verify both: candidate agreement and the sink
+/// certificate.
+
+namespace lr {
+
+class DistLeaderElection {
+ public:
+  DistLeaderElection(const Graph& topology, Network& network);
+
+  /// Starts the election: every node announces its initial candidate.
+  void start();
+
+  /// The candidate node `u` currently believes in.
+  NodeId candidate(NodeId u) const { return candidate_[u]; }
+
+  /// True iff all nodes agree on one candidate (call when the network is
+  /// idle); returns the agreed leader if so.
+  std::optional<NodeId> agreed_leader() const;
+
+  /// True iff, per the current heights, the agreed leader is the unique
+  /// sink — the local leadership certificate.
+  bool leader_is_unique_sink() const;
+
+  std::uint64_t candidate_adoptions() const noexcept { return adoptions_; }
+  std::uint64_t height_steps() const noexcept { return height_steps_; }
+
+ private:
+  struct View {
+    NodeId candidate = 0;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+  };
+
+  bool height_below_all_neighbors(NodeId u) const;
+  void maybe_act(NodeId u);
+  void broadcast(NodeId u);
+  void on_message(const NetMessage& message);
+  std::size_t view_slot(NodeId u, NodeId neighbor) const;
+
+  const Graph* graph_;
+  Network* network_;
+  std::vector<NodeId> candidate_;
+  std::vector<std::int64_t> a_;
+  std::vector<std::int64_t> b_;
+  std::vector<std::size_t> offsets_;
+  std::vector<View> views_;
+  std::uint64_t adoptions_ = 0;
+  std::uint64_t height_steps_ = 0;
+};
+
+}  // namespace lr

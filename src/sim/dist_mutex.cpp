@@ -1,0 +1,236 @@
+#include "sim/dist_mutex.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+namespace lr {
+
+DistMutex::DistMutex(const Graph& topology, NodeId initial_holder, Network& network)
+    : graph_(&topology), network_(&network), holder_(initial_holder) {
+  const std::size_t n = graph_->num_nodes();
+  if (initial_holder >= n) {
+    throw std::invalid_argument("DistMutex: initial holder out of range");
+  }
+  a_.assign(n, 0);
+  b_.resize(n);
+  for (NodeId u = 0; u < n; ++u) b_[u] = static_cast<std::int64_t>(u);
+  b_[initial_holder] = -1;  // the holder is the global height minimum
+  seq_.assign(n, 0);
+
+  offsets_.resize(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) offsets_[u + 1] = offsets_[u] + graph_->degree(u);
+  views_.resize(offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = graph_->neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i].neighbor;
+      views_[offsets_[u] + i] = View{a_[v], b_[v], 0};
+    }
+  }
+  pending_.resize(n);
+  outstanding_.assign(n, false);
+
+  for (NodeId u = 0; u < n; ++u) {
+    network_->set_handler(u, [this](const NetMessage& message) { on_message(message); });
+  }
+}
+
+std::optional<NodeId> DistMutex::holder() const {
+  if (holder_ == kNoNode) return std::nullopt;
+  return holder_;
+}
+
+std::size_t DistMutex::view_slot(NodeId u, NodeId neighbor) const {
+  const auto nbrs = graph_->neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), neighbor,
+                                   [](const Incidence& inc, NodeId target) {
+                                     return inc.neighbor < target;
+                                   });
+  return offsets_[u] + static_cast<std::size_t>(it - nbrs.begin());
+}
+
+std::optional<NodeId> DistMutex::downhill_neighbor(NodeId u) const {
+  const auto nbrs = graph_->neighbors(u);
+  const auto own = std::tuple(a_[u], b_[u], u);
+  std::optional<NodeId> best;
+  std::tuple<std::int64_t, std::int64_t, NodeId> best_height{};
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const View& view = views_[offsets_[u] + i];
+    const auto height = std::tuple(view.a, view.b, nbrs[i].neighbor);
+    if (height < own && (!best || height < best_height)) {
+      best = nbrs[i].neighbor;
+      best_height = height;
+    }
+  }
+  return best;
+}
+
+void DistMutex::reversal_step(NodeId u) {
+  // Request-driven partial reversal: raise u above its lowest neighbors.
+  const auto nbrs = graph_->neighbors(u);
+  std::int64_t min_a = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    min_a = std::min(min_a, views_[offsets_[u] + i].a);
+  }
+  const std::int64_t new_a = min_a + 1;
+  std::int64_t min_b = std::numeric_limits<std::int64_t>::max();
+  bool tie = false;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (views_[offsets_[u] + i].a == new_a) {
+      tie = true;
+      min_b = std::min(min_b, views_[offsets_[u] + i].b);
+    }
+  }
+  a_[u] = new_a;
+  if (tie) b_[u] = min_b - 1;
+  ++reversal_steps_;
+  broadcast_height(u);
+}
+
+void DistMutex::broadcast_height(NodeId u) {
+  ++seq_[u];
+  for (const Incidence& inc : graph_->neighbors(u)) {
+    network_->send(u, inc.neighbor, {kHeight, a_[u], b_[u], seq_[u]});
+  }
+}
+
+void DistMutex::request(NodeId u) {
+  if (u >= graph_->num_nodes()) {
+    throw std::invalid_argument("DistMutex::request: node out of range");
+  }
+  if (u == holder_ || outstanding_[u]) return;
+  outstanding_[u] = true;
+  pending_[u].push_back(QueuedRequest{u, {u}});
+  try_forward_pending(u);
+}
+
+void DistMutex::try_forward_pending(NodeId u) {
+  while (!pending_[u].empty()) {
+    if (u == holder_) {
+      grant_queue_.push_back(std::move(pending_[u].front()));
+      pending_[u].pop_front();
+      continue;
+    }
+    const auto next = downhill_neighbor(u);
+    if (!next) {
+      if (graph_->degree(u) == 0) return;  // isolated: nothing to do
+      // Stuck local minimum with work to do: reverse and retry (a step
+      // always produces a downhill neighbor).
+      reversal_step(u);
+      continue;
+    }
+    forward_request(u, std::move(pending_[u].front()));
+    pending_[u].pop_front();
+  }
+}
+
+void DistMutex::forward_request(NodeId u, QueuedRequest request) {
+  const auto next = downhill_neighbor(u);
+  std::vector<std::int64_t> payload{kRequest, static_cast<std::int64_t>(request.origin)};
+  for (const NodeId hop : request.path) payload.push_back(static_cast<std::int64_t>(hop));
+  network_->send(u, *next, std::move(payload));
+}
+
+void DistMutex::release() {
+  if (holder_ == kNoNode) return;  // token in flight: nothing to release
+  if (grant_queue_.empty()) return;
+  QueuedRequest request = std::move(grant_queue_.front());
+  grant_queue_.pop_front();
+  const NodeId h = holder_;
+  if (request.origin == h) {  // stale self-request; try the next one
+    release();
+    return;
+  }
+  // Complete the recorded path with the holder itself, then send the token
+  // back along it.
+  if (request.path.empty() || request.path.back() != h) request.path.push_back(h);
+  holder_ = kNoNode;
+  std::vector<std::int64_t> payload{kToken, a_[h], b_[h]};
+  // Remaining path: everything except the holder.
+  for (std::size_t i = 0; i + 1 < request.path.size(); ++i) {
+    payload.push_back(static_cast<std::int64_t>(request.path[i]));
+  }
+  const NodeId next_hop = request.path[request.path.size() - 2];
+  network_->send(h, next_hop, std::move(payload));
+
+  // Queued paths end at h, which is no longer the holder: re-inject them as
+  // pending requests at h so they re-route towards the token's new home
+  // (extending their recorded paths hop by hop).
+  while (!grant_queue_.empty()) {
+    pending_[h].push_back(std::move(grant_queue_.front()));
+    grant_queue_.pop_front();
+  }
+  try_forward_pending(h);
+}
+
+void DistMutex::on_message(const NetMessage& message) {
+  switch (message.payload.at(0)) {
+    case kHeight:
+      handle_height(message.to, message);
+      break;
+    case kRequest:
+      handle_request(message.to, message);
+      break;
+    case kToken:
+      handle_token(message.to, message);
+      break;
+    default:
+      break;  // unknown kind: ignore
+  }
+}
+
+void DistMutex::handle_height(NodeId u, const NetMessage& message) {
+  View& view = views_[view_slot(u, message.from)];
+  if (message.payload.at(3) <= view.seq) return;  // stale or duplicate
+  view.a = message.payload.at(1);
+  view.b = message.payload.at(2);
+  view.seq = message.payload.at(3);
+  try_forward_pending(u);
+}
+
+void DistMutex::handle_request(NodeId u, const NetMessage& message) {
+  QueuedRequest request;
+  request.origin = static_cast<NodeId>(message.payload.at(1));
+  for (std::size_t i = 2; i < message.payload.size(); ++i) {
+    request.path.push_back(static_cast<NodeId>(message.payload[i]));
+  }
+  // Loop erasure: while the token is in flight a request can wander through
+  // stale-view regions and revisit nodes.  Truncating back to the first
+  // visit keeps every recorded path simple (<= n hops), which bounds both
+  // the token's return trip and the message sizes.
+  const auto revisit = std::find(request.path.begin(), request.path.end(), u);
+  request.path.erase(revisit, request.path.end());
+  request.path.push_back(u);
+  pending_[u].push_back(std::move(request));
+  try_forward_pending(u);
+}
+
+void DistMutex::handle_token(NodeId u, const NetMessage& message) {
+  std::vector<NodeId> remaining;
+  for (std::size_t i = 3; i < message.payload.size(); ++i) {
+    remaining.push_back(static_cast<NodeId>(message.payload[i]));
+  }
+  if (remaining.empty() || remaining.back() != u) return;  // malformed: drop
+
+  if (remaining.size() == 1) {
+    // u is the grantee: drop just below the granting holder's height,
+    // becoming the new global minimum.
+    a_[u] = message.payload.at(1);
+    b_[u] = message.payload.at(2) - 1;
+    holder_ = u;
+    outstanding_[u] = false;
+    ++grants_;
+    broadcast_height(u);
+    try_forward_pending(u);  // locally stuck requests go to the grant queue
+    return;
+  }
+  // Forward the token one hop further back along the request path.
+  remaining.pop_back();
+  std::vector<std::int64_t> payload{kToken, message.payload.at(1), message.payload.at(2)};
+  for (const NodeId hop : remaining) payload.push_back(static_cast<std::int64_t>(hop));
+  network_->send(u, remaining.back(), std::move(payload));
+}
+
+}  // namespace lr

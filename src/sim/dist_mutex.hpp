@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+/// \file dist_mutex.hpp
+/// Distributed mutual exclusion by link reversal over the simulated
+/// network — a simplified Walter–Welch–Vaidya-style token algorithm (the
+/// third application from the paper's abstract, in its message-passing
+/// form).
+///
+/// Mechanics:
+///  * Every node has a partial-reversal height; the token holder is always
+///    the global height minimum, so the height-induced DAG is
+///    destination-oriented towards the token.
+///  * REQUEST(origin, path) messages route greedily *downhill* using local
+///    height views.  A non-holder node with a pending request and no
+///    downhill neighbor performs a request-driven partial-reversal step
+///    (raises itself) and retries — reversals happen exactly where requests
+///    are stuck, the algorithm's signature property.
+///  * The holder queues requests FIFO; on release it sends the TOKEN back
+///    along the recorded request path, and the recipient drops its height
+///    just below the sender's, becoming the new global minimum.
+///  * Heights can *decrease* on token receipt, so view updates carry
+///    per-sender sequence numbers instead of relying on height
+///    monotonicity.
+///
+/// Safety (at most one holder ever) and liveness (every request eventually
+/// granted) are asserted by the tests.
+
+namespace lr {
+
+class DistMutex {
+ public:
+  DistMutex(const Graph& topology, NodeId initial_holder, Network& network);
+
+  /// Node u asks for the critical section.  No-op if u already holds the
+  /// token or has an outstanding request.  Drive the network afterwards.
+  void request(NodeId u);
+
+  /// The current holder finishes its critical section; if requests are
+  /// queued, the token is granted to the oldest (drive the network to let
+  /// it travel).  No-op while the token is in flight.
+  void release();
+
+  /// The node currently holding the token, or nullopt while it is in
+  /// flight between holder and grantee.
+  std::optional<NodeId> holder() const;
+
+  /// True iff u may enter its critical section now.
+  bool may_enter(NodeId u) const { return holder_ == u; }
+
+  /// Requests waiting at the holder, in grant order.
+  std::size_t queued_requests() const { return grant_queue_.size(); }
+
+  std::uint64_t grants() const noexcept { return grants_; }
+  std::uint64_t reversal_steps() const noexcept { return reversal_steps_; }
+
+ private:
+  enum MessageKind : std::int64_t { kHeight = 0, kRequest = 1, kToken = 2 };
+
+  struct QueuedRequest {
+    NodeId origin;
+    std::vector<NodeId> path;  ///< origin .. holder
+  };
+
+  void on_message(const NetMessage& message);
+  void handle_height(NodeId u, const NetMessage& message);
+  void handle_request(NodeId u, const NetMessage& message);
+  void handle_token(NodeId u, const NetMessage& message);
+  void try_forward_pending(NodeId u);
+  void forward_request(NodeId u, QueuedRequest request);
+  std::optional<NodeId> downhill_neighbor(NodeId u) const;
+  void reversal_step(NodeId u);
+  void broadcast_height(NodeId u);
+  std::size_t view_slot(NodeId u, NodeId neighbor) const;
+
+  const Graph* graph_;
+  Network* network_;
+
+  NodeId holder_ = kNoNode;  ///< kNoNode while the token is in flight
+
+  std::vector<std::int64_t> a_;
+  std::vector<std::int64_t> b_;
+  std::vector<std::int64_t> seq_;
+
+  struct View {
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int64_t seq = -1;
+  };
+  std::vector<std::size_t> offsets_;
+  std::vector<View> views_;
+
+  std::deque<QueuedRequest> grant_queue_;          // at the holder
+  std::vector<std::deque<QueuedRequest>> pending_;  // stuck at intermediate nodes
+  std::vector<bool> outstanding_;                   // origin has an unserved request
+
+  std::uint64_t grants_ = 0;
+  std::uint64_t reversal_steps_ = 0;
+};
+
+}  // namespace lr

@@ -1,0 +1,42 @@
+#include "sim/dist_router.hpp"
+
+namespace lr {
+
+DistRouter::DistRouter(DistLinkReversal& protocol, Network& network, std::size_t ttl)
+    : protocol_(&protocol),
+      network_(&network),
+      ttl_(ttl == 0 ? 4 * network.graph().num_nodes() : ttl) {}
+
+void DistRouter::inject(NodeId source) {
+  ++stats_.injected;
+  forward(source, 0, ttl_);
+}
+
+std::optional<NodeId> DistRouter::best_next_hop(NodeId at) const {
+  return protocol_->best_out_neighbor_view(at);
+}
+
+void DistRouter::forward(NodeId at, std::uint64_t hops_so_far, std::uint64_t ttl_left) {
+  if (at == protocol_->destination()) {
+    ++stats_.delivered;
+    stats_.total_hops += hops_so_far;
+    return;
+  }
+  if (ttl_left == 0) {
+    ++stats_.dropped_ttl;
+    return;
+  }
+  const auto next = best_next_hop(at);
+  if (!next) {
+    ++stats_.dropped_no_route;
+    return;
+  }
+  // One hop of data-plane latency.  Forwarding is scheduled through the
+  // same event queue as control traffic, so packets race DAG repairs
+  // exactly as they would in a real deployment.
+  network_->queue().schedule_in(1, [this, next = *next, hops_so_far, ttl_left] {
+    forward(next, hops_so_far + 1, ttl_left - 1);
+  });
+}
+
+}  // namespace lr

@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lr {
+
+void EventQueue::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue::schedule_at: cannot schedule in the past");
+  }
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top only exposes const&, so the event (and its
+  // std::function) is copied out before the pop.  Events are small; the
+  // copy is not worth a custom heap.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run_until_idle(std::uint64_t max_events) {
+  std::uint64_t ran = 0;
+  while (ran < max_events && run_one()) ++ran;
+  return ran;
+}
+
+}  // namespace lr

@@ -1,0 +1,50 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace lr {
+
+Network::Network(const Graph& g, NetworkConfig config)
+    : graph_(&g),
+      config_(config),
+      rng_(config.seed),
+      handlers_(g.num_nodes()),
+      link_up_(g.num_edges(), 1) {
+  if (config_.min_delay == 0 || config_.min_delay > config_.max_delay) {
+    throw std::invalid_argument("Network: require 0 < min_delay <= max_delay");
+  }
+}
+
+void Network::send(NodeId from, NodeId to, std::vector<std::int64_t> payload) {
+  const EdgeId e = graph_->edge_between(from, to);
+  if (e == kNoEdge) {
+    throw std::invalid_argument("Network::send: nodes are not adjacent");
+  }
+  ++messages_sent_;
+  if (!link_up_[e]) {
+    ++messages_dropped_;
+    return;
+  }
+  if (config_.drop_probability > 0.0) {
+    std::bernoulli_distribution drop(config_.drop_probability);
+    if (drop(rng_)) {
+      ++messages_dropped_;
+      return;
+    }
+  }
+  std::uniform_int_distribution<SimTime> delay(config_.min_delay, config_.max_delay);
+  std::size_t copies = 1;
+  if (config_.duplicate_probability > 0.0) {
+    std::bernoulli_distribution duplicate(config_.duplicate_probability);
+    if (duplicate(rng_)) copies = 2;
+  }
+  for (std::size_t i = 0; i < copies; ++i) {
+    NetMessage message{from, to, payload};
+    queue_.schedule_in(delay(rng_), [this, message = std::move(message)]() {
+      ++messages_delivered_;
+      if (handlers_[message.to]) handlers_[message.to](message);
+    });
+  }
+}
+
+}  // namespace lr

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/event_queue.hpp"
+
+/// \file network.hpp
+/// A simulated asynchronous message-passing network over a fixed topology
+/// graph: point-to-point messages with random per-message delays, link
+/// up/down churn, and per-node delivery handlers.
+///
+/// This is the substitute substrate for the mobile ad-hoc networks that
+/// motivate link reversal routing (DESIGN.md §3): the algorithms only
+/// require eventual delivery on up links, which the simulator provides.
+
+namespace lr {
+
+/// An application message.  The payload layout is protocol-defined (the
+/// distributed link-reversal protocol ships heights as int64 tuples).
+struct NetMessage {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::vector<std::int64_t> payload;
+};
+
+struct NetworkConfig {
+  SimTime min_delay = 1;   ///< per-message delay lower bound (ticks)
+  SimTime max_delay = 10;  ///< per-message delay upper bound (ticks)
+  std::uint64_t seed = 1;  ///< RNG seed for delays and failures
+
+  /// Failure injection: each message is independently dropped with this
+  /// probability (in addition to down-link drops), and delivered twice with
+  /// `duplicate_probability` (modeling link-layer retransmit duplicates).
+  /// Protocols must tolerate both; see DistLinkReversal's monotone-height
+  /// filter and resync rounds.
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const NetMessage&)>;
+
+  Network(const Graph& g, NetworkConfig config);
+
+  const Graph& graph() const noexcept { return *graph_; }
+  EventQueue& queue() noexcept { return queue_; }
+  SimTime now() const noexcept { return queue_.now(); }
+
+  /// Installs the delivery callback of node `u`.
+  void set_handler(NodeId u, Handler handler) { handlers_[u] = std::move(handler); }
+
+  /// Sends `payload` from `from` to adjacent node `to`.  The message is
+  /// delivered after a random delay if the link is up *at send time*;
+  /// otherwise it is dropped (counted).  Throws if the nodes are not
+  /// adjacent in the topology graph.
+  void send(NodeId from, NodeId to, std::vector<std::int64_t> payload);
+
+  /// Marks a link up or down.  Messages already in flight still arrive
+  /// (they model frames already on the medium).
+  void set_link_up(EdgeId e, bool up) { link_up_[e] = up; }
+  bool link_up(EdgeId e) const { return link_up_[e]; }
+
+  /// Runs the simulation until no events remain (or the safety budget is
+  /// hit); returns events executed.
+  std::uint64_t run_until_idle(std::uint64_t max_events = 50'000'000) {
+    return queue_.run_until_idle(max_events);
+  }
+
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  std::uint64_t messages_delivered() const noexcept { return messages_delivered_; }
+  std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+
+ private:
+  const Graph* graph_;
+  NetworkConfig config_;
+  EventQueue queue_;
+  std::mt19937_64 rng_;
+  std::vector<Handler> handlers_;
+  std::vector<std::uint8_t> link_up_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace lr

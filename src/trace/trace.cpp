@@ -1,0 +1,60 @@
+#include "trace/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lr {
+
+std::vector<NodeId> TraceRecorder::node_script() const {
+  std::vector<NodeId> script;
+  for (const TraceEvent& event : events_) {
+    script.insert(script.end(), event.nodes.begin(), event.nodes.end());
+  }
+  return script;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "step,nodes,edges_reversed,sinks_after\n";
+  for (const TraceEvent& event : events_) {
+    os << event.step << ',';
+    for (std::size_t i = 0; i < event.nodes.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << event.nodes[i];
+    }
+    os << ',' << event.edges_reversed << ',' << event.sinks_after << '\n';
+  }
+}
+
+std::vector<TraceEvent> read_trace_csv(std::istream& is) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  if (!std::getline(is, line)) return events;  // empty stream: no events
+  if (line != "step,nodes,edges_reversed,sinks_after") {
+    throw std::invalid_argument("read_trace_csv: missing or malformed header");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string step_str, nodes_str, reversed_str, sinks_str;
+    if (!std::getline(fields, step_str, ',') || !std::getline(fields, nodes_str, ',') ||
+        !std::getline(fields, reversed_str, ',') || !std::getline(fields, sinks_str)) {
+      throw std::invalid_argument("read_trace_csv: malformed row: " + line);
+    }
+    TraceEvent event;
+    event.step = std::stoull(step_str);
+    std::istringstream nodes(nodes_str);
+    NodeId node = 0;
+    while (nodes >> node) event.nodes.push_back(node);
+    if (event.nodes.empty()) {
+      throw std::invalid_argument("read_trace_csv: row with no nodes: " + line);
+    }
+    event.edges_reversed = std::stoull(reversed_str);
+    event.sinks_after = std::stoull(sinks_str);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace lr

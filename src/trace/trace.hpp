@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/orientation.hpp"
+
+/// \file trace.hpp
+/// Execution tracing: record the action sequence (and per-step edge
+/// reversals) of any link-reversal execution, export it as CSV, and replay
+/// it deterministically through a ReplayScheduler.  Traces make failing
+/// property tests reproducible and feed the experiment harness's
+/// machine-readable output.
+
+namespace lr {
+
+/// One fired action.
+struct TraceEvent {
+  std::uint64_t step = 0;              ///< 0-based action index
+  std::vector<NodeId> nodes;           ///< fired node(s); singleton unless a set step
+  std::uint64_t edges_reversed = 0;    ///< edge flips caused by this action
+  std::uint64_t sinks_after = 0;       ///< enabled sinks remaining afterwards
+};
+
+/// Records an execution.  Use `single_observer()` / `set_observer()` as the
+/// run_to_quiescence observer.
+class TraceRecorder {
+ public:
+  /// Single-step observer: call after every applied action.
+  template <typename A>
+  void on_step(const A& automaton, NodeId u) {
+    record(automaton, std::vector<NodeId>{u});
+  }
+
+  /// Set-step observer.
+  template <typename A>
+  void on_set_step(const A& automaton, const std::vector<NodeId>& s) {
+    record(automaton, s);
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Flattened node script (set steps expanded in order) — feed to
+  /// ReplayScheduler to reproduce a one-step execution.
+  std::vector<NodeId> node_script() const;
+
+  /// Writes "step,nodes,edges_reversed,sinks_after" rows.
+  void write_csv(std::ostream& os) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  template <typename A>
+  void record(const A& automaton, std::vector<NodeId> nodes) {
+    TraceEvent event;
+    event.step = events_.size();
+    event.nodes = std::move(nodes);
+    const std::uint64_t reversals = automaton.orientation().reversal_count();
+    event.edges_reversed = reversals - last_reversal_count_;
+    last_reversal_count_ = reversals;
+    event.sinks_after = automaton.enabled_sinks().size();
+    events_.push_back(std::move(event));
+  }
+
+  std::vector<TraceEvent> events_;
+  std::uint64_t last_reversal_count_ = 0;
+};
+
+/// Parses a CSV produced by write_csv back into events (round-trip support
+/// for offline analysis).  Throws std::invalid_argument on malformed input.
+std::vector<TraceEvent> read_trace_csv(std::istream& is);
+
+}  // namespace lr

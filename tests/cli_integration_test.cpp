@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+/// End-to-end integration tests for the lr_cli binary: generate an
+/// instance file, inspect it, run algorithms over it, and model-check it —
+/// all through the real command-line interface.  The binary path is
+/// injected by CMake as LR_CLI_PATH.
+
+#ifndef LR_CLI_PATH
+#define LR_CLI_PATH "lr_cli"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& args) {
+  const std::string command = std::string(LR_CLI_PATH) + " " + args + " 2>&1";
+  std::string output;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
+  const int status = pclose(pipe);
+  return {WEXITSTATUS(status), std::move(output)};
+}
+
+std::string temp_file(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CliIntegrationTest, GenInfoRoundTrip) {
+  const std::string path = temp_file("cli_it_gen.lri");
+  const auto gen = run_command("gen chain 8 1 " + path);
+  EXPECT_EQ(gen.exit_code, 0) << gen.output;
+  EXPECT_NE(gen.output.find("Graph(n=8, m=7)"), std::string::npos) << gen.output;
+
+  const auto info = run_command("info " + path);
+  EXPECT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("bad nodes   : 7"), std::string::npos) << info.output;
+  EXPECT_NE(info.output.find("acyclic     : yes"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(CliIntegrationTest, RunProducesDotAndConverges) {
+  const std::string path = temp_file("cli_it_run.lri");
+  ASSERT_EQ(run_command("gen random 12 3 " + path).exit_code, 0);
+  for (const std::string algo : {"pr", "newpr", "fr"}) {
+    const auto run = run_command("run " + path + " " + algo + " lowest");
+    EXPECT_EQ(run.exit_code, 0) << algo << ": " << run.output;
+    EXPECT_NE(run.output.find("destination_oriented=yes"), std::string::npos) << run.output;
+    EXPECT_NE(run.output.find("digraph G {"), std::string::npos) << run.output;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CliIntegrationTest, ModelCheckReportsAcyclicEverywhere) {
+  const std::string path = temp_file("cli_it_mc.lri");
+  ASSERT_EQ(run_command("gen star 7 1 " + path).exit_code, 0);
+  const auto mc = run_command("modelcheck " + path + " pr");
+  EXPECT_EQ(mc.exit_code, 0) << mc.output;
+  EXPECT_NE(mc.output.find("acyclic everywhere   : yes"), std::string::npos) << mc.output;
+  std::filesystem::remove(path);
+}
+
+TEST(CliIntegrationTest, UsageOnBadArguments) {
+  EXPECT_EQ(run_command("").exit_code, 2);
+  EXPECT_EQ(run_command("frobnicate").exit_code, 2);
+  EXPECT_EQ(run_command("gen bogus-family 8 1 /tmp/x.lri").exit_code, 2);
+}
+
+TEST(CliIntegrationTest, GracefulErrorOnMissingFile) {
+  const auto result = run_command("info /definitely/not/here.lri");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("error:"), std::string::npos);
+}
+
+TEST(CliIntegrationTest, RunRejectsUnknownScheduler) {
+  const std::string path = temp_file("cli_it_sched.lri");
+  ASSERT_EQ(run_command("gen chain 5 1 " + path).exit_code, 0);
+  EXPECT_EQ(run_command("run " + path + " pr teleport").exit_code, 2);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/bll.hpp"
+#include "core/full_reversal.hpp"
+#include "core/gb_heights.hpp"
+#include "core/invariants.hpp"
+#include "core/newpr.hpp"
+#include "core/pr.hpp"
+#include "core/relations.hpp"
+#include "graph/digraph_algos.hpp"
+#include "graph/generators.hpp"
+
+/// Differential fuzzing: five formulations of partial reversal — the
+/// list-based OneStepPR, the set-based PR (via singleton steps), NewPR
+/// (through the Lemma 5.3 correspondence), the GB triple-heights
+/// automaton, and BLL with the PR labeling — are driven with one shared
+/// random schedule per trial and must agree on the orientation after every
+/// step, with the full invariant suite holding throughout.  Full Reversal
+/// and GB pair heights form a second equivalence class.
+
+namespace lr {
+namespace {
+
+struct FuzzParam {
+  std::size_t n;
+  std::size_t extra_edges;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const FuzzParam& p) {
+    return os << "n" << p.n << "_e" << p.extra_edges << "_s" << p.seed;
+  }
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(DifferentialFuzz, AllPartialReversalFormulationsAgree) {
+  const FuzzParam param = GetParam();
+  std::mt19937_64 rng(param.seed * 7919 + param.n);
+  const Instance inst = make_random_instance(param.n, param.extra_edges, rng);
+
+  OneStepPRAutomaton reference(inst);
+  PRAutomaton set_pr(inst);
+  NewPRAutomaton newpr(inst);
+  GBTripleHeightsAutomaton gb(inst);
+  BLLAutomaton bll = BLLAutomaton::pr_labeling(inst);
+  const LeftRightEmbedding emb(reference.orientation());
+
+  RandomScheduler scheduler(param.seed);
+  std::size_t steps = 0;
+  while (true) {
+    const auto choice = scheduler.choose(reference);
+    if (!choice) break;
+    const NodeId u = *choice;
+
+    // NewPR may need the dummy step first (Lemma 5.3's correspondence).
+    const auto newpr_actions = correspondence_R(reference, u, newpr);
+
+    reference.apply(u);
+    set_pr.apply(std::vector<NodeId>{u});
+    for (const NodeId w : newpr_actions) newpr.apply(w);
+    gb.apply(u);
+    bll.apply(u);
+    ++steps;
+
+    ASSERT_TRUE(reference.orientation() == set_pr.orientation()) << "set PR diverged @" << steps;
+    ASSERT_TRUE(reference.orientation() == newpr.orientation()) << "NewPR diverged @" << steps;
+    ASSERT_TRUE(reference.orientation() == gb.orientation()) << "GB diverged @" << steps;
+    ASSERT_TRUE(reference.orientation() == bll.orientation()) << "BLL diverged @" << steps;
+
+    // Full invariant suite on the reference state.
+    ASSERT_TRUE(check_invariant_3_1(reference.orientation()))
+        << check_invariant_3_1(reference.orientation()).detail;
+    ASSERT_TRUE(check_invariant_3_2(reference)) << check_invariant_3_2(reference).detail;
+    ASSERT_TRUE(check_invariant_4_1(newpr, emb)) << check_invariant_4_1(newpr, emb).detail;
+    ASSERT_TRUE(check_invariant_4_2(newpr, emb)) << check_invariant_4_2(newpr, emb).detail;
+    ASSERT_TRUE(check_acyclic(reference.orientation()))
+        << check_acyclic(reference.orientation()).detail;
+    ASSERT_TRUE(gb.heights_consistent());
+    // BLL's marks must equal PR's lists node-by-node.
+    for (NodeId v = 0; v < inst.graph.num_nodes(); ++v) {
+      ASSERT_EQ(bll.marked_neighbors(v), reference.list(v)) << "marks/list mismatch at " << v;
+    }
+  }
+  EXPECT_TRUE(reference.quiescent());
+  EXPECT_TRUE(is_destination_oriented(reference.orientation(), inst.destination));
+  // Work is bounded by the quadratic ceiling in n_b (Welch–Walter bound).
+  const Orientation initial = inst.make_orientation();
+  const std::uint64_t nb = bad_nodes(initial, inst.destination).size();
+  EXPECT_LE(steps, 2 * nb * nb + nb + 1);
+}
+
+TEST_P(DifferentialFuzz, FullReversalFormulationsAgree) {
+  const FuzzParam param = GetParam();
+  std::mt19937_64 rng(param.seed * 6871 + param.n);
+  const Instance inst = make_random_instance(param.n, param.extra_edges, rng);
+
+  FullReversalAutomaton fr(inst);
+  GBPairHeightsAutomaton gb(inst);
+  RandomScheduler scheduler(param.seed + 99);
+  std::size_t steps = 0;
+  while (true) {
+    const auto choice = scheduler.choose(fr);
+    if (!choice) break;
+    fr.apply(*choice);
+    gb.apply(*choice);
+    ++steps;
+    ASSERT_TRUE(fr.orientation() == gb.orientation()) << "GB pair diverged @" << steps;
+    ASSERT_TRUE(gb.heights_consistent());
+    ASSERT_TRUE(check_acyclic(fr.orientation())) << check_acyclic(fr.orientation()).detail;
+  }
+  EXPECT_TRUE(is_destination_oriented(fr.orientation(), inst.destination));
+}
+
+std::vector<FuzzParam> fuzz_params() {
+  std::vector<FuzzParam> params;
+  for (const std::size_t n : {6u, 10u, 18u, 30u}) {
+    for (const std::size_t extra : {std::size_t{2}, n, 3 * n}) {
+      for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        params.push_back({n, extra, seed});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DifferentialFuzz, ::testing::ValuesIn(fuzz_params()),
+                         [](const ::testing::TestParamInfo<FuzzParam>& info) {
+                           std::ostringstream oss;
+                           oss << info.param;
+                           return oss.str();
+                         });
+
+// ---------------------------------------------------------------------------
+// New schedulers behave correctly with all algorithms.
+// ---------------------------------------------------------------------------
+
+TEST(NewSchedulersTest, LeastRecentlyFiredDrivesToQuiescence) {
+  std::mt19937_64 rng(71);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance inst = make_random_instance(20, 15, rng);
+    OneStepPRAutomaton pr(inst);
+    LeastRecentlyFiredScheduler scheduler;
+    const RunResult result = run_to_quiescence(pr, scheduler);
+    EXPECT_TRUE(result.quiescent);
+    EXPECT_TRUE(result.destination_oriented);
+  }
+}
+
+TEST(NewSchedulersTest, LeastRecentlyFiredPrefersNeverFiredNodes) {
+  Instance inst = make_sink_source_instance(9);  // sinks: 2, 4, 6, 8
+  OneStepPRAutomaton pr(inst);
+  LeastRecentlyFiredScheduler scheduler;
+  // First four picks must all be distinct (none has fired yet).
+  std::set<NodeId> fired;
+  for (int i = 0; i < 4; ++i) {
+    const auto choice = scheduler.choose(pr);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_TRUE(fired.insert(*choice).second);
+    pr.apply(*choice);
+  }
+}
+
+TEST(NewSchedulersTest, MaxDegreePicksHighestDegreeSink) {
+  // Y-graph from the scheduler test: sinks 0 (degree 1) and 4 (degree 1)…
+  // use the star where the hub eventually becomes a sink with max degree.
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  // All edges towards the hub 0: hub is the unique sink; then after the hub
+  // fires, leaves become sinks of degree 1.
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kBackward, EdgeSense::kBackward});
+  OneStepPRAutomaton pr(g, std::move(o), 1);
+  MaxDegreeScheduler scheduler;
+  const auto choice = scheduler.choose(pr);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(*choice, 0u);
+}
+
+TEST(NewSchedulersTest, MaxDegreeDrivesToQuiescence) {
+  std::mt19937_64 rng(72);
+  const Instance inst = make_random_instance(25, 20, rng);
+  FullReversalAutomaton fr(inst);
+  MaxDegreeScheduler scheduler;
+  const RunResult result = run_to_quiescence(fr, scheduler);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented);
+}
+
+}  // namespace
+}  // namespace lr

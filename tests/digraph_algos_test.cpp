@@ -1,0 +1,99 @@
+#include "graph/digraph_algos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lr {
+namespace {
+
+TEST(DigraphAlgosTest, ChainAcyclic) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  Orientation o(g, {EdgeSense::kForward, EdgeSense::kForward, EdgeSense::kForward});
+  EXPECT_TRUE(is_acyclic(o));
+  EXPECT_FALSE(find_cycle(o).has_value());
+}
+
+TEST(DigraphAlgosTest, TriangleCycleDetected) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  // 0 -> 1 -> 2 -> 0 : a directed 3-cycle.
+  Orientation o(g, {EdgeSense::kForward, EdgeSense::kForward, EdgeSense::kBackward});
+  EXPECT_FALSE(is_acyclic(o));
+  const auto cycle = find_cycle(o);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 3u);
+  // Verify it really is a directed cycle.
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    const NodeId from = (*cycle)[i];
+    const NodeId to = (*cycle)[(i + 1) % cycle->size()];
+    EXPECT_EQ(o.dir(from, to), Dir::kOut) << "edge " << from << "->" << to;
+  }
+}
+
+TEST(DigraphAlgosTest, TopologicalOrderRespectsEdges) {
+  Graph g(5, {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {2, 4}});
+  Orientation o = Orientation::from_ranking(g, std::vector<std::uint32_t>{0, 1, 2, 3, 4});
+  const auto order = topological_order(o);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(g.num_nodes());
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LT(pos[o.tail(e)], pos[o.head(e)]);
+  }
+}
+
+TEST(DigraphAlgosTest, TopologicalOrderNulloptOnCycle) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  Orientation o(g, {EdgeSense::kForward, EdgeSense::kForward, EdgeSense::kBackward});
+  EXPECT_FALSE(topological_order(o).has_value());
+}
+
+TEST(DigraphAlgosTest, ReachesDestinationChain) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  // All edges point towards node 0: 1->0, 2->1, 3->2.
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kBackward, EdgeSense::kBackward});
+  const auto reaches = reaches_destination(o, 0);
+  EXPECT_TRUE(std::all_of(reaches.begin(), reaches.end(), [](bool b) { return b; }));
+  EXPECT_TRUE(is_destination_oriented(o, 0));
+  EXPECT_TRUE(bad_nodes(o, 0).empty());
+}
+
+TEST(DigraphAlgosTest, BadNodesWhenEdgesPointAway) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  // All edges point away from node 0: every other node is bad.
+  Orientation o(g, {EdgeSense::kForward, EdgeSense::kForward, EdgeSense::kForward});
+  EXPECT_FALSE(is_destination_oriented(o, 0));
+  EXPECT_EQ(bad_nodes(o, 0), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(DigraphAlgosTest, PartialReachability) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  // 1 -> 0, 1 <- 2 ... wait: senses: e0 backward (1->0), e1 forward (1->2), e2 forward (2->3).
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kForward, EdgeSense::kForward});
+  const auto reaches = reaches_destination(o, 0);
+  EXPECT_TRUE(reaches[0]);
+  EXPECT_TRUE(reaches[1]);
+  EXPECT_FALSE(reaches[2]);
+  EXPECT_FALSE(reaches[3]);
+  EXPECT_EQ(bad_nodes(o, 0), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(DigraphAlgosTest, SinksExcludingDestination) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kForward});  // 1->0, 1->2
+  // Sinks: 0 and 2.
+  EXPECT_EQ(sinks_excluding(o, 0), (std::vector<NodeId>{2}));
+  EXPECT_EQ(sinks_excluding(o, 2), (std::vector<NodeId>{0}));
+  EXPECT_EQ(sinks_excluding(o, 1), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(DigraphAlgosTest, DirectedDistance) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  Orientation o(g, {EdgeSense::kForward, EdgeSense::kForward, EdgeSense::kForward});
+  EXPECT_EQ(directed_distance(o, 0, 3), std::optional<std::size_t>{3});
+  EXPECT_EQ(directed_distance(o, 0, 0), std::optional<std::size_t>{0});
+  EXPECT_FALSE(directed_distance(o, 3, 0).has_value());
+}
+
+}  // namespace
+}  // namespace lr

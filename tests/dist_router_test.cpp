@@ -1,0 +1,128 @@
+#include "sim/dist_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace lr {
+namespace {
+
+TEST(DistRouterTest, DeliversAfterConvergence) {
+  std::mt19937_64 rng(3);
+  const Instance inst = make_random_instance(20, 16, rng);
+  Network net(inst.graph, {.min_delay = 1, .max_delay = 5, .seed = 7});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  proto.start();
+  net.run_until_idle();
+  ASSERT_TRUE(proto.converged());
+
+  DistRouter router(proto, net);
+  for (NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+    router.inject(u);
+  }
+  net.run_until_idle();
+  EXPECT_EQ(router.stats().delivered, inst.graph.num_nodes());
+  EXPECT_EQ(router.stats().dropped_no_route, 0u);
+  EXPECT_EQ(router.stats().dropped_ttl, 0u);
+}
+
+TEST(DistRouterTest, DestinationInjectionIsZeroHopDelivery) {
+  const Instance inst = make_worst_case_chain(5);
+  Network net(inst.graph, {.min_delay = 1, .max_delay = 2, .seed = 1});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  proto.start();
+  net.run_until_idle();
+
+  DistRouter router(proto, net);
+  router.inject(proto.destination());
+  net.run_until_idle();
+  EXPECT_EQ(router.stats().delivered, 1u);
+  EXPECT_EQ(router.stats().total_hops, 0u);
+}
+
+TEST(DistRouterTest, PacketsInjectedBeforeConvergenceStillAccounted) {
+  // Inject packets while the DAG is still repairing: each is delivered or
+  // counted as dropped (no silent losses), and delivered ones took at most
+  // TTL hops.
+  const Instance inst = make_worst_case_chain(12);
+  Network net(inst.graph, {.min_delay = 1, .max_delay = 6, .seed = 4});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  DistRouter router(proto, net);
+
+  proto.start();
+  for (NodeId u = 1; u < 12; ++u) router.inject(u);  // mid-flight injection
+  net.run_until_idle();
+
+  const PacketStats& stats = router.stats();
+  EXPECT_EQ(stats.injected, 11u);
+  EXPECT_EQ(stats.delivered + stats.dropped_no_route + stats.dropped_ttl, stats.injected);
+}
+
+TEST(DistRouterTest, MeanHopsMatchesChainDistance) {
+  // On the converged chain the unique route from node k has k hops.
+  const Instance inst = make_worst_case_chain(8);
+  Network net(inst.graph, {.min_delay = 1, .max_delay = 3, .seed = 5});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  proto.start();
+  net.run_until_idle();
+  ASSERT_TRUE(proto.converged());
+
+  DistRouter router(proto, net);
+  router.inject(7);
+  net.run_until_idle();
+  ASSERT_EQ(router.stats().delivered, 1u);
+  EXPECT_EQ(router.stats().total_hops, 7u);
+}
+
+TEST(DistRouterTest, DeliversUnderChurnWithResync) {
+  const Instance inst = make_worst_case_chain(10);
+  Network net(inst.graph, {.min_delay = 1, .max_delay = 4, .seed = 6});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  proto.start();
+  net.run_until_idle();
+  ASSERT_TRUE(proto.converged());
+
+  // Cut a link mid-chain, restore it, resync, then route.
+  const EdgeId cut = 4;
+  net.set_link_up(cut, false);
+  net.set_link_up(cut, true);
+  proto.notify_link_restored(cut);
+  net.run_until_idle();
+
+  DistRouter router(proto, net);
+  for (NodeId u = 1; u < 10; ++u) router.inject(u);
+  net.run_until_idle();
+  EXPECT_EQ(router.stats().delivered, 9u);
+}
+
+TEST(DistRouterTest, TtlBoundsHopCount) {
+  const Instance inst = make_worst_case_chain(10);
+  Network net(inst.graph, {.min_delay = 1, .max_delay = 3, .seed = 8});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  proto.start();
+  net.run_until_idle();
+
+  DistRouter tight(proto, net, /*ttl=*/3);
+  tight.inject(9);  // needs 9 hops, TTL is 3
+  net.run_until_idle();
+  EXPECT_EQ(tight.stats().dropped_ttl, 1u);
+  EXPECT_EQ(tight.stats().delivered, 0u);
+}
+
+TEST(DistRouterTest, FullReversalControlPlaneWorksToo) {
+  std::mt19937_64 rng(11);
+  const Instance inst = make_random_instance(16, 12, rng);
+  Network net(inst.graph, {.min_delay = 1, .max_delay = 5, .seed = 9});
+  DistLinkReversal proto(inst, ReversalRule::kFull, net);
+  proto.start();
+  net.run_until_idle();
+  ASSERT_TRUE(proto.converged());
+
+  DistRouter router(proto, net);
+  for (NodeId u = 0; u < 16; ++u) router.inject(u);
+  net.run_until_idle();
+  EXPECT_EQ(router.stats().delivered, 16u);
+}
+
+}  // namespace
+}  // namespace lr

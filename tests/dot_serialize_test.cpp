@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "graph/digraph_algos.hpp"
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+#include "graph/serialize.hpp"
+
+namespace lr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DOT export
+// ---------------------------------------------------------------------------
+
+TEST(DotTest, ContainsAllNodesAndDirectedEdges) {
+  Instance inst = make_worst_case_chain(4);
+  Orientation o = inst.make_orientation();
+  const std::string dot = to_dot(o, {.destination = inst.destination});
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_NE(dot.find("n" + std::to_string(u) + " ["), std::string::npos) << dot;
+  }
+  // 0 -> 1 -> 2 -> 3 away-chain.
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2;"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n3;"), std::string::npos);
+}
+
+TEST(DotTest, DestinationRenderedAsDoubleCircle) {
+  Instance inst = make_worst_case_chain(3);
+  Orientation o = inst.make_orientation();
+  const std::string dot = to_dot(o, {.destination = 0});
+  EXPECT_NE(dot.find("n0 [label=\"0\", shape=doublecircle]"), std::string::npos) << dot;
+}
+
+TEST(DotTest, SinksHighlighted) {
+  Instance inst = make_worst_case_chain(3);  // node 2 is the sink
+  Orientation o = inst.make_orientation();
+  const std::string dot = to_dot(o, {.destination = 0});
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);
+  // Turn highlighting off.
+  const std::string plain = to_dot(o, {.destination = 0, .highlight_sinks = false});
+  EXPECT_EQ(plain.find("fillcolor"), std::string::npos);
+}
+
+TEST(DotTest, EmbeddingAddsPositions) {
+  Instance inst = make_worst_case_chain(3);
+  Orientation o = inst.make_orientation();
+  const LeftRightEmbedding emb(o);
+  const std::string dot = to_dot(o, {.embedding = &emb});
+  EXPECT_NE(dot.find("pos=\""), std::string::npos);
+}
+
+TEST(DotTest, EdgeDirectionTracksReversals) {
+  Graph g(2, {{0, 1}});
+  Orientation o(g, {EdgeSense::kForward});
+  EXPECT_NE(to_dot(o).find("n0 -> n1;"), std::string::npos);
+  o.reverse_edge(0);
+  EXPECT_NE(to_dot(o).find("n1 -> n0;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Instance serialization
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance original = make_random_instance(12, 8, rng);
+    std::stringstream buffer;
+    write_instance(buffer, original);
+    const Instance loaded = read_instance(buffer);
+    EXPECT_EQ(loaded.graph, original.graph);
+    EXPECT_EQ(loaded.senses, original.senses);
+    EXPECT_EQ(loaded.destination, original.destination);
+    EXPECT_EQ(loaded.name, original.name);
+    // Orientations (and hence executions) coincide.
+    EXPECT_TRUE(loaded.make_orientation() == original.make_orientation());
+  }
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer(R"(# reproducer
+lr-instance 1
+
+name demo
+# topology
+nodes 3
+destination 0
+edge 0 1 fwd
+edge 1 2 bwd
+end
+)");
+  const Instance inst = read_instance(buffer);
+  EXPECT_EQ(inst.graph.num_nodes(), 3u);
+  EXPECT_EQ(inst.senses[1], EdgeSense::kBackward);
+  EXPECT_EQ(inst.name, "demo");
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::stringstream buffer("not-an-instance\n");
+  EXPECT_THROW(read_instance(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, RejectsMissingEnd) {
+  std::stringstream buffer("lr-instance 1\nnodes 2\ndestination 0\nedge 0 1 fwd\n");
+  EXPECT_THROW(read_instance(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, RejectsBadSense) {
+  std::stringstream buffer("lr-instance 1\nnodes 2\ndestination 0\nedge 0 1 sideways\nend\n");
+  EXPECT_THROW(read_instance(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, RejectsNonCanonicalEdge) {
+  std::stringstream buffer("lr-instance 1\nnodes 2\ndestination 0\nedge 1 0 fwd\nend\n");
+  EXPECT_THROW(read_instance(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, RejectsOutOfRangeDestination) {
+  std::stringstream buffer("lr-instance 1\nnodes 2\ndestination 5\nedge 0 1 fwd\nend\n");
+  EXPECT_THROW(read_instance(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, RejectsUnknownKeyword) {
+  std::stringstream buffer("lr-instance 1\nnodes 2\nwormhole 1\nend\n");
+  EXPECT_THROW(read_instance(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, FileSaveAndLoad) {
+  const auto path = std::filesystem::temp_directory_path() / "lr_instance_test.txt";
+  const Instance original = make_worst_case_chain(5);
+  save_instance(path.string(), original);
+  const Instance loaded = load_instance(path.string());
+  EXPECT_EQ(loaded.graph, original.graph);
+  EXPECT_EQ(loaded.senses, original.senses);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_instance("/nonexistent/definitely/missing.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lr

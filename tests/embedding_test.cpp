@@ -1,0 +1,68 @@
+#include "graph/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace lr {
+namespace {
+
+TEST(EmbeddingTest, AllInitialEdgesGoLeftToRight) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    Instance inst = make_random_instance(20, 12, rng);
+    Orientation o = inst.make_orientation();
+    LeftRightEmbedding emb(o);
+    for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+      EXPECT_TRUE(emb.directed_left_to_right(o, e))
+          << "initial edge " << e << " must go left to right";
+    }
+  }
+}
+
+TEST(EmbeddingTest, PositionsAreAPermutation) {
+  Instance inst = make_worst_case_chain(6);
+  Orientation o = inst.make_orientation();
+  LeftRightEmbedding emb(o);
+  std::vector<bool> seen(6, false);
+  for (NodeId u = 0; u < 6; ++u) {
+    ASSERT_LT(emb.position(u), 6u);
+    EXPECT_FALSE(seen[emb.position(u)]);
+    seen[emb.position(u)] = true;
+  }
+}
+
+TEST(EmbeddingTest, ChainPositionsMonotone) {
+  Instance inst = make_worst_case_chain(5);
+  Orientation o = inst.make_orientation();
+  LeftRightEmbedding emb(o);
+  for (NodeId u = 0; u + 1 < 5; ++u) {
+    EXPECT_TRUE(emb.left_of(u, u + 1));
+    EXPECT_FALSE(emb.left_of(u + 1, u));
+  }
+}
+
+TEST(EmbeddingTest, RejectsCyclicInitialOrientation) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  Orientation cyclic(g, {EdgeSense::kForward, EdgeSense::kForward, EdgeSense::kBackward});
+  EXPECT_THROW(LeftRightEmbedding{cyclic}, std::invalid_argument);
+}
+
+TEST(EmbeddingTest, DirectionFlipsAfterReversal) {
+  Graph g(2, {{0, 1}});
+  Orientation o(g, {EdgeSense::kForward});
+  LeftRightEmbedding emb(o);
+  EXPECT_TRUE(emb.directed_left_to_right(o, 0));
+  o.reverse_edge(0);
+  EXPECT_FALSE(emb.directed_left_to_right(o, 0));
+}
+
+TEST(EmbeddingTest, ExplicitPositionsConstructor) {
+  LeftRightEmbedding emb(std::vector<std::uint32_t>{2, 0, 1});
+  EXPECT_TRUE(emb.left_of(1, 2));
+  EXPECT_TRUE(emb.left_of(2, 0));
+  EXPECT_EQ(emb.num_nodes(), 3u);
+}
+
+}  // namespace
+}  // namespace lr

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stats.hpp"
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/pr.hpp"
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+
+/// Edge cases of the execution and measurement plumbing.
+
+namespace lr {
+namespace {
+
+TEST(ExecutorEdgeTest, AlreadyQuiescentRunsZeroSteps) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kBackward});  // oriented to 0
+  OneStepPRAutomaton pr(g, std::move(o), 0);
+  LowestIdScheduler scheduler;
+  const RunResult result = run_to_quiescence(pr, scheduler);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(result.steps, 0u);
+  EXPECT_EQ(result.edge_reversals, 0u);
+  EXPECT_TRUE(result.destination_oriented);
+}
+
+TEST(ExecutorEdgeTest, SetExecutorRespectsMaxSteps) {
+  Instance inst = make_worst_case_chain(32);
+  PRAutomaton pr(inst);
+  MaximalSetScheduler scheduler;
+  RunOptions options;
+  options.max_steps = 3;
+  const RunResult result = run_to_quiescence_set(pr, scheduler, options);
+  EXPECT_EQ(result.steps, 3u);
+  EXPECT_FALSE(result.quiescent);
+}
+
+TEST(ExecutorEdgeTest, EdgeReversalCountDeltaNotCumulative) {
+  // Two consecutive runs on the same automaton: the second run's
+  // edge_reversals must count only its own work.
+  Instance inst = make_worst_case_chain(8);
+  OneStepPRAutomaton pr(inst);
+  LowestIdScheduler scheduler;
+  RunOptions options;
+  options.max_steps = 3;
+  const RunResult first = run_to_quiescence(pr, scheduler, options);
+  const RunResult second = run_to_quiescence(pr, scheduler);
+  EXPECT_GT(first.edge_reversals, 0u);
+  EXPECT_GT(second.edge_reversals, 0u);
+  EXPECT_EQ(first.edge_reversals + second.edge_reversals, pr.orientation().reversal_count());
+}
+
+TEST(ExecutorEdgeTest, WorkRecorderSetStepObserver) {
+  Instance inst = make_sink_source_instance(9);
+  PRAutomaton pr(inst);
+  WorkRecorder recorder(inst.graph.num_nodes());
+  MaximalSetScheduler scheduler;
+  const RunResult result = run_to_quiescence_set(
+      pr, scheduler, [&recorder](const PRAutomaton& a, const std::vector<NodeId>& s) {
+        recorder.on_set_step(a, s);
+      });
+  EXPECT_EQ(recorder.stats().total_steps, result.node_steps);
+  EXPECT_EQ(recorder.stats().rounds, result.steps);
+}
+
+TEST(ExecutorEdgeTest, MessageToNodeWithoutHandlerIsCountedNotCrashing) {
+  Graph g(2, {{0, 1}});
+  Network net(g, {.min_delay = 1, .max_delay = 1, .seed = 1});
+  // No handler installed on node 1.
+  net.send(0, 1, {42});
+  net.run_until_idle();
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(ExecutorEdgeTest, SingleNodeGraphIsTriviallyOriented) {
+  Graph g(1, {});
+  OneStepPRAutomaton pr(g, Orientation(g, {}), 0);
+  LowestIdScheduler scheduler;
+  const RunResult result = run_to_quiescence(pr, scheduler);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented);
+}
+
+}  // namespace
+}  // namespace lr

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/bll.hpp"
+#include "core/full_reversal.hpp"
+#include "core/gb_heights.hpp"
+#include "core/invariants.hpp"
+#include "core/newpr.hpp"
+#include "core/pr.hpp"
+#include "graph/digraph_algos.hpp"
+#include "graph/generators.hpp"
+
+/// Extended property sweeps: the cartesian closure of
+///   {all algorithms} x {all schedulers} x {all graph families}
+/// asserting, for every cell, the end-to-end contract — termination,
+/// destination orientation, acyclicity at quiescence, and the
+/// work/quiescence consistency conditions.  The per-step invariant checks
+/// live in invariants_property_test.cpp; this file is about breadth.
+
+namespace lr {
+namespace {
+
+enum class Algo { kOneStepPR, kNewPR, kFR, kGBPair, kGBTriple, kBLL };
+enum class Sched { kLowest, kRandom, kRoundRobin, kFarthest, kLeastRecent, kMaxDegree };
+enum class Fam { kChain, kRandom, kDense, kGrid, kLayered, kStar, kUnitDisk, kRing, kTree };
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kOneStepPR: return "OneStepPR";
+    case Algo::kNewPR: return "NewPR";
+    case Algo::kFR: return "FR";
+    case Algo::kGBPair: return "GBPair";
+    case Algo::kGBTriple: return "GBTriple";
+    case Algo::kBLL: return "BLL";
+  }
+  return "?";
+}
+
+const char* sched_name(Sched s) {
+  switch (s) {
+    case Sched::kLowest: return "Lowest";
+    case Sched::kRandom: return "Random";
+    case Sched::kRoundRobin: return "RoundRobin";
+    case Sched::kFarthest: return "Farthest";
+    case Sched::kLeastRecent: return "LeastRecent";
+    case Sched::kMaxDegree: return "MaxDegree";
+  }
+  return "?";
+}
+
+const char* fam_name(Fam f) {
+  switch (f) {
+    case Fam::kChain: return "Chain";
+    case Fam::kRandom: return "Random";
+    case Fam::kDense: return "Dense";
+    case Fam::kGrid: return "Grid";
+    case Fam::kLayered: return "Layered";
+    case Fam::kStar: return "Star";
+    case Fam::kUnitDisk: return "UnitDisk";
+    case Fam::kRing: return "Ring";
+    case Fam::kTree: return "Tree";
+  }
+  return "?";
+}
+
+struct CellParam {
+  Algo algo;
+  Sched sched;
+  Fam fam;
+
+  friend std::ostream& operator<<(std::ostream& os, const CellParam& p) {
+    return os << algo_name(p.algo) << '_' << sched_name(p.sched) << '_' << fam_name(p.fam);
+  }
+};
+
+Instance make_family_instance(Fam fam, std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 40503 + 11);
+  switch (fam) {
+    case Fam::kChain:
+      return make_worst_case_chain(24);
+    case Fam::kRandom:
+      return make_random_instance(24, 12, rng);
+    case Fam::kDense:
+      return make_random_instance(24, 96, rng);
+    case Fam::kGrid:
+      return make_grid_instance(5, 5, rng);
+    case Fam::kLayered:
+      return make_layered_bad_instance(5, 5, 0.35, rng);
+    case Fam::kStar:
+      return make_sink_source_instance(25);
+    case Fam::kUnitDisk:
+      return make_unit_disk_instance(24, 0.35, rng);
+    case Fam::kRing: {
+      Instance inst;
+      inst.graph = make_ring_graph(24);
+      inst.senses = Orientation::from_ranking(inst.graph, identity_ranking(24)).senses();
+      inst.destination = 0;
+      inst.name = "ring(24)";
+      return inst;
+    }
+    case Fam::kTree: {
+      Instance inst;
+      inst.graph = make_binary_tree_graph(31);
+      inst.senses =
+          Orientation::from_ranking(inst.graph, random_ranking(31, rng)).senses();
+      inst.destination = 0;
+      inst.name = "binary_tree(31)";
+      return inst;
+    }
+  }
+  return make_worst_case_chain(8);
+}
+
+template <typename A, typename S>
+void run_cell_impl(const Instance& inst, S scheduler) {
+  A automaton(inst);
+  const RunResult result = run_to_quiescence(automaton, scheduler);
+  ASSERT_TRUE(result.quiescent) << inst.name << ": did not quiesce";
+  EXPECT_TRUE(result.destination_oriented) << inst.name;
+  EXPECT_TRUE(check_acyclic(automaton.orientation()))
+      << inst.name << ": " << check_acyclic(automaton.orientation()).detail;
+  EXPECT_TRUE(check_invariant_3_1(automaton.orientation()))
+      << check_invariant_3_1(automaton.orientation()).detail;
+  EXPECT_TRUE(check_quiescence_consistency(automaton.orientation(), automaton.destination()))
+      << check_quiescence_consistency(automaton.orientation(), automaton.destination()).detail;
+  // Work stays within the Θ(n_b²) ceiling.
+  const Orientation initial = inst.make_orientation();
+  const std::uint64_t nb = bad_nodes(initial, inst.destination).size();
+  EXPECT_LE(result.steps, 2 * nb * nb + nb + inst.graph.num_nodes())
+      << inst.name << ": work above the quadratic ceiling";
+}
+
+template <typename A>
+void run_with_scheduler(const Instance& inst, Sched sched, std::uint64_t seed) {
+  switch (sched) {
+    case Sched::kLowest:
+      return run_cell_impl<A>(inst, LowestIdScheduler{});
+    case Sched::kRandom:
+      return run_cell_impl<A>(inst, RandomScheduler{seed});
+    case Sched::kRoundRobin:
+      return run_cell_impl<A>(inst, RoundRobinScheduler{});
+    case Sched::kFarthest:
+      return run_cell_impl<A>(inst, FarthestFirstScheduler{});
+    case Sched::kLeastRecent:
+      return run_cell_impl<A>(inst, LeastRecentlyFiredScheduler{});
+    case Sched::kMaxDegree:
+      return run_cell_impl<A>(inst, MaxDegreeScheduler{});
+  }
+}
+
+class ExtendedSweep : public ::testing::TestWithParam<CellParam> {};
+
+TEST_P(ExtendedSweep, ConvergesCorrectly) {
+  const CellParam p = GetParam();
+  const std::uint64_t seed = static_cast<std::uint64_t>(p.fam) * 97 + 5;
+  const Instance inst = make_family_instance(p.fam, seed);
+  switch (p.algo) {
+    case Algo::kOneStepPR:
+      return run_with_scheduler<OneStepPRAutomaton>(inst, p.sched, seed);
+    case Algo::kNewPR:
+      return run_with_scheduler<NewPRAutomaton>(inst, p.sched, seed);
+    case Algo::kFR:
+      return run_with_scheduler<FullReversalAutomaton>(inst, p.sched, seed);
+    case Algo::kGBPair:
+      return run_with_scheduler<GBPairHeightsAutomaton>(inst, p.sched, seed);
+    case Algo::kGBTriple:
+      return run_with_scheduler<GBTripleHeightsAutomaton>(inst, p.sched, seed);
+    case Algo::kBLL: {
+      // BLL's factory shape differs; inline the cell body.
+      BLLAutomaton automaton = BLLAutomaton::pr_labeling(inst);
+      RandomScheduler scheduler(seed);
+      const RunResult result = run_to_quiescence(automaton, scheduler);
+      ASSERT_TRUE(result.quiescent);
+      EXPECT_TRUE(result.destination_oriented) << inst.name;
+      EXPECT_TRUE(check_acyclic(automaton.orientation()))
+          << check_acyclic(automaton.orientation()).detail;
+      return;
+    }
+  }
+}
+
+std::vector<CellParam> all_cells() {
+  std::vector<CellParam> cells;
+  for (const Algo algo : {Algo::kOneStepPR, Algo::kNewPR, Algo::kFR, Algo::kGBPair,
+                          Algo::kGBTriple, Algo::kBLL}) {
+    for (const Sched sched : {Sched::kLowest, Sched::kRandom, Sched::kRoundRobin,
+                              Sched::kFarthest, Sched::kLeastRecent, Sched::kMaxDegree}) {
+      for (const Fam fam : {Fam::kChain, Fam::kRandom, Fam::kDense, Fam::kGrid, Fam::kLayered,
+                            Fam::kStar, Fam::kUnitDisk, Fam::kRing, Fam::kTree}) {
+        // BLL is exercised with the random scheduler only (factory shape).
+        if (algo == Algo::kBLL && sched != Sched::kRandom) continue;
+        cells.push_back({algo, sched, fam});
+      }
+    }
+  }
+  return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, ExtendedSweep, ::testing::ValuesIn(all_cells()),
+                         [](const ::testing::TestParamInfo<CellParam>& info) {
+                           std::ostringstream oss;
+                           oss << info.param;
+                           return oss.str();
+                         });
+
+// ---------------------------------------------------------------------------
+// Schedule-independence of FR's work (the potential-game property E3.3
+// relies on): the per-node work vector is identical under every scheduler.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleIndependenceTest, FRWorkVectorIdenticalAcrossSchedulers) {
+  std::mt19937_64 rng(55);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Instance inst = make_random_instance(20, 18, rng);
+    std::vector<std::vector<std::uint64_t>> vectors;
+    for (const Sched sched :
+         {Sched::kLowest, Sched::kRandom, Sched::kRoundRobin, Sched::kFarthest}) {
+      FullReversalAutomaton fr(inst);
+      std::vector<std::uint64_t> work(inst.graph.num_nodes(), 0);
+      const auto observer = [&work](const FullReversalAutomaton&, NodeId u) { ++work[u]; };
+      switch (sched) {
+        case Sched::kLowest: {
+          LowestIdScheduler s;
+          run_to_quiescence(fr, s, observer);
+          break;
+        }
+        case Sched::kRandom: {
+          RandomScheduler s(trial + 1);
+          run_to_quiescence(fr, s, observer);
+          break;
+        }
+        case Sched::kRoundRobin: {
+          RoundRobinScheduler s;
+          run_to_quiescence(fr, s, observer);
+          break;
+        }
+        default: {
+          FarthestFirstScheduler s;
+          run_to_quiescence(fr, s, observer);
+          break;
+        }
+      }
+      vectors.push_back(std::move(work));
+    }
+    for (std::size_t i = 1; i < vectors.size(); ++i) {
+      EXPECT_EQ(vectors[i], vectors[0]) << "FR work vector differs, trial " << trial;
+    }
+  }
+}
+
+TEST(ScheduleIndependenceTest, PRWorkVectorAlsoScheduleIndependent) {
+  // Busch–Tirthapura: PR executions are also "uniform" — per-node work is
+  // schedule-independent (both algorithms are decisive).  Verify.
+  std::mt19937_64 rng(56);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Instance inst = make_random_instance(20, 18, rng);
+    std::vector<std::uint64_t> reference;
+    for (int variant = 0; variant < 4; ++variant) {
+      OneStepPRAutomaton pr(inst);
+      std::vector<std::uint64_t> work(inst.graph.num_nodes(), 0);
+      const auto observer = [&work](const OneStepPRAutomaton&, NodeId u) { ++work[u]; };
+      if (variant == 0) {
+        LowestIdScheduler s;
+        run_to_quiescence(pr, s, observer);
+        reference = work;
+        continue;
+      }
+      RandomScheduler s(trial * 11 + variant);
+      run_to_quiescence(pr, s, observer);
+      EXPECT_EQ(work, reference) << "PR work vector differs, trial " << trial << " variant "
+                                 << variant;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lr

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph_algos.hpp"
+#include "graph/generators.hpp"
+#include "sim/dist_lr.hpp"
+#include "sim/network.hpp"
+
+/// Failure injection: message loss and duplication in the simulated
+/// network, and the protocol-level mechanisms (monotone-height filtering,
+/// anti-entropy resync rounds) that keep distributed link reversal correct
+/// under them.
+
+namespace lr {
+namespace {
+
+TEST(FailureInjectionTest, DropProbabilityDropsRoughlyThatFraction) {
+  Graph g(2, {{0, 1}});
+  Network net(g, {.min_delay = 1, .max_delay = 1, .seed = 3, .drop_probability = 0.5});
+  net.set_handler(1, [](const NetMessage&) {});
+  for (int i = 0; i < 1000; ++i) net.send(0, 1, {i});
+  net.run_until_idle();
+  EXPECT_GT(net.messages_dropped(), 350u);
+  EXPECT_LT(net.messages_dropped(), 650u);
+  EXPECT_EQ(net.messages_delivered() + net.messages_dropped(), 1000u);
+}
+
+TEST(FailureInjectionTest, DuplicationDeliversExtraCopies) {
+  Graph g(2, {{0, 1}});
+  Network net(g, {.min_delay = 1, .max_delay = 1, .seed = 4, .duplicate_probability = 0.5});
+  int received = 0;
+  net.set_handler(1, [&received](const NetMessage&) { ++received; });
+  for (int i = 0; i < 1000; ++i) net.send(0, 1, {i});
+  net.run_until_idle();
+  EXPECT_GT(received, 1350);
+  EXPECT_LT(received, 1650);
+}
+
+TEST(FailureInjectionTest, ProtocolToleratesDuplicatesWithoutExtraSteps) {
+  // Duplicates are filtered by the monotone-height guard: the outcome must
+  // be byte-identical to the duplicate-free run, with identical step count.
+  std::mt19937_64 rng(5);
+  const Instance inst = make_random_instance(24, 20, rng);
+
+  Network clean_net(inst.graph, {.min_delay = 1, .max_delay = 5, .seed = 9});
+  DistLinkReversal clean(inst, ReversalRule::kPartial, clean_net);
+  clean.start();
+  clean_net.run_until_idle();
+  ASSERT_TRUE(clean.converged());
+
+  Network dup_net(inst.graph,
+                  {.min_delay = 1, .max_delay = 5, .seed = 9, .duplicate_probability = 0.4});
+  DistLinkReversal duplicated(inst, ReversalRule::kPartial, dup_net);
+  duplicated.start();
+  dup_net.run_until_idle();
+  EXPECT_TRUE(duplicated.converged());
+  EXPECT_TRUE(is_acyclic(duplicated.derived_orientation()));
+}
+
+TEST(FailureInjectionTest, LossCanStallWithoutResync) {
+  // With heavy loss the one-shot protocol can stall (views stay stale and a
+  // true sink never learns it is one).  We don't assert it *must* stall —
+  // loss is random — but we do assert safety: whatever state it stalls in
+  // is acyclic.
+  const Instance inst = make_worst_case_chain(16);
+  Network net(inst.graph,
+              {.min_delay = 1, .max_delay = 4, .seed = 11, .drop_probability = 0.6});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  proto.start();
+  net.run_until_idle();
+  EXPECT_TRUE(is_acyclic(proto.derived_orientation()));
+}
+
+TEST(FailureInjectionTest, ResyncRoundsRecoverFromLoss) {
+  for (const double loss : {0.2, 0.5}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      std::mt19937_64 rng(seed * 17 + 1);
+      const Instance inst = make_random_instance(20, 16, rng);
+      Network net(inst.graph,
+                  {.min_delay = 1, .max_delay = 6, .seed = seed, .drop_probability = loss});
+      DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+      const auto rounds = proto.run_with_resync(200);
+      ASSERT_TRUE(rounds.has_value()) << "loss=" << loss << " seed=" << seed;
+      EXPECT_TRUE(proto.converged());
+      EXPECT_TRUE(is_destination_oriented(proto.derived_orientation(), inst.destination));
+    }
+  }
+}
+
+TEST(FailureInjectionTest, ResyncIsNoOpWhenAlreadyConverged) {
+  const Instance inst = make_worst_case_chain(8);
+  Network net(inst.graph, {.min_delay = 1, .max_delay = 3, .seed = 2});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  const auto rounds = proto.run_with_resync();
+  ASSERT_TRUE(rounds.has_value());
+  EXPECT_EQ(*rounds, 0u) << "lossless run converges before any resync round";
+
+  // An explicit resync after convergence must not trigger new steps.
+  const std::uint64_t steps_before = proto.total_steps();
+  proto.resync_round();
+  net.run_until_idle();
+  EXPECT_EQ(proto.total_steps(), steps_before);
+  EXPECT_TRUE(proto.converged());
+}
+
+TEST(FailureInjectionTest, TotalLossNeverConverges) {
+  const Instance inst = make_worst_case_chain(6);
+  Network net(inst.graph,
+              {.min_delay = 1, .max_delay = 2, .seed = 8, .drop_probability = 1.0});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  const auto rounds = proto.run_with_resync(5);
+  EXPECT_FALSE(rounds.has_value());
+  // Safety still holds.
+  EXPECT_TRUE(is_acyclic(proto.derived_orientation()));
+}
+
+TEST(FailureInjectionTest, FullReversalRuleAlsoRecoversWithResync) {
+  std::mt19937_64 rng(21);
+  const Instance inst = make_random_instance(16, 12, rng);
+  Network net(inst.graph,
+              {.min_delay = 1, .max_delay = 5, .seed = 13, .drop_probability = 0.4});
+  DistLinkReversal proto(inst, ReversalRule::kFull, net);
+  const auto rounds = proto.run_with_resync(200);
+  ASSERT_TRUE(rounds.has_value());
+  EXPECT_TRUE(proto.converged());
+}
+
+}  // namespace
+}  // namespace lr

@@ -1,0 +1,127 @@
+#include "core/full_reversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/invariants.hpp"
+#include "core/pr.hpp"
+#include "graph/digraph_algos.hpp"
+#include "graph/generators.hpp"
+
+namespace lr {
+namespace {
+
+TEST(FullReversalTest, SinkReversesAllIncidentEdges) {
+  Instance inst = make_worst_case_chain(3);  // 0 -> 1 -> 2, D = 0
+  FullReversalAutomaton fr(inst);
+  ASSERT_TRUE(fr.enabled(2));
+  fr.apply(2);
+  EXPECT_EQ(fr.orientation().dir(2, 1), Dir::kOut);
+  ASSERT_TRUE(fr.enabled(1));
+  fr.apply(1);
+  // FR reverses *both* of node 1's edges, including the one to 2.
+  EXPECT_EQ(fr.orientation().dir(1, 0), Dir::kOut);
+  EXPECT_EQ(fr.orientation().dir(1, 2), Dir::kOut);
+  EXPECT_EQ(fr.count(1), 1u);
+}
+
+TEST(FullReversalTest, ChainWorkExactHandComputedValue) {
+  // 0 -> 1 -> 2 with D = 0 takes exactly 3 FR steps (2, 1, 2) but only 2 PR
+  // steps (2, 1) — the introduction's motivating difference.
+  Instance inst = make_worst_case_chain(3);
+  FullReversalAutomaton fr(inst);
+  LowestIdScheduler s;
+  const RunResult fr_result = run_to_quiescence(fr, s);
+  EXPECT_TRUE(fr_result.destination_oriented);
+  EXPECT_EQ(fr_result.steps, 3u);
+
+  OneStepPRAutomaton pr(inst);
+  LowestIdScheduler s2;
+  const RunResult pr_result = run_to_quiescence(pr, s2);
+  EXPECT_TRUE(pr_result.destination_oriented);
+  EXPECT_EQ(pr_result.steps, 2u);
+}
+
+TEST(FullReversalTest, AcyclicAtEveryStep) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    Instance inst = make_random_instance(18, 12, rng);
+    FullReversalAutomaton fr(inst);
+    RandomScheduler scheduler(trial);
+    run_to_quiescence(fr, scheduler, [](const FullReversalAutomaton& a, NodeId) {
+      ASSERT_TRUE(check_acyclic(a.orientation())) << check_acyclic(a.orientation()).detail;
+    });
+  }
+}
+
+TEST(FullReversalTest, ConvergesToDestinationOrientedOnAllFamilies) {
+  std::mt19937_64 rng(5);
+  const std::vector<Instance> instances = {
+      make_worst_case_chain(12),
+      make_random_instance(25, 20, rng),
+      make_grid_instance(4, 4, rng),
+      make_layered_bad_instance(4, 3, 0.4, rng),
+      make_sink_source_instance(9),
+  };
+  for (const Instance& inst : instances) {
+    FullReversalAutomaton fr(inst);
+    RandomScheduler scheduler(42);
+    const RunResult result = run_to_quiescence(fr, scheduler);
+    EXPECT_TRUE(result.quiescent) << inst.name;
+    EXPECT_TRUE(result.destination_oriented) << inst.name;
+  }
+}
+
+TEST(FullReversalTest, SetAutomatonMatchesOneStepOutcome) {
+  Instance inst = make_worst_case_chain(9);
+  FullReversalSetAutomaton fr_set(inst);
+  MaximalSetScheduler set_sched;
+  const RunResult set_result = run_to_quiescence_set(fr_set, set_sched);
+  EXPECT_TRUE(set_result.destination_oriented);
+
+  FullReversalAutomaton fr(inst);
+  LowestIdScheduler sched;
+  const RunResult one_result = run_to_quiescence(fr, sched);
+  EXPECT_TRUE(one_result.destination_oriented);
+  // FR's total work is schedule-independent (it is a Nash equilibrium /
+  // potential-game property): node-step counts agree.
+  EXPECT_EQ(set_result.node_steps, one_result.node_steps);
+}
+
+TEST(FullReversalTest, WorkOnChainScalesQuadratically) {
+  const auto work = [](std::size_t n) {
+    Instance inst = make_worst_case_chain(n);
+    FullReversalAutomaton fr(inst);
+    LowestIdScheduler scheduler;
+    return run_to_quiescence(fr, scheduler).node_steps;
+  };
+  const auto w8 = work(8);
+  const auto w16 = work(16);
+  EXPECT_GE(w16, 3 * w8);
+  EXPECT_LE(w16, 5 * w8);
+}
+
+TEST(FullReversalTest, ApplyThrowsWhenNotSink) {
+  Instance inst = make_worst_case_chain(3);
+  FullReversalAutomaton fr(inst);
+  EXPECT_THROW(fr.apply(0), std::logic_error);
+  EXPECT_THROW(fr.apply(1), std::logic_error);
+  FullReversalSetAutomaton fr_set(inst);
+  EXPECT_THROW(fr_set.apply({1}), std::logic_error);
+}
+
+TEST(FullReversalTest, LastStepperHasAllOutgoingEdges) {
+  // The introduction's easy acyclicity argument: right after u fires, all
+  // of u's edges are outgoing.
+  std::mt19937_64 rng(8);
+  Instance inst = make_random_instance(15, 10, rng);
+  FullReversalAutomaton fr(inst);
+  RandomScheduler scheduler(3);
+  run_to_quiescence(fr, scheduler, [](const FullReversalAutomaton& a, NodeId fired) {
+    EXPECT_EQ(a.orientation().out_degree(fired), a.graph().degree(fired));
+  });
+}
+
+}  // namespace
+}  // namespace lr

@@ -1,0 +1,205 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph_algos.hpp"
+
+namespace lr {
+namespace {
+
+TEST(GeneratorsTest, ChainGraph) {
+  Graph g = make_chain_graph(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(GeneratorsTest, RingGraph) {
+  Graph g = make_ring_graph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_THROW(make_ring_graph(2), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, GridGraph) {
+  Graph g = make_grid_graph(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 2u * 4u);  // horizontal + vertical
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GeneratorsTest, CompleteGraph) {
+  Graph g = make_complete_graph(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(g.degree(u), 4u);
+}
+
+TEST(GeneratorsTest, StarGraph) {
+  Graph g = make_star_graph(6);
+  EXPECT_EQ(g.degree(0), 5u);
+  for (NodeId u = 1; u < 6; ++u) EXPECT_EQ(g.degree(u), 1u);
+}
+
+TEST(GeneratorsTest, BinaryTreeGraph) {
+  Graph g = make_binary_tree_graph(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 2u);  // root has children 1, 2
+}
+
+TEST(GeneratorsTest, RandomTreeIsConnectedTree) {
+  std::mt19937_64 rng(42);
+  for (const std::size_t n : {2u, 5u, 17u, 64u}) {
+    Graph g = make_random_tree_graph(n, rng);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+TEST(GeneratorsTest, RandomConnectedGraphHasRequestedEdges) {
+  std::mt19937_64 rng(7);
+  Graph g = make_random_connected_graph(20, 15, rng);
+  EXPECT_EQ(g.num_edges(), 19u + 15u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GeneratorsTest, RandomConnectedGraphClampsToComplete) {
+  std::mt19937_64 rng(7);
+  Graph g = make_random_connected_graph(4, 100, rng);
+  EXPECT_EQ(g.num_edges(), 6u);  // complete graph on 4 nodes
+}
+
+TEST(GeneratorsTest, LayeredGraphConnected) {
+  std::mt19937_64 rng(3);
+  Graph g = make_layered_graph(4, 5, 0.3, rng);
+  EXPECT_EQ(g.num_nodes(), 1u + 3u * 5u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GeneratorsTest, RandomRankingIsPermutation) {
+  std::mt19937_64 rng(1);
+  auto rank = random_ranking(10, rng);
+  std::sort(rank.begin(), rank.end());
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(rank[i], i);
+}
+
+TEST(GeneratorsTest, DestinationOrientedRankingYieldsOrientedDag) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = make_random_connected_graph(30, 20, rng);
+    const auto rank = destination_oriented_ranking(g, 0, rng);
+    // Edges point low -> high rank; routing must go *down* rank towards the
+    // destination, so orient with the *reversed* ranking for this check:
+    // instead verify: from_ranking then destination 0 has every node
+    // reaching it via in-edges... The ranking construction guarantees every
+    // non-destination node has a neighbor with smaller rank, i.e. an
+    // incoming edge from the routing perspective.  Concretely:
+    Orientation o = Orientation::from_ranking(g, rank);
+    // Every non-destination node must have at least one *out*-edge towards
+    // lower rank?  No: edges point low->high.  Destination has rank 0, so
+    // all its edges point away from it; reversing the interpretation, the
+    // DAG oriented *towards* the destination is the one with flipped
+    // senses.  We simply check the flipped orientation is
+    // destination-oriented.
+    std::vector<EdgeSense> flipped(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      flipped[e] = o.sense(e) == EdgeSense::kForward ? EdgeSense::kBackward : EdgeSense::kForward;
+    }
+    Orientation toward(g, flipped);
+    EXPECT_TRUE(is_destination_oriented(toward, 0));
+  }
+}
+
+TEST(GeneratorsTest, WorstCaseChainAllNodesBad) {
+  Instance inst = make_worst_case_chain(8);
+  Orientation o = inst.make_orientation();
+  EXPECT_EQ(bad_nodes(o, inst.destination).size(), 7u);
+  EXPECT_TRUE(is_acyclic(o));
+}
+
+TEST(GeneratorsTest, RandomInstanceIsAcyclicDag) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Instance inst = make_random_instance(25, 15, rng);
+    Orientation o = inst.make_orientation();
+    EXPECT_TRUE(is_acyclic(o)) << inst.name;
+    EXPECT_TRUE(inst.graph.is_connected());
+  }
+}
+
+TEST(GeneratorsTest, LayeredBadInstanceMostNodesBad) {
+  std::mt19937_64 rng(9);
+  Instance inst = make_layered_bad_instance(4, 3, 0.5, rng);
+  Orientation o = inst.make_orientation();
+  EXPECT_EQ(bad_nodes(o, inst.destination).size(), inst.graph.num_nodes() - 1);
+}
+
+TEST(GeneratorsTest, SinkSourceInstanceHasInitialSinksAndSources) {
+  Instance inst = make_sink_source_instance(9);
+  Orientation o = inst.make_orientation();
+  bool has_sink = false;
+  bool has_source = false;
+  for (NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+    if (u == inst.destination) continue;
+    if (o.is_sink(u)) has_sink = true;
+    if (o.is_source(u)) has_source = true;
+  }
+  EXPECT_TRUE(has_sink);
+  EXPECT_TRUE(has_source);
+  EXPECT_TRUE(is_acyclic(o));
+}
+
+TEST(GeneratorsTest, UnitDiskGraphConnectedAndValid) {
+  std::mt19937_64 rng(23);
+  for (const std::size_t n : {5u, 20u, 50u}) {
+    Graph g = make_unit_disk_graph(n, 0.3, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_TRUE(g.is_connected());
+  }
+  EXPECT_THROW(make_unit_disk_graph(0, 0.3, rng), std::invalid_argument);
+  EXPECT_THROW(make_unit_disk_graph(5, 0.0, rng), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, UnitDiskTinyRadiusStillConnectsByGrowing) {
+  // A hopeless radius must be grown internally rather than looping forever.
+  std::mt19937_64 rng(24);
+  Graph g = make_unit_disk_graph(12, 0.01, rng);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GeneratorsTest, UnitDiskInstanceAcyclic) {
+  std::mt19937_64 rng(25);
+  Instance inst = make_unit_disk_instance(20, 0.35, rng);
+  EXPECT_TRUE(is_acyclic(inst.make_orientation()));
+  EXPECT_EQ(inst.destination, 0u);
+}
+
+TEST(GeneratorsTest, BarbellGraphShape) {
+  Graph g = make_barbell_graph(4, 2);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  // Two K4s (6 edges each) + bridge path of 3 edges.
+  EXPECT_EQ(g.num_edges(), 6u + 6u + 3u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_THROW(make_barbell_graph(1, 2), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, BarbellZeroBridgeJoinsCliquesDirectly) {
+  Graph g = make_barbell_graph(3, 0);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_TRUE(g.adjacent(2, 3));
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GeneratorsTest, InstanceOrientationIsFreshEachTime) {
+  Instance inst = make_worst_case_chain(4);
+  Orientation a = inst.make_orientation();
+  a.reverse_edge(0);
+  Orientation b = inst.make_orientation();
+  EXPECT_EQ(b.reversal_count(), 0u);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace lr

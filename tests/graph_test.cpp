@@ -1,0 +1,118 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lr {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GraphTest, SingleNode) {
+  Graph g(1, {});
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GraphTest, TriangleBasics) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GraphTest, EndpointsAreCanonical) {
+  Graph g(3, {{2, 0}, {1, 0}});
+  // Edges are stored with the smaller endpoint first regardless of input order.
+  EXPECT_EQ(g.edge_u(0), 0u);
+  EXPECT_EQ(g.edge_v(0), 2u);
+  EXPECT_EQ(g.edge_u(1), 0u);
+  EXPECT_EQ(g.edge_v(1), 1u);
+}
+
+TEST(GraphTest, OtherEndpoint) {
+  Graph g(2, {{0, 1}});
+  EXPECT_EQ(g.other_endpoint(0, 0), 1u);
+  EXPECT_EQ(g.other_endpoint(0, 1), 0u);
+}
+
+TEST(GraphTest, IsEndpoint) {
+  Graph g(3, {{0, 1}});
+  EXPECT_TRUE(g.is_endpoint(0, 0));
+  EXPECT_TRUE(g.is_endpoint(0, 1));
+  EXPECT_FALSE(g.is_endpoint(0, 2));
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  Graph g(5, {{4, 2}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0].neighbor, 0u);
+  EXPECT_EQ(nbrs[1].neighbor, 1u);
+  EXPECT_EQ(nbrs[2].neighbor, 3u);
+  EXPECT_EQ(nbrs[3].neighbor, 4u);
+}
+
+TEST(GraphTest, NeighborIncidenceEdgeIdsConsistent) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  for (NodeId u = 0; u < 4; ++u) {
+    for (const Incidence& inc : g.neighbors(u)) {
+      EXPECT_TRUE(g.is_endpoint(inc.edge, u));
+      EXPECT_EQ(g.other_endpoint(inc.edge, u), inc.neighbor);
+    }
+  }
+}
+
+TEST(GraphTest, EdgeBetween) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_NE(g.edge_between(0, 1), kNoEdge);
+  EXPECT_EQ(g.edge_between(0, 1), g.edge_between(1, 0));
+  EXPECT_EQ(g.edge_between(0, 2), kNoEdge);
+  EXPECT_EQ(g.edge_between(0, 3), kNoEdge);
+  EXPECT_TRUE(g.adjacent(2, 3));
+  EXPECT_FALSE(g.adjacent(0, 3));
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsParallelEdges) {
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(GraphTest, DisconnectedDetected) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(GraphTest, Describe) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.describe(), "Graph(n=3, m=2)");
+}
+
+TEST(GraphTest, Equality) {
+  Graph a(3, {{0, 1}, {1, 2}});
+  Graph b(3, {{0, 1}, {1, 2}});
+  Graph c(3, {{0, 1}, {0, 2}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace lr

@@ -1,0 +1,201 @@
+#include "core/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analysis/game.hpp"
+#include "automata/executor.hpp"
+#include "automata/model_check.hpp"
+#include "automata/scheduler.hpp"
+#include "core/full_reversal.hpp"
+#include "core/invariants.hpp"
+#include "graph/digraph_algos.hpp"
+
+/// The Charron-Bost–Welch–Widder reversal game, verified: uniform profiles
+/// reduce to FR / PR exactly; mixed profiles stay safe; all-FR is a Nash
+/// equilibrium on every tested instance; all-PR achieves a social cost no
+/// worse than all-FR on structured families.
+
+namespace lr {
+namespace {
+
+TEST(HybridGameTest, AllPartialProfileEqualsPRStepByStep) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = make_random_instance(16, 12, rng);
+    HybridStrategyAutomaton hybrid(inst,
+                                   HybridStrategyAutomaton::all_partial(inst.graph.num_nodes()));
+    OneStepPRAutomaton pr(inst);
+    LowestIdScheduler scheduler;
+    while (const auto choice = scheduler.choose(pr)) {
+      pr.apply(*choice);
+      hybrid.apply(*choice);
+      ASSERT_TRUE(pr.orientation() == hybrid.orientation());
+      ASSERT_TRUE(pr.lists_equal(hybrid));
+    }
+    EXPECT_TRUE(hybrid.quiescent());
+  }
+}
+
+TEST(HybridGameTest, AllFullProfileEqualsFRStepByStep) {
+  std::mt19937_64 rng(8);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = make_random_instance(16, 12, rng);
+    HybridStrategyAutomaton hybrid(inst,
+                                   HybridStrategyAutomaton::all_full(inst.graph.num_nodes()));
+    FullReversalAutomaton fr(inst);
+    LowestIdScheduler scheduler;
+    while (const auto choice = scheduler.choose(fr)) {
+      fr.apply(*choice);
+      hybrid.apply(*choice);
+      ASSERT_TRUE(fr.orientation() == hybrid.orientation());
+    }
+    EXPECT_TRUE(hybrid.quiescent());
+  }
+}
+
+TEST(HybridGameTest, MixedProfilesStaySafeAndConverge) {
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = make_random_instance(18, 14, rng);
+    std::vector<NodeStrategy> profile(inst.graph.num_nodes());
+    std::bernoulli_distribution coin(0.5);
+    for (auto& s : profile) {
+      s = coin(rng) ? NodeStrategy::kFullReversal : NodeStrategy::kPartialReversal;
+    }
+    HybridStrategyAutomaton hybrid(inst, profile);
+    RandomScheduler scheduler(trial);
+    // Note: Corollary 3.3 (list ⊆ in-nbrs or out-nbrs) is a *pure-PR*
+    // property and genuinely fails in mixed profiles — FR nodes reverse
+    // listed edges too and insert themselves into neighbors' lists out of
+    // phase.  Acyclicity, however, must survive (each step still reverses
+    // a subset of a sink's edges; see MixedProfilesAcyclicExhaustively).
+    const RunResult result = run_to_quiescence(
+        hybrid, scheduler, [](const HybridStrategyAutomaton& a, NodeId) {
+          ASSERT_TRUE(check_acyclic(a.orientation())) << check_acyclic(a.orientation()).detail;
+        });
+    EXPECT_TRUE(result.quiescent);
+    EXPECT_TRUE(result.destination_oriented) << inst.name;
+  }
+}
+
+TEST(HybridGameTest, MixedProfilesAcyclicExhaustively) {
+  // Every one of the 2^5 strategy profiles on a diamond-with-tail graph,
+  // model-checked over ALL schedules and reachable states: acyclicity
+  // holds throughout (mixed FR/PR profiles are valid link-reversal
+  // algorithms in the Charron-Bost game framework).
+  Graph g(5, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {2, 4}});
+  const auto senses = Orientation::from_ranking(g, identity_ranking(5)).senses();
+  for (unsigned mask = 0; mask < 32; ++mask) {
+    std::vector<NodeStrategy> profile(5);
+    for (int i = 0; i < 5; ++i) {
+      profile[i] = (mask >> i) & 1 ? NodeStrategy::kFullReversal
+                                   : NodeStrategy::kPartialReversal;
+    }
+    HybridStrategyAutomaton initial(g, Orientation(g, senses), 0, std::move(profile));
+    const auto result = model_check(
+        initial,
+        [](const HybridStrategyAutomaton& a) -> std::string {
+          const auto check = check_acyclic(a.orientation());
+          return check.ok ? std::string{} : check.detail;
+        },
+        500000);
+    EXPECT_TRUE(result.ok) << "profile mask " << mask << ": " << result.failure;
+  }
+}
+
+TEST(HybridGameTest, HybridWorkIsScheduleIndependentToo) {
+  std::mt19937_64 rng(10);
+  const Instance inst = make_random_instance(16, 12, rng);
+  std::vector<NodeStrategy> profile(inst.graph.num_nodes(), NodeStrategy::kPartialReversal);
+  for (NodeId u = 0; u < profile.size(); u += 2) profile[u] = NodeStrategy::kFullReversal;
+
+  std::vector<std::uint64_t> reference;
+  for (int variant = 0; variant < 4; ++variant) {
+    HybridStrategyAutomaton hybrid(inst, profile);
+    std::vector<std::uint64_t> work(inst.graph.num_nodes(), 0);
+    const auto observer = [&work](const HybridStrategyAutomaton&, NodeId u) { ++work[u]; };
+    if (variant == 0) {
+      LowestIdScheduler s;
+      run_to_quiescence(hybrid, s, observer);
+      reference = work;
+      continue;
+    }
+    RandomScheduler s(variant * 17);
+    run_to_quiescence(hybrid, s, observer);
+    EXPECT_EQ(work, reference) << "variant " << variant;
+  }
+}
+
+TEST(HybridGameTest, AllFRIsANashEquilibriumOnTestedInstances) {
+  // Charron-Bost et al.: the all-FR profile is always a Nash equilibrium.
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = make_random_instance(12, 10, rng);
+    const auto result =
+        check_nash_equilibrium(inst, HybridStrategyAutomaton::all_full(inst.graph.num_nodes()));
+    EXPECT_TRUE(result.is_equilibrium)
+        << inst.name << ": node " << result.improving_node << " improves "
+        << result.cost_before << " -> " << result.cost_after;
+  }
+  // And on the chain, where FR's cost is maximal.
+  const auto chain_result = check_nash_equilibrium(
+      make_worst_case_chain(10), HybridStrategyAutomaton::all_full(10));
+  EXPECT_TRUE(chain_result.is_equilibrium);
+}
+
+TEST(HybridGameTest, AllPRSocialCostNeverWorseThanAllFROnChains) {
+  for (const std::size_t n : {5u, 9u, 17u}) {
+    const Instance inst = make_worst_case_chain(n);
+    const auto pr_costs =
+        measure_profile_costs(inst, HybridStrategyAutomaton::all_partial(n));
+    const auto fr_costs = measure_profile_costs(inst, HybridStrategyAutomaton::all_full(n));
+    const auto total = [](const std::vector<std::uint64_t>& v) {
+      return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+    };
+    EXPECT_LT(total(pr_costs), total(fr_costs)) << inst.name;
+  }
+}
+
+TEST(HybridGameTest, ProfileCostsMatchUniformMeasurements) {
+  std::mt19937_64 rng(12);
+  const Instance inst = make_random_instance(14, 10, rng);
+  const auto hybrid_pr =
+      measure_profile_costs(inst, HybridStrategyAutomaton::all_partial(14));
+  const auto pure_pr =
+      measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, 1);
+  EXPECT_EQ(hybrid_pr, pure_pr.node_cost);
+
+  const auto hybrid_fr = measure_profile_costs(inst, HybridStrategyAutomaton::all_full(14));
+  const auto pure_fr =
+      measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, 1);
+  EXPECT_EQ(hybrid_fr, pure_fr.node_cost);
+}
+
+TEST(HybridGameTest, RejectsWrongProfileSize) {
+  const Instance inst = make_worst_case_chain(4);
+  EXPECT_THROW(HybridStrategyAutomaton(inst, HybridStrategyAutomaton::all_full(3)),
+               std::invalid_argument);
+}
+
+TEST(HybridGameTest, IsAllPRAnEquilibriumVariesByInstance) {
+  // Charron-Bost: all-PR is *not necessarily* an equilibrium.  Record how
+  // often it is across random instances (informational; both outcomes are
+  // legitimate).
+  std::mt19937_64 rng(13);
+  int equilibrium = 0;
+  int checked = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = make_random_instance(10, 8, rng);
+    const auto result = check_nash_equilibrium(
+        inst, HybridStrategyAutomaton::all_partial(inst.graph.num_nodes()));
+    ++checked;
+    if (result.is_equilibrium) ++equilibrium;
+  }
+  RecordProperty("all_pr_equilibrium_count", equilibrium);
+  EXPECT_EQ(checked, 10);
+}
+
+}  // namespace
+}  // namespace lr

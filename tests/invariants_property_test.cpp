@@ -1,0 +1,155 @@
+#include "core/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/full_reversal.hpp"
+#include "graph/generators.hpp"
+
+/// Property sweeps: every formal claim of the paper, checked after every
+/// step of randomized executions across graph families, sizes, seeds, and
+/// schedulers.  These parameterized tests are the executable version of the
+/// paper's proofs.
+
+namespace lr {
+namespace {
+
+enum class Family { kWorstChain, kRandomSparse, kRandomDense, kGrid, kLayeredBad, kSinkSource };
+
+struct SweepParam {
+  Family family;
+  std::size_t size;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+    const char* names[] = {"WorstChain", "RandomSparse", "RandomDense",
+                           "Grid",       "LayeredBad",   "SinkSource"};
+    return os << names[static_cast<int>(p.family)] << "_n" << p.size << "_s" << p.seed;
+  }
+};
+
+Instance make_instance(const SweepParam& p) {
+  std::mt19937_64 rng(p.seed * 7919 + 13);
+  switch (p.family) {
+    case Family::kWorstChain:
+      return make_worst_case_chain(p.size);
+    case Family::kRandomSparse:
+      return make_random_instance(p.size, p.size / 4, rng);
+    case Family::kRandomDense:
+      return make_random_instance(p.size, p.size * 2, rng);
+    case Family::kGrid:
+      return make_grid_instance(p.size / 4 + 2, 4, rng);
+    case Family::kLayeredBad:
+      return make_layered_bad_instance(p.size / 4 + 2, 4, 0.4, rng);
+    case Family::kSinkSource:
+      return make_sink_source_instance(p.size | 1);
+  }
+  return make_worst_case_chain(p.size);
+}
+
+class InvariantSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(InvariantSweep, PRInvariantsHoldAtEveryStep) {
+  const Instance inst = make_instance(GetParam());
+  OneStepPRAutomaton pr(inst);
+  RandomScheduler scheduler(GetParam().seed);
+
+  const auto check_all = [](const OneStepPRAutomaton& a) {
+    ASSERT_TRUE(check_invariant_3_1(a.orientation())) << check_invariant_3_1(a.orientation()).detail;
+    ASSERT_TRUE(check_invariant_3_2(a)) << check_invariant_3_2(a).detail;
+    ASSERT_TRUE(check_corollary_3_3(a)) << check_corollary_3_3(a).detail;
+    ASSERT_TRUE(check_corollary_3_4(a)) << check_corollary_3_4(a).detail;
+    ASSERT_TRUE(check_acyclic(a.orientation())) << check_acyclic(a.orientation()).detail;
+  };
+  check_all(pr);  // initial state
+  const RunResult result = run_to_quiescence(
+      pr, scheduler, [&check_all](const OneStepPRAutomaton& a, NodeId) { check_all(a); });
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented) << inst.name;
+  EXPECT_TRUE(check_quiescence_consistency(pr.orientation(), pr.destination()))
+      << check_quiescence_consistency(pr.orientation(), pr.destination()).detail;
+}
+
+TEST_P(InvariantSweep, NewPRInvariantsHoldAtEveryStep) {
+  const Instance inst = make_instance(GetParam());
+  NewPRAutomaton newpr(inst);
+  const LeftRightEmbedding emb(newpr.orientation());
+  RandomScheduler scheduler(GetParam().seed + 1);
+
+  const auto check_all = [&emb](const NewPRAutomaton& a) {
+    ASSERT_TRUE(check_invariant_3_1(a.orientation())) << check_invariant_3_1(a.orientation()).detail;
+    ASSERT_TRUE(check_invariant_4_1(a, emb)) << check_invariant_4_1(a, emb).detail;
+    ASSERT_TRUE(check_invariant_4_2(a, emb)) << check_invariant_4_2(a, emb).detail;
+    ASSERT_TRUE(check_acyclic(a.orientation())) << check_acyclic(a.orientation()).detail;
+  };
+  check_all(newpr);
+  const RunResult result = run_to_quiescence(
+      newpr, scheduler, [&check_all](const NewPRAutomaton& a, NodeId) { check_all(a); });
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented) << inst.name;
+}
+
+TEST_P(InvariantSweep, PRSetAutomatonInvariantsHoldAtEveryStep) {
+  const Instance inst = make_instance(GetParam());
+  PRAutomaton pr(inst);
+  RandomSetScheduler scheduler(GetParam().seed + 2);
+
+  const RunResult result = run_to_quiescence_set(
+      pr, scheduler, [](const PRAutomaton& a, const std::vector<NodeId>&) {
+        ASSERT_TRUE(check_invariant_3_2(a)) << check_invariant_3_2(a).detail;
+        ASSERT_TRUE(check_corollary_3_3(a)) << check_corollary_3_3(a).detail;
+        ASSERT_TRUE(check_corollary_3_4(a)) << check_corollary_3_4(a).detail;
+        ASSERT_TRUE(check_acyclic(a.orientation())) << check_acyclic(a.orientation()).detail;
+      });
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented) << inst.name;
+}
+
+TEST_P(InvariantSweep, FullReversalAcyclicAtEveryStep) {
+  const Instance inst = make_instance(GetParam());
+  FullReversalAutomaton fr(inst);
+  RandomScheduler scheduler(GetParam().seed + 3);
+  const RunResult result =
+      run_to_quiescence(fr, scheduler, [](const FullReversalAutomaton& a, NodeId) {
+        ASSERT_TRUE(check_acyclic(a.orientation())) << check_acyclic(a.orientation()).detail;
+      });
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented) << inst.name;
+}
+
+TEST_P(InvariantSweep, AdversarialSchedulerPreservesAllPRInvariants) {
+  const Instance inst = make_instance(GetParam());
+  OneStepPRAutomaton pr(inst);
+  FarthestFirstScheduler scheduler;
+  const RunResult result = run_to_quiescence(pr, scheduler, [](const OneStepPRAutomaton& a,
+                                                               NodeId) {
+    ASSERT_TRUE(check_invariant_3_2(a)) << check_invariant_3_2(a).detail;
+    ASSERT_TRUE(check_acyclic(a.orientation())) << check_acyclic(a.orientation()).detail;
+  });
+  EXPECT_TRUE(result.destination_oriented) << inst.name;
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> params;
+  for (const Family family :
+       {Family::kWorstChain, Family::kRandomSparse, Family::kRandomDense, Family::kGrid,
+        Family::kLayeredBad, Family::kSinkSource}) {
+    for (const std::size_t size : {8u, 16u, 32u}) {
+      for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        params.push_back({family, size, seed});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, InvariantSweep, ::testing::ValuesIn(sweep_params()),
+                         [](const ::testing::TestParamInfo<SweepParam>& info) {
+                           std::ostringstream oss;
+                           oss << info.param;
+                           return oss.str();
+                         });
+
+}  // namespace
+}  // namespace lr

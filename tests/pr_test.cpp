@@ -1,0 +1,176 @@
+#include "core/pr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/invariants.hpp"
+#include "graph/digraph_algos.hpp"
+#include "graph/generators.hpp"
+
+namespace lr {
+namespace {
+
+/// 0 -> 1 -> 2 with destination 0: nodes 1, 2 are bad, node 2 is the sink.
+Instance chain3_away() { return make_worst_case_chain(3); }
+
+TEST(PRTest, InitialListsEmpty) {
+  Instance inst = chain3_away();
+  OneStepPRAutomaton pr(inst);
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_TRUE(pr.list(u).empty());
+    EXPECT_EQ(pr.list_size(u), 0u);
+  }
+}
+
+TEST(PRTest, InitialNeighborSetsMatchInitialOrientation) {
+  Instance inst = chain3_away();
+  OneStepPRAutomaton pr(inst);
+  EXPECT_EQ(pr.initial_in_neighbors(1), (std::vector<NodeId>{0}));
+  EXPECT_EQ(pr.initial_out_neighbors(1), (std::vector<NodeId>{2}));
+  EXPECT_EQ(pr.initial_in_neighbors(2), (std::vector<NodeId>{1}));
+  EXPECT_TRUE(pr.initial_out_neighbors(2).empty());
+}
+
+TEST(PRTest, FirstStepReversesAllSinceListEmpty) {
+  Instance inst = chain3_away();
+  OneStepPRAutomaton pr(inst);
+  ASSERT_TRUE(pr.enabled(2));
+  pr.apply(2);
+  // Edge {1,2} now points 2 -> 1; node 1 learned that 2 reversed.
+  EXPECT_EQ(pr.orientation().dir(2, 1), Dir::kOut);
+  EXPECT_EQ(pr.list(1), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(pr.list(2).empty()) << "list[u] is emptied after u's own step";
+}
+
+TEST(PRTest, SecondStepSkipsListedNeighbors) {
+  Instance inst = chain3_away();
+  OneStepPRAutomaton pr(inst);
+  pr.apply(2);
+  ASSERT_TRUE(pr.enabled(1));
+  pr.apply(1);
+  // list[1] was {2}; 1 reverses only the edge to 0.
+  EXPECT_EQ(pr.orientation().dir(1, 0), Dir::kOut);
+  EXPECT_EQ(pr.orientation().dir(1, 2), Dir::kIn) << "edge to listed neighbor 2 not reversed";
+  EXPECT_TRUE(pr.quiescent());
+  EXPECT_TRUE(is_destination_oriented(pr.orientation(), 0));
+}
+
+TEST(PRTest, ListFullReversesEverything) {
+  // Star with hub 1: 0 - 1 - 2 plus destination elsewhere.  Build a path
+  // 0 <- 1 <- 2 ... simpler: two-node neighbors both reverse towards u.
+  Graph g(3, {{0, 1}, {1, 2}});
+  // 1 -> 0 and 1 -> 2: node 1 is a source, 0 and 2 are sinks.  Destination 0.
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kForward});
+  OneStepPRAutomaton pr(g, std::move(o), 0);
+  ASSERT_TRUE(pr.enabled(2));
+  pr.apply(2);  // 2 reverses its only edge; list[1] = {2}
+  EXPECT_EQ(pr.list(1), (std::vector<NodeId>{2}));
+  // Now 1 is a sink (0 <- 1 is out... edge {0,1} points 1->0, so 1 has an
+  // out-edge and is not a sink).  Force the scenario where list[u] = nbrs_u
+  // with a dedicated graph instead:
+  Graph g2(2, {{0, 1}});
+  Orientation o2(g2, {EdgeSense::kForward});  // 0 -> 1, destination 0
+  OneStepPRAutomaton pr2(g2, std::move(o2), 0);
+  pr2.apply(1);  // list empty != nbrs: reverse all anyway (nbrs \ {} = {0})
+  EXPECT_EQ(pr2.orientation().dir(1, 0), Dir::kOut);
+  EXPECT_TRUE(pr2.quiescent());
+}
+
+TEST(PRTest, ApplyThrowsWhenNotSink) {
+  Instance inst = chain3_away();
+  OneStepPRAutomaton pr(inst);
+  EXPECT_FALSE(pr.enabled(1));
+  EXPECT_THROW(pr.apply(1), std::logic_error);
+  EXPECT_FALSE(pr.enabled(0)) << "destination never enabled";
+  EXPECT_THROW(pr.apply(0), std::logic_error);
+}
+
+TEST(PRTest, EnabledSinksExcludesDestination) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kForward});  // 1->0, 1->2
+  OneStepPRAutomaton pr(g, std::move(o), 0);
+  EXPECT_EQ(pr.enabled_sinks(), (std::vector<NodeId>{2}));
+}
+
+TEST(PRTest, RunToQuiescenceOnWorstCaseChain) {
+  Instance inst = make_worst_case_chain(10);
+  OneStepPRAutomaton pr(inst);
+  LowestIdScheduler scheduler;
+  const RunResult result = run_to_quiescence(pr, scheduler);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented);
+  EXPECT_TRUE(is_acyclic(pr.orientation()));
+}
+
+TEST(PRTest, SetAutomatonMaximalStepsMatchPaperSignature) {
+  // The sink/source star starts with several simultaneous sinks, so the
+  // maximal set scheduler fires true multi-node reverse(S) actions.
+  Instance inst = make_sink_source_instance(9);
+  PRAutomaton pr(inst);
+  MaximalSetScheduler scheduler;
+  const RunResult result = run_to_quiescence_set(pr, scheduler);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented);
+  EXPECT_GT(result.node_steps, result.steps) << "some set step fired several sinks";
+}
+
+TEST(PRTest, SetActionRejectsDestinationAndNonSinks) {
+  Instance inst = chain3_away();
+  PRAutomaton pr(inst);
+  EXPECT_FALSE(pr.enabled({}));
+  EXPECT_FALSE(pr.enabled({0}));  // destination
+  EXPECT_FALSE(pr.enabled({1}));  // not a sink
+  EXPECT_TRUE(pr.enabled({2}));
+}
+
+TEST(PRTest, WorkOnAwayChainIsExactlyLinear) {
+  // On the away-oriented chain PR fires every bad node exactly once (a
+  // single reversal wave), i.e. n_b steps total — the dramatic win over
+  // FR's n_b(n_b+1)/2 on the same instance that motivated the
+  // Charron-Bost et al. comparison.  (PR's own Θ(n_b²) worst case needs a
+  // different gadget; see bench_e2_work_bound.)
+  const auto work = [](std::size_t n) {
+    Instance inst = make_worst_case_chain(n);
+    OneStepPRAutomaton pr(inst);
+    LowestIdScheduler scheduler;
+    run_to_quiescence(pr, scheduler);
+    return pr.total_node_steps();
+  };
+  EXPECT_EQ(work(8), 7u);
+  EXPECT_EQ(work(16), 15u);
+  EXPECT_EQ(work(33), 32u);
+}
+
+TEST(PRTest, QuiescentStateStableAcrossSchedulers) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Instance inst = make_random_instance(20, 10, rng);
+    OneStepPRAutomaton a(inst);
+    OneStepPRAutomaton b(inst);
+    LowestIdScheduler s1;
+    RandomScheduler s2(trial);
+    const RunResult ra = run_to_quiescence(a, s1);
+    const RunResult rb = run_to_quiescence(b, s2);
+    EXPECT_TRUE(ra.destination_oriented);
+    EXPECT_TRUE(rb.destination_oriented);
+  }
+}
+
+TEST(PRTest, ListContainsAndSizeAgree) {
+  Instance inst = make_worst_case_chain(5);
+  OneStepPRAutomaton pr(inst);
+  LowestIdScheduler scheduler;
+  run_to_quiescence(pr, scheduler, [](const OneStepPRAutomaton& a, NodeId) {
+    for (NodeId u = 0; u < a.graph().num_nodes(); ++u) {
+      const auto list = a.list(u);
+      EXPECT_EQ(list.size(), a.list_size(u));
+      for (const NodeId v : list) {
+        EXPECT_TRUE(a.list_contains(u, v));
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lr

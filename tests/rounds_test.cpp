@@ -1,0 +1,118 @@
+#include "analysis/rounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/game.hpp"
+#include "automata/scheduler.hpp"
+#include "core/pr.hpp"
+#include "graph/digraph_algos.hpp"
+
+namespace lr {
+namespace {
+
+TEST(RoundsTest, ChainPRConvergesInOneWave) {
+  const Instance inst = make_worst_case_chain(10);
+  const RoundHistory history = run_greedy_rounds(inst, RoundStrategy::kPartialReversal);
+  EXPECT_TRUE(history.converged);
+  // One sink at a time on the chain: n_b rounds, each firing exactly 1.
+  EXPECT_EQ(history.total_rounds(), 9u);
+  EXPECT_EQ(history.peak_parallelism(), 1u);
+  EXPECT_EQ(history.total_node_steps(), 9u);
+}
+
+TEST(RoundsTest, ChainFRQuadraticWork) {
+  const Instance inst = make_worst_case_chain(10);
+  const RoundHistory history = run_greedy_rounds(inst, RoundStrategy::kFullReversal);
+  EXPECT_TRUE(history.converged);
+  EXPECT_EQ(history.total_node_steps(), 45u);  // nb(nb+1)/2 = 9*10/2
+  // FR's greedy execution fires multiple sinks per round mid-run.
+  EXPECT_GE(history.peak_parallelism(), 2u);
+  EXPECT_LT(history.total_rounds(), 45u);
+}
+
+TEST(RoundsTest, BadNodesMonotoneToZeroOnChain) {
+  const Instance inst = make_worst_case_chain(12);
+  const RoundHistory history = run_greedy_rounds(inst, RoundStrategy::kPartialReversal);
+  ASSERT_FALSE(history.rounds.empty());
+  // On the chain, each PR wave step fixes nodes; the count must reach 0 at
+  // the end and the last round's count must be 0 iff converged.
+  EXPECT_EQ(history.rounds.back().bad_nodes_after, 0u);
+  EXPECT_EQ(history.rounds_to_routes(), history.total_rounds());
+}
+
+TEST(RoundsTest, StarFiresManySinksInRoundOne) {
+  const Instance inst = make_sink_source_instance(17);
+  const RoundHistory history = run_greedy_rounds(inst, RoundStrategy::kPartialReversal);
+  ASSERT_FALSE(history.rounds.empty());
+  EXPECT_EQ(history.rounds.front().sinks_fired, 8u) << "all even leaves fire together";
+  EXPECT_TRUE(history.converged);
+}
+
+TEST(RoundsTest, WorkAgreesWithSingleStepMeasurement) {
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = make_random_instance(24, 20, rng);
+    const RoundHistory pr_rounds = run_greedy_rounds(inst, RoundStrategy::kPartialReversal);
+    EXPECT_TRUE(pr_rounds.converged);
+    // FR's total work is schedule independent; PR's can vary, so only FR is
+    // compared against the one-step execution.
+    const RoundHistory fr_rounds = run_greedy_rounds(inst, RoundStrategy::kFullReversal);
+    const CostProfile fr_single =
+        measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, 1);
+    EXPECT_EQ(fr_rounds.total_node_steps(), fr_single.social_cost) << inst.name;
+  }
+}
+
+TEST(RoundsTest, EdgesReversedSumMatchesOrientationCounter) {
+  std::mt19937_64 rng(32);
+  const Instance inst = make_random_instance(20, 15, rng);
+  const RoundHistory history = run_greedy_rounds(inst, RoundStrategy::kPartialReversal);
+  std::uint64_t total_edges = 0;
+  for (const RoundRecord& r : history.rounds) total_edges += r.edges_reversed;
+  EXPECT_GT(total_edges, 0u);
+  // Re-run through an automaton to compare the edge counter.
+  PRAutomaton pr(inst);
+  MaximalSetScheduler scheduler;
+  while (const auto action = scheduler.choose(pr)) pr.apply(*action);
+  EXPECT_EQ(total_edges, pr.orientation().reversal_count());
+}
+
+TEST(RoundsTest, MaxRoundsBudgetStopsEarly) {
+  const Instance inst = make_worst_case_chain(64);
+  const RoundHistory history = run_greedy_rounds(inst, RoundStrategy::kPartialReversal, 5);
+  EXPECT_FALSE(history.converged);
+  EXPECT_EQ(history.total_rounds(), 5u);
+}
+
+TEST(RoundsTest, CsvOutputWellFormed) {
+  const Instance inst = make_worst_case_chain(5);
+  const RoundHistory history = run_greedy_rounds(inst, RoundStrategy::kPartialReversal);
+  std::ostringstream oss;
+  write_round_history_csv(oss, history);
+  const std::string csv = oss.str();
+  EXPECT_NE(csv.find("round,sinks_fired,edges_reversed,bad_nodes_after\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,"), std::string::npos);
+}
+
+TEST(RoundsTest, UnitDiskAndBarbellFamiliesConverge) {
+  std::mt19937_64 rng(33);
+  const Instance disk = make_unit_disk_instance(30, 0.3, rng);
+  const RoundHistory disk_history = run_greedy_rounds(disk, RoundStrategy::kPartialReversal);
+  EXPECT_TRUE(disk_history.converged);
+
+  Instance barbell;
+  barbell.graph = make_barbell_graph(5, 3);
+  barbell.senses =
+      Orientation::from_ranking(barbell.graph, identity_ranking(barbell.graph.num_nodes()))
+          .senses();
+  barbell.destination = 0;
+  barbell.name = "barbell(5,3)";
+  const RoundHistory barbell_history =
+      run_greedy_rounds(barbell, RoundStrategy::kFullReversal);
+  EXPECT_TRUE(barbell_history.converged);
+}
+
+}  // namespace
+}  // namespace lr

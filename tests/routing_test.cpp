@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "routing/dynamic_heights.hpp"
+#include "routing/leader_election.hpp"
+#include "routing/mutex.hpp"
+#include "routing/tora.hpp"
+
+namespace lr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DynamicHeightsDag
+// ---------------------------------------------------------------------------
+
+TEST(DynamicHeightsTest, AddRemoveLinksIdempotent) {
+  DynamicHeightsDag dag(4, 0);
+  dag.add_link(0, 1);
+  dag.add_link(0, 1);
+  EXPECT_TRUE(dag.has_link(0, 1));
+  EXPECT_TRUE(dag.has_link(1, 0));
+  dag.remove_link(1, 0);
+  dag.remove_link(1, 0);
+  EXPECT_FALSE(dag.has_link(0, 1));
+}
+
+TEST(DynamicHeightsTest, StabilizeOrientsChainTowardsDestination) {
+  DynamicHeightsDag dag(5, 0);
+  for (NodeId u = 0; u + 1 < 5; ++u) dag.add_link(u, u + 1);
+  dag.stabilize();
+  for (NodeId u = 1; u < 5; ++u) {
+    const auto path = dag.route(u);
+    ASSERT_TRUE(path.has_value()) << "node " << u;
+    EXPECT_EQ(path->back(), 0u);
+  }
+}
+
+TEST(DynamicHeightsTest, HeightsStrictlyDecreaseAlongRoutes) {
+  std::mt19937_64 rng(41);
+  Graph g = make_random_connected_graph(20, 15, rng);
+  DynamicHeightsDag dag(20, 3);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) dag.add_link(g.edge_u(e), g.edge_v(e));
+  dag.stabilize();
+  for (NodeId u = 0; u < 20; ++u) {
+    const auto path = dag.route(u);
+    ASSERT_TRUE(path.has_value());
+    for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+      EXPECT_GT(dag.height((*path)[i]), dag.height((*path)[i + 1]));
+    }
+  }
+}
+
+TEST(DynamicHeightsTest, DisconnectedComponentReportedUnroutable) {
+  DynamicHeightsDag dag(4, 0);
+  dag.add_link(0, 1);
+  dag.add_link(2, 3);  // separate component
+  dag.stabilize();
+  EXPECT_TRUE(dag.routable(1));
+  EXPECT_FALSE(dag.routable(2));
+  EXPECT_FALSE(dag.route(2).has_value());
+}
+
+TEST(DynamicHeightsTest, RemovalThenStabilizeRestoresRoutes) {
+  // Ring: two disjoint routes; removing one link must not break routing.
+  DynamicHeightsDag dag(6, 0);
+  for (NodeId u = 0; u < 6; ++u) dag.add_link(u, (u + 1) % 6);
+  dag.stabilize();
+  dag.remove_link(0, 1);  // 1 must now route the long way
+  dag.stabilize();
+  const auto path = dag.route(1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->back(), 0u);
+  EXPECT_GE(path->size(), 3u);
+}
+
+TEST(DynamicHeightsTest, SinkDetection) {
+  DynamicHeightsDag dag(3, 0);
+  dag.add_link(0, 1);
+  dag.add_link(1, 2);
+  dag.stabilize();
+  EXPECT_FALSE(dag.is_sink(1));
+  EXPECT_FALSE(dag.is_sink(2));
+  // Destination is the global sink.
+  EXPECT_TRUE(dag.is_sink(0));
+}
+
+TEST(DynamicHeightsTest, RejectsBadArguments) {
+  DynamicHeightsDag dag(3, 0);
+  EXPECT_THROW(dag.add_link(0, 0), std::invalid_argument);
+  EXPECT_THROW(dag.add_link(0, 9), std::invalid_argument);
+  EXPECT_THROW(dag.set_destination(9), std::invalid_argument);
+  EXPECT_THROW(DynamicHeightsDag(3, 7), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ToraRouter
+// ---------------------------------------------------------------------------
+
+TEST(ToraTest, DeliversFromEveryNodeInitially) {
+  std::mt19937_64 rng(50);
+  Graph g = make_random_connected_graph(25, 20, rng);
+  ToraRouter router(g, 0);
+  for (NodeId u = 1; u < 25; ++u) {
+    const DeliveryResult r = router.send_packet(u);
+    EXPECT_TRUE(r.delivered) << "node " << u;
+    EXPECT_EQ(r.path.front(), u);
+    EXPECT_EQ(r.path.back(), 0u);
+  }
+  EXPECT_EQ(router.stats().packets_delivered, 24u);
+}
+
+TEST(ToraTest, ReroutesAfterLinkFailure) {
+  // Ring: cut one link adjacent to the destination; everything still routes.
+  Graph g = make_ring_graph(8);
+  ToraRouter router(g, 0);
+  router.link_down(0, 1);
+  for (NodeId u = 1; u < 8; ++u) {
+    EXPECT_TRUE(router.send_packet(u).delivered) << "node " << u;
+  }
+  EXPECT_GT(router.stats().reversals, 0u) << "maintenance must have reversed links";
+}
+
+TEST(ToraTest, ReportsUndeliverableWhenPartitioned) {
+  Graph g = make_chain_graph(6);
+  ToraRouter router(g, 0);
+  router.link_down(2, 3);  // 3,4,5 cut off
+  EXPECT_TRUE(router.send_packet(1).delivered);
+  EXPECT_FALSE(router.send_packet(4).delivered);
+  EXPECT_FALSE(router.has_route(4));
+  // Heal the partition.
+  router.link_up(2, 3);
+  EXPECT_TRUE(router.send_packet(4).delivered);
+}
+
+TEST(ToraTest, PacketPathsAreLoopFree) {
+  std::mt19937_64 rng(51);
+  Graph g = make_random_connected_graph(30, 25, rng);
+  ToraRouter router(g, 5);
+  for (NodeId u = 0; u < 30; ++u) {
+    const DeliveryResult r = router.send_packet(u);
+    ASSERT_TRUE(r.delivered);
+    std::set<NodeId> seen(r.path.begin(), r.path.end());
+    EXPECT_EQ(seen.size(), r.path.size()) << "loop in path from " << u;
+  }
+}
+
+TEST(ToraTest, BuffersPacketsDuringPartitionAndFlushesOnHeal) {
+  Graph g = make_chain_graph(6);
+  ToraRouter router(g, 0);
+  router.link_down(2, 3);  // 3, 4, 5 partitioned
+  EXPECT_FALSE(router.send_packet(4).delivered);
+  EXPECT_FALSE(router.send_packet(5).delivered);
+  EXPECT_EQ(router.buffered_packets(), 2u);
+  EXPECT_EQ(router.stats().packets_buffered, 2u);
+  EXPECT_EQ(router.stats().packets_delivered, 0u);
+
+  router.link_up(2, 3);  // heal: buffered packets flush automatically
+  EXPECT_EQ(router.buffered_packets(), 0u);
+  EXPECT_EQ(router.stats().packets_flushed, 2u);
+  EXPECT_EQ(router.stats().packets_delivered, 2u);
+}
+
+TEST(ToraTest, BufferedPacketsStayParkedWhileStillPartitioned) {
+  Graph g = make_chain_graph(6);
+  ToraRouter router(g, 0);
+  router.link_down(2, 3);
+  router.send_packet(5);
+  EXPECT_EQ(router.buffered_packets(), 1u);
+  // An unrelated topology event on the connected side must not flush.
+  router.link_down(0, 1);
+  router.link_up(0, 1);
+  EXPECT_EQ(router.buffered_packets(), 1u);
+  router.link_up(2, 3);
+  EXPECT_EQ(router.buffered_packets(), 0u);
+}
+
+TEST(ToraTest, PacketAccountingConsistentUnderChurn) {
+  std::mt19937_64 rng(53);
+  Graph g = make_random_connected_graph(16, 10, rng);
+  ToraRouter router(g, 0);
+  std::uniform_int_distribution<EdgeId> pick_edge(0, static_cast<EdgeId>(g.num_edges() - 1));
+  std::uniform_int_distribution<NodeId> pick_node(0, 15);
+  for (int event = 0; event < 60; ++event) {
+    const EdgeId e = pick_edge(rng);
+    if (router.dag().has_link(g.edge_u(e), g.edge_v(e))) {
+      router.link_down(g.edge_u(e), g.edge_v(e));
+    } else {
+      router.link_up(g.edge_u(e), g.edge_v(e));
+    }
+    for (int p = 0; p < 4; ++p) router.send_packet(pick_node(rng));
+    const ToraStats& s = router.stats();
+    ASSERT_LE(s.packets_delivered, s.packets_sent);
+    // Every sent packet is delivered or still parked.
+    ASSERT_EQ(s.packets_delivered + router.buffered_packets(), s.packets_sent);
+    ASSERT_LE(s.packets_flushed, s.packets_buffered);
+  }
+}
+
+TEST(ToraTest, ChurnScenarioKeepsDeliveringWhenConnected) {
+  std::mt19937_64 rng(52);
+  Graph g = make_random_connected_graph(20, 30, rng);
+  const ToraStats stats = run_churn_scenario(g, 0, 40, 5, 99);
+  EXPECT_EQ(stats.packets_sent, 40u * 5u);
+  // Dense graph: the vast majority of sends should survive churn.
+  EXPECT_GT(stats.packets_delivered, stats.packets_sent * 8 / 10);
+  EXPECT_EQ(stats.link_events, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// LeaderElectionService
+// ---------------------------------------------------------------------------
+
+TEST(LeaderElectionTest, InitialLeaderIsHighestId) {
+  Graph g = make_ring_graph(7);
+  LeaderElectionService service(g);
+  ASSERT_TRUE(service.leader().has_value());
+  EXPECT_EQ(*service.leader(), 6u);
+  EXPECT_TRUE(service.leader_reachable_from_all());
+}
+
+TEST(LeaderElectionTest, ReelectsAfterLeaderFailure) {
+  Graph g = make_ring_graph(7);
+  LeaderElectionService service(g);
+  service.fail_node(6);
+  ASSERT_TRUE(service.leader().has_value());
+  EXPECT_EQ(*service.leader(), 5u);
+  EXPECT_TRUE(service.leader_reachable_from_all());
+  EXPECT_FALSE(service.alive(6));
+  EXPECT_EQ(service.alive_count(), 6u);
+}
+
+TEST(LeaderElectionTest, NonLeaderFailureKeepsLeader) {
+  Graph g = make_complete_graph(6);
+  LeaderElectionService service(g);
+  service.fail_node(2);
+  EXPECT_EQ(*service.leader(), 5u);
+  EXPECT_TRUE(service.leader_reachable_from_all());
+}
+
+TEST(LeaderElectionTest, CascadingFailuresDownToOneNode) {
+  Graph g = make_complete_graph(5);
+  LeaderElectionService service(g);
+  for (NodeId u = 4; u > 0; --u) {
+    service.fail_node(u);
+    ASSERT_TRUE(service.leader().has_value());
+    EXPECT_EQ(*service.leader(), u - 1);
+    EXPECT_TRUE(service.leader_reachable_from_all());
+  }
+  EXPECT_EQ(service.alive_count(), 1u);
+  service.fail_node(0);
+  EXPECT_FALSE(service.leader().has_value());
+}
+
+TEST(LeaderElectionTest, FailingDeadNodeIsNoOp) {
+  Graph g = make_ring_graph(5);
+  LeaderElectionService service(g);
+  service.fail_node(3);
+  const auto reversals = service.total_reversals();
+  EXPECT_EQ(service.fail_node(3), 0u);
+  EXPECT_EQ(service.total_reversals(), reversals);
+}
+
+// ---------------------------------------------------------------------------
+// LinkReversalMutex
+// ---------------------------------------------------------------------------
+
+TEST(MutexTest, TokenStartsAtInitialHolder) {
+  Graph g = make_ring_graph(6);
+  LinkReversalMutex mutex(g, 2);
+  EXPECT_EQ(mutex.holder(), 2u);
+  EXPECT_TRUE(mutex.may_enter(2));
+  EXPECT_FALSE(mutex.may_enter(3));
+}
+
+TEST(MutexTest, FifoGrantOrder) {
+  Graph g = make_ring_graph(6);
+  LinkReversalMutex mutex(g, 0);
+  mutex.request(3);
+  mutex.request(1);
+  mutex.request(5);
+  EXPECT_EQ(mutex.release(), 3u);
+  EXPECT_EQ(mutex.release(), 1u);
+  EXPECT_EQ(mutex.release(), 5u);
+  EXPECT_TRUE(mutex.queue().empty());
+}
+
+TEST(MutexTest, ExactlyOneHolderAlways) {
+  std::mt19937_64 rng(60);
+  Graph g = make_random_connected_graph(15, 12, rng);
+  LinkReversalMutex mutex(g, 0);
+  std::uniform_int_distribution<NodeId> pick(0, 14);
+  for (int i = 0; i < 50; ++i) {
+    mutex.request(pick(rng));
+    const NodeId holder = mutex.release();
+    std::size_t holders = 0;
+    for (NodeId u = 0; u < 15; ++u) {
+      if (mutex.may_enter(u)) ++holders;
+    }
+    EXPECT_EQ(holders, 1u);
+    EXPECT_TRUE(mutex.may_enter(holder));
+  }
+}
+
+TEST(MutexTest, RequestsRouteAlongDagToHolder) {
+  Graph g = make_chain_graph(7);
+  LinkReversalMutex mutex(g, 0);
+  const std::size_t hops = mutex.request(6);
+  EXPECT_EQ(hops, 6u) << "chain request must travel the full path";
+}
+
+TEST(MutexTest, ReleaseWithoutRequestsKeepsToken) {
+  Graph g = make_ring_graph(5);
+  LinkReversalMutex mutex(g, 1);
+  EXPECT_EQ(mutex.release(), 1u);
+  EXPECT_EQ(mutex.holder(), 1u);
+}
+
+TEST(MutexTest, DuplicateRequestIgnored) {
+  Graph g = make_ring_graph(5);
+  LinkReversalMutex mutex(g, 0);
+  EXPECT_GT(mutex.request(2), 0u);
+  EXPECT_EQ(mutex.request(2), 0u);
+  EXPECT_EQ(mutex.queue().size(), 1u);
+}
+
+TEST(MutexTest, EveryoneCanStillRequestAfterManyHandoffs) {
+  Graph g = make_grid_graph(3, 3);
+  LinkReversalMutex mutex(g, 0);
+  for (NodeId round = 0; round < 3; ++round) {
+    for (NodeId u = 0; u < 9; ++u) {
+      if (u != mutex.holder()) mutex.request(u);
+    }
+    while (!mutex.queue().empty()) mutex.release();
+  }
+  EXPECT_EQ(mutex.stats().grants, mutex.stats().requests);
+  EXPECT_GT(mutex.stats().total_reversals, 0u);
+}
+
+}  // namespace
+}  // namespace lr

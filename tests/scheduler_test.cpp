@@ -1,0 +1,161 @@
+#include "automata/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/executor.hpp"
+#include "core/pr.hpp"
+#include "graph/generators.hpp"
+
+namespace lr {
+namespace {
+
+TEST(SchedulerTest, LowestIdPicksSmallestSink) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kForward});  // 1->0, 1->2
+  OneStepPRAutomaton pr(g, std::move(o), 1);                      // destination: the source
+  LowestIdScheduler scheduler;
+  const auto choice = scheduler.choose(pr);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(*choice, 0u);
+}
+
+TEST(SchedulerTest, AllSchedulersReturnNulloptAtQuiescence) {
+  // Chain oriented towards destination 0: already quiescent.
+  Graph g(3, {{0, 1}, {1, 2}});
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kBackward});
+  OneStepPRAutomaton pr(g, std::move(o), 0);
+  ASSERT_TRUE(pr.quiescent());
+
+  LowestIdScheduler lowest;
+  RandomScheduler random(1);
+  RoundRobinScheduler rr;
+  FarthestFirstScheduler farthest;
+  EXPECT_FALSE(lowest.choose(pr).has_value());
+  EXPECT_FALSE(random.choose(pr).has_value());
+  EXPECT_FALSE(rr.choose(pr).has_value());
+  EXPECT_FALSE(farthest.choose(pr).has_value());
+}
+
+TEST(SchedulerTest, RandomSchedulerIsDeterministicGivenSeed) {
+  std::mt19937_64 rng(20);
+  Instance inst = make_random_instance(20, 12, rng);
+  const auto run_with_seed = [&inst](std::uint64_t seed) {
+    OneStepPRAutomaton pr(inst);
+    RandomScheduler scheduler(seed);
+    std::vector<NodeId> fired;
+    run_to_quiescence(pr, scheduler,
+                      [&fired](const OneStepPRAutomaton&, NodeId u) { fired.push_back(u); });
+    return fired;
+  };
+  EXPECT_EQ(run_with_seed(7), run_with_seed(7));
+  // Different seeds overwhelmingly give different schedules on this size.
+  EXPECT_NE(run_with_seed(7), run_with_seed(8));
+}
+
+TEST(SchedulerTest, ReplayReproducesExecution) {
+  std::mt19937_64 rng(21);
+  Instance inst = make_random_instance(15, 10, rng);
+  OneStepPRAutomaton original(inst);
+  RandomScheduler random(99);
+  std::vector<NodeId> script;
+  run_to_quiescence(original, random,
+                    [&script](const OneStepPRAutomaton&, NodeId u) { script.push_back(u); });
+
+  OneStepPRAutomaton replayed(inst);
+  ReplayScheduler replay(script);
+  const RunResult result = run_to_quiescence(replayed, replay);
+  EXPECT_EQ(result.steps, script.size());
+  EXPECT_EQ(replay.consumed(), script.size());
+  EXPECT_TRUE(original.orientation() == replayed.orientation());
+}
+
+TEST(SchedulerTest, ReplayStopsOnNonEnabledNode) {
+  Instance inst = make_worst_case_chain(3);
+  OneStepPRAutomaton pr(inst);
+  ReplayScheduler replay({1});  // node 1 is not a sink initially
+  EXPECT_FALSE(replay.choose(pr).has_value());
+  EXPECT_EQ(replay.consumed(), 0u);
+}
+
+TEST(SchedulerTest, RoundRobinVisitsAllSinksFairly) {
+  // On the sink/source star, several leaves are sinks at once; round-robin
+  // must cycle through them rather than starving any.
+  Instance inst = make_sink_source_instance(11);
+  OneStepPRAutomaton pr(inst);
+  RoundRobinScheduler scheduler;
+  std::set<NodeId> fired_first_round;
+  for (int i = 0; i < 4; ++i) {
+    const auto choice = scheduler.choose(pr);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_TRUE(fired_first_round.insert(*choice).second)
+        << "round robin repeated " << *choice << " while other sinks waited";
+    pr.apply(*choice);
+  }
+}
+
+TEST(SchedulerTest, FarthestFirstPicksMostDistantSink) {
+  // Star, destination = leaf 1; the initial sinks are the even leaves, all
+  // at distance 2 from the destination.  On the away-chain the unique sink
+  // is trivially farthest; build a Y-shape instead:
+  //   0 - 1 - 2 - 3 and 1 - 4; destination 3; orient everything away from 3.
+  Graph g(5, {{0, 1}, {1, 2}, {2, 3}, {1, 4}});
+  // Distances from 3: node 2: 1, node 1: 2, nodes 0, 4: 3.
+  // Orientation: edges point towards 0/4 so that 0 and 4 are sinks:
+  // 1->0, 2->1, 3->2, 1->4.
+  Orientation o(g, {EdgeSense::kBackward, EdgeSense::kBackward, EdgeSense::kBackward,
+                    EdgeSense::kForward});
+  OneStepPRAutomaton pr(g, std::move(o), 3);
+  FarthestFirstScheduler scheduler;
+  const auto choice = scheduler.choose(pr);
+  ASSERT_TRUE(choice.has_value());
+  // Both 0 and 4 are at distance 3; ties break towards the larger id.
+  EXPECT_EQ(*choice, 4u);
+}
+
+TEST(SchedulerTest, MaximalSetSchedulerFiresAllSinks) {
+  Instance inst = make_sink_source_instance(9);
+  PRAutomaton pr(inst);
+  MaximalSetScheduler scheduler;
+  const auto choice = scheduler.choose(pr);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(*choice, pr.enabled_sinks());
+  EXPECT_GT(choice->size(), 1u);
+}
+
+TEST(SchedulerTest, RandomSetSchedulerReturnsNonEmptySinkSubsets) {
+  Instance inst = make_sink_source_instance(9);
+  PRAutomaton pr(inst);
+  RandomSetScheduler scheduler(33);
+  for (int i = 0; i < 10; ++i) {
+    const auto choice = scheduler.choose(pr);
+    ASSERT_TRUE(choice.has_value());
+    ASSERT_FALSE(choice->empty());
+    EXPECT_TRUE(pr.enabled(*choice));
+  }
+}
+
+TEST(SchedulerTest, SingletonSetSchedulerDrivesToQuiescence) {
+  Instance inst = make_worst_case_chain(7);
+  PRAutomaton pr(inst);
+  SingletonSetScheduler scheduler(4);
+  const RunResult result = run_to_quiescence_set(pr, scheduler);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented);
+  EXPECT_EQ(result.steps, result.node_steps);
+}
+
+TEST(SchedulerTest, MaxStepsBudgetRespected) {
+  Instance inst = make_worst_case_chain(64);
+  OneStepPRAutomaton pr(inst);
+  LowestIdScheduler scheduler;
+  RunOptions options;
+  options.max_steps = 5;
+  const RunResult result = run_to_quiescence(pr, scheduler, options);
+  EXPECT_EQ(result.steps, 5u);
+  EXPECT_FALSE(result.quiescent);
+}
+
+}  // namespace
+}  // namespace lr

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "graph/serialize.hpp"
+
+/// Robustness fuzzing for the instance parser: arbitrary byte soup and
+/// structured mutations of valid files must produce clean
+/// std::invalid_argument failures (or a valid instance), never crashes or
+/// silent misparses.
+
+namespace lr {
+namespace {
+
+TEST(SerializeFuzzTest, RandomByteSoupNeverCrashes) {
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> length(0, 400);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string soup;
+    const std::size_t len = length(rng);
+    soup.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) soup.push_back(static_cast<char>(byte(rng)));
+    std::stringstream buffer(soup);
+    try {
+      const Instance inst = read_instance(buffer);
+      // Extremely unlikely, but if it parses it must be self-consistent.
+      EXPECT_LE(inst.destination, inst.graph.num_nodes());
+    } catch (const std::invalid_argument&) {
+      // expected for garbage
+    } catch (const std::out_of_range&) {
+      // stoull overflow on huge numerals: acceptable rejection
+    }
+  }
+}
+
+TEST(SerializeFuzzTest, MutatedValidFilesRejectedOrRoundTrip) {
+  std::mt19937_64 rng(7);
+  const Instance base = make_random_instance(10, 8, rng);
+  std::stringstream canonical;
+  write_instance(canonical, base);
+  const std::string text = canonical.str();
+
+  std::uniform_int_distribution<std::size_t> pos(0, text.size() - 1);
+  std::uniform_int_distribution<int> printable(32, 126);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = text;
+    // Flip 1-3 characters.
+    std::uniform_int_distribution<int> flips(1, 3);
+    for (int f = flips(rng); f > 0; --f) {
+      mutated[pos(rng)] = static_cast<char>(printable(rng));
+    }
+    std::stringstream buffer(mutated);
+    try {
+      const Instance inst = read_instance(buffer);
+      // A surviving parse must still describe a sane graph.
+      EXPECT_LT(inst.destination, std::max<std::size_t>(inst.graph.num_nodes(), 1));
+      for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+        EXPECT_LT(inst.graph.edge_u(e), inst.graph.edge_v(e));
+      }
+      EXPECT_EQ(inst.senses.size(), inst.graph.num_edges());
+    } catch (const std::invalid_argument&) {
+      // clean rejection
+    } catch (const std::out_of_range&) {
+      // numeric overflow rejection
+    }
+  }
+}
+
+TEST(SerializeFuzzTest, TruncatedFilesRejected) {
+  std::mt19937_64 rng(9);
+  const Instance base = make_random_instance(8, 6, rng);
+  std::stringstream canonical;
+  write_instance(canonical, base);
+  const std::string text = canonical.str();
+  // Every strict prefix that cuts the 'end' line must be rejected.
+  for (std::size_t cut = 0; cut + 4 < text.size(); cut += 7) {
+    std::stringstream buffer(text.substr(0, cut));
+    EXPECT_THROW(read_instance(buffer), std::invalid_argument) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace lr

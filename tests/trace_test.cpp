@@ -1,0 +1,123 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/pr.hpp"
+#include "graph/generators.hpp"
+
+namespace lr {
+namespace {
+
+TEST(TraceTest, RecordsEveryStep) {
+  Instance inst = make_worst_case_chain(6);
+  OneStepPRAutomaton pr(inst);
+  TraceRecorder recorder;
+  LowestIdScheduler scheduler;
+  const RunResult result = run_to_quiescence(
+      pr, scheduler,
+      [&recorder](const OneStepPRAutomaton& a, NodeId u) { recorder.on_step(a, u); });
+  EXPECT_EQ(recorder.events().size(), result.steps);
+  for (std::size_t i = 0; i < recorder.events().size(); ++i) {
+    EXPECT_EQ(recorder.events()[i].step, i);
+    EXPECT_EQ(recorder.events()[i].nodes.size(), 1u);
+  }
+}
+
+TEST(TraceTest, EdgeReversalsPerStepSumToTotal) {
+  std::mt19937_64 rng(3);
+  Instance inst = make_random_instance(15, 10, rng);
+  OneStepPRAutomaton pr(inst);
+  TraceRecorder recorder;
+  RandomScheduler scheduler(8);
+  const RunResult result = run_to_quiescence(
+      pr, scheduler,
+      [&recorder](const OneStepPRAutomaton& a, NodeId u) { recorder.on_step(a, u); });
+  std::uint64_t sum = 0;
+  for (const TraceEvent& e : recorder.events()) sum += e.edges_reversed;
+  EXPECT_EQ(sum, result.edge_reversals);
+}
+
+TEST(TraceTest, NodeScriptReplaysIdentically) {
+  std::mt19937_64 rng(4);
+  Instance inst = make_random_instance(18, 12, rng);
+  OneStepPRAutomaton original(inst);
+  TraceRecorder recorder;
+  RandomScheduler random(55);
+  run_to_quiescence(original, random, [&recorder](const OneStepPRAutomaton& a, NodeId u) {
+    recorder.on_step(a, u);
+  });
+
+  OneStepPRAutomaton replayed(inst);
+  ReplayScheduler replay(recorder.node_script());
+  run_to_quiescence(replayed, replay);
+  EXPECT_TRUE(original.orientation() == replayed.orientation());
+}
+
+TEST(TraceTest, SetStepsRecordedWithAllNodes) {
+  Instance inst = make_sink_source_instance(9);
+  PRAutomaton pr(inst);
+  TraceRecorder recorder;
+  MaximalSetScheduler scheduler;
+  run_to_quiescence_set(pr, scheduler,
+                        [&recorder](const PRAutomaton& a, const std::vector<NodeId>& s) {
+                          recorder.on_set_step(a, s);
+                        });
+  ASSERT_FALSE(recorder.events().empty());
+  EXPECT_GT(recorder.events()[0].nodes.size(), 1u);
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  Instance inst = make_worst_case_chain(5);
+  OneStepPRAutomaton pr(inst);
+  TraceRecorder recorder;
+  LowestIdScheduler scheduler;
+  run_to_quiescence(pr, scheduler, [&recorder](const OneStepPRAutomaton& a, NodeId u) {
+    recorder.on_step(a, u);
+  });
+
+  std::stringstream buffer;
+  recorder.write_csv(buffer);
+  const auto events = read_trace_csv(buffer);
+  ASSERT_EQ(events.size(), recorder.events().size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].step, recorder.events()[i].step);
+    EXPECT_EQ(events[i].nodes, recorder.events()[i].nodes);
+    EXPECT_EQ(events[i].edges_reversed, recorder.events()[i].edges_reversed);
+    EXPECT_EQ(events[i].sinks_after, recorder.events()[i].sinks_after);
+  }
+}
+
+TEST(TraceTest, CsvRejectsBadHeader) {
+  std::stringstream buffer("oops\n1,2,3,4\n");
+  EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument);
+}
+
+TEST(TraceTest, CsvRejectsRowWithoutNodes) {
+  std::stringstream buffer("step,nodes,edges_reversed,sinks_after\n0,,1,2\n");
+  EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument);
+}
+
+TEST(TraceTest, EmptyStreamYieldsNoEvents) {
+  std::stringstream buffer;
+  EXPECT_TRUE(read_trace_csv(buffer).empty());
+}
+
+TEST(TraceTest, ClearResets) {
+  Instance inst = make_worst_case_chain(4);
+  OneStepPRAutomaton pr(inst);
+  TraceRecorder recorder;
+  LowestIdScheduler scheduler;
+  run_to_quiescence(pr, scheduler, [&recorder](const OneStepPRAutomaton& a, NodeId u) {
+    recorder.on_step(a, u);
+  });
+  EXPECT_FALSE(recorder.events().empty());
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+}  // namespace
+}  // namespace lr
