@@ -13,10 +13,23 @@
 /// injected by CMake as LR_CLI_PATH.
 
 #ifndef LR_CLI_PATH
-#define LR_CLI_PATH "lr_cli"
+#error "LR_CLI_PATH must be defined by the build system ($<TARGET_FILE:lr_cli>)"
 #endif
 
 namespace {
+
+// A missing binary must FAIL each test, not skip it: a fatal failure in a
+// global Environment::SetUp makes gtest emit "[  SKIPPED ]", which matches
+// the SKIP_REGULAR_EXPRESSION that gtest_discover_tests registers, so CTest
+// would report the suite green. A fixture SetUp failure marks tests failed.
+class CliIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(std::filesystem::exists(LR_CLI_PATH))
+        << "lr_cli binary not found at LR_CLI_PATH=" << LR_CLI_PATH
+        << "; build the lr_cli target first";
+  }
+};
 
 struct CommandResult {
   int exit_code = -1;
@@ -38,7 +51,7 @@ std::string temp_file(const char* name) {
   return (std::filesystem::temp_directory_path() / name).string();
 }
 
-TEST(CliIntegrationTest, GenInfoRoundTrip) {
+TEST_F(CliIntegrationTest, GenInfoRoundTrip) {
   const std::string path = temp_file("cli_it_gen.lri");
   const auto gen = run_command("gen chain 8 1 " + path);
   EXPECT_EQ(gen.exit_code, 0) << gen.output;
@@ -51,7 +64,7 @@ TEST(CliIntegrationTest, GenInfoRoundTrip) {
   std::filesystem::remove(path);
 }
 
-TEST(CliIntegrationTest, RunProducesDotAndConverges) {
+TEST_F(CliIntegrationTest, RunProducesDotAndConverges) {
   const std::string path = temp_file("cli_it_run.lri");
   ASSERT_EQ(run_command("gen random 12 3 " + path).exit_code, 0);
   for (const std::string algo : {"pr", "newpr", "fr"}) {
@@ -63,7 +76,7 @@ TEST(CliIntegrationTest, RunProducesDotAndConverges) {
   std::filesystem::remove(path);
 }
 
-TEST(CliIntegrationTest, ModelCheckReportsAcyclicEverywhere) {
+TEST_F(CliIntegrationTest, ModelCheckReportsAcyclicEverywhere) {
   const std::string path = temp_file("cli_it_mc.lri");
   ASSERT_EQ(run_command("gen star 7 1 " + path).exit_code, 0);
   const auto mc = run_command("modelcheck " + path + " pr");
@@ -72,19 +85,19 @@ TEST(CliIntegrationTest, ModelCheckReportsAcyclicEverywhere) {
   std::filesystem::remove(path);
 }
 
-TEST(CliIntegrationTest, UsageOnBadArguments) {
+TEST_F(CliIntegrationTest, UsageOnBadArguments) {
   EXPECT_EQ(run_command("").exit_code, 2);
   EXPECT_EQ(run_command("frobnicate").exit_code, 2);
   EXPECT_EQ(run_command("gen bogus-family 8 1 /tmp/x.lri").exit_code, 2);
 }
 
-TEST(CliIntegrationTest, GracefulErrorOnMissingFile) {
+TEST_F(CliIntegrationTest, GracefulErrorOnMissingFile) {
   const auto result = run_command("info /definitely/not/here.lri");
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.output.find("error:"), std::string::npos);
 }
 
-TEST(CliIntegrationTest, RunRejectsUnknownScheduler) {
+TEST_F(CliIntegrationTest, RunRejectsUnknownScheduler) {
   const std::string path = temp_file("cli_it_sched.lri");
   ASSERT_EQ(run_command("gen chain 5 1 " + path).exit_code, 0);
   EXPECT_EQ(run_command("run " + path + " pr teleport").exit_code, 2);
