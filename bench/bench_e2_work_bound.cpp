@@ -7,43 +7,64 @@
 ///  2. PR on the same chain: exactly n_b reversals — exponent ≈ 1 (the
 ///     chain is PR's *best* case; its Θ(n_b²) worst case needs a different
 ///     gadget, approximated below by an empirical adversarial search, per
-///     DESIGN.md §3).
+///     docs/EXPERIMENTS.md).
 ///  3. Layered bad instances: measured work for both, still within the
 ///     quadratic ceiling.
-///  4. Empirical PR worst case: max work/n_b over random dense instances
-///     and the farthest-first adversarial scheduler.
+///  4. Empirical PR worst case: max work/n_b over random instances and an
+///     adversarial scheduler sweep.
+///
+/// All measurement loops run through the scenario runner (src/runner), so
+/// these series use exactly the code path of `lr_cli sweep` and execute
+/// their runs on the thread pool.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 
 #include "analysis/bounds.hpp"
-#include "analysis/game.hpp"
 #include "automata/executor.hpp"
 #include "automata/scheduler.hpp"
 #include "core/full_reversal.hpp"
 #include "core/pr.hpp"
 #include "graph/generators.hpp"
+#include "runner/runner.hpp"
 
 #include "bench_util.hpp"
 
 namespace lr {
 namespace {
 
+RunSpec chain_spec(std::size_t n, AlgorithmKind algorithm) {
+  RunSpec spec;
+  spec.topology = TopologyKind::kChain;
+  spec.size = n;
+  spec.algorithm = algorithm;
+  spec.scheduler = SchedulerKind::kLowestId;
+  spec.seed = 1;
+  return spec;
+}
+
 void print_chain_series() {
   bench::print_header("E2.1/E2.2: away-chain work, FR vs PR",
                       "FR = nb(nb+1)/2 exactly (Θ(nb²)); PR = nb exactly (Θ(nb))");
   bench::print_row({"nb", "FR_measured", "FR_closed", "PR_measured", "PR_closed"});
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> fr_series, pr_series;
+  std::vector<RunSpec> specs;
+  std::vector<std::uint64_t> nbs;
   for (std::size_t nb = 4; nb <= 512; nb *= 2) {
-    const Instance inst = make_worst_case_chain(nb + 1);
-    const auto fr = measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, 1);
-    const auto pr = measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, 1);
-    fr_series.emplace_back(nb, fr.social_cost);
-    pr_series.emplace_back(nb, pr.social_cost);
-    bench::print_row({bench::fmt_u(nb), bench::fmt_u(fr.social_cost),
-                      bench::fmt_u(fr_chain_work(nb)), bench::fmt_u(pr.social_cost),
-                      bench::fmt_u(pr_chain_work(nb))});
+    specs.push_back(chain_spec(nb + 1, AlgorithmKind::kFullReversal));
+    specs.push_back(chain_spec(nb + 1, AlgorithmKind::kOneStepPR));
+    nbs.push_back(nb);
+  }
+  const std::vector<RunRecord> records = ScenarioRunner().run_all(specs);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fr_series, pr_series;
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    const std::uint64_t nb = nbs[i];
+    const RunRecord& fr = records[2 * i];
+    const RunRecord& pr = records[2 * i + 1];
+    fr_series.emplace_back(nb, fr.work);
+    pr_series.emplace_back(nb, pr.work);
+    bench::print_row({bench::fmt_u(nb), bench::fmt_u(fr.work), bench::fmt_u(fr_chain_work(nb)),
+                      bench::fmt_u(pr.work), bench::fmt_u(pr_chain_work(nb))});
   }
   std::printf("growth exponent: FR=%.3f (expect ~2), PR=%.3f (expect ~1)\n",
               fit_growth_exponent(fr_series), fit_growth_exponent(pr_series));
@@ -52,18 +73,28 @@ void print_chain_series() {
 void print_layered_series() {
   bench::print_header("E2.3: layered all-bad instances",
                       "work within the 2·nb²+nb ceiling for both algorithms");
-  bench::print_row({"layers", "width", "nb", "FR_work", "PR_work", "ceiling"});
-  std::mt19937_64 rng(11);
-  for (const std::size_t layers : {4u, 8u, 16u}) {
-    for (const std::size_t width : {4u, 8u}) {
-      const Instance inst = make_layered_bad_instance(layers, width, 0.4, rng);
-      const std::uint64_t nb = count_bad_nodes(inst);
-      const auto fr = measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, 1);
-      const auto pr = measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, 1);
-      bench::print_row({std::to_string(layers), std::to_string(width), bench::fmt_u(nb),
-                        bench::fmt_u(fr.social_cost), bench::fmt_u(pr.social_cost),
-                        bench::fmt_u(quadratic_work_ceiling(nb))});
+  bench::print_row({"size", "nodes", "nb", "FR_work", "PR_work", "ceiling"});
+  std::vector<RunSpec> specs;
+  for (const std::size_t size : {16u, 48u, 112u}) {
+    for (const std::uint64_t seed : {1u, 2u}) {
+      for (const AlgorithmKind algorithm :
+           {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR}) {
+        RunSpec spec;
+        spec.topology = TopologyKind::kLayered;
+        spec.size = size;
+        spec.algorithm = algorithm;
+        spec.seed = seed;
+        specs.push_back(spec);
+      }
     }
+  }
+  const std::vector<RunRecord> records = ScenarioRunner().run_all(specs);
+  for (std::size_t i = 0; i + 1 < records.size(); i += 2) {
+    const RunRecord& fr = records[i];
+    const RunRecord& pr = records[i + 1];
+    bench::print_row({bench::fmt_u(fr.spec.size), bench::fmt_u(fr.nodes),
+                      bench::fmt_u(fr.bad_nodes), bench::fmt_u(fr.work), bench::fmt_u(pr.work),
+                      bench::fmt_u(quadratic_work_ceiling(fr.bad_nodes))});
   }
 }
 
@@ -72,25 +103,24 @@ void print_pr_adversarial_search() {
                       "max PR work / nb over random instances & schedulers; "
                       "bounded by the quadratic ceiling");
   bench::print_row({"n", "instances", "max_work/nb", "max_work/nb^2", "ceiling_ok"});
-  for (const std::size_t n : {16u, 32u, 64u}) {
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kRandom};
+  sweep.sizes = {16, 32, 64};
+  sweep.algorithms = {AlgorithmKind::kOneStepPR};
+  sweep.schedulers = {SchedulerKind::kLowestId, SchedulerKind::kFarthestFirst,
+                      SchedulerKind::kRandom};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) sweep.seeds.push_back(seed);
+  const SweepReport report = ScenarioRunner().run(sweep);
+  for (const std::size_t n : sweep.sizes) {
     double max_ratio_linear = 0;
     double max_ratio_quad = 0;
     bool ceiling_ok = true;
-    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
-      std::mt19937_64 rng(seed * 7 + n);
-      const Instance inst = make_random_instance(n, 2 * n, rng);
-      const std::uint64_t nb = count_bad_nodes(inst);
-      if (nb == 0) continue;
-      for (const SchedulerKind kind :
-           {SchedulerKind::kLowestId, SchedulerKind::kFarthestFirst, SchedulerKind::kRandom}) {
-        const auto pr = measure_cost(inst, Strategy::kPartialReversal, kind, seed);
-        max_ratio_linear = std::max(
-            max_ratio_linear, static_cast<double>(pr.social_cost) / static_cast<double>(nb));
-        max_ratio_quad =
-            std::max(max_ratio_quad,
-                     static_cast<double>(pr.social_cost) / static_cast<double>(nb * nb));
-        if (pr.social_cost > quadratic_work_ceiling(nb)) ceiling_ok = false;
-      }
+    for (const RunRecord& record : report.records) {
+      if (record.spec.size != n || record.bad_nodes == 0) continue;
+      const auto nb = static_cast<double>(record.bad_nodes);
+      max_ratio_linear = std::max(max_ratio_linear, static_cast<double>(record.work) / nb);
+      max_ratio_quad = std::max(max_ratio_quad, static_cast<double>(record.work) / (nb * nb));
+      if (record.work > quadratic_work_ceiling(record.bad_nodes)) ceiling_ok = false;
     }
     bench::print_row({std::to_string(n), "40x3", bench::fmt(max_ratio_linear),
                       bench::fmt(max_ratio_quad), ceiling_ok ? "yes" : "NO"});
@@ -120,6 +150,21 @@ void BM_PRChain(benchmark::State& state) {
   state.SetComplexityN(static_cast<std::int64_t>(nb));
 }
 BENCHMARK(BM_PRChain)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+/// The parallel sweep engine itself, end to end (expansion + pool + tables).
+void BM_ScenarioSweep(benchmark::State& state) {
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kChain, TopologyKind::kRandom};
+  sweep.sizes = {32};
+  sweep.algorithms = {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR};
+  sweep.schedulers = {SchedulerKind::kLowestId};
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) sweep.seeds.push_back(seed);
+  const ScenarioRunner runner(RunnerOptions{.threads = static_cast<std::size_t>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(sweep).records.size());
+  }
+}
+BENCHMARK(BM_ScenarioSweep)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace lr

@@ -6,11 +6,20 @@
 /// structured families (chains, layered); on individual random DAGs PR can
 /// occasionally lose (reproduced and counted here); NewPR's cost is PR's
 /// plus its dummy steps.
+///
+/// All measurement loops run through the scenario runner (src/runner) —
+/// the same code path as `lr_cli sweep` — so the 600-run distribution
+/// sweep of E3.2 executes on the thread pool.  E3.4 (the Nash-equilibrium
+/// check) is a game-theoretic analysis, not a run measurement, and stays
+/// on the analysis layer directly.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "analysis/game.hpp"
 #include "graph/generators.hpp"
+#include "runner/runner.hpp"
 
 #include "bench_util.hpp"
 
@@ -20,27 +29,34 @@ namespace {
 void print_family_table() {
   bench::print_header("E3.1: social cost by family (lowest-id scheduler)",
                       "PR <= FR on structured families; NewPR = PR + dummies");
-  bench::print_row({"instance", "FR", "PR", "NewPR", "dummies", "FR/PR"});
-  std::mt19937_64 rng(5);
-  std::vector<Instance> instances;
-  instances.push_back(make_worst_case_chain(65));
-  instances.push_back(make_layered_bad_instance(8, 8, 0.3, rng));
-  instances.push_back(make_grid_instance(8, 8, rng));
-  instances.push_back(make_sink_source_instance(65));
-  instances.push_back(make_random_instance(64, 64, rng));
-  instances.push_back(make_random_instance(256, 256, rng));
-  for (const Instance& inst : instances) {
-    const auto fr = measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, 1);
-    const auto pr = measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, 1);
-    const auto np = measure_cost(inst, Strategy::kNewPR, SchedulerKind::kLowestId, 1);
-    const double ratio = pr.social_cost == 0
+  bench::print_row({"family", "nodes", "FR", "PR", "NewPR", "dummies", "FR/PR"}, 14);
+  const std::vector<std::pair<TopologyKind, std::size_t>> families = {
+      {TopologyKind::kChain, 65},  {TopologyKind::kLayered, 48}, {TopologyKind::kGrid, 64},
+      {TopologyKind::kStar, 65},   {TopologyKind::kRandom, 64},  {TopologyKind::kRandom, 256},
+  };
+  std::vector<RunSpec> specs;
+  for (const auto& [topology, size] : families) {
+    for (const AlgorithmKind algorithm : {AlgorithmKind::kFullReversal,
+                                          AlgorithmKind::kOneStepPR, AlgorithmKind::kNewPR}) {
+      RunSpec spec;
+      spec.topology = topology;
+      spec.size = size;
+      spec.algorithm = algorithm;
+      specs.push_back(spec);
+    }
+  }
+  const std::vector<RunRecord> records = ScenarioRunner().run_all(specs);
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const RunRecord& fr = records[3 * i];
+    const RunRecord& pr = records[3 * i + 1];
+    const RunRecord& np = records[3 * i + 2];
+    const double ratio = pr.work == 0
                              ? 0.0
-                             : static_cast<double>(fr.social_cost) /
-                                   static_cast<double>(pr.social_cost);
-    bench::print_row({inst.name, bench::fmt_u(fr.social_cost), bench::fmt_u(pr.social_cost),
-                      bench::fmt_u(np.social_cost), bench::fmt_u(np.dummy_steps),
-                      bench::fmt(ratio)},
-                     22);
+                             : static_cast<double>(fr.work) / static_cast<double>(pr.work);
+    bench::print_row({topology_token(fr.spec.topology), bench::fmt_u(fr.nodes),
+                      bench::fmt_u(fr.work), bench::fmt_u(pr.work), bench::fmt_u(np.work),
+                      bench::fmt_u(np.dummy_steps), bench::fmt(ratio)},
+                     14);
   }
 }
 
@@ -48,19 +64,30 @@ void print_distribution_table() {
   bench::print_header("E3.2: FR vs PR across 100 random instances per size",
                       "PR wins in aggregate; occasional per-instance losses counted");
   bench::print_row({"n", "PR_wins", "FR_wins", "ties", "sum_FR", "sum_PR"});
-  for (const std::size_t n : {16u, 64u, 128u}) {
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kRandom};
+  sweep.sizes = {16, 64, 128};
+  sweep.algorithms = {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR};
+  sweep.schedulers = {SchedulerKind::kLowestId};
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) sweep.seeds.push_back(seed);
+  const SweepReport report = ScenarioRunner().run(sweep);
+  // Pair FR/PR by (size, seed): instance seeds ignore the algorithm axis,
+  // so both records of a pair measured the *same* instance.
+  std::map<std::pair<std::size_t, std::uint64_t>, std::pair<std::uint64_t, std::uint64_t>> cost;
+  for (const RunRecord& record : report.records) {
+    auto& pair = cost[{record.spec.size, record.spec.seed}];
+    (record.spec.algorithm == AlgorithmKind::kFullReversal ? pair.first : pair.second) =
+        record.work;
+  }
+  for (const std::size_t n : sweep.sizes) {
     int pr_wins = 0, fr_wins = 0, ties = 0;
     std::uint64_t fr_sum = 0, pr_sum = 0;
-    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
-      std::mt19937_64 rng(seed * 31 + n);
-      const Instance inst = make_random_instance(n, n, rng);
-      const auto fr = measure_cost(inst, Strategy::kFullReversal, SchedulerKind::kLowestId, seed);
-      const auto pr =
-          measure_cost(inst, Strategy::kPartialReversal, SchedulerKind::kLowestId, seed);
-      fr_sum += fr.social_cost;
-      pr_sum += pr.social_cost;
-      if (pr.social_cost < fr.social_cost) ++pr_wins;
-      else if (fr.social_cost < pr.social_cost) ++fr_wins;
+    for (const auto& [key, pair] : cost) {
+      if (key.first != n) continue;
+      fr_sum += pair.first;
+      pr_sum += pair.second;
+      if (pair.second < pair.first) ++pr_wins;
+      else if (pair.first < pair.second) ++fr_wins;
       else ++ties;
     }
     bench::print_row({std::to_string(n), std::to_string(pr_wins), std::to_string(fr_wins),
@@ -72,15 +99,25 @@ void print_scheduler_table() {
   bench::print_header("E3.3: scheduler sensitivity of the strategies",
                       "FR's cost is schedule-independent; PR's varies little");
   bench::print_row({"scheduler", "FR", "PR", "NewPR"});
-  std::mt19937_64 rng(77);
-  const Instance inst = make_random_instance(96, 96, rng);
-  for (const SchedulerKind kind : {SchedulerKind::kLowestId, SchedulerKind::kRandom,
-                                   SchedulerKind::kRoundRobin, SchedulerKind::kFarthestFirst}) {
-    const auto fr = measure_cost(inst, Strategy::kFullReversal, kind, 9);
-    const auto pr = measure_cost(inst, Strategy::kPartialReversal, kind, 9);
-    const auto np = measure_cost(inst, Strategy::kNewPR, kind, 9);
-    bench::print_row({scheduler_name(kind), bench::fmt_u(fr.social_cost),
-                      bench::fmt_u(pr.social_cost), bench::fmt_u(np.social_cost)});
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kRandom};
+  sweep.sizes = {96};
+  sweep.algorithms = {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR,
+                      AlgorithmKind::kNewPR};
+  sweep.schedulers = {SchedulerKind::kLowestId, SchedulerKind::kRandom,
+                      SchedulerKind::kRoundRobin, SchedulerKind::kFarthestFirst};
+  sweep.seeds = {9};
+  const SweepReport report = ScenarioRunner().run(sweep);
+  for (const SchedulerKind kind : sweep.schedulers) {
+    std::uint64_t fr = 0, pr = 0, np = 0;
+    for (const RunRecord& record : report.records) {
+      if (record.spec.scheduler != kind) continue;
+      if (record.spec.algorithm == AlgorithmKind::kFullReversal) fr = record.work;
+      if (record.spec.algorithm == AlgorithmKind::kOneStepPR) pr = record.work;
+      if (record.spec.algorithm == AlgorithmKind::kNewPR) np = record.work;
+    }
+    bench::print_row(
+        {scheduler_name(kind), bench::fmt_u(fr), bench::fmt_u(pr), bench::fmt_u(np)});
   }
 }
 

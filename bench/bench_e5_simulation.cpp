@@ -3,6 +3,10 @@
 /// 1..2 NewPR steps (Lemma 5.3); the relations hold at every matched point;
 /// the reverse direction (the conclusion's proposed extension) holds with
 /// dummy steps mapping to empty sequences.
+///
+/// The measurement loop runs the sim-rprime / sim-r / sim-rrev kernels of
+/// the scenario runner (src/runner), i.e. the same relation-check code
+/// `lr_cli sweep` executes, fanned out over the thread pool.
 
 #include <benchmark/benchmark.h>
 
@@ -10,72 +14,45 @@
 #include "automata/simulation.hpp"
 #include "core/relations.hpp"
 #include "graph/generators.hpp"
+#include "runner/runner.hpp"
 
 #include "bench_util.hpp"
 
 namespace lr {
 namespace {
 
+const char* relation_label(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kSimRPrime:
+      return "R'(PR->1Step)";
+    case AlgorithmKind::kSimR:
+      return "R(1Step->New)";
+    case AlgorithmKind::kSimRRev:
+      return "Rrev(New->1Step)";
+    default:
+      return "?";
+  }
+}
+
 void print_expansion_table() {
   bench::print_header("E5: simulation-relation checks & step expansion factors",
                       "R'/R hold everywhere; expansion in [1,2] for R, = |S| for R'");
   bench::print_row({"n", "relation", "concrete", "abstract", "expansion", "ok"});
-  for (const std::size_t n : {16u, 64u, 256u}) {
-    std::mt19937_64 rng(n * 13 + 1);
-    const Instance inst = make_random_instance(n, n, rng);
-
-    {
-      PRAutomaton concrete(inst);
-      OneStepPRAutomaton abstract(inst);
-      RandomSetScheduler scheduler(n);
-      const auto r = check_forward_simulation(
-          concrete, abstract, scheduler,
-          [](const PRAutomaton& s, const OneStepPRAutomaton& t) {
-            return relation_R_prime(s, t);
-          },
-          correspondence_R_prime);
-      bench::print_row({std::to_string(n), "R'(PR->1Step)", bench::fmt_u(r.concrete_steps),
-                        bench::fmt_u(r.abstract_steps),
-                        bench::fmt(r.concrete_steps == 0
-                                       ? 0.0
-                                       : static_cast<double>(r.abstract_steps) /
-                                             static_cast<double>(r.concrete_steps)),
-                        r.ok ? "yes" : "NO"});
-    }
-    {
-      OneStepPRAutomaton concrete(inst);
-      NewPRAutomaton abstract(inst);
-      RandomScheduler scheduler(n + 1);
-      const auto r = check_forward_simulation(
-          concrete, abstract, scheduler,
-          [](const OneStepPRAutomaton& s, const NewPRAutomaton& t) { return relation_R(s, t); },
-          correspondence_R);
-      bench::print_row({std::to_string(n), "R(1Step->New)", bench::fmt_u(r.concrete_steps),
-                        bench::fmt_u(r.abstract_steps),
-                        bench::fmt(r.concrete_steps == 0
-                                       ? 0.0
-                                       : static_cast<double>(r.abstract_steps) /
-                                             static_cast<double>(r.concrete_steps)),
-                        r.ok ? "yes" : "NO"});
-    }
-    {
-      NewPRAutomaton concrete(inst);
-      OneStepPRAutomaton abstract(inst);
-      RandomScheduler scheduler(n + 2);
-      const auto r = check_forward_simulation(
-          concrete, abstract, scheduler,
-          [](const NewPRAutomaton& t, const OneStepPRAutomaton& s) {
-            return reverse_relation_R(t, s);
-          },
-          correspondence_R_reverse);
-      bench::print_row({std::to_string(n), "Rrev(New->1Step)", bench::fmt_u(r.concrete_steps),
-                        bench::fmt_u(r.abstract_steps),
-                        bench::fmt(r.concrete_steps == 0
-                                       ? 0.0
-                                       : static_cast<double>(r.abstract_steps) /
-                                             static_cast<double>(r.concrete_steps)),
-                        r.ok ? "yes" : "NO"});
-    }
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kRandom};
+  sweep.sizes = {16, 64, 256};
+  sweep.algorithms = {AlgorithmKind::kSimRPrime, AlgorithmKind::kSimR, AlgorithmKind::kSimRRev};
+  sweep.schedulers = {SchedulerKind::kRandom};
+  sweep.seeds = {1};
+  const SweepReport report = ScenarioRunner().run(sweep);
+  for (const RunRecord& record : report.records) {
+    const double expansion = record.work == 0 ? 0.0
+                                              : static_cast<double>(record.abstract_steps) /
+                                                    static_cast<double>(record.work);
+    bench::print_row({bench::fmt_u(record.spec.size), relation_label(record.spec.algorithm),
+                      bench::fmt_u(record.work), bench::fmt_u(record.abstract_steps),
+                      bench::fmt(expansion),
+                      record.relation == RelationVerdict::kHolds ? "yes" : "NO"});
   }
 }
 

@@ -6,7 +6,7 @@
 ///  2. Micro-cost of the paper's label-free invariant checks (Inv 4.1/4.2)
 ///     vs the label-based consistency check (heights_consistent) — the
 ///     proof-engineering trade-off the paper motivates.
-///  3. Ablation (DESIGN.md §6): incremental sink tracking vs full scans.
+///  3. Ablation: incremental sink tracking (orientation.hpp) vs full scans.
 
 #include <benchmark/benchmark.h>
 

@@ -14,9 +14,17 @@
 ///   lr_cli modelcheck <in.lri> <pr|newpr|fr>
 ///       Exhaustively explores ALL schedules and checks acyclicity in
 ///       every reachable state (small instances only).
+///
+///   lr_cli sweep <spec.sweep> [--threads N] [--records out.csv] [--json out.json]
+///       Expands the declarative sweep spec (topology x size x algorithm x
+///       scheduler x seed; see docs/EXPERIMENTS.md) and executes every run
+///       on a fixed-size thread pool.  Prints the aggregate table as CSV on
+///       stdout — byte-identical for every --threads value.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -31,6 +39,9 @@
 #include "graph/dot.hpp"
 #include "graph/generators.hpp"
 #include "graph/serialize.hpp"
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+#include "trace/report.hpp"
 
 namespace {
 
@@ -42,7 +53,9 @@ int usage() {
                "  lr_cli gen <chain|random|grid|layered|star> <n> <seed> <out.lri>\n"
                "  lr_cli info <in.lri>\n"
                "  lr_cli run <in.lri> <pr|newpr|fr> <lowest|random|rr|farthest> [seed]\n"
-               "  lr_cli modelcheck <in.lri> <pr|newpr|fr>\n");
+               "  lr_cli modelcheck <in.lri> <pr|newpr|fr>\n"
+               "  lr_cli sweep <spec.sweep> [--threads N] [--records out.csv]"
+               " [--json out.json]\n");
   return 2;
 }
 
@@ -153,6 +166,74 @@ int cmd_modelcheck(int argc, char** argv) {
   return usage();
 }
 
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string spec_path = argv[2];
+  RunnerOptions options;
+  std::string records_path;
+  std::string json_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return usage();  // every sweep flag takes a value
+    const std::string value = argv[++i];
+    if (flag == "--threads") {
+      char* end = nullptr;
+      options.threads = std::strtoull(value.c_str(), &end, 10);
+      // Reject non-numeric or negative input instead of silently wrapping
+      // ("-1" would otherwise become a 2^64-sized thread pool).
+      if (value.empty() || *end != '\0' || value[0] == '-') return usage();
+    } else if (flag == "--records") {
+      records_path = value;
+    } else if (flag == "--json") {
+      json_path = value;
+    } else {
+      return usage();
+    }
+  }
+
+  std::ifstream spec_file(spec_path);
+  if (!spec_file) {
+    std::fprintf(stderr, "error: cannot open sweep spec '%s'\n", spec_path.c_str());
+    return 1;
+  }
+  const SweepSpec spec = SweepSpec::parse(spec_file);
+
+  const ScenarioRunner runner(options);
+  const auto started = std::chrono::steady_clock::now();
+  const SweepReport report = runner.run(spec);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+
+  std::uint64_t errors = 0;
+  for (const RunRecord& record : report.records) {
+    if (!record.error.empty()) ++errors;
+  }
+  // Wall-clock only on stderr: stdout must be identical across thread counts.
+  std::fprintf(stderr, "sweep: %zu runs on %zu thread(s) in %lld ms, %llu error(s)\n",
+               report.records.size(), runner.threads(), static_cast<long long>(elapsed_ms),
+               static_cast<unsigned long long>(errors));
+
+  write_table_csv(std::cout, report.aggregate_table());
+  if (!records_path.empty()) {
+    std::ofstream os(records_path);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", records_path.c_str());
+      return 1;
+    }
+    write_table_csv(os, report.records_table());
+  }
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    write_table_json(os, report.records_table());
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +244,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(argc, argv);
     if (command == "run") return cmd_run(argc, argv);
     if (command == "modelcheck") return cmd_modelcheck(argc, argv);
+    if (command == "sweep") return cmd_sweep(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

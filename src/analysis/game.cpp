@@ -46,7 +46,7 @@ namespace {
 
 template <typename A>
 CostProfile run_strategy(A automaton, Strategy strategy, SchedulerKind scheduler,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, const RunOptions& options) {
   CostProfile profile;
   profile.strategy = strategy;
   profile.node_cost.assign(automaton.graph().num_nodes(), 0);
@@ -56,22 +56,22 @@ CostProfile run_strategy(A automaton, Strategy strategy, SchedulerKind scheduler
   switch (scheduler) {
     case SchedulerKind::kLowestId: {
       LowestIdScheduler s;
-      result = run_to_quiescence(automaton, s, observer);
+      result = run_to_quiescence(automaton, s, observer, options);
       break;
     }
     case SchedulerKind::kRandom: {
       RandomScheduler s(seed);
-      result = run_to_quiescence(automaton, s, observer);
+      result = run_to_quiescence(automaton, s, observer, options);
       break;
     }
     case SchedulerKind::kRoundRobin: {
       RoundRobinScheduler s;
-      result = run_to_quiescence(automaton, s, observer);
+      result = run_to_quiescence(automaton, s, observer, options);
       break;
     }
     case SchedulerKind::kFarthestFirst: {
       FarthestFirstScheduler s;
-      result = run_to_quiescence(automaton, s, observer);
+      result = run_to_quiescence(automaton, s, observer, options);
       break;
     }
   }
@@ -87,14 +87,14 @@ CostProfile run_strategy(A automaton, Strategy strategy, SchedulerKind scheduler
 }  // namespace
 
 CostProfile measure_cost(const Instance& instance, Strategy strategy, SchedulerKind scheduler,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, const RunOptions& options) {
   switch (strategy) {
     case Strategy::kFullReversal:
-      return run_strategy(FullReversalAutomaton(instance), strategy, scheduler, seed);
+      return run_strategy(FullReversalAutomaton(instance), strategy, scheduler, seed, options);
     case Strategy::kPartialReversal:
-      return run_strategy(OneStepPRAutomaton(instance), strategy, scheduler, seed);
+      return run_strategy(OneStepPRAutomaton(instance), strategy, scheduler, seed, options);
     case Strategy::kNewPR:
-      return run_strategy(NewPRAutomaton(instance), strategy, scheduler, seed);
+      return run_strategy(NewPRAutomaton(instance), strategy, scheduler, seed, options);
   }
   return {};
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "automata/executor.hpp"
 #include "core/hybrid.hpp"
 #include "graph/generators.hpp"
 
@@ -45,8 +46,10 @@ struct CostProfile {
 };
 
 /// Runs `strategy` on `instance` under `scheduler` and returns the profile.
+/// `options` bounds the execution (the scenario runner passes its per-run
+/// step budget through here so swept and standalone runs behave alike).
 CostProfile measure_cost(const Instance& instance, Strategy strategy, SchedulerKind scheduler,
-                         std::uint64_t seed);
+                         std::uint64_t seed, const RunOptions& options = {});
 
 /// True iff profile `a` weakly Pareto-dominates `b`: every node's cost in
 /// `a` is <= its cost in `b`.

@@ -28,7 +28,7 @@
 /// experiment E8.  Arbitrary initial labelings interpolate between PR-like
 /// behaviours; Welch–Walter's global acyclicity condition on the initial
 /// labeling is *not* reproduced as a closed-form predicate (their text is
-/// paywalled; DESIGN.md §3), but `initial_labeling_preserves_acyclicity`
+/// not freely available), but `initial_labeling_preserves_acyclicity`
 /// model-checks it exhaustively on small graphs.
 
 namespace lr {

@@ -10,7 +10,9 @@
 /// Graphviz (DOT) export of oriented graphs — the debugging view for every
 /// layer: examples dump DAG snapshots, failing property tests can render
 /// their counterexample states, and the docs' figures are generated from
-/// these functions.
+/// these functions.  The rendered pictures are the paper's Section 2
+/// objects (the directed version G' with its destination D) made visible;
+/// `lr_cli run` pipes them to stdout.
 
 namespace lr {
 

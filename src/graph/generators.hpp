@@ -8,7 +8,9 @@
 
 /// \file generators.hpp
 /// Workload generators: graph families and initial DAG orientations used by
-/// the test suite and the benchmark harness (DESIGN.md experiments E1-E8).
+/// the test suite, the benchmark harnesses (experiments E1–E8,
+/// docs/EXPERIMENTS.md), and the scenario runner's topology axis
+/// (runner/scenario.hpp).
 ///
 /// Every generator is deterministic given its inputs; randomized ones take
 /// a seeded std::mt19937_64 so all experiments are reproducible from a

@@ -21,7 +21,7 @@
 /// The orientation also maintains per-node out-degrees and an incrementally
 /// updated set of current sinks, because every link-reversal automaton's
 /// precondition is "u is a sink" and enabled-action enumeration must be
-/// cheap (DESIGN.md §6).
+/// cheap (experiment E8.3 measures this ablation; docs/EXPERIMENTS.md).
 
 namespace lr {
 

@@ -26,7 +26,7 @@
 ///   * nodes outside the destination's component are reported unroutable
 ///     rather than reversed forever (the paper's model assumes
 ///     connectivity; TORA handles partition detection separately, which we
-///     approximate by the component check — DESIGN.md §3).
+///     approximate by the component check).
 
 namespace lr {
 

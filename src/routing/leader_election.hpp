@@ -10,7 +10,9 @@
 /// \file leader_election.hpp
 /// Leader election via link reversal — the second application named in the
 /// paper's abstract (and a chapter of Welch–Walter's *Link Reversal
-/// Algorithms*).
+/// Algorithms*).  This is the centralized, dynamic-topology service; its
+/// message-passing counterpart over the simulated asynchronous network is
+/// sim/dist_leader.hpp.
 ///
 /// The elected leader plays the destination's role: the DAG is oriented so
 /// every node has a directed path to the leader, which simultaneously gives

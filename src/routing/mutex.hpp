@@ -10,7 +10,8 @@
 
 /// \file mutex.hpp
 /// Mutual exclusion via link reversal — the third application named in the
-/// paper's abstract.
+/// paper's abstract.  This is the centralized service; its message-passing
+/// counterpart is sim/dist_mutex.hpp.
 ///
 /// Token-based scheme on a destination-oriented DAG (Welch–Walter style,
 /// in the spirit of Raymond's tree algorithm generalized to DAGs): the

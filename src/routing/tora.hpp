@@ -12,7 +12,9 @@
 /// A TORA-style routing service: the motivating application of link
 /// reversal (Gafni–Bertsekas; Park–Corson's TORA).  The service maintains a
 /// destination-oriented DAG over a churning topology and forwards packets
-/// greedily "downhill" along it.
+/// greedily "downhill" along it.  This is the centralized service; the
+/// message-passing control/data planes are sim/dist_lr.hpp and
+/// sim/dist_router.hpp.
 ///
 /// Route maintenance *is* partial reversal: a link removal can strand nodes
 /// as sinks, and `stabilize()` reverses links until every node in the

@@ -1,0 +1,380 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "analysis/bounds.hpp"
+#include "analysis/rounds.hpp"
+#include "analysis/stats.hpp"
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "automata/simulation.hpp"
+#include "core/hybrid.hpp"
+#include "core/newpr.hpp"
+#include "core/pr.hpp"
+#include "core/relations.hpp"
+#include "graph/digraph_algos.hpp"
+#include "routing/tora.hpp"
+#include "sim/dist_lr.hpp"
+#include "sim/network.hpp"
+
+namespace lr {
+
+const char* relation_verdict_token(RelationVerdict verdict) {
+  switch (verdict) {
+    case RelationVerdict::kNotChecked:
+      return "-";
+    case RelationVerdict::kHolds:
+      return "ok";
+    case RelationVerdict::kViolated:
+      return "violated";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Instantiates the single-step scheduler `kind` names and applies `f` to
+/// it (schedulers are stateful templates, so dispatch happens here once).
+template <typename F>
+decltype(auto) with_single_scheduler(SchedulerKind kind, std::uint64_t seed, F&& f) {
+  switch (kind) {
+    case SchedulerKind::kLowestId: {
+      LowestIdScheduler s;
+      return f(s);
+    }
+    case SchedulerKind::kRandom: {
+      RandomScheduler s(seed);
+      return f(s);
+    }
+    case SchedulerKind::kRoundRobin: {
+      RoundRobinScheduler s;
+      return f(s);
+    }
+    case SchedulerKind::kFarthestFirst: {
+      FarthestFirstScheduler s;
+      return f(s);
+    }
+  }
+  throw std::invalid_argument("unknown scheduler kind");
+}
+
+void fill_instance_shape(RunRecord& record, const Instance& instance) {
+  record.nodes = instance.graph.num_nodes();
+  record.bad_nodes = count_bad_nodes(instance);
+}
+
+/// fr / pr / newpr: run to quiescence under the spec's scheduler through
+/// the analysis layer's measure_cost (the same path bench_e2/e3 report),
+/// then attach the greedy-round time measure where the strategy has one.
+void run_strategy_kernel(RunRecord& record, const Instance& instance, Strategy strategy) {
+  const RunSpec& spec = record.spec;
+  const CostProfile profile = measure_cost(instance, strategy, spec.scheduler,
+                                           spec.scheduler_seed(), {.max_steps = spec.max_steps});
+  record.work = profile.social_cost;
+  record.edge_reversals = profile.edge_reversals;
+  record.dummy_steps = profile.dummy_steps;
+  record.converged = profile.converged;
+  if (strategy != Strategy::kNewPR) {
+    const RoundStrategy round_strategy = strategy == Strategy::kFullReversal
+                                             ? RoundStrategy::kFullReversal
+                                             : RoundStrategy::kPartialReversal;
+    record.rounds = run_greedy_rounds(instance, round_strategy, spec.max_steps).total_rounds();
+  }
+}
+
+/// hybrid: a per-node random FR/PR strategy profile (the E3.4 game),
+/// drawn from its own seed stream so the profile is sweep-reproducible.
+void run_hybrid_kernel(RunRecord& record, const Instance& instance) {
+  const RunSpec& spec = record.spec;
+  std::mt19937_64 profile_rng(splitmix64(spec.instance_seed() ^ 0x9b1dULL));
+  std::bernoulli_distribution flip(0.5);
+  std::vector<NodeStrategy> profile(instance.graph.num_nodes());
+  for (auto& strategy : profile) {
+    strategy = flip(profile_rng) ? NodeStrategy::kFullReversal : NodeStrategy::kPartialReversal;
+  }
+  HybridStrategyAutomaton automaton(instance, std::move(profile));
+  const RunResult result = with_single_scheduler(
+      spec.scheduler, spec.scheduler_seed(), [&](auto& scheduler) {
+        return run_to_quiescence(automaton, scheduler, {.max_steps = spec.max_steps});
+      });
+  record.work = result.node_steps;
+  record.edge_reversals = result.edge_reversals;
+  record.converged = result.quiescent && result.destination_oriented;
+}
+
+/// tora: the routing service under link churn; work is maintenance
+/// reversals, messages is delivered packets.
+void run_tora_kernel(RunRecord& record, const Instance& instance) {
+  const RunSpec& spec = record.spec;
+  const ToraStats stats = run_churn_scenario(instance.graph, instance.destination, spec.size, 2,
+                                             spec.network_seed());
+  record.work = stats.reversals;
+  record.messages = stats.packets_delivered;
+  record.converged = true;  // the service re-stabilizes after every event
+}
+
+/// dist-fr / dist-pr: the message-passing protocol over the simulated
+/// asynchronous network, driven to convergence with resync rounds.
+void run_dist_kernel(RunRecord& record, const Instance& instance, ReversalRule rule) {
+  const RunSpec& spec = record.spec;
+  NetworkConfig config;
+  config.seed = spec.network_seed();
+  Network network(instance.graph, config);
+  DistLinkReversal protocol(instance, rule, network);
+  const auto resync_rounds = protocol.run_with_resync();
+  record.work = protocol.total_steps();
+  record.messages = network.messages_sent();
+  record.rounds = resync_rounds.value_or(0);
+  record.converged = resync_rounds.has_value() && protocol.converged();
+}
+
+void fill_simulation_result(RunRecord& record, const SimulationCheckResult& result,
+                            const Orientation& concrete_orientation, NodeId destination) {
+  record.work = result.concrete_steps;
+  record.abstract_steps = result.abstract_steps;
+  record.relation = result.ok ? RelationVerdict::kHolds : RelationVerdict::kViolated;
+  record.edge_reversals = concrete_orientation.reversal_count();
+  record.converged = is_destination_oriented(concrete_orientation, destination);
+}
+
+/// sim-rprime: Lemma 5.1's forward simulation, PR (set steps) refined by
+/// OneStepPR.  The concrete automaton takes set actions, so only the two
+/// set schedulers apply: lowest = maximal greedy sets, random = random
+/// non-empty sink subsets.
+void run_sim_rprime_kernel(RunRecord& record, const Instance& instance) {
+  const RunSpec& spec = record.spec;
+  PRAutomaton concrete(instance);
+  OneStepPRAutomaton abstract(instance);
+  const auto relation = [](const PRAutomaton& s, const OneStepPRAutomaton& t) {
+    return relation_R_prime(s, t);
+  };
+  SimulationCheckResult result;
+  switch (spec.scheduler) {
+    case SchedulerKind::kLowestId: {
+      MaximalSetScheduler scheduler;
+      result = check_forward_simulation(concrete, abstract, scheduler, relation,
+                                        correspondence_R_prime, spec.max_steps);
+      break;
+    }
+    case SchedulerKind::kRandom: {
+      RandomSetScheduler scheduler(spec.scheduler_seed());
+      result = check_forward_simulation(concrete, abstract, scheduler, relation,
+                                        correspondence_R_prime, spec.max_steps);
+      break;
+    }
+    default:
+      throw std::invalid_argument(
+          "sim-rprime drives the set-step PR automaton; scheduler must be "
+          "'lowest' (maximal sets) or 'random' (random sink subsets)");
+  }
+  fill_simulation_result(record, result, concrete.orientation(), concrete.destination());
+}
+
+/// sim-r: Lemma 5.3's forward simulation, OneStepPR refined by NewPR.
+void run_sim_r_kernel(RunRecord& record, const Instance& instance) {
+  const RunSpec& spec = record.spec;
+  OneStepPRAutomaton concrete(instance);
+  NewPRAutomaton abstract(instance);
+  const SimulationCheckResult result = with_single_scheduler(
+      spec.scheduler, spec.scheduler_seed(), [&](auto& scheduler) {
+        return check_forward_simulation(
+            concrete, abstract, scheduler,
+            [](const OneStepPRAutomaton& s, const NewPRAutomaton& t) { return relation_R(s, t); },
+            correspondence_R, spec.max_steps);
+      });
+  fill_simulation_result(record, result, concrete.orientation(), concrete.destination());
+}
+
+/// sim-rrev: the conclusion's proposed reverse relation, NewPR refined by
+/// OneStepPR (dummy steps map to empty abstract sequences).
+void run_sim_rrev_kernel(RunRecord& record, const Instance& instance) {
+  const RunSpec& spec = record.spec;
+  NewPRAutomaton concrete(instance);
+  OneStepPRAutomaton abstract(instance);
+  const SimulationCheckResult result = with_single_scheduler(
+      spec.scheduler, spec.scheduler_seed(), [&](auto& scheduler) {
+        return check_forward_simulation(
+            concrete, abstract, scheduler,
+            [](const NewPRAutomaton& t, const OneStepPRAutomaton& s) {
+              return reverse_relation_R(t, s);
+            },
+            correspondence_R_reverse, spec.max_steps);
+      });
+  fill_simulation_result(record, result, concrete.orientation(), concrete.destination());
+}
+
+}  // namespace
+
+RunRecord execute_run(const RunSpec& spec) {
+  RunRecord record;
+  record.spec = spec;
+  record.run_seed = spec.instance_seed();
+  try {
+    const Instance instance = make_instance(spec);
+    fill_instance_shape(record, instance);
+    switch (spec.algorithm) {
+      case AlgorithmKind::kFullReversal:
+        run_strategy_kernel(record, instance, Strategy::kFullReversal);
+        break;
+      case AlgorithmKind::kOneStepPR:
+        run_strategy_kernel(record, instance, Strategy::kPartialReversal);
+        break;
+      case AlgorithmKind::kNewPR:
+        run_strategy_kernel(record, instance, Strategy::kNewPR);
+        break;
+      case AlgorithmKind::kHybrid:
+        run_hybrid_kernel(record, instance);
+        break;
+      case AlgorithmKind::kTora:
+        run_tora_kernel(record, instance);
+        break;
+      case AlgorithmKind::kDistFR:
+        run_dist_kernel(record, instance, ReversalRule::kFull);
+        break;
+      case AlgorithmKind::kDistPR:
+        run_dist_kernel(record, instance, ReversalRule::kPartial);
+        break;
+      case AlgorithmKind::kSimRPrime:
+        run_sim_rprime_kernel(record, instance);
+        break;
+      case AlgorithmKind::kSimR:
+        run_sim_r_kernel(record, instance);
+        break;
+      case AlgorithmKind::kSimRRev:
+        run_sim_rrev_kernel(record, instance);
+        break;
+    }
+  } catch (const std::exception& error) {
+    record.error = error.what();
+    record.converged = false;
+  }
+  return record;
+}
+
+namespace {
+
+std::string fmt_mean(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+std::string u64(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace
+
+Table SweepReport::records_table() const {
+  Table table;
+  table.columns = {"topology",    "size",        "algorithm",      "scheduler",
+                   "seed",        "run_seed",    "nodes",          "bad_nodes",
+                   "work",        "edge_reversals", "rounds",      "dummy_steps",
+                   "abstract_steps", "messages", "converged",      "relation",
+                   "status"};
+  for (const RunRecord& record : records) {
+    table.add_row({topology_token(record.spec.topology), u64(record.spec.size),
+                   algorithm_token(record.spec.algorithm), scheduler_token(record.spec.scheduler),
+                   u64(record.spec.seed), u64(record.run_seed), u64(record.nodes),
+                   u64(record.bad_nodes), u64(record.work), u64(record.edge_reversals),
+                   u64(record.rounds), u64(record.dummy_steps), u64(record.abstract_steps),
+                   u64(record.messages), record.converged ? "yes" : "no",
+                   relation_verdict_token(record.relation),
+                   record.error.empty() ? "ok" : "error: " + record.error});
+  }
+  return table;
+}
+
+Table SweepReport::aggregate_table() const {
+  struct Group {
+    const RunRecord* first = nullptr;
+    std::uint64_t runs = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t converged = 0;
+    std::uint64_t relation_checked = 0;
+    std::uint64_t relation_ok = 0;
+    Aggregate work;
+    Aggregate edge_reversals;
+    Aggregate rounds;
+  };
+  std::vector<Group> groups;
+  std::map<std::tuple<TopologyKind, std::size_t, AlgorithmKind, SchedulerKind>, std::size_t>
+      group_index;
+  for (const RunRecord& record : records) {
+    const auto key = std::tuple(record.spec.topology, record.spec.size, record.spec.algorithm,
+                                record.spec.scheduler);
+    const auto [it, inserted] = group_index.try_emplace(key, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+      groups.back().first = &record;
+    }
+    Group& group = groups[it->second];
+    ++group.runs;
+    if (!record.error.empty()) {
+      ++group.errors;
+      continue;  // error runs carry no measurements
+    }
+    if (record.converged) ++group.converged;
+    if (record.relation != RelationVerdict::kNotChecked) {
+      ++group.relation_checked;
+      if (record.relation == RelationVerdict::kHolds) ++group.relation_ok;
+    }
+    group.work.add(static_cast<double>(record.work));
+    group.edge_reversals.add(static_cast<double>(record.edge_reversals));
+    group.rounds.add(static_cast<double>(record.rounds));
+  }
+
+  Table table;
+  table.columns = {"topology",   "size",      "algorithm",  "scheduler",
+                   "runs",       "errors",    "converged",  "work_total",
+                   "work_mean",  "work_min",  "work_max",   "edge_reversals_mean",
+                   "rounds_mean", "relation_checked", "relation_ok"};
+  for (const Group& group : groups) {
+    const RunSpec& spec = group.first->spec;
+    table.add_row({topology_token(spec.topology), u64(spec.size), algorithm_token(spec.algorithm),
+                   scheduler_token(spec.scheduler), u64(group.runs), u64(group.errors),
+                   u64(group.converged), u64(static_cast<std::uint64_t>(group.work.sum)),
+                   fmt_mean(group.work.mean()), u64(static_cast<std::uint64_t>(group.work.min)),
+                   u64(static_cast<std::uint64_t>(group.work.max)),
+                   fmt_mean(group.edge_reversals.mean()), fmt_mean(group.rounds.mean()),
+                   u64(group.relation_checked), u64(group.relation_ok)});
+  }
+  return table;
+}
+
+ScenarioRunner::ScenarioRunner(RunnerOptions options)
+    : threads_(options.threads != 0
+                   ? options.threads
+                   : std::max<std::size_t>(1, std::thread::hardware_concurrency())) {}
+
+SweepReport ScenarioRunner::run(const SweepSpec& spec) const {
+  return SweepReport{run_all(spec.expand())};
+}
+
+std::vector<RunRecord> ScenarioRunner::run_all(const std::vector<RunSpec>& specs) const {
+  std::vector<RunRecord> records(specs.size());
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&specs, &records, &cursor] {
+    while (true) {
+      const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= specs.size()) return;
+      records[index] = execute_run(specs[index]);
+    }
+  };
+  const std::size_t pool_size = std::min(threads_, specs.size());
+  if (pool_size <= 1) {
+    worker();
+    return records;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  return records;
+}
+
+}  // namespace lr

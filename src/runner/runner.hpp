@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+#include "trace/report.hpp"
+
+/// \file runner.hpp
+/// The parallel scenario-sweep engine (docs/ARCHITECTURE.md, runner
+/// layer): executes the runs a SweepSpec expands to on a fixed-size
+/// std::thread pool and aggregates work / rounds / social cost /
+/// relation-check verdicts into trace-layer Tables (CSV/JSON).
+///
+/// Determinism contract: every run derives its RNG streams from its
+/// RunSpec alone (scenario.hpp), records land at their expansion index,
+/// and aggregation is a serial pass over that vector — so record and
+/// aggregate tables are byte-identical across thread counts.  The
+/// single-run path (run_one) is the same code the `lr_cli run` subcommand
+/// and the retargeted experiment harnesses (bench_e2/e3/e5) execute, so
+/// swept and standalone measurements cannot drift apart.
+
+namespace lr {
+
+/// Verdict of the per-run simulation-relation check (sim-* kernels).
+enum class RelationVerdict : std::uint8_t {
+  kNotChecked,  ///< kernel does not check a relation
+  kHolds,       ///< relation held at every matched step pair
+  kViolated,    ///< relation (or an abstract precondition) failed
+};
+
+/// Record-table token of a verdict ("-", "ok", "violated").
+const char* relation_verdict_token(RelationVerdict verdict);
+
+/// Everything one run produced.  Semantics of the generic counters per
+/// kernel family are spelled out in docs/EXPERIMENTS.md; in brief:
+/// `work` is node reversal steps for automaton kernels (the game's social
+/// cost), concrete steps for sim-* kernels, and maintenance reversal steps
+/// for tora; `rounds` is greedy rounds for fr/pr and resync rounds for
+/// dist-*; `messages` counts network sends for dist-* and delivered
+/// packets for tora.
+struct RunRecord {
+  RunSpec spec;                       ///< the scenario that was run
+  std::uint64_t run_seed = 0;         ///< realized instance-stream seed
+  std::uint64_t nodes = 0;            ///< realized instance node count
+  std::uint64_t bad_nodes = 0;        ///< initial n_b of the instance
+  std::uint64_t work = 0;             ///< node reversal / concrete steps
+  std::uint64_t edge_reversals = 0;   ///< single-edge flips
+  std::uint64_t rounds = 0;           ///< greedy or resync rounds
+  std::uint64_t dummy_steps = 0;      ///< NewPR dummy actions
+  std::uint64_t abstract_steps = 0;   ///< abstract actions (sim-* kernels)
+  std::uint64_t messages = 0;         ///< network messages / packets
+  bool converged = false;             ///< reached the kernel's goal state
+  RelationVerdict relation = RelationVerdict::kNotChecked;  ///< sim-* verdict
+  std::string error;                  ///< non-empty iff the run threw
+};
+
+/// Executes one RunSpec synchronously and returns its record.  Exceptions
+/// become RunRecord::error instead of propagating, so one failing scenario
+/// cannot take down a sweep.  This is the shared single-run code path.
+RunRecord execute_run(const RunSpec& spec);
+
+/// A finished sweep: per-run records in expansion order plus table views.
+struct SweepReport {
+  std::vector<RunRecord> records;  ///< one record per expanded RunSpec
+
+  /// Per-run table, one row per record in expansion order.  Columns:
+  /// topology,size,algorithm,scheduler,seed,run_seed,nodes,bad_nodes,
+  /// work,edge_reversals,rounds,dummy_steps,abstract_steps,messages,
+  /// converged,relation,status.
+  Table records_table() const;
+
+  /// Aggregate table grouped by (topology, size, algorithm, scheduler)
+  /// over the seed axis, rows in first-appearance (= expansion) order.
+  /// Columns: topology,size,algorithm,scheduler,runs,errors,converged,
+  /// work_total,work_mean,work_min,work_max,edge_reversals_mean,
+  /// rounds_mean,relation_checked,relation_ok.
+  Table aggregate_table() const;
+};
+
+/// Configuration of a ScenarioRunner.
+struct RunnerOptions {
+  /// Worker threads in the pool; 0 means std::thread::hardware_concurrency
+  /// (at least 1).  Results are identical for every value by construction.
+  std::size_t threads = 0;
+};
+
+/// Executes sweeps on a fixed-size thread pool.
+///
+/// Work distribution is an atomic cursor over the expanded run list, so
+/// threads self-balance across runs of very different cost; determinism is
+/// unaffected because records are written to their expansion slot and
+/// never depend on claim order.
+class ScenarioRunner {
+ public:
+  /// Creates a runner; see RunnerOptions for the thread-count rule.
+  explicit ScenarioRunner(RunnerOptions options = {});
+
+  /// The resolved worker-thread count (>= 1).
+  std::size_t threads() const noexcept { return threads_; }
+
+  /// Expands `spec` and executes every run; returns the full report.
+  SweepReport run(const SweepSpec& spec) const;
+
+  /// Executes an explicit run list (already expanded or hand-built);
+  /// records are returned in input order.
+  std::vector<RunRecord> run_all(const std::vector<RunSpec>& specs) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace lr

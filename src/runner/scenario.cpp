@@ -1,0 +1,307 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace lr {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// Folds `value` into hash state `h` (one SplitMix64 round per field).
+std::uint64_t mix(std::uint64_t h, std::uint64_t value) { return splitmix64(h ^ value); }
+
+// Domain tags keep the derived streams (instance / scheduler / network)
+// statistically independent even though they share the axis inputs.
+constexpr std::uint64_t kInstanceDomain = 0x1a57a9cee1ULL;
+constexpr std::uint64_t kSchedulerDomain = 0x5c4ed01e5ULL;
+constexpr std::uint64_t kNetworkDomain = 0x4e7320a11ULL;
+
+}  // namespace
+
+std::uint64_t RunSpec::instance_seed() const {
+  std::uint64_t h = mix(kInstanceDomain, static_cast<std::uint64_t>(topology));
+  h = mix(h, static_cast<std::uint64_t>(size));
+  return mix(h, seed);
+}
+
+std::uint64_t RunSpec::scheduler_seed() const { return mix(kSchedulerDomain, instance_seed()); }
+
+std::uint64_t RunSpec::network_seed() const { return mix(kNetworkDomain, instance_seed()); }
+
+Instance make_instance(const RunSpec& spec) {
+  std::mt19937_64 rng(spec.instance_seed());
+  switch (spec.topology) {
+    case TopologyKind::kChain:
+      return make_worst_case_chain(spec.size);
+    case TopologyKind::kRandom:
+      return make_random_instance(spec.size, spec.size, rng);
+    case TopologyKind::kGrid:
+      return make_grid_instance(spec.size / 8 + 2, 8, rng);
+    case TopologyKind::kLayered:
+      return make_layered_bad_instance(spec.size / 8 + 2, 8, 0.3, rng);
+    case TopologyKind::kStar:
+      return make_sink_source_instance(spec.size | 1);
+    case TopologyKind::kUnitDisk:
+      return make_unit_disk_instance(spec.size, 0.25, rng);
+  }
+  throw std::invalid_argument("make_instance: unknown topology kind");
+}
+
+const char* topology_token(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kChain:
+      return "chain";
+    case TopologyKind::kRandom:
+      return "random";
+    case TopologyKind::kGrid:
+      return "grid";
+    case TopologyKind::kLayered:
+      return "layered";
+    case TopologyKind::kStar:
+      return "star";
+    case TopologyKind::kUnitDisk:
+      return "unitdisk";
+  }
+  return "?";
+}
+
+const char* algorithm_token(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kFullReversal:
+      return "fr";
+    case AlgorithmKind::kOneStepPR:
+      return "pr";
+    case AlgorithmKind::kNewPR:
+      return "newpr";
+    case AlgorithmKind::kHybrid:
+      return "hybrid";
+    case AlgorithmKind::kTora:
+      return "tora";
+    case AlgorithmKind::kDistFR:
+      return "dist-fr";
+    case AlgorithmKind::kDistPR:
+      return "dist-pr";
+    case AlgorithmKind::kSimRPrime:
+      return "sim-rprime";
+    case AlgorithmKind::kSimR:
+      return "sim-r";
+    case AlgorithmKind::kSimRRev:
+      return "sim-rrev";
+  }
+  return "?";
+}
+
+const char* scheduler_token(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kLowestId:
+      return "lowest";
+    case SchedulerKind::kRandom:
+      return "random";
+    case SchedulerKind::kRoundRobin:
+      return "rr";
+    case SchedulerKind::kFarthestFirst:
+      return "farthest";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename Kind>
+Kind parse_token(const std::string& token, const char* axis, const char* (*name)(Kind),
+                 std::initializer_list<Kind> all) {
+  for (const Kind kind : all) {
+    if (token == name(kind)) return kind;
+  }
+  std::string known;
+  for (const Kind kind : all) {
+    if (!known.empty()) known += ", ";
+    known += name(kind);
+  }
+  throw std::invalid_argument(std::string("unknown ") + axis + " '" + token + "' (known: " +
+                              known + ")");
+}
+
+}  // namespace
+
+TopologyKind parse_topology(const std::string& token) {
+  return parse_token(token, "topology", topology_token,
+                     {TopologyKind::kChain, TopologyKind::kRandom, TopologyKind::kGrid,
+                      TopologyKind::kLayered, TopologyKind::kStar, TopologyKind::kUnitDisk});
+}
+
+AlgorithmKind parse_algorithm(const std::string& token) {
+  return parse_token(token, "algorithm", algorithm_token,
+                     {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR,
+                      AlgorithmKind::kNewPR, AlgorithmKind::kHybrid, AlgorithmKind::kTora,
+                      AlgorithmKind::kDistFR, AlgorithmKind::kDistPR, AlgorithmKind::kSimRPrime,
+                      AlgorithmKind::kSimR, AlgorithmKind::kSimRRev});
+}
+
+SchedulerKind parse_scheduler(const std::string& token) {
+  return parse_token(token, "scheduler", scheduler_token,
+                     {SchedulerKind::kLowestId, SchedulerKind::kRandom,
+                      SchedulerKind::kRoundRobin, SchedulerKind::kFarthestFirst});
+}
+
+std::size_t SweepSpec::run_count() const {
+  return topologies.size() * sizes.size() * algorithms.size() * schedulers.size() * seeds.size();
+}
+
+std::vector<RunSpec> SweepSpec::expand() const {
+  std::vector<RunSpec> runs;
+  runs.reserve(run_count());
+  for (const TopologyKind topology : topologies) {
+    for (const std::size_t size : sizes) {
+      for (const AlgorithmKind algorithm : algorithms) {
+        for (const SchedulerKind scheduler : schedulers) {
+          for (const std::uint64_t seed : seeds) {
+            RunSpec spec;
+            spec.topology = topology;
+            spec.size = size;
+            spec.algorithm = algorithm;
+            spec.scheduler = scheduler;
+            spec.seed = seed;
+            spec.max_steps = max_steps;
+            runs.push_back(spec);
+          }
+        }
+      }
+    }
+  }
+  return runs;
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0, end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> split_values(const std::string& list) {
+  std::vector<std::string> values;
+  std::istringstream iss(list);
+  std::string item;
+  while (std::getline(iss, item, ',')) {
+    const std::string value = trim(item);
+    if (value.empty()) throw std::invalid_argument("empty value in list '" + list + "'");
+    values.push_back(value);
+  }
+  return values;
+}
+
+std::uint64_t parse_u64(const std::string& token) {
+  if (token.empty() || !std::all_of(token.begin(), token.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c));
+      })) {
+    throw std::invalid_argument("expected a non-negative integer, got '" + token + "'");
+  }
+  return std::stoull(token);
+}
+
+/// Parses an integer list with `lo..hi` inclusive range sugar.
+std::vector<std::uint64_t> parse_integer_list(const std::string& list) {
+  constexpr std::uint64_t kMaxRange = 1'000'000;  // guard against typo'd 1..1e18 sweeps
+  std::vector<std::uint64_t> values;
+  for (const std::string& token : split_values(list)) {
+    const std::size_t dots = token.find("..");
+    if (dots == std::string::npos) {
+      values.push_back(parse_u64(token));
+      continue;
+    }
+    const std::uint64_t lo = parse_u64(trim(token.substr(0, dots)));
+    const std::uint64_t hi = parse_u64(trim(token.substr(dots + 2)));
+    if (hi < lo) throw std::invalid_argument("descending range '" + token + "'");
+    if (hi - lo + 1 > kMaxRange) throw std::invalid_argument("range too large: '" + token + "'");
+    for (std::uint64_t v = lo; v <= hi; ++v) values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::parse(std::istream& is) {
+  SweepSpec spec;
+  std::set<std::string> seen;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("sweep spec line " + std::to_string(line_number) +
+                                  ": expected 'key = values', got '" + stripped + "'");
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string values = trim(stripped.substr(eq + 1));
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("sweep spec line " + std::to_string(line_number) +
+                                  ": duplicate key '" + key + "'");
+    }
+    try {
+      if (key == "topology") {
+        for (const std::string& token : split_values(values)) {
+          spec.topologies.push_back(parse_topology(token));
+        }
+      } else if (key == "size") {
+        for (const std::uint64_t v : parse_integer_list(values)) {
+          spec.sizes.push_back(static_cast<std::size_t>(v));
+        }
+      } else if (key == "algorithm") {
+        for (const std::string& token : split_values(values)) {
+          spec.algorithms.push_back(parse_algorithm(token));
+        }
+      } else if (key == "scheduler") {
+        for (const std::string& token : split_values(values)) {
+          spec.schedulers.push_back(parse_scheduler(token));
+        }
+      } else if (key == "seed") {
+        spec.seeds = parse_integer_list(values);
+      } else if (key == "max_steps") {
+        const auto list = parse_integer_list(values);
+        if (list.size() != 1) throw std::invalid_argument("max_steps takes a single value");
+        spec.max_steps = list[0];
+      } else {
+        throw std::invalid_argument("unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument("sweep spec line " + std::to_string(line_number) + ": " +
+                                  error.what());
+    }
+  }
+  for (const auto& [axis, empty] :
+       {std::pair<const char*, bool>{"topology", spec.topologies.empty()},
+        {"size", spec.sizes.empty()},
+        {"algorithm", spec.algorithms.empty()}}) {
+    if (empty) throw std::invalid_argument(std::string("sweep spec: missing required '") + axis +
+                                           "' axis");
+  }
+  if (spec.schedulers.empty()) spec.schedulers.push_back(SchedulerKind::kLowestId);
+  if (spec.seeds.empty()) spec.seeds.push_back(1);
+  return spec;
+}
+
+SweepSpec SweepSpec::parse_string(const std::string& text) {
+  std::istringstream iss(text);
+  return parse(iss);
+}
+
+}  // namespace lr

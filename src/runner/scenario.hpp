@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/game.hpp"
+#include "graph/generators.hpp"
+
+/// \file scenario.hpp
+/// Declarative scenario-sweep specifications: the input language of the
+/// scenario runner (runner.hpp, docs/EXPERIMENTS.md §"Sweep specs").
+///
+/// A sweep is the cartesian product of five axes — topology family ×
+/// instance size × algorithm kernel × scheduler × seed — expanded in a
+/// fixed documented order so that run #k means the same scenario on every
+/// machine and at every thread count.  Each expanded RunSpec derives its
+/// RNG streams (instance construction, scheduler choices, network delays)
+/// from the axis values alone via SplitMix64, never from expansion order
+/// or wall clock, which is what makes swept executions reproducible and
+/// thread-count-invariant (the acceptance property runner_test.cpp locks
+/// in).
+///
+/// The algorithm axis names *measurement kernels* over the paper's
+/// artifacts rather than automata alone: the Section 3 automata (FR /
+/// OneStepPR / NewPR), the Charron-Bost-style hybrid strategy game, the
+/// TORA routing service, the distributed message-passing protocols, and
+/// the Section 5 simulation-relation checkers (Lemmas 5.1 / 5.3 and the
+/// conclusion's reverse direction).
+
+namespace lr {
+
+/// Topology families the sweep axis can name.  Construction recipes (how
+/// `size` maps to generator arguments) live in make_instance() and are
+/// documented in docs/EXPERIMENTS.md.
+enum class TopologyKind : std::uint8_t {
+  kChain,     ///< away-oriented worst-case chain (E2's gadget)
+  kRandom,    ///< connected random graph, random acyclic orientation
+  kGrid,      ///< size/8+2 rows x 8 columns, random orientation
+  kLayered,   ///< layered all-bad instance (E2's second gadget)
+  kStar,      ///< alternating star with initial sinks and sources (E4)
+  kUnitDisk,  ///< unit-disk MANET instance (the deployment model)
+};
+
+/// Measurement kernels the sweep axis can name.
+enum class AlgorithmKind : std::uint8_t {
+  kFullReversal,  ///< FR run to quiescence (Gafni–Bertsekas baseline)
+  kOneStepPR,     ///< OneStepPR (paper Algorithm 3) run to quiescence
+  kNewPR,         ///< NewPR (paper Algorithm 2) run to quiescence
+  kHybrid,        ///< per-node random FR/PR strategy profile (game, E3.4)
+  kTora,          ///< TORA-style routing service under link churn
+  kDistFR,        ///< distributed FR over the simulated network (E7)
+  kDistPR,        ///< distributed PR over the simulated network (E7)
+  kSimRPrime,     ///< relation R' checker: PR -> OneStepPR (Lemma 5.1)
+  kSimR,          ///< relation R checker: OneStepPR -> NewPR (Lemma 5.3)
+  kSimRRev,       ///< reverse relation checker: NewPR -> OneStepPR
+};
+
+/// One fully resolved scenario: a point of the sweep's cartesian product.
+struct RunSpec {
+  TopologyKind topology = TopologyKind::kChain;  ///< topology family
+  std::size_t size = 8;                          ///< nominal instance size
+  AlgorithmKind algorithm = AlgorithmKind::kOneStepPR;  ///< kernel to run
+  SchedulerKind scheduler = SchedulerKind::kLowestId;   ///< demon resolving nondeterminism
+  std::uint64_t seed = 1;      ///< master seed of this run's RNG streams
+  std::uint64_t max_steps = 10'000'000;  ///< step/round safety budget
+
+  /// Seed of the instance-construction RNG stream.  Depends only on
+  /// (topology, size, seed) — *not* on algorithm or scheduler — so all
+  /// kernels of one sweep measure the same instances, which is what makes
+  /// FR-vs-PR comparisons within a sweep meaningful.
+  std::uint64_t instance_seed() const;
+
+  /// Seed of the scheduler RNG stream (random scheduler choices).
+  std::uint64_t scheduler_seed() const;
+
+  /// Seed of the network RNG stream (message delays, drops, churn).
+  std::uint64_t network_seed() const;
+};
+
+/// SplitMix64 — the seed-derivation hash behind the per-run RNG streams.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Builds the workload instance a RunSpec describes.  Deterministic in
+/// (topology, size, seed); the recipes are fixed sweep-format contract
+/// (docs/EXPERIMENTS.md) shared with `lr_cli gen`.
+Instance make_instance(const RunSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Axis token names (the sweep-spec file vocabulary)
+// ---------------------------------------------------------------------------
+
+/// Spec-file token of a topology family ("chain", "random", ...).
+const char* topology_token(TopologyKind kind);
+
+/// Spec-file token of an algorithm kernel ("fr", "pr", "newpr", "hybrid",
+/// "tora", "dist-fr", "dist-pr", "sim-rprime", "sim-r", "sim-rrev").
+const char* algorithm_token(AlgorithmKind kind);
+
+/// Spec-file token of a scheduler ("lowest", "random", "rr", "farthest"),
+/// matching the `lr_cli run` vocabulary.
+const char* scheduler_token(SchedulerKind kind);
+
+/// Parses a topology token; throws std::invalid_argument when unknown.
+TopologyKind parse_topology(const std::string& token);
+
+/// Parses an algorithm token; throws std::invalid_argument when unknown.
+AlgorithmKind parse_algorithm(const std::string& token);
+
+/// Parses a scheduler token; throws std::invalid_argument when unknown.
+SchedulerKind parse_scheduler(const std::string& token);
+
+/// A declarative sweep: the five value lists whose cartesian product is
+/// the set of runs, plus the shared step budget.
+///
+/// Text form (see docs/EXPERIMENTS.md §"Sweep specs"): one `key = values`
+/// line per axis, `#` comments, values comma-separated, integer axes also
+/// accepting inclusive `lo..hi` ranges:
+///
+///     topology  = chain, random
+///     size      = 16, 32
+///     algorithm = fr, pr
+///     scheduler = lowest, random
+///     seed      = 1..5
+///     max_steps = 1000000
+///
+/// `scheduler` defaults to `lowest` and `seed` to `1` when omitted;
+/// `topology`, `size`, and `algorithm` are required.
+struct SweepSpec {
+  std::vector<TopologyKind> topologies;     ///< `topology =` axis
+  std::vector<std::size_t> sizes;           ///< `size =` axis
+  std::vector<AlgorithmKind> algorithms;    ///< `algorithm =` axis
+  std::vector<SchedulerKind> schedulers;    ///< `scheduler =` axis
+  std::vector<std::uint64_t> seeds;         ///< `seed =` axis
+  std::uint64_t max_steps = 10'000'000;     ///< per-run safety budget
+
+  /// Number of runs the spec expands to (the axes' size product).
+  std::size_t run_count() const;
+
+  /// Expands the cartesian product in the canonical order: topology
+  /// outermost, then size, algorithm, scheduler, and seed innermost.
+  std::vector<RunSpec> expand() const;
+
+  /// Parses the text form.  Throws std::invalid_argument on unknown keys,
+  /// unknown tokens, duplicate keys, or a missing required axis.
+  static SweepSpec parse(std::istream& is);
+
+  /// Convenience overload of parse() taking the spec text directly.
+  static SweepSpec parse_string(const std::string& text);
+};
+
+}  // namespace lr

@@ -10,8 +10,9 @@
 /// callbacks with deterministic FIFO tie-breaking.
 ///
 /// The paper's algorithms are asynchronous-model algorithms; the DES is the
-/// substitute for a physical ad-hoc network (DESIGN.md §3).  Determinism
-/// matters: with a fixed seed, every simulated experiment replays exactly.
+/// substitute for a physical ad-hoc network (docs/ARCHITECTURE.md, sim
+/// layer).  Determinism matters: with a fixed seed, every simulated
+/// experiment replays exactly — the scenario runner's sweeps rely on it.
 
 namespace lr {
 

@@ -14,7 +14,8 @@
 /// up/down churn, and per-node delivery handlers.
 ///
 /// This is the substitute substrate for the mobile ad-hoc networks that
-/// motivate link reversal routing (DESIGN.md §3): the algorithms only
+/// motivate link reversal routing (Gafni–Bertsekas's "frequently changing
+/// topology"; docs/ARCHITECTURE.md, sim layer): the algorithms only
 /// require eventual delivery on up links, which the simulator provides.
 
 namespace lr {

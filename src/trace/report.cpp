@@ -1,0 +1,195 @@
+#include "trace/report.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lr {
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns.size()) {
+    throw std::invalid_argument("Table::add_row: expected " + std::to_string(columns.size()) +
+                                " cells, got " + std::to_string(cells.size()));
+  }
+  rows.push_back(std::move(cells));
+}
+
+namespace {
+
+bool needs_csv_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void write_csv_cell(std::ostream& os, const std::string& cell) {
+  if (!needs_csv_quoting(cell)) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (const char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os << ',';
+    write_csv_cell(os, cells[i]);
+  }
+  os << '\n';
+}
+
+/// Reads one CSV record (handling quoted cells spanning separators);
+/// returns false on end of input with no record started.
+bool read_csv_row(std::istream& is, std::vector<std::string>& cells) {
+  cells.clear();
+  int c = is.get();
+  if (c == std::istream::traits_type::eof()) return false;
+  std::string cell;
+  bool in_quotes = false;
+  while (true) {
+    if (c == std::istream::traits_type::eof()) {
+      if (in_quotes) throw std::invalid_argument("read_table_csv: unterminated quoted cell");
+      cells.push_back(std::move(cell));
+      return true;
+    }
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (is.peek() == '"') {
+          cell.push_back('"');
+          is.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(ch);
+      }
+    } else if (ch == '"' && cell.empty()) {
+      in_quotes = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (ch == '\n') {
+      cells.push_back(std::move(cell));
+      return true;
+    } else if (ch != '\r') {
+      cell.push_back(ch);
+    }
+    c = is.get();
+  }
+}
+
+/// True iff `cell` is a JSON-safe number literal: optional minus, digits,
+/// optional fraction; rejects leading zeros oddities conservatively by
+/// accepting them (JSON allows 0.5, forbids 01 — we only emit what we can
+/// parse back, so forbid a leading zero followed by more digits).
+/// Integers longer than 15 digits are emitted as strings instead: they can
+/// exceed 2^53, which double-backed JSON parsers would silently round
+/// (64-bit run seeds must survive a JSON round trip bit-exactly).
+bool is_json_number(const std::string& cell) {
+  std::size_t i = 0;
+  if (i < cell.size() && cell[i] == '-') ++i;
+  const std::size_t int_begin = i;
+  while (i < cell.size() && std::isdigit(static_cast<unsigned char>(cell[i]))) ++i;
+  if (i == int_begin) return false;
+  if (i - int_begin > 1 && cell[int_begin] == '0') return false;
+  if (i == cell.size() && i - int_begin > 15) return false;
+  if (i < cell.size() && cell[i] == '.') {
+    ++i;
+    const std::size_t frac_begin = i;
+    while (i < cell.size() && std::isdigit(static_cast<unsigned char>(cell[i]))) ++i;
+    if (i == frac_begin) return false;
+  }
+  return i == cell.size();
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void check_rectangular(const Table& table) {
+  for (const auto& row : table.rows) {
+    if (row.size() != table.columns.size()) {
+      throw std::invalid_argument("table row width does not match column count");
+    }
+  }
+}
+
+}  // namespace
+
+void write_table_csv(std::ostream& os, const Table& table) {
+  check_rectangular(table);
+  write_csv_row(os, table.columns);
+  for (const auto& row : table.rows) write_csv_row(os, row);
+}
+
+Table read_table_csv(std::istream& is) {
+  Table table;
+  if (!read_csv_row(is, table.columns)) {
+    throw std::invalid_argument("read_table_csv: empty input (no header row)");
+  }
+  std::vector<std::string> cells;
+  while (read_csv_row(is, cells)) {
+    if (cells.size() != table.columns.size()) {
+      throw std::invalid_argument("read_table_csv: row has " + std::to_string(cells.size()) +
+                                  " cells, header has " + std::to_string(table.columns.size()));
+    }
+    table.rows.push_back(cells);
+  }
+  return table;
+}
+
+void write_table_json(std::ostream& os, const Table& table) {
+  check_rectangular(table);
+  os << "[\n";
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      if (c != 0) os << ", ";
+      write_json_string(os, table.columns[c]);
+      os << ": ";
+      const std::string& cell = table.rows[r][c];
+      if (is_json_number(cell)) {
+        os << cell;
+      } else {
+        write_json_string(os, cell);
+      }
+    }
+    os << (r + 1 == table.rows.size() ? "}\n" : "},\n");
+  }
+  os << "]\n";
+}
+
+}  // namespace lr

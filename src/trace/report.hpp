@@ -1,0 +1,50 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file report.hpp
+/// Machine-readable result tables: the string-cell `Table` every harness
+/// layer aggregates into, with CSV writer/reader (lossless round-trip) and
+/// a JSON writer.  This generalizes trace.hpp's fixed-schema CSV to the
+/// arbitrary schemas the scenario runner (src/runner) and the experiment
+/// harnesses (bench_e1..e8, docs/EXPERIMENTS.md) emit, so single runs and
+/// swept runs share one output path.
+
+namespace lr {
+
+/// A rectangular result table: named columns plus string-typed rows.
+///
+/// Cells are stored as strings so one schema serves every experiment; the
+/// writers below apply CSV quoting / JSON typing at the boundary.  Every
+/// row must have exactly `columns.size()` cells (the writers throw
+/// std::invalid_argument otherwise).
+struct Table {
+  std::vector<std::string> columns;             ///< header, left to right
+  std::vector<std::vector<std::string>> rows;   ///< cells, row-major
+
+  /// Appends one row.  Throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  bool operator==(const Table&) const = default;
+};
+
+/// Writes the table as RFC-4180-style CSV: header row first; cells
+/// containing commas, quotes, or newlines are double-quoted with embedded
+/// quotes doubled.  write_table_csv and read_table_csv round-trip exactly.
+void write_table_csv(std::ostream& os, const Table& table);
+
+/// Parses CSV produced by write_table_csv (quoting included) back into a
+/// Table.  Throws std::invalid_argument on malformed input (unterminated
+/// quote, ragged row).
+Table read_table_csv(std::istream& is);
+
+/// Writes the table as a JSON array of row objects keyed by column name.
+/// Cells that parse fully as decimal integers or simple floats are emitted
+/// as JSON numbers; everything else as JSON strings (with escaping).
+/// Integers longer than 15 digits stay strings so values above 2^53 (e.g.
+/// 64-bit run seeds) are not rounded by double-backed JSON parsers.
+void write_table_json(std::ostream& os, const Table& table);
+
+}  // namespace lr

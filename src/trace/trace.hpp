@@ -10,9 +10,11 @@
 /// \file trace.hpp
 /// Execution tracing: record the action sequence (and per-step edge
 /// reversals) of any link-reversal execution, export it as CSV, and replay
-/// it deterministically through a ReplayScheduler.  Traces make failing
-/// property tests reproducible and feed the experiment harness's
-/// machine-readable output.
+/// it deterministically through a ReplayScheduler.  A trace is a finite
+/// execution of the paper's Section 2 I/O automata made concrete; replay
+/// is what lets the simulation-relation checkers (Section 5) and failing
+/// property tests re-drive the exact same schedule.  Arbitrary-schema
+/// result tables live next door in report.hpp.
 
 namespace lr {
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -83,6 +84,81 @@ TEST_F(CliIntegrationTest, ModelCheckReportsAcyclicEverywhere) {
   EXPECT_EQ(mc.exit_code, 0) << mc.output;
   EXPECT_NE(mc.output.find("acyclic everywhere   : yes"), std::string::npos) << mc.output;
   std::filesystem::remove(path);
+}
+
+TEST_F(CliIntegrationTest, SweepIsDeterministicAcrossThreadCounts) {
+  const std::string spec_path = temp_file("cli_it_sweep.sweep");
+  {
+    // 2 x 2 x 3 x 2 x 3 = 72 runs >= the 50-run acceptance floor.
+    std::ofstream spec(spec_path);
+    spec << "topology  = chain, random\n"
+            "size      = 8, 16\n"
+            "algorithm = fr, pr, newpr\n"
+            "scheduler = lowest, random\n"
+            "seed      = 1..3\n";
+  }
+  const std::string records1 = temp_file("cli_it_sweep1.csv");
+  const std::string records4 = temp_file("cli_it_sweep4.csv");
+  const auto serial = run_command("sweep " + spec_path + " --threads 1 --records " + records1);
+  EXPECT_EQ(serial.exit_code, 0) << serial.output;
+  const auto parallel = run_command("sweep " + spec_path + " --threads 4 --records " + records4);
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.output;
+
+  // Identical aggregate CSV modulo the stderr progress line (which reports
+  // thread count and wall time and is excluded from the contract).
+  const auto strip_progress = [](const std::string& output) {
+    std::string kept;
+    std::istringstream iss(output);
+    std::string line;
+    while (std::getline(iss, line)) {
+      if (line.rfind("sweep:", 0) != 0) kept += line + "\n";
+    }
+    return kept;
+  };
+  EXPECT_EQ(strip_progress(serial.output), strip_progress(parallel.output));
+  EXPECT_NE(serial.output.find("72 runs"), std::string::npos) << serial.output;
+  EXPECT_NE(serial.output.find("topology,size,algorithm,scheduler,runs"), std::string::npos);
+
+  std::ifstream r1(records1), r4(records4);
+  std::stringstream s1, s4;
+  s1 << r1.rdbuf();
+  s4 << r4.rdbuf();
+  const std::string csv1 = s1.str();
+  const std::string csv4 = s4.str();
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv4);
+  // 72 record rows + header.
+  EXPECT_EQ(std::count(csv1.begin(), csv1.end(), '\n'), 73);
+
+  std::filesystem::remove(spec_path);
+  std::filesystem::remove(records1);
+  std::filesystem::remove(records4);
+}
+
+TEST_F(CliIntegrationTest, SweepWritesJsonAndRejectsBadSpec) {
+  const std::string spec_path = temp_file("cli_it_sweep_bad.sweep");
+  {
+    std::ofstream spec(spec_path);
+    spec << "topology = moebius\nsize = 8\nalgorithm = pr\n";
+  }
+  const auto bad = run_command("sweep " + spec_path);
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.output.find("error:"), std::string::npos) << bad.output;
+  {
+    std::ofstream spec(spec_path);
+    spec << "topology = chain\nsize = 8\nalgorithm = pr\n";
+  }
+  const std::string json_path = temp_file("cli_it_sweep.json");
+  const auto good = run_command("sweep " + spec_path + " --json " + json_path);
+  EXPECT_EQ(good.exit_code, 0) << good.output;
+  std::ifstream json(json_path);
+  std::stringstream contents;
+  contents << json.rdbuf();
+  EXPECT_NE(contents.str().find("\"algorithm\": \"pr\""), std::string::npos) << contents.str();
+  EXPECT_EQ(run_command("sweep /definitely/not/here.sweep").exit_code, 1);
+  EXPECT_EQ(run_command("sweep " + spec_path + " --bogus 1").exit_code, 2);
+  std::filesystem::remove(spec_path);
+  std::filesystem::remove(json_path);
 }
 
 TEST_F(CliIntegrationTest, UsageOnBadArguments) {

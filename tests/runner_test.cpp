@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/bounds.hpp"
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+#include "trace/report.hpp"
+
+/// Tests for the scenario-sweep engine: spec parsing and expansion order,
+/// per-run seed derivation, thread-count-invariant determinism, degenerate
+/// sweeps, and the CSV/JSON golden-file round-trip through trace/report.
+
+namespace lr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpecTest, ParsesFullSpecWithRangesAndComments) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "# a comment line\n"
+      "topology  = chain, random   # trailing comment\n"
+      "size      = 8, 16\n"
+      "algorithm = fr, pr, newpr\n"
+      "scheduler = lowest, random\n"
+      "seed      = 1..3, 10\n"
+      "max_steps = 5000\n");
+  EXPECT_EQ(spec.topologies, (std::vector<TopologyKind>{TopologyKind::kChain,
+                                                        TopologyKind::kRandom}));
+  EXPECT_EQ(spec.sizes, (std::vector<std::size_t>{8, 16}));
+  EXPECT_EQ(spec.algorithms.size(), 3u);
+  EXPECT_EQ(spec.schedulers.size(), 2u);
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{1, 2, 3, 10}));
+  EXPECT_EQ(spec.max_steps, 5000u);
+  EXPECT_EQ(spec.run_count(), 2u * 2 * 3 * 2 * 4);
+}
+
+TEST(SweepSpecTest, DefaultsSchedulerAndSeed) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = chain\n"
+      "size = 8\n"
+      "algorithm = pr\n");
+  ASSERT_EQ(spec.schedulers, (std::vector<SchedulerKind>{SchedulerKind::kLowestId}));
+  ASSERT_EQ(spec.seeds, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(spec.run_count(), 1u);
+}
+
+TEST(SweepSpecTest, RejectsMalformedInput) {
+  EXPECT_THROW(SweepSpec::parse_string("topology = moebius\nsize=8\nalgorithm=pr\n"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse_string("size = 8\nalgorithm = pr\n"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse_string("topology = chain\ntopology = chain\n"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse_string("topology chain\n"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse_string("topology = chain\nsize = 9..5\nalgorithm = pr\n"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse_string("topology = chain\nsize = 8\nalgorithm = pr\n"
+                                       "seed = 1..99999999\n"),
+               std::invalid_argument);
+}
+
+TEST(SweepSpecTest, ExpansionOrderIsSeedInnermost) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = chain, star\n"
+      "size = 8\n"
+      "algorithm = fr, pr\n"
+      "seed = 1, 2\n");
+  const std::vector<RunSpec> runs = spec.expand();
+  ASSERT_EQ(runs.size(), 8u);
+  EXPECT_EQ(runs[0].topology, TopologyKind::kChain);
+  EXPECT_EQ(runs[0].algorithm, AlgorithmKind::kFullReversal);
+  EXPECT_EQ(runs[0].seed, 1u);
+  EXPECT_EQ(runs[1].seed, 2u);  // seed is the innermost axis
+  EXPECT_EQ(runs[2].algorithm, AlgorithmKind::kOneStepPR);
+  EXPECT_EQ(runs[4].topology, TopologyKind::kStar);
+}
+
+// ---------------------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------------------
+
+TEST(RunSpecTest, InstanceSeedIgnoresAlgorithmAndScheduler) {
+  RunSpec a;
+  a.topology = TopologyKind::kRandom;
+  a.size = 32;
+  a.seed = 7;
+  a.algorithm = AlgorithmKind::kFullReversal;
+  a.scheduler = SchedulerKind::kLowestId;
+  RunSpec b = a;
+  b.algorithm = AlgorithmKind::kOneStepPR;
+  b.scheduler = SchedulerKind::kRandom;
+  EXPECT_EQ(a.instance_seed(), b.instance_seed());
+
+  RunSpec c = a;
+  c.seed = 8;
+  EXPECT_NE(a.instance_seed(), c.instance_seed());
+  RunSpec d = a;
+  d.size = 33;
+  EXPECT_NE(a.instance_seed(), d.instance_seed());
+}
+
+TEST(RunSpecTest, DerivedStreamsAreDistinct) {
+  const RunSpec spec;
+  EXPECT_NE(spec.instance_seed(), spec.scheduler_seed());
+  EXPECT_NE(spec.instance_seed(), spec.network_seed());
+  EXPECT_NE(spec.scheduler_seed(), spec.network_seed());
+}
+
+TEST(RunSpecTest, SameSpecSameInstance) {
+  RunSpec spec;
+  spec.topology = TopologyKind::kRandom;
+  spec.size = 24;
+  spec.seed = 5;
+  const Instance first = make_instance(spec);
+  const Instance second = make_instance(spec);
+  EXPECT_EQ(first.graph.num_nodes(), second.graph.num_nodes());
+  EXPECT_EQ(first.graph.num_edges(), second.graph.num_edges());
+  EXPECT_EQ(first.senses, second.senses);
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+TEST(ExecuteRunTest, EveryAlgorithmKernelExecutesCleanly) {
+  for (const AlgorithmKind algorithm :
+       {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR, AlgorithmKind::kNewPR,
+        AlgorithmKind::kHybrid, AlgorithmKind::kTora, AlgorithmKind::kDistFR,
+        AlgorithmKind::kDistPR, AlgorithmKind::kSimRPrime, AlgorithmKind::kSimR,
+        AlgorithmKind::kSimRRev}) {
+    RunSpec spec;
+    spec.topology = TopologyKind::kRandom;
+    spec.size = 16;
+    spec.algorithm = algorithm;
+    spec.scheduler = SchedulerKind::kRandom;
+    spec.seed = 3;
+    const RunRecord record = execute_run(spec);
+    EXPECT_TRUE(record.error.empty()) << algorithm_token(algorithm) << ": " << record.error;
+    EXPECT_TRUE(record.converged) << algorithm_token(algorithm);
+    EXPECT_EQ(record.nodes, 16u) << algorithm_token(algorithm);
+  }
+}
+
+TEST(ExecuteRunTest, ChainWorkMatchesClosedForms) {
+  RunSpec spec;
+  spec.topology = TopologyKind::kChain;
+  spec.size = 9;  // n_b = 8
+  spec.algorithm = AlgorithmKind::kFullReversal;
+  const RunRecord fr = execute_run(spec);
+  EXPECT_EQ(fr.bad_nodes, 8u);
+  EXPECT_EQ(fr.work, fr_chain_work(8));
+  spec.algorithm = AlgorithmKind::kOneStepPR;
+  const RunRecord pr = execute_run(spec);
+  EXPECT_EQ(pr.work, pr_chain_work(8));
+  EXPECT_GT(fr.rounds, 0u);
+  EXPECT_GT(pr.rounds, 0u);
+}
+
+TEST(ExecuteRunTest, SimulationKernelsReportVerdicts) {
+  RunSpec spec;
+  spec.topology = TopologyKind::kRandom;
+  spec.size = 20;
+  spec.seed = 11;
+  spec.scheduler = SchedulerKind::kRandom;
+
+  spec.algorithm = AlgorithmKind::kSimRPrime;
+  const RunRecord rprime = execute_run(spec);
+  EXPECT_EQ(rprime.relation, RelationVerdict::kHolds) << rprime.error;
+  EXPECT_GE(rprime.abstract_steps, rprime.work);  // |S| one-step actions per set step
+
+  spec.algorithm = AlgorithmKind::kSimR;
+  const RunRecord r = execute_run(spec);
+  EXPECT_EQ(r.relation, RelationVerdict::kHolds) << r.error;
+  EXPECT_GE(r.abstract_steps, r.work);       // 1..2 NewPR steps per OneStepPR step
+  EXPECT_LE(r.abstract_steps, 2 * r.work);
+
+  spec.algorithm = AlgorithmKind::kSimRRev;
+  const RunRecord rrev = execute_run(spec);
+  EXPECT_EQ(rrev.relation, RelationVerdict::kHolds) << rrev.error;
+  EXPECT_LE(rrev.abstract_steps, rrev.work);  // dummy steps map to empty sequences
+}
+
+TEST(ExecuteRunTest, UnsupportedSchedulerBecomesErrorRecordNotCrash) {
+  RunSpec spec;
+  spec.algorithm = AlgorithmKind::kSimRPrime;
+  spec.scheduler = SchedulerKind::kRoundRobin;
+  const RunRecord record = execute_run(spec);
+  EXPECT_FALSE(record.error.empty());
+  EXPECT_FALSE(record.converged);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel determinism (the sweep engine's core contract)
+// ---------------------------------------------------------------------------
+
+SweepSpec determinism_sweep() {
+  // 2 topologies x 1 size x 3 algorithms x 2 schedulers x 5 seeds = 60 runs,
+  // mixing deterministic and seeded-random kernels and schedulers.
+  return SweepSpec::parse_string(
+      "topology = chain, random\n"
+      "size = 16\n"
+      "algorithm = fr, pr, sim-r\n"
+      "scheduler = lowest, random\n"
+      "seed = 1..5\n");
+}
+
+TEST(ScenarioRunnerTest, AggregatesIdenticalAcrossThreadCounts) {
+  const SweepSpec spec = determinism_sweep();
+  ASSERT_GE(spec.run_count(), 50u);
+  const SweepReport serial = ScenarioRunner({.threads = 1}).run(spec);
+  const SweepReport parallel4 = ScenarioRunner({.threads = 4}).run(spec);
+  const SweepReport parallel7 = ScenarioRunner({.threads = 7}).run(spec);
+
+  std::ostringstream s1, s4, s7;
+  write_table_csv(s1, serial.records_table());
+  write_table_csv(s4, parallel4.records_table());
+  write_table_csv(s7, parallel7.records_table());
+  EXPECT_EQ(s1.str(), s4.str());
+  EXPECT_EQ(s1.str(), s7.str());
+
+  std::ostringstream a1, a4;
+  write_table_csv(a1, serial.aggregate_table());
+  write_table_csv(a4, parallel4.aggregate_table());
+  EXPECT_EQ(a1.str(), a4.str());
+}
+
+TEST(ScenarioRunnerTest, ThreadCountZeroResolvesToHardware) {
+  EXPECT_GE(ScenarioRunner(RunnerOptions{}).threads(), 1u);
+  EXPECT_EQ(ScenarioRunner({.threads = 3}).threads(), 3u);
+}
+
+TEST(ScenarioRunnerTest, EmptySweepYieldsHeaderOnlyTables) {
+  const SweepReport report = ScenarioRunner({.threads = 2}).run(SweepSpec{});
+  EXPECT_TRUE(report.records.empty());
+  EXPECT_TRUE(report.records_table().rows.empty());
+  EXPECT_TRUE(report.aggregate_table().rows.empty());
+  EXPECT_FALSE(report.records_table().columns.empty());
+}
+
+TEST(ScenarioRunnerTest, DegenerateSingleNodeInstanceRuns) {
+  RunSpec spec;
+  spec.topology = TopologyKind::kChain;
+  spec.size = 1;  // destination only: no edges, no bad nodes, nothing to do
+  spec.algorithm = AlgorithmKind::kOneStepPR;
+  const RunRecord record = execute_run(spec);
+  EXPECT_TRUE(record.error.empty()) << record.error;
+  EXPECT_EQ(record.work, 0u);
+  EXPECT_EQ(record.bad_nodes, 0u);
+  EXPECT_TRUE(record.converged);
+}
+
+TEST(ScenarioRunnerTest, AggregateCountsRelationVerdictsAndConvergence) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = random\n"
+      "size = 12\n"
+      "algorithm = pr, sim-rprime\n"
+      "scheduler = random\n"
+      "seed = 1..4\n");
+  const SweepReport report = ScenarioRunner({.threads = 2}).run(spec);
+  const Table aggregate = report.aggregate_table();
+  ASSERT_EQ(aggregate.rows.size(), 2u);  // one group per algorithm
+  const auto cell = [&](std::size_t row, const std::string& column) {
+    for (std::size_t c = 0; c < aggregate.columns.size(); ++c) {
+      if (aggregate.columns[c] == column) return aggregate.rows[row][c];
+    }
+    ADD_FAILURE() << "no column " << column;
+    return std::string{};
+  };
+  EXPECT_EQ(cell(0, "algorithm"), "pr");
+  EXPECT_EQ(cell(0, "runs"), "4");
+  EXPECT_EQ(cell(0, "converged"), "4");
+  EXPECT_EQ(cell(0, "relation_checked"), "0");
+  EXPECT_EQ(cell(1, "algorithm"), "sim-rprime");
+  EXPECT_EQ(cell(1, "relation_checked"), "4");
+  EXPECT_EQ(cell(1, "relation_ok"), "4");
+}
+
+// ---------------------------------------------------------------------------
+// Report tables: golden strings and round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ReportTableTest, CsvGoldenWithQuoting) {
+  Table table;
+  table.columns = {"name", "value", "note"};
+  table.add_row({"plain", "42", "no quoting"});
+  table.add_row({"comma,case", "3.5", "quote \"this\""});
+  std::ostringstream os;
+  write_table_csv(os, table);
+  EXPECT_EQ(os.str(),
+            "name,value,note\n"
+            "plain,42,no quoting\n"
+            "\"comma,case\",3.5,\"quote \"\"this\"\"\"\n");
+}
+
+TEST(ReportTableTest, JsonGoldenTypesNumbersAndEscapes) {
+  Table table;
+  table.columns = {"name", "value"};
+  table.add_row({"answer", "42"});
+  table.add_row({"ratio", "-1.5"});
+  table.add_row({"text \"q\"", "007"});  // leading zero stays a string
+  table.add_row({"seed", "5294858384698045469"});  // > 2^53 stays a string
+  std::ostringstream os;
+  write_table_json(os, table);
+  EXPECT_EQ(os.str(),
+            "[\n"
+            "  {\"name\": \"answer\", \"value\": 42},\n"
+            "  {\"name\": \"ratio\", \"value\": -1.5},\n"
+            "  {\"name\": \"text \\\"q\\\"\", \"value\": \"007\"},\n"
+            "  {\"name\": \"seed\", \"value\": \"5294858384698045469\"}\n"
+            "]\n");
+}
+
+TEST(ReportTableTest, CsvRoundTripsExactly) {
+  Table table;
+  table.columns = {"a", "b"};
+  table.add_row({"x,y", "line\nbreak"});
+  table.add_row({"\"quoted\"", ""});
+  std::ostringstream os;
+  write_table_csv(os, table);
+  std::istringstream is(os.str());
+  EXPECT_EQ(read_table_csv(is), table);
+}
+
+TEST(ReportTableTest, RejectsRaggedRowsAndBadCsv) {
+  Table table;
+  table.columns = {"a", "b"};
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  std::istringstream ragged("a,b\n1\n");
+  EXPECT_THROW(read_table_csv(ragged), std::invalid_argument);
+  std::istringstream unterminated("a\n\"open\n");
+  EXPECT_THROW(read_table_csv(unterminated), std::invalid_argument);
+  std::istringstream empty("");
+  EXPECT_THROW(read_table_csv(empty), std::invalid_argument);
+}
+
+TEST(ReportTableTest, SweepRecordsRoundTripThroughCsv) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = chain\n"
+      "size = 8\n"
+      "algorithm = fr, pr, newpr\n"
+      "seed = 1, 2\n");
+  const SweepReport report = ScenarioRunner({.threads = 2}).run(spec);
+  const Table records = report.records_table();
+  ASSERT_EQ(records.rows.size(), 6u);
+  std::ostringstream os;
+  write_table_csv(os, records);
+  std::istringstream is(os.str());
+  EXPECT_EQ(read_table_csv(is), records);
+}
+
+}  // namespace
+}  // namespace lr
