@@ -4,8 +4,15 @@
 /// size, runs a seeded random execution checking acyclicity after *every*
 /// action, and reports steps plus the violation count (always 0).  The
 /// micro-benchmarks time the per-step acyclicity check itself.
+///
+/// The table is emitted as trace-layer CSV (bench_util.hpp) and the
+/// harness exits non-zero on any violation, so the CI bench-smoke job
+/// (`--smoke`: tiny sizes, micro-timings skipped) is a real correctness
+/// gate, not just a build check.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 #include "automata/executor.hpp"
 #include "automata/scheduler.hpp"
@@ -53,27 +60,36 @@ std::pair<std::uint64_t, std::uint64_t> run_checked_set(const Instance& inst,
   return {result.steps, violations};
 }
 
-void print_table() {
+/// Prints the E1 series as CSV; returns the total violation count (0 on a
+/// healthy build).
+std::uint64_t print_table(bool smoke) {
   bench::print_header("E1: acyclicity at every reachable state (Thm 4.3 / 5.5)",
                       "0 violations for every algorithm, family, size, seed");
-  bench::print_row({"algorithm", "family", "n", "steps", "violations"});
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{8, 16} : std::vector<std::size_t>{8, 32, 128};
+  Table table;
+  table.columns = {"algorithm", "family", "n", "steps", "violations"};
+  std::uint64_t total_violations = 0;
   for (const std::string family : {"chain", "random", "grid", "layered"}) {
-    for (const std::size_t n : {8u, 32u, 128u}) {
+    for (const std::size_t n : sizes) {
       const Instance inst = family_instance(family, n, n * 31 + 7);
       const auto [pr_steps, pr_viol] = run_checked_set(inst, 1);
       const auto [os_steps, os_viol] = run_checked_single<OneStepPRAutomaton>(inst, 2);
       const auto [np_steps, np_viol] = run_checked_single<NewPRAutomaton>(inst, 3);
       const auto [fr_steps, fr_viol] = run_checked_single<FullReversalAutomaton>(inst, 4);
-      bench::print_row({"PR(set)", family, std::to_string(n), bench::fmt_u(pr_steps),
-                        bench::fmt_u(pr_viol)});
-      bench::print_row({"OneStepPR", family, std::to_string(n), bench::fmt_u(os_steps),
-                        bench::fmt_u(os_viol)});
-      bench::print_row({"NewPR", family, std::to_string(n), bench::fmt_u(np_steps),
-                        bench::fmt_u(np_viol)});
-      bench::print_row({"FR", family, std::to_string(n), bench::fmt_u(fr_steps),
-                        bench::fmt_u(fr_viol)});
+      total_violations += pr_viol + os_viol + np_viol + fr_viol;
+      table.add_row({"PR(set)", family, std::to_string(n), bench::fmt_u(pr_steps),
+                     bench::fmt_u(pr_viol)});
+      table.add_row({"OneStepPR", family, std::to_string(n), bench::fmt_u(os_steps),
+                     bench::fmt_u(os_viol)});
+      table.add_row({"NewPR", family, std::to_string(n), bench::fmt_u(np_steps),
+                     bench::fmt_u(np_viol)});
+      table.add_row({"FR", family, std::to_string(n), bench::fmt_u(fr_steps),
+                     bench::fmt_u(fr_viol)});
     }
   }
+  bench::emit_csv(table);
+  return total_violations;
 }
 
 void BM_AcyclicityCheck(benchmark::State& state) {
@@ -108,7 +124,21 @@ BENCHMARK(BM_NewPRExecutionWithPerStepCheck)->Arg(32)->Arg(128);
 }  // namespace lr
 
 int main(int argc, char** argv) {
-  lr::print_table();
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (lr::print_table(smoke) != 0) {
+    std::fprintf(stderr, "E1 acyclicity violations detected\n");
+    return 1;
+  }
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,20 +12,36 @@
 ///     quadratic ceiling.
 ///  4. Empirical PR worst case: max work/n_b over random instances and an
 ///     adversarial scheduler sweep.
+///  5. A/B execution-path comparison (docs/PERFORMANCE.md): the batched
+///     CSR engine vs the legacy automaton path on the stock E2 scenario
+///     set.  Result tables must be byte-identical and final-state
+///     checksums must match — the harness exits non-zero otherwise — and
+///     the per-iteration nanoseconds on the largest stock topology are the
+///     committed baseline numbers.
 ///
 /// All measurement loops run through the scenario runner (src/runner), so
 /// these series use exactly the code path of `lr_cli sweep` and execute
-/// their runs on the thread pool.
+/// their runs on the thread pool.  Series tables are emitted as
+/// trace-layer CSV (bench_util.hpp).  `--smoke` shrinks every series to
+/// seconds and skips the google-benchmark micro-timings; CI runs it to
+/// keep this harness from bit-rotting.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "analysis/bounds.hpp"
 #include "automata/executor.hpp"
 #include "automata/scheduler.hpp"
 #include "core/full_reversal.hpp"
 #include "core/pr.hpp"
+#include "core/reversal_engine.hpp"
+#include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "runner/runner.hpp"
 
@@ -44,39 +60,47 @@ RunSpec chain_spec(std::size_t n, AlgorithmKind algorithm) {
   return spec;
 }
 
-void print_chain_series() {
+/// Largest chain of the stock series: nb = 512 (nb = 32 under --smoke).
+std::size_t max_chain_nb(bool smoke) { return smoke ? 32 : 512; }
+
+void print_chain_series(bool smoke) {
   bench::print_header("E2.1/E2.2: away-chain work, FR vs PR",
                       "FR = nb(nb+1)/2 exactly (Θ(nb²)); PR = nb exactly (Θ(nb))");
-  bench::print_row({"nb", "FR_measured", "FR_closed", "PR_measured", "PR_closed"});
   std::vector<RunSpec> specs;
   std::vector<std::uint64_t> nbs;
-  for (std::size_t nb = 4; nb <= 512; nb *= 2) {
+  for (std::size_t nb = 4; nb <= max_chain_nb(smoke); nb *= 2) {
     specs.push_back(chain_spec(nb + 1, AlgorithmKind::kFullReversal));
     specs.push_back(chain_spec(nb + 1, AlgorithmKind::kOneStepPR));
     nbs.push_back(nb);
   }
   const std::vector<RunRecord> records = ScenarioRunner().run_all(specs);
   std::vector<std::pair<std::uint64_t, std::uint64_t>> fr_series, pr_series;
+  Table table;
+  table.columns = {"nb", "fr_measured", "fr_closed", "pr_measured", "pr_closed"};
   for (std::size_t i = 0; i < nbs.size(); ++i) {
     const std::uint64_t nb = nbs[i];
     const RunRecord& fr = records[2 * i];
     const RunRecord& pr = records[2 * i + 1];
     fr_series.emplace_back(nb, fr.work);
     pr_series.emplace_back(nb, pr.work);
-    bench::print_row({bench::fmt_u(nb), bench::fmt_u(fr.work), bench::fmt_u(fr_chain_work(nb)),
-                      bench::fmt_u(pr.work), bench::fmt_u(pr_chain_work(nb))});
+    table.add_row({bench::fmt_u(nb), bench::fmt_u(fr.work), bench::fmt_u(fr_chain_work(nb)),
+                   bench::fmt_u(pr.work), bench::fmt_u(pr_chain_work(nb))});
   }
+  bench::emit_csv(table);
   std::printf("growth exponent: FR=%.3f (expect ~2), PR=%.3f (expect ~1)\n",
               fit_growth_exponent(fr_series), fit_growth_exponent(pr_series));
 }
 
-void print_layered_series() {
-  bench::print_header("E2.3: layered all-bad instances",
-                      "work within the 2·nb²+nb ceiling for both algorithms");
-  bench::print_row({"size", "nodes", "nb", "FR_work", "PR_work", "ceiling"});
+/// The E2.3 scenario list (fr/pr pairs per (size, seed)); shared by the
+/// series printer and the A/B equality set so they cannot drift apart.
+std::vector<RunSpec> layered_specs(bool smoke) {
+  const std::vector<std::size_t> sizes = smoke ? std::vector<std::size_t>{16}
+                                               : std::vector<std::size_t>{16, 48, 112};
+  const std::vector<std::uint64_t> seeds =
+      smoke ? std::vector<std::uint64_t>{1} : std::vector<std::uint64_t>{1, 2};
   std::vector<RunSpec> specs;
-  for (const std::size_t size : {16u, 48u, 112u}) {
-    for (const std::uint64_t seed : {1u, 2u}) {
+  for (const std::size_t size : sizes) {
+    for (const std::uint64_t seed : seeds) {
       for (const AlgorithmKind algorithm :
            {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR}) {
         RunSpec spec;
@@ -88,29 +112,45 @@ void print_layered_series() {
       }
     }
   }
-  const std::vector<RunRecord> records = ScenarioRunner().run_all(specs);
+  return specs;
+}
+
+void print_layered_series(bool smoke) {
+  bench::print_header("E2.3: layered all-bad instances",
+                      "work within the 2·nb²+nb ceiling for both algorithms");
+  const std::vector<RunRecord> records = ScenarioRunner().run_all(layered_specs(smoke));
+  Table table;
+  table.columns = {"size", "nodes", "nb", "fr_work", "pr_work", "ceiling"};
   for (std::size_t i = 0; i + 1 < records.size(); i += 2) {
     const RunRecord& fr = records[i];
     const RunRecord& pr = records[i + 1];
-    bench::print_row({bench::fmt_u(fr.spec.size), bench::fmt_u(fr.nodes),
-                      bench::fmt_u(fr.bad_nodes), bench::fmt_u(fr.work), bench::fmt_u(pr.work),
-                      bench::fmt_u(quadratic_work_ceiling(fr.bad_nodes))});
+    table.add_row({bench::fmt_u(fr.spec.size), bench::fmt_u(fr.nodes),
+                   bench::fmt_u(fr.bad_nodes), bench::fmt_u(fr.work), bench::fmt_u(pr.work),
+                   bench::fmt_u(quadratic_work_ceiling(fr.bad_nodes))});
   }
+  bench::emit_csv(table);
 }
 
-void print_pr_adversarial_search() {
-  bench::print_header("E2.4: empirical PR worst case (adversarial search)",
-                      "max PR work / nb over random instances & schedulers; "
-                      "bounded by the quadratic ceiling");
-  bench::print_row({"n", "instances", "max_work/nb", "max_work/nb^2", "ceiling_ok"});
+SweepSpec adversarial_sweep(bool smoke) {
   SweepSpec sweep;
   sweep.topologies = {TopologyKind::kRandom};
-  sweep.sizes = {16, 32, 64};
+  sweep.sizes = smoke ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 32, 64};
   sweep.algorithms = {AlgorithmKind::kOneStepPR};
   sweep.schedulers = {SchedulerKind::kLowestId, SchedulerKind::kFarthestFirst,
                       SchedulerKind::kRandom};
-  for (std::uint64_t seed = 1; seed <= 40; ++seed) sweep.seeds.push_back(seed);
+  const std::uint64_t seed_count = smoke ? 8 : 40;
+  for (std::uint64_t seed = 1; seed <= seed_count; ++seed) sweep.seeds.push_back(seed);
+  return sweep;
+}
+
+void print_pr_adversarial_search(bool smoke) {
+  bench::print_header("E2.4: empirical PR worst case (adversarial search)",
+                      "max PR work / nb over random instances & schedulers; "
+                      "bounded by the quadratic ceiling");
+  const SweepSpec sweep = adversarial_sweep(smoke);
   const SweepReport report = ScenarioRunner().run(sweep);
+  Table table;
+  table.columns = {"n", "instances", "max_work_per_nb", "max_work_per_nb2", "ceiling_ok"};
   for (const std::size_t n : sweep.sizes) {
     double max_ratio_linear = 0;
     double max_ratio_quad = 0;
@@ -122,9 +162,135 @@ void print_pr_adversarial_search() {
       max_ratio_quad = std::max(max_ratio_quad, static_cast<double>(record.work) / (nb * nb));
       if (record.work > quadratic_work_ceiling(record.bad_nodes)) ceiling_ok = false;
     }
-    bench::print_row({std::to_string(n), "40x3", bench::fmt(max_ratio_linear),
-                      bench::fmt(max_ratio_quad), ceiling_ok ? "yes" : "NO"});
+    table.add_row({std::to_string(n), bench::fmt_u(sweep.seeds.size()) + "x3",
+                   bench::fmt(max_ratio_linear), bench::fmt(max_ratio_quad),
+                   ceiling_ok ? "yes" : "NO"});
   }
+  bench::emit_csv(table);
+}
+
+// ---------------------------------------------------------------------------
+// E2.5: the legacy-vs-CSR A/B comparison
+// ---------------------------------------------------------------------------
+
+/// The stock E2 scenario set (series 1–3), the set the A/B equality check
+/// replays on both execution paths.
+std::vector<RunSpec> stock_specs(bool smoke) {
+  std::vector<RunSpec> specs;
+  for (std::size_t nb = 4; nb <= max_chain_nb(smoke); nb *= 2) {
+    specs.push_back(chain_spec(nb + 1, AlgorithmKind::kFullReversal));
+    specs.push_back(chain_spec(nb + 1, AlgorithmKind::kOneStepPR));
+  }
+  for (const RunSpec& spec : layered_specs(smoke)) specs.push_back(spec);
+  for (const RunSpec& spec : adversarial_sweep(smoke).expand()) specs.push_back(spec);
+  return specs;
+}
+
+std::string report_csv(const SweepReport& report) {
+  std::ostringstream oss;
+  write_table_csv(oss, report.records_table());
+  oss << '\n';
+  write_table_csv(oss, report.aggregate_table());
+  return oss.str();
+}
+
+/// Runs the stock scenario set on both paths and demands byte-identical
+/// record + aggregate tables.
+bool check_ab_tables_identical(bool smoke) {
+  std::vector<RunSpec> specs = stock_specs(smoke);
+  for (RunSpec& spec : specs) spec.path = ExecutionPath::kLegacy;
+  const std::string legacy = report_csv(SweepReport{ScenarioRunner().run_all(specs)});
+  for (RunSpec& spec : specs) spec.path = ExecutionPath::kCsr;
+  const std::string csr = report_csv(SweepReport{ScenarioRunner().run_all(specs)});
+  const bool identical = legacy == csr;
+  std::printf("A/B tables over %zu stock scenarios x 2 paths: %s\n", specs.size(),
+              identical ? "byte-identical" : "MISMATCH");
+  return identical;
+}
+
+/// Final-orientation checksum of one spec on the legacy path (automaton +
+/// LowestIdScheduler, the stock chain-series configuration).
+std::uint64_t legacy_checksum(const RunSpec& spec) {
+  const Instance instance = make_instance(spec);
+  LowestIdScheduler scheduler;
+  if (spec.algorithm == AlgorithmKind::kFullReversal) {
+    FullReversalAutomaton automaton(instance);
+    run_to_quiescence(automaton, scheduler, RunOptions{.max_steps = spec.max_steps});
+    return senses_checksum(automaton.orientation().senses());
+  }
+  OneStepPRAutomaton automaton(instance);
+  run_to_quiescence(automaton, scheduler, RunOptions{.max_steps = spec.max_steps});
+  return senses_checksum(automaton.orientation().senses());
+}
+
+/// Final-orientation checksum of one spec on the CSR path.
+std::uint64_t csr_checksum(const RunSpec& spec) {
+  const Instance instance = make_instance(spec);
+  ReversalEngine engine(instance);
+  engine.run(spec.algorithm == AlgorithmKind::kFullReversal ? EngineAlgorithm::kFullReversal
+                                                            : EngineAlgorithm::kOneStepPR,
+             EnginePolicy::kLowestId, {.max_steps = spec.max_steps});
+  return engine.state_checksum();
+}
+
+/// Times execute_run (instance construction + kernel + greedy rounds, the
+/// exact per-run work of a sweep) on both paths for one scenario.  The
+/// checksum helpers above verify the lowest-id configuration, so that is
+/// the only scheduler this harness accepts.
+bench::AbSample measure_ab(const std::string& topology_label, RunSpec spec, bool smoke) {
+  if (spec.scheduler != SchedulerKind::kLowestId) {
+    throw std::invalid_argument("measure_ab: checksums are computed for lowest-id only");
+  }
+  const double min_ms = smoke ? 20.0 : 300.0;
+  bench::AbSample sample;
+  sample.topology = topology_label;
+  sample.label = algorithm_token(spec.algorithm);
+  spec.path = ExecutionPath::kLegacy;
+  sample.legacy_ns_per_iter = bench::measure_ns_per_iter(
+      [&spec] { execute_run(spec); }, 5, min_ms, &sample.legacy_iterations);
+  sample.legacy_checksum = legacy_checksum(spec);
+  spec.path = ExecutionPath::kCsr;
+  sample.csr_ns_per_iter = bench::measure_ns_per_iter([&spec] { execute_run(spec); }, 5, min_ms,
+                                                      &sample.csr_iterations);
+  sample.csr_checksum = csr_checksum(spec);
+  return sample;
+}
+
+/// E2.5 driver; returns false (failing the harness) if any path pair
+/// diverged in tables or checksums.
+bool print_ab_series(bool smoke) {
+  bench::print_header("E2.5: execution-path A/B, legacy automata vs batched CSR engine",
+                      "identical tables and final states; CSR >= 3x on the largest "
+                      "stock topology (docs/PERFORMANCE.md)");
+  const bool tables_ok = check_ab_tables_identical(smoke);
+
+  const std::size_t nb = max_chain_nb(smoke);
+  std::vector<bench::AbSample> samples;
+  const std::string chain_label = "chain-" + std::to_string(nb);
+  samples.push_back(measure_ab(chain_label, chain_spec(nb + 1, AlgorithmKind::kFullReversal),
+                               smoke));
+  samples.push_back(measure_ab(chain_label, chain_spec(nb + 1, AlgorithmKind::kOneStepPR),
+                               smoke));
+  if (!smoke) {
+    RunSpec layered;
+    layered.topology = TopologyKind::kLayered;
+    layered.size = 112;
+    layered.seed = 1;
+    layered.algorithm = AlgorithmKind::kFullReversal;
+    samples.push_back(measure_ab("layered-112", layered, smoke));
+    layered.algorithm = AlgorithmKind::kOneStepPR;
+    samples.push_back(measure_ab("layered-112", layered, smoke));
+  }
+  bench::emit_csv(bench::ab_table(samples));
+
+  bool checksums_ok = true;
+  for (const bench::AbSample& sample : samples) checksums_ok &= sample.identical();
+  std::printf("checksums: %s\n", checksums_ok ? "all identical" : "MISMATCH");
+  if (!smoke) {
+    std::printf("largest stock topology (%s) speedup: fr=%.2fx pr=%.2fx (target >= 3x)\n",
+                chain_label.c_str(), samples[0].speedup(), samples[1].speedup());
+  }
+  return tables_ok && checksums_ok;
 }
 
 void BM_FRChain(benchmark::State& state) {
@@ -151,6 +317,25 @@ void BM_PRChain(benchmark::State& state) {
 }
 BENCHMARK(BM_PRChain)->RangeMultiplier(2)->Range(8, 256)->Complexity();
 
+/// The batched engine on the same chains (contrast with BM_FRChain /
+/// BM_PRChain; the engine amortizes its allocations across iterations the
+/// same way a sweep does).
+void BM_EngineChain(benchmark::State& state) {
+  const std::size_t nb = static_cast<std::size_t>(state.range(0));
+  const bool full = state.range(1) != 0;
+  const Instance inst = make_worst_case_chain(nb + 1);
+  ReversalEngine engine(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_to_quiescence(engine,
+                          full ? EngineAlgorithm::kFullReversal : EngineAlgorithm::kOneStepPR,
+                          EnginePolicy::kLowestId)
+            .node_steps);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(nb));
+}
+BENCHMARK(BM_EngineChain)->ArgsProduct({{8, 16, 32, 64, 128, 256}, {0, 1}})->Complexity();
+
 /// The parallel sweep engine itself, end to end (expansion + pool + tables).
 void BM_ScenarioSweep(benchmark::State& state) {
   SweepSpec sweep;
@@ -170,9 +355,24 @@ BENCHMARK(BM_ScenarioSweep)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace lr
 
 int main(int argc, char** argv) {
-  lr::print_chain_series();
-  lr::print_layered_series();
-  lr::print_pr_adversarial_search();
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];  // keep non---smoke args for google-benchmark
+    }
+  }
+  argc = out;
+  lr::print_chain_series(smoke);
+  lr::print_layered_series(smoke);
+  lr::print_pr_adversarial_search(smoke);
+  if (!lr::print_ab_series(smoke)) {
+    std::fprintf(stderr, "E2.5 A/B verification FAILED\n");
+    return 1;
+  }
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,17 +1,32 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "trace/report.hpp"
+
 /// \file bench_util.hpp
-/// Small fixed-width table printer shared by the experiment harnesses.
-/// Every bench binary first prints its experiment table (the series
-/// EXPERIMENTS.md records), then runs its google-benchmark micro-timings.
+/// Shared reporting kit for the experiment harnesses.
+///
+/// Three layers:
+///  * banners + fixed-width rows for eyeballing a run (`print_header`,
+///    `print_row`),
+///  * machine-readable series emission through the trace layer's Table /
+///    CSV writer (`emit_csv`) — experiment series should go through this,
+///    not ad-hoc printf, so sweep output and bench output share one format,
+///  * the self-verifying A/B measurement kit: wall-clock per-iteration
+///    nanoseconds (`measure_ns_per_iter`) plus paired final-state checksums
+///    (`AbSample` / `ab_table`), used by the legacy-vs-CSR comparisons to
+///    prove that the fast path computes byte-identical results before its
+///    timing is trusted.
 
 namespace lr::bench {
 
+/// Prints the experiment banner (name + the paper claim it reproduces).
 inline void print_header(const std::string& experiment, const std::string& claim) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", experiment.c_str());
@@ -19,6 +34,7 @@ inline void print_header(const std::string& experiment, const std::string& claim
   std::printf("================================================================\n");
 }
 
+/// Prints one fixed-width human-readable row.
 inline void print_row(const std::vector<std::string>& cells, std::size_t width = 14) {
   for (const std::string& cell : cells) {
     std::printf("%-*s", static_cast<int>(width), cell.c_str());
@@ -26,12 +42,88 @@ inline void print_row(const std::vector<std::string>& cells, std::size_t width =
   std::printf("\n");
 }
 
+/// Formats a double with three decimals.
 inline std::string fmt(double v) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.3f", v);
   return buffer;
 }
 
+/// Formats an unsigned counter.
 inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+/// Formats a checksum as fixed-width hex (stable CSV cell width).
+inline std::string fmt_hex(std::uint64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+/// Emits a result series as trace-layer CSV on stdout — the same writer
+/// (and therefore the same quoting / schema conventions) the scenario
+/// runner uses for sweep records.
+inline void emit_csv(const Table& table) { write_table_csv(std::cout, table); }
+
+/// Runs `fn` repeatedly and returns mean wall-clock nanoseconds per
+/// iteration, iterating until both `min_iters` iterations and
+/// `min_total_ms` of accumulated runtime have been reached (so fast
+/// kernels are averaged over many runs while slow ones stay cheap).
+/// Also reports the iteration count through `iters_out` when non-null.
+template <typename F>
+double measure_ns_per_iter(F&& fn, std::uint64_t min_iters = 5, double min_total_ms = 200.0,
+                           std::uint64_t* iters_out = nullptr) {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t iters = 0;
+  double total_ns = 0.0;
+  while (iters < min_iters || total_ns < min_total_ms * 1e6) {
+    const Clock::time_point start = Clock::now();
+    fn();
+    total_ns += std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    ++iters;
+  }
+  if (iters_out != nullptr) *iters_out = iters;
+  return total_ns / static_cast<double>(iters);
+}
+
+/// One legacy-vs-CSR measurement: a labelled kernel timed on both paths,
+/// with the checksum of each path's final state so the comparison is
+/// self-verifying (a speedup over a *different* result is meaningless).
+struct AbSample {
+  std::string label;                     ///< kernel identifier, e.g. "fr"
+  std::string topology;                  ///< instance identifier, e.g. "chain-512"
+  std::uint64_t legacy_iterations = 0;   ///< timing iterations, legacy path
+  std::uint64_t csr_iterations = 0;      ///< timing iterations, CSR path
+  double legacy_ns_per_iter = 0.0;       ///< legacy path, ns per run
+  double csr_ns_per_iter = 0.0;          ///< CSR path, ns per run
+  std::uint64_t legacy_checksum = 0;     ///< final-state checksum, legacy path
+  std::uint64_t csr_checksum = 0;        ///< final-state checksum, CSR path
+
+  /// Legacy time over CSR time (>1 means the CSR path is faster).
+  double speedup() const {
+    return csr_ns_per_iter > 0.0 ? legacy_ns_per_iter / csr_ns_per_iter : 0.0;
+  }
+
+  /// True iff both paths ended in the identical final state.
+  bool identical() const { return legacy_checksum == csr_checksum; }
+};
+
+/// Renders A/B samples as a Table with columns
+/// topology,kernel,legacy_iterations,csr_iterations,legacy_ns_per_iter,
+/// csr_ns_per_iter,speedup,legacy_checksum,csr_checksum,identical.
+inline Table ab_table(const std::vector<AbSample>& samples) {
+  Table table;
+  table.columns = {"topology",        "kernel",          "legacy_iterations",
+                   "csr_iterations",  "legacy_ns_per_iter", "csr_ns_per_iter",
+                   "speedup",         "legacy_checksum", "csr_checksum",
+                   "identical"};
+  for (const AbSample& sample : samples) {
+    table.add_row({sample.topology, sample.label, fmt_u(sample.legacy_iterations),
+                   fmt_u(sample.csr_iterations), fmt(sample.legacy_ns_per_iter),
+                   fmt(sample.csr_ns_per_iter), fmt(sample.speedup()),
+                   fmt_hex(sample.legacy_checksum), fmt_hex(sample.csr_checksum),
+                   sample.identical() ? "yes" : "NO"});
+  }
+  return table;
+}
 
 }  // namespace lr::bench

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "automata/concepts.hpp"
+#include "core/reversal_engine.hpp"
 #include "graph/digraph_algos.hpp"
 
 /// \file executor.hpp
@@ -13,6 +14,12 @@
 /// Termination with a destination-oriented graph is the *goal* of link
 /// reversal; the executor reports whether it was reached so tests can
 /// assert it and benches can measure steps/reversals to get there.
+///
+/// Two execution paths share this entry point: the templated
+/// automaton+scheduler drivers below (the paper-shaped legacy path, one
+/// action per scheduler call), and an overload that hands the whole run to
+/// the batched CSR engine (core/reversal_engine.hpp) — the production
+/// path the scenario runner and benches default to.
 
 namespace lr {
 
@@ -90,6 +97,25 @@ RunResult run_to_quiescence_set(A& automaton, Scheduler& scheduler,
                                 const RunOptions& options = {}) {
   return run_to_quiescence_set(
       automaton, scheduler, [](const A&, const std::vector<NodeId>&) {}, options);
+}
+
+/// Batched CSR path: executes `algorithm` under `policy` on the engine and
+/// reports the familiar RunResult.  Performs the identical action sequence
+/// as the corresponding automaton + scheduler pair above (the engine's
+/// equivalence contract), just without per-step dispatch.
+/// `scheduler_seed` feeds EnginePolicy::kRandom and is ignored otherwise.
+inline RunResult run_to_quiescence(ReversalEngine& engine, EngineAlgorithm algorithm,
+                                   EnginePolicy policy, const RunOptions& options = {},
+                                   std::uint64_t scheduler_seed = 0) {
+  const EngineResult result = engine.run(
+      algorithm, policy, {.max_steps = options.max_steps, .scheduler_seed = scheduler_seed});
+  RunResult out;
+  out.steps = result.steps;
+  out.node_steps = result.steps;  // single-step actions: one node per step
+  out.edge_reversals = result.edge_reversals;
+  out.quiescent = result.quiescent;
+  out.destination_oriented = result.destination_oriented;
+  return out;
 }
 
 }  // namespace lr

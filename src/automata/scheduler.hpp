@@ -22,6 +22,16 @@
 /// fire, or nullopt when the automaton is quiescent.  A set scheduler
 /// returns a non-empty set of sinks (pairwise non-adjacent automatically:
 /// no two neighbors can both be sinks).
+///
+/// These schedulers are the *reference* path: one observable action per
+/// choose() call, so invariant checkers, traces, and the model checker can
+/// watch every intermediate state.  Production sweeps and benches run the
+/// batched CSR engine instead (core/reversal_engine.hpp), whose
+/// EnginePolicy values reproduce the exact choice sequences of
+/// LowestIdScheduler / RandomScheduler / RoundRobinScheduler /
+/// FarthestFirstScheduler over a flat sink worklist — the two paths are
+/// interchangeable by construction and tests/reversal_engine_test.cpp
+/// keeps them that way.
 
 namespace lr {
 

@@ -33,8 +33,11 @@
 
 namespace lr {
 
+/// The Welch–Walter binary-link-labels automaton over the shared
+/// link-reversal state.
 class BLLAutomaton : public LinkReversalBase {
  public:
+  /// Actions are single nodes: reverse(u).
   using Action = NodeId;
 
   /// `initial_marks[slot]` uses the same CSR layout as the adjacency: one
@@ -45,6 +48,7 @@ class BLLAutomaton : public LinkReversalBase {
 
   /// The PR special case: all labels unmarked.
   static BLLAutomaton pr_labeling(const Graph& g, Orientation initial, NodeId destination);
+  /// \copydoc pr_labeling(const Graph&, Orientation, NodeId)
   static BLLAutomaton pr_labeling(const Instance& instance);
 
   /// All labels marked: every node's *first* step reverses all edges.
@@ -54,9 +58,12 @@ class BLLAutomaton : public LinkReversalBase {
   /// The marked neighbor set of u (sorted) — plays the role of list[u].
   std::vector<NodeId> marked_neighbors(NodeId u) const;
 
+  /// |marked_neighbors(u)| in O(1).
   std::size_t marked_count(NodeId u) const { return marked_count_[u]; }
 
+  /// Precondition of reverse(u): u is a non-destination sink.
   bool enabled(NodeId u) const { return sink_enabled(u); }
+  /// Effect of reverse(u): flip the labeled edge subset, update marks.
   void apply(NodeId u);
 
   /// Unique encoding of (G', all marks) for the exhaustive model checker.

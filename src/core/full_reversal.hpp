@@ -18,20 +18,25 @@ namespace lr {
 /// One-step FR: action reverse(u) flips every incident edge of sink u.
 class FullReversalAutomaton : public LinkReversalBase {
  public:
+  /// Actions are single nodes: reverse(u).
   using Action = NodeId;
 
+  /// Builds FR state over an externally owned graph (see LinkReversalBase).
   FullReversalAutomaton(const Graph& g, Orientation initial, NodeId destination)
       : LinkReversalBase(g, std::move(initial), destination),
         count_(graph().num_nodes(), 0) {}
 
+  /// Convenience constructor from a generator Instance.
   explicit FullReversalAutomaton(const Instance& instance)
       : FullReversalAutomaton(instance.graph, instance.make_orientation(), instance.destination) {}
 
   /// Steps u has taken so far (work measure for E2/E3).
   std::uint64_t count(NodeId u) const { return count_[u]; }
 
+  /// Precondition of reverse(u): u is a non-destination sink.
   bool enabled(NodeId u) const { return sink_enabled(u); }
 
+  /// Effect of reverse(u): every incident edge of sink u flips.
   void apply(NodeId u);
 
   /// Unique encoding of the behavioral state for the exhaustive model
@@ -54,15 +59,19 @@ class FullReversalAutomaton : public LinkReversalBase {
 /// mirroring the paper's PR signature reverse(S).
 class FullReversalSetAutomaton : public LinkReversalBase {
  public:
+  /// Actions are non-empty sink sets: reverse(S).
   using Action = std::vector<NodeId>;
 
+  /// Builds FR set-step state over an externally owned graph.
   FullReversalSetAutomaton(const Graph& g, Orientation initial, NodeId destination)
       : LinkReversalBase(g, std::move(initial), destination) {}
 
+  /// Convenience constructor from a generator Instance.
   explicit FullReversalSetAutomaton(const Instance& instance)
       : FullReversalSetAutomaton(instance.graph, instance.make_orientation(),
                                  instance.destination) {}
 
+  /// Precondition of reverse(S): S non-empty, every u in S a sink.
   bool enabled(const Action& s) const {
     if (s.empty()) return false;
     for (const NodeId u : s) {
@@ -71,6 +80,7 @@ class FullReversalSetAutomaton : public LinkReversalBase {
     return true;
   }
 
+  /// Effect of reverse(S): each sink of S flips all its incident edges.
   void apply(const Action& s);
 };
 

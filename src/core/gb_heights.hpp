@@ -37,15 +37,23 @@ namespace lr {
 /// Full Reversal via pair heights (a, id).
 class GBPairHeightsAutomaton : public LinkReversalBase {
  public:
+  /// Actions are single nodes: reverse(u).
   using Action = NodeId;
-  using Height = std::pair<std::int64_t, NodeId>;  // (a, id), lexicographic
+  /// The label type: (a, id), compared lexicographically.
+  using Height = std::pair<std::int64_t, NodeId>;
 
+  /// Builds GB pair-height state; initial heights derive from a
+  /// topological order of the initial DAG.
   GBPairHeightsAutomaton(const Graph& g, Orientation initial, NodeId destination);
+  /// Convenience constructor from a generator Instance.
   explicit GBPairHeightsAutomaton(const Instance& instance);
 
+  /// Current height of `u`.
   Height height(NodeId u) const { return {a_[u], u}; }
 
+  /// Precondition of reverse(u): u is a non-destination sink.
   bool enabled(NodeId u) const { return sink_enabled(u); }
+  /// Effect of reverse(u): a_u := 1 + max over neighbors.
   void apply(NodeId u);
 
   /// True iff every edge points from its lexicographically higher endpoint
@@ -60,17 +68,27 @@ class GBPairHeightsAutomaton : public LinkReversalBase {
 /// Partial Reversal via triple heights (a, b, id).
 class GBTripleHeightsAutomaton : public LinkReversalBase {
  public:
+  /// Actions are single nodes: reverse(u).
   using Action = NodeId;
-  using Height = std::tuple<std::int64_t, std::int64_t, NodeId>;  // (a, b, id)
+  /// The label type: (a, b, id), compared lexicographically.
+  using Height = std::tuple<std::int64_t, std::int64_t, NodeId>;
 
+  /// Builds GB triple-height state; initial heights derive from a
+  /// topological order of the initial DAG.
   GBTripleHeightsAutomaton(const Graph& g, Orientation initial, NodeId destination);
+  /// Convenience constructor from a generator Instance.
   explicit GBTripleHeightsAutomaton(const Instance& instance);
 
+  /// Current height of `u`.
   Height height(NodeId u) const { return {a_[u], b_[u], u}; }
 
+  /// Precondition of reverse(u): u is a non-destination sink.
   bool enabled(NodeId u) const { return sink_enabled(u); }
+  /// Effect of reverse(u): the GB partial-reversal height update.
   void apply(NodeId u);
 
+  /// True iff every edge points from its higher endpoint to its lower one
+  /// (the GB consistency property; asserted after every step in tests).
   bool heights_consistent() const;
 
  private:

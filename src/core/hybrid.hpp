@@ -28,15 +28,24 @@
 
 namespace lr {
 
-enum class NodeStrategy : std::uint8_t { kFullReversal, kPartialReversal };
+/// A node's per-step reversal strategy in the hybrid game.
+enum class NodeStrategy : std::uint8_t {
+  kFullReversal,     ///< fire like FR: reverse every incident edge
+  kPartialReversal,  ///< fire like PR: reverse the non-listed edges
+};
 
+/// Per-node FR/PR strategy profiles over the shared PR list state — the
+/// playable version of the cited Charron-Bost–Welch–Widder game.
 class HybridStrategyAutomaton : public PartialReversalState {
  public:
+  /// Actions are single nodes: reverse(u).
   using Action = NodeId;
 
+  /// Builds the automaton with one strategy per node.
   HybridStrategyAutomaton(const Graph& g, Orientation initial, NodeId destination,
                           std::vector<NodeStrategy> strategies);
 
+  /// Convenience constructor from a generator Instance.
   HybridStrategyAutomaton(const Instance& instance, std::vector<NodeStrategy> strategies)
       : HybridStrategyAutomaton(instance.graph, instance.make_orientation(),
                                 instance.destination, std::move(strategies)) {}
@@ -45,12 +54,15 @@ class HybridStrategyAutomaton : public PartialReversalState {
   static std::vector<NodeStrategy> all_full(std::size_t n) {
     return std::vector<NodeStrategy>(n, NodeStrategy::kFullReversal);
   }
+  /// \copydoc all_full
   static std::vector<NodeStrategy> all_partial(std::size_t n) {
     return std::vector<NodeStrategy>(n, NodeStrategy::kPartialReversal);
   }
 
+  /// The strategy node `u` plays.
   NodeStrategy strategy(NodeId u) const { return strategies_[u]; }
 
+  /// Precondition of reverse(u): u is a non-destination sink.
   bool enabled(NodeId u) const { return sink_enabled(u); }
 
   /// Fires sink `u` according to its own strategy.

@@ -24,10 +24,12 @@
 
 namespace lr {
 
+/// Outcome of one executable invariant check.
 struct InvariantResult {
-  bool ok = true;
-  std::string detail;  ///< empty when ok; first violation otherwise
+  bool ok = true;         ///< true iff the invariant held
+  std::string detail;     ///< empty when ok; first violation otherwise
 
+  /// Truthiness shortcut: `if (check_...(s))`.
   explicit operator bool() const noexcept { return ok; }
 };
 

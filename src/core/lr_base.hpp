@@ -18,6 +18,8 @@
 
 namespace lr {
 
+/// State shared by every link-reversal automaton: the orientation G', the
+/// destination D, and the frozen initial in/out-neighbor sets.
 class LinkReversalBase {
  public:
   /// Builds the automaton state over an externally owned graph with the
@@ -39,8 +41,11 @@ class LinkReversalBase {
   explicit LinkReversalBase(const Instance& instance)
       : LinkReversalBase(instance.graph, instance.make_orientation(), instance.destination) {}
 
+  /// The fixed undirected graph G.
   const Graph& graph() const noexcept { return orientation_.graph(); }
+  /// The current directed version G'.
   const Orientation& orientation() const noexcept { return orientation_; }
+  /// The destination node D.
   NodeId destination() const noexcept { return destination_; }
 
   /// The paper's `dir[u, v]` addressed by edge, *initial* value (w.r.t.
@@ -105,9 +110,9 @@ class LinkReversalBase {
  public:
 
  protected:
-  Orientation orientation_;
-  NodeId destination_;
-  std::vector<EdgeSense> initial_senses_;
+  Orientation orientation_;                ///< the mutable directed version G'
+  NodeId destination_;                     ///< the destination D
+  std::vector<EdgeSense> initial_senses_;  ///< G'_init, for the constant sets
 };
 
 }  // namespace lr

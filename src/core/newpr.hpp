@@ -23,16 +23,24 @@
 
 namespace lr {
 
-enum class Parity : std::uint8_t { kEven, kOdd };
+/// The derived variable parity[u] = count[u] mod 2.
+enum class Parity : std::uint8_t {
+  kEven,  ///< next firing reverses the initial in-set
+  kOdd,   ///< next firing reverses the initial out-set
+};
 
+/// The paper's NewPR automaton (Algorithm 2).
 class NewPRAutomaton : public LinkReversalBase {
  public:
+  /// Actions are single nodes: reverse(u).
   using Action = NodeId;
 
+  /// Builds NewPR state over an externally owned graph.
   NewPRAutomaton(const Graph& g, Orientation initial, NodeId destination)
       : LinkReversalBase(g, std::move(initial), destination),
         count_(graph().num_nodes(), 0) {}
 
+  /// Convenience constructor from a generator Instance.
   explicit NewPRAutomaton(const Instance& instance)
       : NewPRAutomaton(instance.graph, instance.make_orientation(), instance.destination) {}
 

@@ -25,7 +25,9 @@ namespace lr {
 /// Shared state and per-node step of PR / OneStepPR.
 class PartialReversalState : public LinkReversalBase {
  public:
+  /// Builds PR state (empty lists) over an externally owned graph.
   PartialReversalState(const Graph& g, Orientation initial, NodeId destination);
+  /// Convenience constructor from a generator Instance.
   explicit PartialReversalState(const Instance& instance);
 
   /// The paper's list[u], as a sorted node vector (for invariant checks and
@@ -88,9 +90,11 @@ class PartialReversalState : public LinkReversalBase {
 /// sinks.)
 class PRAutomaton : public PartialReversalState {
  public:
+  /// Actions are non-empty sink sets: reverse(S).
   using Action = std::vector<NodeId>;
   using PartialReversalState::PartialReversalState;
 
+  /// Precondition of reverse(S): S non-empty, every u in S a sink.
   bool enabled(const Action& s) const {
     if (s.empty()) return false;
     for (const NodeId u : s) {
@@ -99,6 +103,7 @@ class PRAutomaton : public PartialReversalState {
     return true;
   }
 
+  /// Effect of reverse(S): the per-node PR effect for every u in S.
   void apply(const Action& s) {
     // The nodes of S are pairwise non-adjacent, so the per-node effects are
     // independent and any application order yields the paper's simultaneous
@@ -110,10 +115,13 @@ class PRAutomaton : public PartialReversalState {
 /// Algorithm 3: OneStepPR — identical state, one sink per action.
 class OneStepPRAutomaton : public PartialReversalState {
  public:
+  /// Actions are single nodes: reverse(u).
   using Action = NodeId;
   using PartialReversalState::PartialReversalState;
 
+  /// Precondition of reverse(u): u is a non-destination sink.
   bool enabled(NodeId u) const { return sink_enabled(u); }
+  /// Effect of reverse(u): the per-node PR effect.
   void apply(NodeId u) { node_step(u); }
 };
 

@@ -1,0 +1,352 @@
+#include "core/reversal_engine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace lr {
+
+std::uint64_t senses_checksum(std::span<const EdgeSense> senses) {
+  // FNV-1a over one byte per edge, the same encoding the automata use in
+  // their state fingerprints (1 = forward, 0 = backward).
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const EdgeSense sense : senses) {
+    hash ^= sense == EdgeSense::kForward ? 1u : 0u;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void ReversalEngine::attach(const CsrGraph& csr, NodeId destination) {
+  csr_ = &csr;
+  destination_ = destination;
+  if (destination_ >= csr.num_nodes()) {
+    throw std::invalid_argument("ReversalEngine: destination out of range");
+  }
+  const std::size_t n = csr.num_nodes();
+  initial_out_degree_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    initial_out_degree_[u] = static_cast<std::uint32_t>(csr.initial_out_degree(u));
+  }
+  reset();
+}
+
+ReversalEngine::ReversalEngine(const CsrGraph& csr, NodeId destination) {
+  attach(csr, destination);
+}
+
+ReversalEngine::ReversalEngine(const Instance& instance) {
+  owned_csr_.emplace_back(instance.graph, instance.senses);
+  attach(owned_csr_.back(), instance.destination);
+}
+
+void ReversalEngine::reset() {
+  const std::size_t n = csr_->num_nodes();
+  sense_.assign(csr_->initial_senses().begin(), csr_->initial_senses().end());
+  out_degree_.assign(initial_out_degree_.begin(), initial_out_degree_.end());
+  in_list_.assign(2 * csr_->num_edges(), 0);
+  list_size_.assign(n, 0);
+  parity_.assign(n, 0);
+  dummy_steps_ = 0;
+}
+
+void ReversalEngine::ensure_distances() {
+  const std::size_t n = csr_->num_nodes();
+  if (!distance_.empty()) return;  // the snapshot is immutable: compute once
+  distance_.assign(n, std::numeric_limits<std::uint32_t>::max());
+  bfs_queue_.clear();
+  distance_[destination_] = 0;
+  bfs_queue_.push_back(destination_);
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const NodeId x = bfs_queue_[head];
+    for (const NodeId v : csr_->neighbors(x)) {
+      if (distance_[v] == std::numeric_limits<std::uint32_t>::max()) {
+        distance_[v] = distance_[x] + 1;
+        bfs_queue_.push_back(v);
+      }
+    }
+  }
+}
+
+bool ReversalEngine::compute_destination_oriented() {
+  const std::size_t n = csr_->num_nodes();
+  visited_.assign(n, 0);
+  bfs_queue_.clear();
+  visited_[destination_] = 1;
+  bfs_queue_.push_back(destination_);
+  std::size_t reached = 1;
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const NodeId x = bfs_queue_[head];
+    const CsrPos end = csr_->adjacency_end(x);
+    for (CsrPos p = csr_->adjacency_begin(x); p < end; ++p) {
+      // Traverse edges *into* x: their tails route to D through x.
+      if (csr_->points_out_of(p, x, sense_)) continue;
+      const NodeId v = csr_->neighbor_at(p);
+      if (!visited_[v]) {
+        visited_[v] = 1;
+        bfs_queue_.push_back(v);
+        ++reached;
+      }
+    }
+  }
+  return reached == n;
+}
+
+template <typename PushSink>
+void ReversalEngine::flip(CsrPos p, PushSink&& push) {
+  const EdgeId e = csr_->edge_at(p);
+  sense_[e] = sense_[e] == EdgeSense::kForward ? EdgeSense::kBackward : EdgeSense::kForward;
+  const NodeId v = csr_->neighbor_at(p);
+  if (--out_degree_[v] == 0) push(v);
+}
+
+template <typename PushSink>
+std::uint32_t ReversalEngine::fire_full(NodeId u, PushSink&& push) {
+  const CsrPos begin = csr_->adjacency_begin(u);
+  const CsrPos end = csr_->adjacency_end(u);
+  for (CsrPos p = begin; p < end; ++p) flip(p, push);
+  const std::uint32_t flips = end - begin;
+  out_degree_[u] = flips;
+  if (flips == 0) push(u);  // a degree-0 node stays a (vacuous) sink
+  return flips;
+}
+
+template <typename PushSink>
+std::uint32_t ReversalEngine::fire_pr(NodeId u, PushSink&& push) {
+  const CsrPos begin = csr_->adjacency_begin(u);
+  const CsrPos end = csr_->adjacency_end(u);
+  const bool reverse_all = list_size_[u] == end - begin;
+  std::uint32_t flips = 0;
+  for (CsrPos p = begin; p < end; ++p) {
+    if (!reverse_all && in_list_[p]) continue;  // v ∈ list[u]: keep the edge
+    flip(p, push);
+    ++flips;
+    // list[v] := list[v] ∪ {u}, addressed through the mirror position.
+    const CsrPos mp = csr_->mirror(p);
+    if (!in_list_[mp]) {
+      in_list_[mp] = 1;
+      ++list_size_[csr_->neighbor_at(p)];
+    }
+  }
+  for (CsrPos p = begin; p < end; ++p) in_list_[p] = 0;  // list[u] := ∅
+  list_size_[u] = 0;
+  out_degree_[u] = flips;
+  if (flips == 0) push(u);
+  return flips;
+}
+
+template <typename PushSink>
+std::uint32_t ReversalEngine::fire_newpr(NodeId u, PushSink&& push) {
+  const std::span<const CsrPos> selected =
+      parity_[u] ? csr_->initial_out_positions(u) : csr_->initial_in_positions(u);
+  for (const CsrPos p : selected) flip(p, push);
+  const std::uint32_t flips = static_cast<std::uint32_t>(selected.size());
+  out_degree_[u] = flips;
+  if (flips == 0) {
+    ++dummy_steps_;  // the selected constant set is empty: a dummy step
+    push(u);
+  }
+  parity_[u] ^= 1;
+  return flips;
+}
+
+template <typename PushSink>
+std::uint32_t ReversalEngine::fire(EngineAlgorithm algorithm, NodeId u, PushSink&& push) {
+  switch (algorithm) {
+    case EngineAlgorithm::kFullReversal:
+      return fire_full(u, push);
+    case EngineAlgorithm::kOneStepPR:
+      return fire_pr(u, push);
+    case EngineAlgorithm::kNewPR:
+      return fire_newpr(u, push);
+  }
+  throw std::invalid_argument("ReversalEngine: unknown algorithm");
+}
+
+EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
+                                 const EngineRunOptions& options) {
+  reset();
+  const std::size_t n = csr_->num_nodes();
+  EngineResult result;
+  if (options.record_node_costs) result.node_cost.assign(n, 0);
+
+  const auto account = [&result](NodeId u, std::uint32_t flips) {
+    result.edge_reversals += flips;
+    ++result.steps;
+    if (!result.node_cost.empty()) ++result.node_cost[u];
+  };
+
+  switch (policy) {
+    case EnginePolicy::kLowestId: {
+      // Lazy min-heap worklist: every node is pushed when its out-degree
+      // hits zero; stale entries are discarded at pop.  The first valid pop
+      // is the minimum current sink, exactly LowestIdScheduler's choice.
+      heap_.clear();
+      queued_.assign(n, 0);
+      for (NodeId u = 0; u < n; ++u) {
+        if (out_degree_[u] == 0) {
+          heap_.push_back(u);
+          queued_[u] = 1;
+        }
+      }
+      std::make_heap(heap_.begin(), heap_.end(), std::greater<NodeId>{});
+      const auto push = [this](NodeId v) {
+        if (!queued_[v]) {
+          queued_[v] = 1;
+          heap_.push_back(v);
+          std::push_heap(heap_.begin(), heap_.end(), std::greater<NodeId>{});
+        }
+      };
+      while (result.steps < options.max_steps) {
+        NodeId u = kNoNode;
+        while (!heap_.empty()) {
+          std::pop_heap(heap_.begin(), heap_.end(), std::greater<NodeId>{});
+          const NodeId top = heap_.back();
+          heap_.pop_back();
+          queued_[top] = 0;
+          if (top != destination_ && out_degree_[top] == 0) {
+            u = top;
+            break;
+          }
+        }
+        if (u == kNoNode) {
+          result.quiescent = true;
+          break;
+        }
+        account(u, fire(algorithm, u, push));
+      }
+      break;
+    }
+    case EnginePolicy::kRandom: {
+      // Reproduces RandomScheduler exactly: an ascending sink list and a
+      // uniform index draw per step from the same mt19937_64 stream.
+      std::mt19937_64 rng(options.scheduler_seed);
+      const auto no_push = [](NodeId) {};
+      while (result.steps < options.max_steps) {
+        sink_list_.clear();
+        for (NodeId u = 0; u < n; ++u) {
+          if (u != destination_ && out_degree_[u] == 0) sink_list_.push_back(u);
+        }
+        if (sink_list_.empty()) {
+          result.quiescent = true;
+          break;
+        }
+        std::uniform_int_distribution<std::size_t> pick(0, sink_list_.size() - 1);
+        const NodeId u = sink_list_[pick(rng)];
+        account(u, fire(algorithm, u, no_push));
+      }
+      break;
+    }
+    case EnginePolicy::kRoundRobin: {
+      // Reproduces RoundRobinScheduler's cursor rule over the flat
+      // out-degree array.
+      std::size_t cursor = 0;
+      const auto no_push = [](NodeId) {};
+      while (result.steps < options.max_steps) {
+        NodeId u = kNoNode;
+        for (std::size_t i = 0; i < n; ++i) {
+          const NodeId candidate = static_cast<NodeId>((cursor + i) % n);
+          if (candidate != destination_ && out_degree_[candidate] == 0) {
+            u = candidate;
+            cursor = (candidate + 1) % n;
+            break;
+          }
+        }
+        if (u == kNoNode) {
+          result.quiescent = true;
+          break;
+        }
+        account(u, fire(algorithm, u, no_push));
+      }
+      break;
+    }
+    case EnginePolicy::kFarthestFirst: {
+      // Lazy max-heap keyed (BFS distance to D, id), matching
+      // FarthestFirstScheduler's max_element over (distance, id) pairs.
+      ensure_distances();
+      const auto key_of = [this](NodeId u) {
+        return (static_cast<std::uint64_t>(distance_[u]) << 32) | u;
+      };
+      key_heap_.clear();
+      queued_.assign(n, 0);
+      for (NodeId u = 0; u < n; ++u) {
+        if (out_degree_[u] == 0) {
+          key_heap_.push_back(key_of(u));
+          queued_[u] = 1;
+        }
+      }
+      std::make_heap(key_heap_.begin(), key_heap_.end());
+      const auto push = [this, &key_of](NodeId v) {
+        if (!queued_[v]) {
+          queued_[v] = 1;
+          key_heap_.push_back(key_of(v));
+          std::push_heap(key_heap_.begin(), key_heap_.end());
+        }
+      };
+      while (result.steps < options.max_steps) {
+        NodeId u = kNoNode;
+        while (!key_heap_.empty()) {
+          std::pop_heap(key_heap_.begin(), key_heap_.end());
+          const NodeId top = static_cast<NodeId>(key_heap_.back() & 0xffffffffu);
+          key_heap_.pop_back();
+          queued_[top] = 0;
+          if (top != destination_ && out_degree_[top] == 0) {
+            u = top;
+            break;
+          }
+        }
+        if (u == kNoNode) {
+          result.quiescent = true;
+          break;
+        }
+        account(u, fire(algorithm, u, push));
+      }
+      break;
+    }
+  }
+
+  result.dummy_steps = dummy_steps_;
+  result.destination_oriented = compute_destination_oriented();
+  return result;
+}
+
+EngineRoundsResult ReversalEngine::run_greedy_rounds(EngineAlgorithm algorithm,
+                                                     std::uint64_t max_rounds) {
+  if (algorithm == EngineAlgorithm::kNewPR) {
+    throw std::invalid_argument(
+        "ReversalEngine::run_greedy_rounds: greedy rounds are defined for FR and "
+        "OneStepPR only (matching analysis/rounds.hpp)");
+  }
+  reset();
+  const std::size_t n = csr_->num_nodes();
+  EngineRoundsResult result;
+
+  round_current_.clear();
+  for (NodeId u = 0; u < n; ++u) {
+    if (u != destination_ && out_degree_[u] == 0) round_current_.push_back(u);
+  }
+  // Within a round, a non-firing node's out-degree only decreases and a
+  // firing node's is rewritten once, so every node reaches zero at most
+  // once per round: the next-round list needs no deduplication.  Firing
+  // order within a round is immaterial — round sinks are pairwise
+  // non-adjacent, and PR list additions only flow from firing nodes to
+  // their (non-firing) neighbors — so the list also needs no sorting.
+  const auto push = [this](NodeId v) {
+    if (v != destination_) round_next_.push_back(v);
+  };
+  while (!round_current_.empty() && result.rounds < max_rounds) {
+    ++result.rounds;
+    result.node_steps += round_current_.size();
+    round_next_.clear();
+    for (const NodeId u : round_current_) {
+      result.edge_reversals += fire(algorithm, u, push);
+    }
+    round_current_.swap(round_next_);
+  }
+  result.converged = round_current_.empty();
+  return result;
+}
+
+}  // namespace lr

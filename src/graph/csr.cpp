@@ -1,0 +1,82 @@
+#include "graph/csr.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace lr {
+
+namespace {
+
+constexpr CsrPos kUnseenPos = std::numeric_limits<CsrPos>::max();
+
+std::vector<EdgeSense> all_forward(std::size_t m) {
+  return std::vector<EdgeSense>(m, EdgeSense::kForward);
+}
+
+}  // namespace
+
+CsrGraph::CsrGraph(const Graph& g) { build(g, all_forward(g.num_edges())); }
+
+CsrGraph::CsrGraph(const Graph& g, std::span<const EdgeSense> initial) {
+  if (initial.size() != g.num_edges()) {
+    throw std::invalid_argument("CsrGraph: one initial sense per edge required");
+  }
+  build(g, initial);
+}
+
+void CsrGraph::build(const Graph& g, std::span<const EdgeSense> initial) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  num_nodes_ = n;
+  initial_senses_.assign(initial.begin(), initial.end());
+
+  offsets_.assign(n + 1, 0);
+  nbr_.resize(2 * m);
+  edge_.resize(2 * m);
+  mirror_.resize(2 * m);
+  part_nbr_.resize(2 * m);
+  part_pos_.resize(2 * m);
+  split_.assign(n, 0);
+
+  // Adjacency: copy Graph's CSR payload (already ascending per node) into
+  // the flat id arrays, linking mirror positions through a per-edge slot.
+  std::vector<CsrPos> first_pos(m, kUnseenPos);
+  CsrPos p = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u] = p;
+    for (const Incidence& inc : g.neighbors(u)) {
+      nbr_[p] = inc.neighbor;
+      edge_[p] = inc.edge;
+      if (first_pos[inc.edge] == kUnseenPos) {
+        first_pos[inc.edge] = p;
+      } else {
+        mirror_[p] = first_pos[inc.edge];
+        mirror_[first_pos[inc.edge]] = p;
+      }
+      ++p;
+    }
+  }
+  offsets_[n] = p;
+
+  // Initial in/out partition: in-block first, out-block second, both in
+  // ascending neighbor order because the adjacency scan is ascending.
+  for (NodeId u = 0; u < n; ++u) {
+    const CsrPos begin = offsets_[u];
+    const CsrPos end = offsets_[u + 1];
+    CsrPos in_cursor = begin;
+    for (CsrPos q = begin; q < end; ++q) {
+      if (!points_out_of(q, u, initial_senses_)) ++in_cursor;
+    }
+    split_[u] = in_cursor;
+    CsrPos out_cursor = in_cursor;
+    in_cursor = begin;
+    for (CsrPos q = begin; q < end; ++q) {
+      CsrPos& cursor = points_out_of(q, u, initial_senses_) ? out_cursor : in_cursor;
+      part_nbr_[cursor] = nbr_[q];
+      part_pos_[cursor] = q;
+      ++cursor;
+    }
+  }
+}
+
+}  // namespace lr

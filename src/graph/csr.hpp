@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/orientation.hpp"
+
+/// \file csr.hpp
+/// The immutable compressed-sparse-row (CSR) execution core.
+///
+/// `Graph` is the *build/mutation front-end*: it validates edges, supports
+/// binary-searched lookups, and is the representation every constructor in
+/// the library accepts.  `CsrGraph` is the *execution back-end*: a frozen,
+/// fully flat snapshot of one graph plus one initial orientation, designed
+/// so that the reversal hot path (core/reversal_engine.hpp) touches nothing
+/// but contiguous integer arrays — no `Incidence` pairs, no per-step
+/// allocation, no binary searches inside kernels.
+///
+/// Three flat views are precomputed at conversion time:
+///
+///  1. **Adjacency** — `neighbors(u)` / `incident_edges(u)` spans in
+///     ascending neighbor order (identical order to `Graph::neighbors`),
+///     addressed by a global *position* `p` in `[0, 2m)`.
+///  2. **Mirrors** — `mirror(p)` maps position `p` (edge `e` seen from `u`)
+///     to the position of the same edge in the other endpoint's adjacency
+///     block.  This is what lets Partial Reversal update `list[v]` in O(1)
+///     per reversed edge instead of re-binary-searching `v`'s adjacency.
+///  3. **Initial in/out partition** — per node, the positions (and neighbor
+///     ids) of its initial in-edges and initial out-edges with respect to
+///     the *initial* orientation, as O(1) spans.  These are the paper's
+///     constant sets `in-nbrs_u` / `out-nbrs_u` that NewPR reverses by
+///     parity, so the NewPR kernel touches exactly the set it flips.
+///
+/// A `CsrGraph` never changes after construction; mutable execution state
+/// (current edge senses, out-degrees, lists, parities) lives in the engine.
+
+namespace lr {
+
+/// Flat position index into the CSR adjacency arrays; positions run over
+/// `[0, 2m)` with node `u`'s block at `[adjacency_begin(u), adjacency_end(u))`.
+using CsrPos = std::uint32_t;
+
+/// Immutable flat CSR snapshot of a `Graph` plus an initial orientation.
+class CsrGraph {
+ public:
+  /// An empty CSR graph (0 nodes); useful as a placeholder before assignment.
+  CsrGraph() = default;
+
+  /// Converts `g` using the all-forward initial orientation (every edge
+  /// pointing from its smaller to its larger endpoint, the canonical
+  /// sense).  `g` may be destroyed afterwards: the CSR form is self-owned.
+  explicit CsrGraph(const Graph& g);
+
+  /// Converts `g` with the given initial orientation (one sense per edge,
+  /// as stored by `Orientation::senses()` and `Instance::senses`).  Throws
+  /// std::invalid_argument if `initial.size() != g.num_edges()`.
+  CsrGraph(const Graph& g, std::span<const EdgeSense> initial);
+
+  /// Number of nodes.
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Number of undirected edges.
+  std::size_t num_edges() const noexcept { return initial_senses_.size(); }
+
+  /// First flat position of node `u`'s adjacency block.
+  CsrPos adjacency_begin(NodeId u) const { return offsets_[u]; }
+
+  /// One past the last flat position of node `u`'s adjacency block.
+  CsrPos adjacency_end(NodeId u) const { return offsets_[u + 1]; }
+
+  /// Neighbor at flat position `p`.
+  NodeId neighbor_at(CsrPos p) const { return nbr_[p]; }
+
+  /// Edge id at flat position `p`.
+  EdgeId edge_at(CsrPos p) const { return edge_[p]; }
+
+  /// Position of the same edge inside the *other* endpoint's block.
+  CsrPos mirror(CsrPos p) const { return mirror_[p]; }
+
+  /// Degree of node `u`.
+  std::size_t degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  /// All neighbors of `u`, ascending (same order as `Graph::neighbors`).
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return std::span<const NodeId>(nbr_).subspan(offsets_[u], degree(u));
+  }
+
+  /// Edge ids incident to `u`, aligned with `neighbors(u)`.
+  std::span<const EdgeId> incident_edges(NodeId u) const {
+    return std::span<const EdgeId>(edge_).subspan(offsets_[u], degree(u));
+  }
+
+  /// The initial orientation this CSR snapshot was built with.
+  std::span<const EdgeSense> initial_senses() const noexcept { return initial_senses_; }
+
+  /// The paper's constant set `in-nbrs_u` (ascending) as an O(1) slice.
+  std::span<const NodeId> initial_in_neighbors(NodeId u) const {
+    return std::span<const NodeId>(part_nbr_).subspan(offsets_[u], split_[u] - offsets_[u]);
+  }
+
+  /// The paper's constant set `out-nbrs_u` (ascending) as an O(1) slice.
+  std::span<const NodeId> initial_out_neighbors(NodeId u) const {
+    return std::span<const NodeId>(part_nbr_).subspan(split_[u], offsets_[u + 1] - split_[u]);
+  }
+
+  /// Flat adjacency positions of `u`'s initial in-edges (aligned with
+  /// `initial_in_neighbors`); the NewPR even-parity reversal set.
+  std::span<const CsrPos> initial_in_positions(NodeId u) const {
+    return std::span<const CsrPos>(part_pos_).subspan(offsets_[u], split_[u] - offsets_[u]);
+  }
+
+  /// Flat adjacency positions of `u`'s initial out-edges (aligned with
+  /// `initial_out_neighbors`); the NewPR odd-parity reversal set.
+  std::span<const CsrPos> initial_out_positions(NodeId u) const {
+    return std::span<const CsrPos>(part_pos_).subspan(split_[u], offsets_[u + 1] - split_[u]);
+  }
+
+  /// |in-nbrs_u| with respect to the initial orientation.
+  std::size_t initial_in_degree(NodeId u) const { return split_[u] - offsets_[u]; }
+
+  /// |out-nbrs_u| with respect to the initial orientation.
+  std::size_t initial_out_degree(NodeId u) const { return offsets_[u + 1] - split_[u]; }
+
+  /// True iff the edge at position `p` points *out of* the block owner `u`
+  /// under the given current senses.  Canonical endpoint order makes this a
+  /// pure comparison: forward means smaller-id -> larger-id.
+  bool points_out_of(CsrPos p, NodeId u, std::span<const EdgeSense> senses) const {
+    return (senses[edge_[p]] == EdgeSense::kForward) == (u < nbr_[p]);
+  }
+
+ private:
+  void build(const Graph& g, std::span<const EdgeSense> initial);
+
+  std::size_t num_nodes_ = 0;
+  std::vector<CsrPos> offsets_;            ///< size n+1; block boundaries
+  std::vector<NodeId> nbr_;                ///< size 2m; neighbors, ascending per block
+  std::vector<EdgeId> edge_;               ///< size 2m; edge ids, aligned with nbr_
+  std::vector<CsrPos> mirror_;             ///< size 2m; same edge, other endpoint
+  std::vector<NodeId> part_nbr_;           ///< size 2m; [in-block | out-block] per node
+  std::vector<CsrPos> part_pos_;           ///< size 2m; adjacency positions, aligned
+  std::vector<CsrPos> split_;              ///< size n; where the out-block starts
+  std::vector<EdgeSense> initial_senses_;  ///< size m; the frozen initial orientation
+};
+
+}  // namespace lr

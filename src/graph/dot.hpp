@@ -16,8 +16,9 @@
 
 namespace lr {
 
+/// Rendering options for write_dot().
 struct DotOptions {
-  std::string graph_name = "G";
+  std::string graph_name = "G";      ///< DOT graph identifier
   NodeId destination = kNoNode;      ///< rendered as a doublecircle if set
   const LeftRightEmbedding* embedding = nullptr;  ///< adds rank hints if set
   bool highlight_sinks = true;       ///< sinks filled gray

@@ -40,6 +40,7 @@ class LeftRightEmbedding {
     return left_of(o.tail(e), o.head(e));
   }
 
+  /// Number of embedded nodes.
   std::size_t num_nodes() const noexcept { return position_.size(); }
 
  private:

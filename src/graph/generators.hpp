@@ -25,11 +25,12 @@ namespace lr {
 /// mutable Orientation referencing it.  The Instance must outlive any
 /// orientation it hands out.
 struct Instance {
-  Graph graph;
-  std::vector<EdgeSense> senses;
-  NodeId destination = 0;
-  std::string name;
+  Graph graph;                    ///< the undirected substrate G
+  std::vector<EdgeSense> senses;  ///< the initial acyclic orientation G'_init
+  NodeId destination = 0;         ///< the destination D
+  std::string name;               ///< human-readable workload label
 
+  /// A fresh mutable Orientation referencing this instance's graph.
   Orientation make_orientation() const { return Orientation(graph, senses); }
 };
 

@@ -21,9 +21,10 @@ namespace lr {
 /// An incidence record: the neighbor reached through an edge, plus the
 /// edge's id so per-edge state can be looked up in O(1).
 struct Incidence {
-  NodeId neighbor = kNoNode;
-  EdgeId edge = kNoEdge;
+  NodeId neighbor = kNoNode;  ///< the node reached through the edge
+  EdgeId edge = kNoEdge;      ///< the edge's id (for per-edge state)
 
+  /// Member-wise equality.
   friend bool operator==(const Incidence&, const Incidence&) = default;
 };
 
@@ -43,7 +44,9 @@ class Graph {
   /// An empty graph (0 nodes).  Useful as a placeholder before assignment.
   Graph() = default;
 
+  /// Number of nodes.
   std::size_t num_nodes() const noexcept { return adjacency_offsets_.empty() ? 0 : adjacency_offsets_.size() - 1; }
+  /// Number of undirected edges.
   std::size_t num_edges() const noexcept { return endpoints_.size(); }
 
   /// Smaller endpoint of edge `e` (canonical order).
@@ -91,6 +94,7 @@ class Graph {
   /// Human-readable summary, e.g. "Graph(n=5, m=7)".
   std::string describe() const;
 
+  /// Structural equality: same node count and identical edge list.
   friend bool operator==(const Graph&, const Graph&) = default;
 
  private:

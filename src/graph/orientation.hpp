@@ -84,7 +84,9 @@ class Orientation {
     if (head(e) == u) reverse_edge(e);
   }
 
+  /// Number of edges currently pointing away from `u`.
   std::size_t out_degree(NodeId u) const { return out_degree_[u]; }
+  /// Number of edges currently pointing towards `u`.
   std::size_t in_degree(NodeId u) const { return graph_->degree(u) - out_degree_[u]; }
 
   /// True iff every incident edge of `u` is incoming.  Matches the paper's

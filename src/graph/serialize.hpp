@@ -31,8 +31,9 @@ void write_instance(std::ostream& os, const Instance& instance);
 /// malformed input.
 Instance read_instance(std::istream& is);
 
-/// File convenience wrappers (throw std::runtime_error on I/O failure).
+/// File convenience wrapper (throws std::runtime_error on I/O failure).
 void save_instance(const std::string& path, const Instance& instance);
+/// \copydoc save_instance
 Instance load_instance(const std::string& path);
 
 }  // namespace lr

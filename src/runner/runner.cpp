@@ -18,6 +18,8 @@
 #include "core/newpr.hpp"
 #include "core/pr.hpp"
 #include "core/relations.hpp"
+#include "core/reversal_engine.hpp"
+#include "graph/csr.hpp"
 #include "graph/digraph_algos.hpp"
 #include "routing/tora.hpp"
 #include "sim/dist_lr.hpp"
@@ -69,11 +71,61 @@ void fill_instance_shape(RunRecord& record, const Instance& instance) {
   record.bad_nodes = count_bad_nodes(instance);
 }
 
-/// fr / pr / newpr: run to quiescence under the spec's scheduler through
-/// the analysis layer's measure_cost (the same path bench_e2/e3 report),
-/// then attach the greedy-round time measure where the strategy has one.
+/// Engine-side names of the strategy and scheduler axes (the CSR path).
+EngineAlgorithm engine_algorithm(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kFullReversal:
+      return EngineAlgorithm::kFullReversal;
+    case Strategy::kPartialReversal:
+      return EngineAlgorithm::kOneStepPR;
+    case Strategy::kNewPR:
+      return EngineAlgorithm::kNewPR;
+  }
+  throw std::invalid_argument("unknown strategy");
+}
+
+EnginePolicy engine_policy(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kLowestId:
+      return EnginePolicy::kLowestId;
+    case SchedulerKind::kRandom:
+      return EnginePolicy::kRandom;
+    case SchedulerKind::kRoundRobin:
+      return EnginePolicy::kRoundRobin;
+    case SchedulerKind::kFarthestFirst:
+      return EnginePolicy::kFarthestFirst;
+  }
+  throw std::invalid_argument("unknown scheduler kind");
+}
+
+/// fr / pr / newpr: run to quiescence under the spec's scheduler, then
+/// attach the greedy-round time measure where the strategy has one.
+///
+/// Two back-ends fill identical records (the equivalence is locked in by
+/// tests/reversal_engine_test.cpp): the default CSR path batches the whole
+/// execution through core/reversal_engine.hpp; the legacy path drives the
+/// paper-shaped automata through the analysis layer's measure_cost.  The
+/// bench_e2 A/B mode times one against the other.
 void run_strategy_kernel(RunRecord& record, const Instance& instance, Strategy strategy) {
   const RunSpec& spec = record.spec;
+  if (spec.path == ExecutionPath::kCsr) {
+    const CsrGraph csr(instance.graph, instance.senses);
+    ReversalEngine engine(csr, instance.destination);
+    const EngineResult result =
+        engine.run(engine_algorithm(strategy), engine_policy(spec.scheduler),
+                   {.max_steps = spec.max_steps, .scheduler_seed = spec.scheduler_seed()});
+    record.work = result.steps;
+    record.edge_reversals = result.edge_reversals;
+    record.dummy_steps = result.dummy_steps;
+    record.converged = result.quiescent && result.destination_oriented;
+    if (strategy != Strategy::kNewPR) {
+      const EngineAlgorithm rounds_algorithm = strategy == Strategy::kFullReversal
+                                                   ? EngineAlgorithm::kFullReversal
+                                                   : EngineAlgorithm::kOneStepPR;
+      record.rounds = engine.run_greedy_rounds(rounds_algorithm, spec.max_steps).rounds;
+    }
+    return;
+  }
   const CostProfile profile = measure_cost(instance, strategy, spec.scheduler,
                                            spec.scheduler_seed(), {.max_steps = spec.max_steps});
   record.work = profile.social_cost;

@@ -102,6 +102,16 @@ const char* algorithm_token(AlgorithmKind kind) {
   return "?";
 }
 
+const char* path_token(ExecutionPath path) {
+  switch (path) {
+    case ExecutionPath::kCsr:
+      return "csr";
+    case ExecutionPath::kLegacy:
+      return "legacy";
+  }
+  return "?";
+}
+
 const char* scheduler_token(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kLowestId:
@@ -155,6 +165,10 @@ SchedulerKind parse_scheduler(const std::string& token) {
                       SchedulerKind::kRoundRobin, SchedulerKind::kFarthestFirst});
 }
 
+ExecutionPath parse_path(const std::string& token) {
+  return parse_token(token, "path", path_token, {ExecutionPath::kCsr, ExecutionPath::kLegacy});
+}
+
 std::size_t SweepSpec::run_count() const {
   return topologies.size() * sizes.size() * algorithms.size() * schedulers.size() * seeds.size();
 }
@@ -174,6 +188,7 @@ std::vector<RunSpec> SweepSpec::expand() const {
             spec.scheduler = scheduler;
             spec.seed = seed;
             spec.max_steps = max_steps;
+            spec.path = path;
             runs.push_back(spec);
           }
         }
@@ -279,6 +294,10 @@ SweepSpec SweepSpec::parse(std::istream& is) {
         const auto list = parse_integer_list(values);
         if (list.size() != 1) throw std::invalid_argument("max_steps takes a single value");
         spec.max_steps = list[0];
+      } else if (key == "path") {
+        const auto tokens = split_values(values);
+        if (tokens.size() != 1) throw std::invalid_argument("path takes a single value");
+        spec.path = parse_path(tokens[0]);
       } else {
         throw std::invalid_argument("unknown key '" + key + "'");
       }

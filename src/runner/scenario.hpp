@@ -57,6 +57,26 @@ enum class AlgorithmKind : std::uint8_t {
   kSimRRev,       ///< reverse relation checker: NewPR -> OneStepPR
 };
 
+/// Which execution back-end a run uses for the fr/pr/newpr kernels.
+///
+/// Both paths execute the identical action sequence and fill identical
+/// records (tests/reversal_engine_test.cpp), so this is a performance
+/// switch, not a semantics switch: record and aggregate tables are
+/// byte-identical across paths by design, which is what makes the
+/// bench_e2 A/B comparison meaningful.  Kernels without a batched
+/// implementation (hybrid, tora, dist-*, sim-*) ignore it.
+enum class ExecutionPath : std::uint8_t {
+  kCsr,     ///< batched CSR kernels (core/reversal_engine.hpp) — default
+  kLegacy,  ///< paper-shaped automata + schedulers (automata/executor.hpp)
+};
+
+/// Spec-file token of an execution path ("csr", "legacy").
+const char* path_token(ExecutionPath path);
+
+/// Parses an execution-path token; throws std::invalid_argument when
+/// unknown.
+ExecutionPath parse_path(const std::string& token);
+
 /// One fully resolved scenario: a point of the sweep's cartesian product.
 struct RunSpec {
   TopologyKind topology = TopologyKind::kChain;  ///< topology family
@@ -65,6 +85,7 @@ struct RunSpec {
   SchedulerKind scheduler = SchedulerKind::kLowestId;   ///< demon resolving nondeterminism
   std::uint64_t seed = 1;      ///< master seed of this run's RNG streams
   std::uint64_t max_steps = 10'000'000;  ///< step/round safety budget
+  ExecutionPath path = ExecutionPath::kCsr;  ///< execution back-end (A/B switch)
 
   /// Seed of the instance-construction RNG stream.  Depends only on
   /// (topology, size, seed) — *not* on algorithm or scheduler — so all
@@ -134,6 +155,11 @@ struct SweepSpec {
   std::vector<SchedulerKind> schedulers;    ///< `scheduler =` axis
   std::vector<std::uint64_t> seeds;         ///< `seed =` axis
   std::uint64_t max_steps = 10'000'000;     ///< per-run safety budget
+  /// `path =` scalar option (`csr` default, `legacy` for A/B comparison):
+  /// the execution back-end stamped on every expanded run.  A scalar, not
+  /// an axis: results are identical on both paths, so sweeping it would
+  /// only duplicate rows.
+  ExecutionPath path = ExecutionPath::kCsr;
 
   /// Number of runs the spec expands to (the axes' size product).
   std::size_t run_count() const;

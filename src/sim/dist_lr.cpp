@@ -44,15 +44,14 @@ DistLinkReversal::DistLinkReversal(const Instance& instance, ReversalRule rule, 
     b_ = levels;
   }
 
-  offsets_.resize(n + 1, 0);
-  for (NodeId u = 0; u < n; ++u) offsets_[u + 1] = offsets_[u] + graph_->degree(u);
-  view_a_.resize(offsets_[n]);
-  view_b_.resize(offsets_[n]);
+  csr_ = CsrGraph(*graph_, initial.senses());
+  view_a_.resize(2 * csr_.num_edges());
+  view_b_.resize(2 * csr_.num_edges());
   for (NodeId u = 0; u < n; ++u) {
-    const auto nbrs = graph_->neighbors(u);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      view_a_[offsets_[u] + i] = a_[nbrs[i].neighbor];
-      view_b_[offsets_[u] + i] = b_[nbrs[i].neighbor];
+    const CsrPos end = csr_.adjacency_end(u);
+    for (CsrPos p = csr_.adjacency_begin(u); p < end; ++p) {
+      view_a_[p] = a_[csr_.neighbor_at(p)];
+      view_b_[p] = b_[csr_.neighbor_at(p)];
     }
   }
   steps_.assign(n, 0);
@@ -68,39 +67,35 @@ void DistLinkReversal::start() {
 
 bool DistLinkReversal::locally_sink(NodeId u) const {
   // All neighbor heights (as viewed by u) are lexicographically above u's.
-  const auto nbrs = graph_->neighbors(u);
-  if (nbrs.empty()) return false;
+  const CsrPos begin = csr_.adjacency_begin(u);
+  const CsrPos end = csr_.adjacency_end(u);
+  if (begin == end) return false;
   const auto own = std::tuple(a_[u], b_[u], u);
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const auto neighbor = std::tuple(view_a_[offsets_[u] + i], view_b_[offsets_[u] + i],
-                                     nbrs[i].neighbor);
-    if (neighbor < own) return false;
+  for (CsrPos p = begin; p < end; ++p) {
+    if (std::tuple(view_a_[p], view_b_[p], csr_.neighbor_at(p)) < own) return false;
   }
   return true;
 }
 
 void DistLinkReversal::maybe_step(NodeId u) {
   if (u == destination_ || !locally_sink(u)) return;
-  const auto nbrs = graph_->neighbors(u);
+  const CsrPos begin = csr_.adjacency_begin(u);
+  const CsrPos end = csr_.adjacency_end(u);
 
   if (rule_ == ReversalRule::kFull) {
     std::int64_t max_a = std::numeric_limits<std::int64_t>::min();
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      max_a = std::max(max_a, view_a_[offsets_[u] + i]);
-    }
+    for (CsrPos p = begin; p < end; ++p) max_a = std::max(max_a, view_a_[p]);
     a_[u] = max_a + 1;
   } else {
     std::int64_t min_a = std::numeric_limits<std::int64_t>::max();
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      min_a = std::min(min_a, view_a_[offsets_[u] + i]);
-    }
+    for (CsrPos p = begin; p < end; ++p) min_a = std::min(min_a, view_a_[p]);
     const std::int64_t new_a = min_a + 1;
     std::int64_t min_b = std::numeric_limits<std::int64_t>::max();
     bool tie = false;
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (view_a_[offsets_[u] + i] == new_a) {
+    for (CsrPos p = begin; p < end; ++p) {
+      if (view_a_[p] == new_a) {
         tie = true;
-        min_b = std::min(min_b, view_b_[offsets_[u] + i]);
+        min_b = std::min(min_b, view_b_[p]);
       }
     }
     a_[u] = new_a;
@@ -112,8 +107,8 @@ void DistLinkReversal::maybe_step(NodeId u) {
 }
 
 void DistLinkReversal::broadcast_height(NodeId u) {
-  for (const Incidence& inc : graph_->neighbors(u)) {
-    network_->send(u, inc.neighbor, {a_[u], b_[u]});
+  for (const NodeId v : csr_.neighbors(u)) {
+    network_->send(u, v, {a_[u], b_[u]});
   }
 }
 
@@ -146,14 +141,12 @@ void DistLinkReversal::notify_link_restored(EdgeId e) {
 void DistLinkReversal::on_message(const NetMessage& message) {
   const NodeId u = message.to;
   const NodeId from = message.from;
-  // Locate `from` in u's adjacency.
-  const auto nbrs = graph_->neighbors(u);
-  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), from,
-                                   [](const Incidence& inc, NodeId target) {
-                                     return inc.neighbor < target;
-                                   });
-  if (it == nbrs.end() || it->neighbor != from) return;  // not a neighbor: ignore
-  const std::size_t slot = offsets_[u] + static_cast<std::size_t>(it - nbrs.begin());
+  // Locate `from` in u's ascending CSR neighbor slice.
+  const auto nbrs = csr_.neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), from);
+  if (it == nbrs.end() || *it != from) return;  // not a neighbor: ignore
+  const std::size_t slot =
+      csr_.adjacency_begin(u) + static_cast<std::size_t>(it - nbrs.begin());
 
   // Heights only increase: a stale (re-ordered) UPDATE must not regress the
   // view.
@@ -167,15 +160,14 @@ void DistLinkReversal::on_message(const NetMessage& message) {
 }
 
 std::optional<NodeId> DistLinkReversal::best_out_neighbor_view(NodeId u) const {
-  const auto nbrs = graph_->neighbors(u);
   const auto own = std::tuple(a_[u], b_[u], u);
   std::optional<NodeId> best;
   std::tuple<std::int64_t, std::int64_t, NodeId> best_height{};
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const auto viewed = std::tuple(view_a_[offsets_[u] + i], view_b_[offsets_[u] + i],
-                                   nbrs[i].neighbor);
+  const CsrPos end = csr_.adjacency_end(u);
+  for (CsrPos p = csr_.adjacency_begin(u); p < end; ++p) {
+    const auto viewed = std::tuple(view_a_[p], view_b_[p], csr_.neighbor_at(p));
     if (viewed < own && (!best || viewed < best_height)) {
-      best = nbrs[i].neighbor;
+      best = csr_.neighbor_at(p);
       best_height = viewed;
     }
   }

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "graph/orientation.hpp"
 #include "sim/network.hpp"
@@ -102,10 +103,15 @@ class DistLinkReversal {
   ReversalRule rule_;
   NodeId destination_;
 
+  // Flat CSR snapshot of the topology: the event-loop hot path (sink test,
+  // height update, broadcast, view refresh on every delivered message)
+  // iterates its contiguous id arrays, and neighbor-view slots below are
+  // addressed by CSR position.
+  CsrGraph csr_;
+
   std::vector<std::int64_t> a_;
   std::vector<std::int64_t> b_;
-  // Views of neighbor heights, CSR-indexed in adjacency order.
-  std::vector<std::size_t> offsets_;
+  // Views of neighbor heights, indexed by CSR adjacency position.
   std::vector<std::int64_t> view_a_;
   std::vector<std::int64_t> view_b_;
 

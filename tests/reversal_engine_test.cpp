@@ -1,0 +1,355 @@
+// Tests for the batched CSR execution engine (core/reversal_engine.hpp):
+// step-for-step equivalence with the legacy automaton + scheduler path
+// across all three algorithms and all four scheduling policies, greedy-
+// rounds equivalence, worklist sink detection on disconnected/degenerate
+// graphs, and record-level A/B equality through the scenario runner.
+
+#include "core/reversal_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "analysis/game.hpp"
+#include "analysis/rounds.hpp"
+#include "automata/executor.hpp"
+#include "automata/scheduler.hpp"
+#include "core/full_reversal.hpp"
+#include "core/newpr.hpp"
+#include "core/pr.hpp"
+#include "runner/runner.hpp"
+#include "trace/report.hpp"
+
+namespace lr {
+namespace {
+
+struct NamedPolicy {
+  SchedulerKind scheduler;
+  EnginePolicy policy;
+};
+
+const NamedPolicy kPolicies[] = {
+    {SchedulerKind::kLowestId, EnginePolicy::kLowestId},
+    {SchedulerKind::kRandom, EnginePolicy::kRandom},
+    {SchedulerKind::kRoundRobin, EnginePolicy::kRoundRobin},
+    {SchedulerKind::kFarthestFirst, EnginePolicy::kFarthestFirst},
+};
+
+const Strategy kStrategies[] = {Strategy::kFullReversal, Strategy::kPartialReversal,
+                                Strategy::kNewPR};
+
+EngineAlgorithm engine_algorithm(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kFullReversal:
+      return EngineAlgorithm::kFullReversal;
+    case Strategy::kPartialReversal:
+      return EngineAlgorithm::kOneStepPR;
+    case Strategy::kNewPR:
+      return EngineAlgorithm::kNewPR;
+  }
+  ADD_FAILURE() << "unknown strategy";
+  return EngineAlgorithm::kFullReversal;
+}
+
+std::vector<Instance> equivalence_instances() {
+  std::vector<Instance> instances;
+  instances.push_back(make_worst_case_chain(17));
+  std::mt19937_64 rng(99);
+  for (const std::uint64_t trial : {1u, 2u, 3u}) {
+    (void)trial;
+    instances.push_back(make_random_instance(20, 25, rng));
+  }
+  instances.push_back(make_grid_instance(4, 5, rng));
+  instances.push_back(make_layered_bad_instance(4, 4, 0.4, rng));
+  instances.push_back(make_sink_source_instance(11));
+  instances.push_back(make_unit_disk_instance(18, 0.35, rng));
+  return instances;
+}
+
+/// Runs the legacy automaton for `strategy` under the scheduler `kind` and
+/// returns its final edge senses (the engine must reproduce them exactly).
+template <typename A>
+std::vector<EdgeSense> legacy_final_senses(const Instance& instance, SchedulerKind kind,
+                                           std::uint64_t seed) {
+  A automaton(instance);
+  switch (kind) {
+    case SchedulerKind::kLowestId: {
+      LowestIdScheduler s;
+      run_to_quiescence(automaton, s);
+      break;
+    }
+    case SchedulerKind::kRandom: {
+      RandomScheduler s(seed);
+      run_to_quiescence(automaton, s);
+      break;
+    }
+    case SchedulerKind::kRoundRobin: {
+      RoundRobinScheduler s;
+      run_to_quiescence(automaton, s);
+      break;
+    }
+    case SchedulerKind::kFarthestFirst: {
+      FarthestFirstScheduler s;
+      run_to_quiescence(automaton, s);
+      break;
+    }
+  }
+  return automaton.orientation().senses();
+}
+
+std::vector<EdgeSense> legacy_final_senses(const Instance& instance, Strategy strategy,
+                                           SchedulerKind kind, std::uint64_t seed) {
+  switch (strategy) {
+    case Strategy::kFullReversal:
+      return legacy_final_senses<FullReversalAutomaton>(instance, kind, seed);
+    case Strategy::kPartialReversal:
+      return legacy_final_senses<OneStepPRAutomaton>(instance, kind, seed);
+    case Strategy::kNewPR:
+      return legacy_final_senses<NewPRAutomaton>(instance, kind, seed);
+  }
+  return {};
+}
+
+TEST(ReversalEngineTest, MatchesLegacyPathAcrossAlgorithmsAndPolicies) {
+  const std::uint64_t seed = 12345;
+  for (const Instance& instance : equivalence_instances()) {
+    ReversalEngine engine(instance);
+    for (const Strategy strategy : kStrategies) {
+      for (const NamedPolicy& pair : kPolicies) {
+        const CostProfile profile = measure_cost(instance, strategy, pair.scheduler, seed);
+        const EngineResult result =
+            engine.run(engine_algorithm(strategy), pair.policy,
+                       {.scheduler_seed = seed, .record_node_costs = true});
+        const std::string context = std::string(instance.name) + " " + strategy_name(strategy) +
+                                    " " + scheduler_name(pair.scheduler);
+        EXPECT_EQ(result.steps, profile.social_cost) << context;
+        EXPECT_EQ(result.edge_reversals, profile.edge_reversals) << context;
+        EXPECT_EQ(result.dummy_steps, profile.dummy_steps) << context;
+        EXPECT_EQ(result.quiescent && result.destination_oriented, profile.converged) << context;
+        EXPECT_EQ(result.node_cost, profile.node_cost) << context;
+
+        const std::vector<EdgeSense> expected =
+            legacy_final_senses(instance, strategy, pair.scheduler, seed);
+        EXPECT_TRUE(std::equal(engine.senses().begin(), engine.senses().end(),
+                               expected.begin(), expected.end()))
+            << context << ": final orientations differ";
+        EXPECT_EQ(engine.state_checksum(), senses_checksum(expected)) << context;
+      }
+    }
+  }
+}
+
+TEST(ReversalEngineTest, GreedyRoundsMatchLegacyRounds) {
+  for (const Instance& instance : equivalence_instances()) {
+    ReversalEngine engine(instance);
+    for (const RoundStrategy strategy :
+         {RoundStrategy::kFullReversal, RoundStrategy::kPartialReversal}) {
+      const RoundHistory history = run_greedy_rounds(instance, strategy);
+      const EngineRoundsResult result = engine.run_greedy_rounds(
+          strategy == RoundStrategy::kFullReversal ? EngineAlgorithm::kFullReversal
+                                                   : EngineAlgorithm::kOneStepPR,
+          1'000'000);
+      EXPECT_EQ(result.rounds, history.total_rounds()) << instance.name;
+      EXPECT_EQ(result.node_steps, history.total_node_steps()) << instance.name;
+      EXPECT_EQ(result.converged, history.converged) << instance.name;
+    }
+  }
+}
+
+TEST(ReversalEngineTest, RunToQuiescenceBridgeMatchesAutomatonRun) {
+  const Instance instance = make_worst_case_chain(9);
+  FullReversalAutomaton automaton(instance);
+  LowestIdScheduler scheduler;
+  const RunResult expected = run_to_quiescence(automaton, scheduler);
+
+  ReversalEngine engine(instance);
+  const RunResult actual = run_to_quiescence(engine, EngineAlgorithm::kFullReversal,
+                                             EnginePolicy::kLowestId);
+  EXPECT_EQ(actual.steps, expected.steps);
+  EXPECT_EQ(actual.node_steps, expected.node_steps);
+  EXPECT_EQ(actual.edge_reversals, expected.edge_reversals);
+  EXPECT_EQ(actual.quiescent, expected.quiescent);
+  EXPECT_EQ(actual.destination_oriented, expected.destination_oriented);
+}
+
+// ---------------------------------------------------------------------------
+// Worklist sink detection on disconnected / degenerate graphs
+// ---------------------------------------------------------------------------
+
+Instance disconnected_instance(NodeId destination) {
+  Instance instance;
+  instance.graph = Graph(5, {{0, 1}, {3, 4}});
+  instance.senses = {EdgeSense::kForward, EdgeSense::kForward};  // 0->1, 3->4
+  instance.destination = destination;
+  instance.name = "disconnected-5";
+  return instance;
+}
+
+TEST(ReversalEngineTest, DisconnectedGraphMatchesLegacyBudgetExhaustion) {
+  // Node 2 is isolated: a vacuous sink forever, so neither path can reach
+  // quiescence — both must burn the identical budget and report the same
+  // non-converged outcome.  This pins the engine's worklist re-push
+  // semantics for degree-0 nodes to the legacy scheduler semantics.
+  const Instance instance = disconnected_instance(0);
+  const std::uint64_t budget = 64;
+  for (const Strategy strategy : kStrategies) {
+    for (const NamedPolicy& pair : kPolicies) {
+      const CostProfile profile =
+          measure_cost(instance, strategy, pair.scheduler, 7, {.max_steps = budget});
+      ReversalEngine engine(instance);
+      const EngineResult result =
+          engine.run(engine_algorithm(strategy), pair.policy,
+                     {.max_steps = budget, .scheduler_seed = 7, .record_node_costs = true});
+      const std::string context =
+          std::string(strategy_name(strategy)) + " " + scheduler_name(pair.scheduler);
+      EXPECT_EQ(result.steps, profile.social_cost) << context;
+      EXPECT_EQ(result.node_cost, profile.node_cost) << context;
+      EXPECT_FALSE(result.quiescent) << context;
+      EXPECT_FALSE(result.destination_oriented) << context;
+      EXPECT_FALSE(profile.converged) << context;
+    }
+  }
+}
+
+TEST(ReversalEngineTest, DisconnectedGraphGreedyRoundsExhaustBudgetIdentically) {
+  const Instance instance = disconnected_instance(0);
+  const std::uint64_t budget = 32;
+  ReversalEngine engine(instance);
+  for (const RoundStrategy strategy :
+       {RoundStrategy::kFullReversal, RoundStrategy::kPartialReversal}) {
+    const RoundHistory history = run_greedy_rounds(instance, strategy, budget);
+    const EngineRoundsResult result = engine.run_greedy_rounds(
+        strategy == RoundStrategy::kFullReversal ? EngineAlgorithm::kFullReversal
+                                                 : EngineAlgorithm::kOneStepPR,
+        budget);
+    EXPECT_EQ(result.rounds, history.total_rounds());
+    EXPECT_EQ(result.node_steps, history.total_node_steps());
+    EXPECT_FALSE(result.converged);
+    EXPECT_FALSE(history.converged);
+  }
+}
+
+TEST(ReversalEngineTest, SingleNodeGraphIsImmediatelyQuiescent) {
+  Instance instance;
+  instance.graph = Graph(1, {});
+  instance.destination = 0;
+  instance.name = "single";
+  ReversalEngine engine(instance);
+  const EngineResult result = engine.run(EngineAlgorithm::kOneStepPR, EnginePolicy::kLowestId);
+  EXPECT_EQ(result.steps, 0u);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.destination_oriented);
+}
+
+TEST(ReversalEngineTest, InitialSourceAndSinkInstanceCountsDummiesLikeLegacy) {
+  const Instance instance = make_sink_source_instance(9);
+  const CostProfile profile =
+      measure_cost(instance, Strategy::kNewPR, SchedulerKind::kLowestId, 1);
+  ReversalEngine engine(instance);
+  const EngineResult result = engine.run(EngineAlgorithm::kNewPR, EnginePolicy::kLowestId);
+  EXPECT_GT(result.dummy_steps, 0u);  // the instance exists to force dummies
+  EXPECT_EQ(result.dummy_steps, profile.dummy_steps);
+  EXPECT_EQ(result.steps, profile.social_cost);
+}
+
+TEST(ReversalEngineTest, ConstructorValidatesDestination) {
+  const Instance instance = make_worst_case_chain(4);
+  const CsrGraph csr(instance.graph, instance.senses);
+  EXPECT_THROW(ReversalEngine(csr, 99), std::invalid_argument);
+}
+
+TEST(ReversalEngineTest, GreedyRoundsRejectNewPR) {
+  ReversalEngine engine(make_worst_case_chain(4));
+  EXPECT_THROW(engine.run_greedy_rounds(EngineAlgorithm::kNewPR, 10), std::invalid_argument);
+}
+
+TEST(ReversalEngineTest, ChecksumDistinguishesOrientations) {
+  std::vector<EdgeSense> senses(8, EdgeSense::kForward);
+  const std::uint64_t base = senses_checksum(senses);
+  senses[3] = EdgeSense::kBackward;
+  EXPECT_NE(base, senses_checksum(senses));
+  EXPECT_EQ(senses_checksum(senses), senses_checksum(senses));
+}
+
+// ---------------------------------------------------------------------------
+// Record-level A/B equality through the scenario runner
+// ---------------------------------------------------------------------------
+
+void expect_records_equal(const RunRecord& csr, const RunRecord& legacy,
+                          const std::string& context) {
+  EXPECT_EQ(csr.run_seed, legacy.run_seed) << context;
+  EXPECT_EQ(csr.nodes, legacy.nodes) << context;
+  EXPECT_EQ(csr.bad_nodes, legacy.bad_nodes) << context;
+  EXPECT_EQ(csr.work, legacy.work) << context;
+  EXPECT_EQ(csr.edge_reversals, legacy.edge_reversals) << context;
+  EXPECT_EQ(csr.rounds, legacy.rounds) << context;
+  EXPECT_EQ(csr.dummy_steps, legacy.dummy_steps) << context;
+  EXPECT_EQ(csr.converged, legacy.converged) << context;
+  EXPECT_EQ(csr.error, legacy.error) << context;
+}
+
+TEST(ReversalEngineTest, ExecuteRunIsPathInvariant) {
+  for (const TopologyKind topology : {TopologyKind::kChain, TopologyKind::kRandom,
+                                      TopologyKind::kLayered, TopologyKind::kStar}) {
+    for (const AlgorithmKind algorithm :
+         {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR, AlgorithmKind::kNewPR}) {
+      for (const NamedPolicy& pair : kPolicies) {
+        RunSpec spec;
+        spec.topology = topology;
+        spec.size = 16;
+        spec.algorithm = algorithm;
+        spec.scheduler = pair.scheduler;
+        spec.seed = 3;
+        spec.path = ExecutionPath::kCsr;
+        const RunRecord csr = execute_run(spec);
+        spec.path = ExecutionPath::kLegacy;
+        const RunRecord legacy = execute_run(spec);
+        const std::string context = std::string(topology_token(topology)) + "/" +
+                                    algorithm_token(algorithm) + "/" +
+                                    scheduler_token(pair.scheduler);
+        expect_records_equal(csr, legacy, context);
+      }
+    }
+  }
+}
+
+TEST(ReversalEngineTest, SweepTablesAreBytewisePathInvariant) {
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kChain, TopologyKind::kRandom};
+  sweep.sizes = {8, 16};
+  sweep.algorithms = {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR,
+                      AlgorithmKind::kNewPR};
+  sweep.schedulers = {SchedulerKind::kLowestId, SchedulerKind::kRandom};
+  sweep.seeds = {1, 2};
+
+  const auto csv_of = [](const SweepSpec& spec) {
+    const SweepReport report = ScenarioRunner(RunnerOptions{.threads = 1}).run(spec);
+    std::ostringstream oss;
+    write_table_csv(oss, report.records_table());
+    write_table_csv(oss, report.aggregate_table());
+    return oss.str();
+  };
+  sweep.path = ExecutionPath::kCsr;
+  const std::string csr_csv = csv_of(sweep);
+  sweep.path = ExecutionPath::kLegacy;
+  const std::string legacy_csv = csv_of(sweep);
+  EXPECT_EQ(csr_csv, legacy_csv);
+}
+
+TEST(ReversalEngineTest, SweepSpecParsesPathOption) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = chain\nsize = 8\nalgorithm = pr\npath = legacy\n");
+  EXPECT_EQ(spec.path, ExecutionPath::kLegacy);
+  ASSERT_EQ(spec.expand().size(), 1u);
+  EXPECT_EQ(spec.expand()[0].path, ExecutionPath::kLegacy);
+  EXPECT_EQ(SweepSpec::parse_string("topology = chain\nsize = 8\nalgorithm = pr\n").path,
+            ExecutionPath::kCsr);
+  EXPECT_THROW(
+      SweepSpec::parse_string("topology = chain\nsize = 8\nalgorithm = pr\npath = turbo\n"),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lr
