@@ -29,8 +29,6 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <cstring>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -186,28 +184,6 @@ std::vector<RunSpec> stock_specs(bool smoke) {
   return specs;
 }
 
-std::string report_csv(const SweepReport& report) {
-  std::ostringstream oss;
-  write_table_csv(oss, report.records_table());
-  oss << '\n';
-  write_table_csv(oss, report.aggregate_table());
-  return oss.str();
-}
-
-/// Runs the stock scenario set on both paths and demands byte-identical
-/// record + aggregate tables.
-bool check_ab_tables_identical(bool smoke) {
-  std::vector<RunSpec> specs = stock_specs(smoke);
-  for (RunSpec& spec : specs) spec.path = ExecutionPath::kLegacy;
-  const std::string legacy = report_csv(SweepReport{ScenarioRunner().run_all(specs)});
-  for (RunSpec& spec : specs) spec.path = ExecutionPath::kCsr;
-  const std::string csr = report_csv(SweepReport{ScenarioRunner().run_all(specs)});
-  const bool identical = legacy == csr;
-  std::printf("A/B tables over %zu stock scenarios x 2 paths: %s\n", specs.size(),
-              identical ? "byte-identical" : "MISMATCH");
-  return identical;
-}
-
 /// Final-orientation checksum of one spec on the legacy path (automaton +
 /// LowestIdScheduler, the stock chain-series configuration).
 std::uint64_t legacy_checksum(const RunSpec& spec) {
@@ -262,7 +238,7 @@ bool print_ab_series(bool smoke) {
   bench::print_header("E2.5: execution-path A/B, legacy automata vs batched CSR engine",
                       "identical tables and final states; CSR >= 3x on the largest "
                       "stock topology (docs/PERFORMANCE.md)");
-  const bool tables_ok = check_ab_tables_identical(smoke);
+  const bool tables_ok = bench::ab_tables_identical(stock_specs(smoke));
 
   const std::size_t nb = max_chain_nb(smoke);
   std::vector<bench::AbSample> samples;
@@ -355,16 +331,7 @@ BENCHMARK(BM_ScenarioSweep)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace lr
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      argv[out++] = argv[i];  // keep non---smoke args for google-benchmark
-    }
-  }
-  argc = out;
+  const bool smoke = lr::bench::consume_smoke_flag(argc, argv);
   lr::print_chain_series(smoke);
   lr::print_layered_series(smoke);
   lr::print_pr_adversarial_search(smoke);

@@ -6,11 +6,25 @@
 /// Expected shape: PR sends fewer messages than FR on structured
 /// instances; convergence time grows with delay spread; churn adds
 /// maintenance reversals but never breaks delivery in connected periods.
+///
+/// E7.6 is the execution-path A/B mode (docs/PERFORMANCE.md): the tora /
+/// dist-fr / dist-pr kernels replayed on `path = legacy` (per-run instance
+/// regeneration and per-run CSR freezing) versus `path = csr` (the sweep
+/// cache's frozen Instance + CsrGraph snapshots).  Record tables must be
+/// byte-identical — verified through FNV-1a table checksums — before the
+/// per-run timings are trusted; the harness exits non-zero otherwise.
+/// `--smoke` shrinks every series to seconds and skips the
+/// google-benchmark micro-timings; CI runs it to keep this harness (and
+/// the A/B equivalence) from bit-rotting.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "graph/generators.hpp"
 #include "routing/tora.hpp"
+#include "runner/runner.hpp"
 #include "sim/dist_lr.hpp"
 #include "sim/dist_router.hpp"
 
@@ -35,11 +49,13 @@ DistOutcome run_dist(const Instance& inst, ReversalRule rule, SimTime max_delay,
   return {net.messages_sent(), proto.total_steps(), net.now(), proto.converged()};
 }
 
-void print_size_sweep() {
+void print_size_sweep(bool smoke) {
   bench::print_header("E7.1: distributed FR vs PR, size sweep (delay 1..10)",
                       "both converge; PR does fewer steps/messages on structured DAGs");
   bench::print_row({"instance", "rule", "steps", "messages", "sim_time", "converged"}, 20);
-  for (const std::size_t n : {16u, 64u, 128u}) {
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 64, 128};
+  for (const std::size_t n : sizes) {
     const Instance chain = make_worst_case_chain(n);
     std::mt19937_64 rng(n);
     const Instance random = make_random_instance(n, n, rng);
@@ -69,12 +85,16 @@ void print_delay_sweep() {
   }
 }
 
-void print_churn_sweep() {
+void print_churn_sweep(bool smoke) {
   bench::print_header("E7.3: TORA-style routing under link churn",
                       "delivery stays high; maintenance reversals grow with churn");
   bench::print_row({"n", "events", "delivered", "sent", "reversals", "mean_hops"});
-  for (const std::size_t n : {16u, 32u, 64u}) {
-    for (const std::size_t events : {20u, 80u}) {
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 32, 64};
+  const std::vector<std::size_t> event_counts =
+      smoke ? std::vector<std::size_t>{20} : std::vector<std::size_t>{20, 80};
+  for (const std::size_t n : sizes) {
+    for (const std::size_t events : event_counts) {
       std::mt19937_64 rng(n * 7 + events);
       const Graph g = make_random_connected_graph(n, 2 * n, rng);
       const ToraStats stats = run_churn_scenario(g, 0, events, 10, n + events);
@@ -90,12 +110,14 @@ void print_churn_sweep() {
   }
 }
 
-void print_data_plane_sweep() {
+void print_data_plane_sweep(bool smoke) {
   bench::print_header("E7.4: data-plane delivery during DAG repair (DistRouter)",
                       "packets injected mid-repair are delivered or accounted, never looped");
   bench::print_row({"instance", "injected", "delivered", "no_route", "ttl_drop", "mean_hops"},
                    22);
-  for (const std::size_t n : {16u, 64u}) {
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 64};
+  for (const std::size_t n : sizes) {
     std::mt19937_64 rng(n * 3 + 1);
     for (const Instance& inst :
          {make_worst_case_chain(n), make_unit_disk_instance(n, 0.35, rng)}) {
@@ -135,6 +157,65 @@ void print_loss_recovery_sweep() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// E7.6: the legacy-vs-CSR A/B comparison of the tora / dist-* kernels
+// ---------------------------------------------------------------------------
+
+/// The stock E7 scenario set the A/B equality check replays on both paths.
+std::vector<RunSpec> stock_specs(bool smoke) {
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{12} : std::vector<std::size_t>{16, 32, 64};
+  const std::vector<std::uint64_t> seeds =
+      smoke ? std::vector<std::uint64_t>{1} : std::vector<std::uint64_t>{1, 2};
+  std::vector<RunSpec> specs;
+  for (const TopologyKind topology : {TopologyKind::kChain, TopologyKind::kRandom}) {
+    for (const std::size_t size : sizes) {
+      for (const AlgorithmKind algorithm :
+           {AlgorithmKind::kTora, AlgorithmKind::kDistFR, AlgorithmKind::kDistPR}) {
+        for (const std::uint64_t seed : seeds) {
+          RunSpec spec;
+          spec.topology = topology;
+          spec.size = size;
+          spec.algorithm = algorithm;
+          spec.seed = seed;
+          specs.push_back(spec);
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+/// E7.6 driver; returns false (failing the harness) if any path pair
+/// diverged in tables or checksums.  The equality check, the warm-cache
+/// timing protocol, and the checksum columns are the shared kit in
+/// bench_util.hpp.
+bool print_ab_series(bool smoke) {
+  bench::print_header("E7.6: execution-path A/B, per-run regeneration vs cached CSR snapshots",
+                      "identical tables and table checksums; csr amortizes instance "
+                      "generation + snapshot freezing across a sweep (docs/PERFORMANCE.md)");
+  const bool tables_ok = bench::ab_tables_identical(stock_specs(smoke));
+
+  const std::size_t n = smoke ? 12 : 64;
+  const std::string label = "random-" + std::to_string(n);
+  std::vector<bench::AbSample> samples;
+  for (const AlgorithmKind algorithm :
+       {AlgorithmKind::kTora, AlgorithmKind::kDistFR, AlgorithmKind::kDistPR}) {
+    RunSpec spec;
+    spec.topology = TopologyKind::kRandom;
+    spec.size = n;
+    spec.algorithm = algorithm;
+    spec.seed = 1;
+    samples.push_back(bench::measure_cached_ab(label, spec, smoke ? 20.0 : 300.0));
+  }
+  bench::emit_csv(bench::ab_table(samples));
+
+  bool checksums_ok = true;
+  for (const bench::AbSample& sample : samples) checksums_ok &= sample.identical();
+  std::printf("table checksums: %s\n", checksums_ok ? "all identical" : "MISMATCH");
+  return tables_ok && checksums_ok;
+}
+
 void BM_DistributedPRConvergence(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(21);
@@ -159,11 +240,17 @@ BENCHMARK(BM_ChurnScenario)->Arg(32)->Arg(128);
 }  // namespace lr
 
 int main(int argc, char** argv) {
-  lr::print_size_sweep();
-  lr::print_delay_sweep();
-  lr::print_churn_sweep();
-  lr::print_data_plane_sweep();
-  lr::print_loss_recovery_sweep();
+  const bool smoke = lr::bench::consume_smoke_flag(argc, argv);
+  lr::print_size_sweep(smoke);
+  if (!smoke) lr::print_delay_sweep();
+  lr::print_churn_sweep(smoke);
+  lr::print_data_plane_sweep(smoke);
+  if (!smoke) lr::print_loss_recovery_sweep();
+  if (!lr::print_ab_series(smoke)) {
+    std::fprintf(stderr, "E7.6 A/B verification FAILED\n");
+    return 1;
+  }
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,10 +3,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "runner/runner.hpp"
 #include "trace/report.hpp"
 
 /// \file bench_util.hpp
@@ -14,17 +18,37 @@
 ///
 /// Three layers:
 ///  * banners + fixed-width rows for eyeballing a run (`print_header`,
-///    `print_row`),
+///    `print_row`), plus the shared `--smoke` flag filter
+///    (`consume_smoke_flag`),
 ///  * machine-readable series emission through the trace layer's Table /
 ///    CSV writer (`emit_csv`) — experiment series should go through this,
 ///    not ad-hoc printf, so sweep output and bench output share one format,
 ///  * the self-verifying A/B measurement kit: wall-clock per-iteration
-///    nanoseconds (`measure_ns_per_iter`) plus paired final-state checksums
-///    (`AbSample` / `ab_table`), used by the legacy-vs-CSR comparisons to
-///    prove that the fast path computes byte-identical results before its
-///    timing is trusted.
+///    nanoseconds (`measure_ns_per_iter`) plus paired checksums
+///    (`AbSample` / `ab_table`), with the sweep-level building blocks the
+///    E2.5/E5.2/E7.6 modes share (`sweep_report_csv`,
+///    `ab_tables_identical`, `measure_cached_ab`) — every legacy-vs-CSR
+///    comparison proves byte-identical results before its timing is
+///    trusted.
 
 namespace lr::bench {
+
+/// Strips `--smoke` from argv (compacting the rest for google-benchmark)
+/// and returns whether it was present — the shared flag handling of every
+/// harness that supports the CI smoke mode.
+inline bool consume_smoke_flag(int& argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return smoke;
+}
 
 /// Prints the experiment banner (name + the paper claim it reproduces).
 inline void print_header(const std::string& experiment, const std::string& claim) {
@@ -63,6 +87,19 @@ inline std::string fmt_hex(std::uint64_t v) {
 /// (and therefore the same quoting / schema conventions) the scenario
 /// runner uses for sweep records.
 inline void emit_csv(const Table& table) { write_table_csv(std::cout, table); }
+
+/// FNV-1a fingerprint of arbitrary text (e.g. a rendered CSV table).  The
+/// E5/E7 A/B modes hash each path's record table with it, so "both paths
+/// byte-identical" is checked through the same AbSample checksum columns
+/// the E2.5 orientation checksums use.
+inline std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
 
 /// Runs `fn` repeatedly and returns mean wall-clock nanoseconds per
 /// iteration, iterating until both `min_iters` iterations and
@@ -106,6 +143,53 @@ struct AbSample {
   /// True iff both paths ended in the identical final state.
   bool identical() const { return legacy_checksum == csr_checksum; }
 };
+
+/// Record + aggregate tables of a sweep report as one CSV blob — the byte
+/// string the A/B equality checks compare and checksum.
+inline std::string sweep_report_csv(const SweepReport& report) {
+  std::ostringstream oss;
+  write_table_csv(oss, report.records_table());
+  oss << '\n';
+  write_table_csv(oss, report.aggregate_table());
+  return oss.str();
+}
+
+/// Replays `specs` on both execution paths through the scenario runner and
+/// demands byte-identical record + aggregate tables; prints the verdict.
+inline bool ab_tables_identical(std::vector<RunSpec> specs) {
+  for (RunSpec& spec : specs) spec.path = ExecutionPath::kLegacy;
+  const std::string legacy = sweep_report_csv(SweepReport{ScenarioRunner().run_all(specs)});
+  for (RunSpec& spec : specs) spec.path = ExecutionPath::kCsr;
+  const std::string csr = sweep_report_csv(SweepReport{ScenarioRunner().run_all(specs)});
+  const bool identical = legacy == csr;
+  std::printf("A/B tables over %zu stock scenarios x 2 paths: %s\n", specs.size(),
+              identical ? "byte-identical" : "MISMATCH");
+  return identical;
+}
+
+/// Times execute_run on both paths for one scenario: legacy regenerates
+/// the instance (and any CSR snapshot) per run — the per-kernel cost a
+/// sweep used to pay — while csr consumes a warm SweepCache, the steady
+/// per-run cost inside a sweep.  Each path's record table is
+/// fingerprinted with FNV-1a into the AbSample checksum columns, so a
+/// speedup over diverging results cannot slip through.
+inline AbSample measure_cached_ab(const std::string& topology_label, RunSpec spec,
+                                  double min_ms) {
+  AbSample sample;
+  sample.topology = topology_label;
+  sample.label = algorithm_token(spec.algorithm);
+  spec.path = ExecutionPath::kLegacy;
+  sample.legacy_ns_per_iter =
+      measure_ns_per_iter([&spec] { execute_run(spec); }, 5, min_ms, &sample.legacy_iterations);
+  sample.legacy_checksum = fnv1a(sweep_report_csv(SweepReport{ScenarioRunner().run_all({spec})}));
+  spec.path = ExecutionPath::kCsr;
+  SweepCache cache;
+  cache.get(spec);  // warm: the sweep's first run over this workload built it
+  sample.csr_ns_per_iter = measure_ns_per_iter([&spec, &cache] { execute_run(spec, &cache); }, 5,
+                                               min_ms, &sample.csr_iterations);
+  sample.csr_checksum = fnv1a(sweep_report_csv(SweepReport{ScenarioRunner().run_all({spec})}));
+  return sample;
+}
 
 /// Renders A/B samples as a Table with columns
 /// topology,kernel,legacy_iterations,csr_iterations,legacy_ns_per_iter,

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -78,6 +80,17 @@ class CsrGraph {
 
   /// Position of the same edge inside the *other* endpoint's block.
   CsrPos mirror(CsrPos p) const { return mirror_[p]; }
+
+  /// Flat position of neighbor `v` inside `u`'s adjacency block, or
+  /// nullopt when `v` is not adjacent to `u`.  O(log deg(u)) over the
+  /// ascending neighbor slice — the one lookup the sim layer's
+  /// view-by-position state and the network's adjacency checks share.
+  std::optional<CsrPos> position_of(NodeId u, NodeId v) const {
+    const auto nbrs = neighbors(u);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+    if (it == nbrs.end() || *it != v) return std::nullopt;
+    return offsets_[u] + static_cast<CsrPos>(it - nbrs.begin());
+  }
 
   /// Degree of node `u`.
   std::size_t degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }

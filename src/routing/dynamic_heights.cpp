@@ -7,8 +7,17 @@
 
 namespace lr {
 
+namespace {
+
+/// Canonical (min, max) form of an undirected link.
+std::pair<NodeId, NodeId> canonical(NodeId u, NodeId v) {
+  return u < v ? std::pair{u, v} : std::pair{v, u};
+}
+
+}  // namespace
+
 DynamicHeightsDag::DynamicHeightsDag(std::size_t num_nodes, NodeId destination)
-    : destination_(destination), adjacency_(num_nodes), a_(num_nodes, 0), b_(num_nodes) {
+    : destination_(destination), a_(num_nodes, 0), b_(num_nodes) {
   if (destination >= num_nodes) {
     throw std::invalid_argument("DynamicHeightsDag: destination out of range");
   }
@@ -18,57 +27,92 @@ DynamicHeightsDag::DynamicHeightsDag(std::size_t num_nodes, NodeId destination)
   for (NodeId u = 0; u < num_nodes; ++u) b_[u] = static_cast<std::int64_t>(u);
 }
 
+DynamicHeightsDag::DynamicHeightsDag(const Graph& topology, NodeId destination)
+    : DynamicHeightsDag(topology.num_nodes(), destination) {
+  links_ = topology.edges();
+  std::sort(links_.begin(), links_.end());
+  // Snapshot directly from the caller's graph, skipping one rebuild.
+  csr_ = CsrGraph(topology);
+  stale_ = false;
+  out_degree_.assign(num_nodes(), 0);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : csr_.neighbors(u)) {
+      if (directed_from(u, v)) ++out_degree_[u];
+    }
+  }
+}
+
 void DynamicHeightsDag::set_destination(NodeId d) {
   if (d >= num_nodes()) {
     throw std::invalid_argument("DynamicHeightsDag::set_destination: out of range");
   }
-  destination_ = d;
+  destination_ = d;  // heights (and thus directions) are unaffected
 }
 
 void DynamicHeightsDag::add_link(NodeId u, NodeId v) {
   if (u >= num_nodes() || v >= num_nodes() || u == v) {
     throw std::invalid_argument("DynamicHeightsDag::add_link: bad endpoints");
   }
-  auto& au = adjacency_[u];
-  const auto it = std::lower_bound(au.begin(), au.end(), v);
-  if (it != au.end() && *it == v) return;  // already present
-  au.insert(it, v);
-  auto& av = adjacency_[v];
-  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  const auto link = canonical(u, v);
+  const auto it = std::lower_bound(links_.begin(), links_.end(), link);
+  if (it != links_.end() && *it == link) return;  // already present
+  links_.insert(it, link);
+  stale_ = true;
 }
 
 void DynamicHeightsDag::remove_link(NodeId u, NodeId v) {
-  const auto erase_from = [](std::vector<NodeId>& list, NodeId x) {
-    const auto it = std::lower_bound(list.begin(), list.end(), x);
-    if (it != list.end() && *it == x) list.erase(it);
-  };
   if (u >= num_nodes() || v >= num_nodes()) {
     throw std::invalid_argument("DynamicHeightsDag::remove_link: bad endpoints");
   }
-  erase_from(adjacency_[u], v);
-  erase_from(adjacency_[v], u);
+  const auto link = canonical(u, v);
+  const auto it = std::lower_bound(links_.begin(), links_.end(), link);
+  if (it == links_.end() || *it != link) return;  // absent
+  links_.erase(it);
+  stale_ = true;
 }
 
 bool DynamicHeightsDag::has_link(NodeId u, NodeId v) const {
-  const auto& au = adjacency_[u];
-  return std::binary_search(au.begin(), au.end(), v);
+  return std::binary_search(links_.begin(), links_.end(), canonical(u, v));
+}
+
+void DynamicHeightsDag::ensure_snapshot() const {
+  if (!stale_) return;
+  csr_ = CsrGraph(Graph(num_nodes(), links_));
+  out_degree_.assign(num_nodes(), 0);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : csr_.neighbors(u)) {
+      if (directed_from(u, v)) ++out_degree_[u];
+    }
+  }
+  stale_ = false;
+}
+
+std::span<const NodeId> DynamicHeightsDag::neighbors(NodeId u) const {
+  ensure_snapshot();
+  return csr_.neighbors(u);
 }
 
 bool DynamicHeightsDag::is_sink(NodeId u) const {
-  if (adjacency_[u].empty()) return false;
-  for (const NodeId v : adjacency_[u]) {
-    if (directed_from(u, v)) return false;
-  }
-  return true;
+  ensure_snapshot();
+  return csr_.degree(u) > 0 && out_degree_[u] == 0;
 }
 
 void DynamicHeightsDag::partial_reversal_step(NodeId u) {
+  const auto slice = csr_.neighbors(u);
+  // Retract u's links from the out-degree counters under the old height...
+  for (const NodeId v : slice) {
+    if (directed_from(u, v)) {
+      --out_degree_[u];
+    } else {
+      --out_degree_[v];
+    }
+  }
   std::int64_t min_a = std::numeric_limits<std::int64_t>::max();
-  for (const NodeId v : adjacency_[u]) min_a = std::min(min_a, a_[v]);
+  for (const NodeId v : slice) min_a = std::min(min_a, a_[v]);
   const std::int64_t new_a = min_a + 1;
   std::int64_t min_b = std::numeric_limits<std::int64_t>::max();
   bool tie = false;
-  for (const NodeId v : adjacency_[u]) {
+  for (const NodeId v : slice) {
     if (a_[v] == new_a) {
       tie = true;
       min_b = std::min(min_b, b_[v]);
@@ -76,10 +120,20 @@ void DynamicHeightsDag::partial_reversal_step(NodeId u) {
   }
   a_[u] = new_a;
   if (tie) b_[u] = min_b - 1;
+  // ...and re-admit them under the new one (only u's height moved, so only
+  // u's incident links can have flipped).
+  for (const NodeId v : slice) {
+    if (directed_from(u, v)) {
+      ++out_degree_[u];
+    } else {
+      ++out_degree_[v];
+    }
+  }
   ++total_reversals_;
 }
 
 std::vector<bool> DynamicHeightsDag::destination_component() const {
+  ensure_snapshot();
   std::vector<bool> in_component(num_nodes(), false);
   std::queue<NodeId> frontier;
   in_component[destination_] = true;
@@ -87,7 +141,7 @@ std::vector<bool> DynamicHeightsDag::destination_component() const {
   while (!frontier.empty()) {
     const NodeId u = frontier.front();
     frontier.pop();
-    for (const NodeId v : adjacency_[u]) {
+    for (const NodeId v : csr_.neighbors(u)) {
       if (!in_component[v]) {
         in_component[v] = true;
         frontier.push(v);
@@ -98,10 +152,12 @@ std::vector<bool> DynamicHeightsDag::destination_component() const {
 }
 
 std::uint64_t DynamicHeightsDag::stabilize() {
+  ensure_snapshot();
   const auto in_component = destination_component();
   std::uint64_t steps = 0;
   // Simple work-list loop; a step can only create new sinks among the
   // stepping node's neighbors, so seed with all current sinks and chase.
+  // Sink tests are O(1) through the out-degree counters.
   std::queue<NodeId> candidates;
   for (NodeId u = 0; u < num_nodes(); ++u) {
     if (u != destination_ && in_component[u] && is_sink(u)) candidates.push(u);
@@ -112,7 +168,7 @@ std::uint64_t DynamicHeightsDag::stabilize() {
     if (u == destination_ || !is_sink(u)) continue;
     partial_reversal_step(u);
     ++steps;
-    for (const NodeId v : adjacency_[u]) {
+    for (const NodeId v : csr_.neighbors(u)) {
       if (v != destination_ && in_component[v] && is_sink(v)) candidates.push(v);
     }
     if (is_sink(u)) candidates.push(u);  // defensive; cannot normally happen
@@ -124,8 +180,9 @@ bool DynamicHeightsDag::routable(NodeId u) const { return destination_component(
 
 std::optional<NodeId> DynamicHeightsDag::next_hop(NodeId u) const {
   if (u == destination_) return std::nullopt;
+  ensure_snapshot();
   std::optional<NodeId> best;
-  for (const NodeId v : adjacency_[u]) {
+  for (const NodeId v : csr_.neighbors(u)) {
     if (!directed_from(u, v)) continue;
     if (!best || height(v) < height(*best)) best = v;
   }

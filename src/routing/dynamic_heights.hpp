@@ -2,10 +2,13 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
+#include <span>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
 #include "graph/types.hpp"
 
 /// \file dynamic_heights.hpp
@@ -27,9 +30,19 @@
 ///     rather than reversed forever (the paper's model assumes
 ///     connectivity; TORA handles partition detection separately, which we
 ///     approximate by the component check).
+///
+/// Execution layout (docs/PERFORMANCE.md): the link set is a sorted
+/// canonical edge list, and every query loop (sink tests, reversal steps,
+/// component BFS, next-hop scans) runs over a frozen `CsrGraph` snapshot
+/// that is rebuilt lazily after churn — the paper's own model makes
+/// topology events rare relative to reversal/routing work, so the snapshot
+/// amortizes across every stabilize/route call between two churn events.
+/// Per-node out-degree counters are maintained incrementally under height
+/// updates, making sink tests O(1) instead of an adjacency walk.
 
 namespace lr {
 
+/// The dynamic-topology partial-reversal height core; see the file comment.
 class DynamicHeightsDag {
  public:
   /// Starts with `num_nodes` nodes, no links, and the given destination.
@@ -37,7 +50,15 @@ class DynamicHeightsDag {
   /// acyclic by total order.
   DynamicHeightsDag(std::size_t num_nodes, NodeId destination);
 
+  /// Batch form: starts with all of `topology`'s links in one snapshot
+  /// build (the services' construction fast path; equivalent to add_link
+  /// over every edge, minus m incremental inserts).
+  DynamicHeightsDag(const Graph& topology, NodeId destination);
+
+  /// Number of nodes (fixed at construction; links churn, nodes do not).
   std::size_t num_nodes() const noexcept { return a_.size(); }
+
+  /// The node the DAG is oriented towards.
   NodeId destination() const noexcept { return destination_; }
 
   /// Re-targets the DAG (new leader / token holder).  Call stabilize()
@@ -47,9 +68,13 @@ class DynamicHeightsDag {
   /// Adds / removes an undirected link.  Idempotent.  Call stabilize()
   /// afterwards to restore destination orientation.
   void add_link(NodeId u, NodeId v);
+  /// \copydoc add_link
   void remove_link(NodeId u, NodeId v);
+  /// True iff the undirected link {u, v} is currently present.
   bool has_link(NodeId u, NodeId v) const;
 
+  /// The Gafni–Bertsekas triple height of `u`: (a, b, id), compared
+  /// lexicographically.
   std::tuple<std::int64_t, std::int64_t, NodeId> height(NodeId u) const {
     return {a_[u], b_[u], u};
   }
@@ -57,7 +82,8 @@ class DynamicHeightsDag {
   /// True iff the link {u, v} is currently directed u -> v.
   bool directed_from(NodeId u, NodeId v) const { return height(u) > height(v); }
 
-  /// True iff u has no outgoing link (and at least one link).
+  /// True iff u has no outgoing link (and at least one link).  O(1) via the
+  /// maintained out-degree counters.
   bool is_sink(NodeId u) const;
 
   /// Applies partial-reversal height updates to non-destination sinks in
@@ -80,17 +106,27 @@ class DynamicHeightsDag {
   /// Total reversal steps performed by all stabilize() calls so far.
   std::uint64_t total_reversals() const noexcept { return total_reversals_; }
 
-  const std::vector<NodeId>& neighbors(NodeId u) const { return adjacency_[u]; }
+  /// Current neighbors of `u`, ascending — an O(1) slice of the CSR
+  /// snapshot.  Invalidated by the next add_link/remove_link.
+  std::span<const NodeId> neighbors(NodeId u) const;
 
  private:
+  void ensure_snapshot() const;
   void partial_reversal_step(NodeId u);
   std::vector<bool> destination_component() const;
 
   NodeId destination_;
-  std::vector<std::vector<NodeId>> adjacency_;  // sorted neighbor lists
+  /// The mutable link set: canonical (min, max) pairs, sorted — the only
+  /// state churn touches; everything else derives from the snapshot.
+  std::vector<std::pair<NodeId, NodeId>> links_;
   std::vector<std::int64_t> a_;
   std::vector<std::int64_t> b_;
   std::uint64_t total_reversals_ = 0;
+
+  // Lazily rebuilt execution snapshot (mutable: const queries refresh it).
+  mutable CsrGraph csr_;
+  mutable std::vector<std::uint32_t> out_degree_;  ///< derived from heights
+  mutable bool stale_ = true;
 };
 
 }  // namespace lr

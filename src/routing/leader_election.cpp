@@ -3,11 +3,8 @@
 namespace lr {
 
 LeaderElectionService::LeaderElectionService(const Graph& topology)
-    : dag_(topology.num_nodes(), 0), alive_(topology.num_nodes(), true),
+    : dag_(topology, 0), alive_(topology.num_nodes(), true),
       alive_count_(topology.num_nodes()) {
-  for (EdgeId e = 0; e < topology.num_edges(); ++e) {
-    dag_.add_link(topology.edge_u(e), topology.edge_v(e));
-  }
   elect_and_orient();
 }
 
@@ -31,8 +28,9 @@ std::uint64_t LeaderElectionService::fail_node(NodeId u) {
   if (!alive_[u]) return 0;
   alive_[u] = false;
   --alive_count_;
-  // Remove all of u's links.
-  const std::vector<NodeId> nbrs = dag_.neighbors(u);
+  // Remove all of u's links (copy first: removal invalidates the slice).
+  const auto slice = dag_.neighbors(u);
+  const std::vector<NodeId> nbrs(slice.begin(), slice.end());
   for (const NodeId v : nbrs) dag_.remove_link(u, v);
 
   const std::uint64_t before = dag_.total_reversals();

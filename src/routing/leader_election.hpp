@@ -24,8 +24,11 @@
 
 namespace lr {
 
+/// The centralized link-reversal leader-election service; see the file
+/// comment.
 class LeaderElectionService {
  public:
+  /// Builds the service over `topology` and elects the initial leader.
   explicit LeaderElectionService(const Graph& topology);
 
   /// The current leader, or nullopt if every node has failed.
@@ -50,6 +53,7 @@ class LeaderElectionService {
   /// Reversal steps across all elections so far.
   std::uint64_t total_reversals() const noexcept { return dag_.total_reversals(); }
 
+  /// The underlying height DAG (read-only).
   const DynamicHeightsDag& dag() const noexcept { return dag_; }
 
  private:

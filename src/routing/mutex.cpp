@@ -5,10 +5,7 @@
 namespace lr {
 
 LinkReversalMutex::LinkReversalMutex(const Graph& topology, NodeId initial_holder)
-    : dag_(topology.num_nodes(), initial_holder), pending_(topology.num_nodes(), false) {
-  for (EdgeId e = 0; e < topology.num_edges(); ++e) {
-    dag_.add_link(topology.edge_u(e), topology.edge_v(e));
-  }
+    : dag_(topology, initial_holder), pending_(topology.num_nodes(), false) {
   dag_.stabilize();
 }
 

@@ -23,19 +23,23 @@
 
 namespace lr {
 
+/// Service-lifetime counters of a LinkReversalMutex.
 struct MutexStats {
-  std::uint64_t requests = 0;
-  std::uint64_t grants = 0;
+  std::uint64_t requests = 0;            ///< accepted request() calls
+  std::uint64_t grants = 0;              ///< token hand-offs performed
   std::uint64_t total_request_hops = 0;  ///< hops request paths traveled
   std::uint64_t total_reversals = 0;     ///< reversal steps re-orienting on grants
 };
 
+/// The centralized token-based mutual-exclusion service; see the file
+/// comment.
 class LinkReversalMutex {
  public:
   /// The token starts at `initial_holder`.  The topology must be connected
   /// for global liveness.
   LinkReversalMutex(const Graph& topology, NodeId initial_holder);
 
+  /// The node currently holding the token.
   NodeId holder() const noexcept { return dag_.destination(); }
 
   /// True iff `u` currently holds the token and may enter its critical
@@ -56,7 +60,9 @@ class LinkReversalMutex {
   /// Pending requests in grant order.
   const std::deque<NodeId>& queue() const noexcept { return queue_; }
 
+  /// Service-lifetime counters.
   const MutexStats& stats() const noexcept { return stats_; }
+  /// The underlying height DAG (read-only).
   const DynamicHeightsDag& dag() const noexcept { return dag_; }
 
  private:

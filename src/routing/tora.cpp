@@ -3,11 +3,7 @@
 namespace lr {
 
 ToraRouter::ToraRouter(const Graph& initial_topology, NodeId destination)
-    : dag_(initial_topology.num_nodes(), destination),
-      buffer_(initial_topology.num_nodes(), 0) {
-  for (EdgeId e = 0; e < initial_topology.num_edges(); ++e) {
-    dag_.add_link(initial_topology.edge_u(e), initial_topology.edge_v(e));
-  }
+    : dag_(initial_topology, destination), buffer_(initial_topology.num_nodes(), 0) {
   stats_.reversals += dag_.stabilize();
 }
 

@@ -24,26 +24,30 @@
 
 namespace lr {
 
+/// Outcome of one send_packet() call.
 struct DeliveryResult {
-  bool delivered = false;
+  bool delivered = false;    ///< true iff the packet reached the destination
   std::vector<NodeId> path;  ///< hop sequence (source first, destination last)
 };
 
+/// Service-lifetime counters of a ToraRouter.
 struct ToraStats {
-  std::uint64_t packets_sent = 0;
-  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_sent = 0;       ///< send_packet() calls
+  std::uint64_t packets_delivered = 0;  ///< packets that reached the destination
   std::uint64_t packets_buffered = 0;   ///< parked while source was partitioned
   std::uint64_t packets_flushed = 0;    ///< buffered packets later delivered
-  std::uint64_t total_hops = 0;
-  std::uint64_t link_events = 0;
+  std::uint64_t total_hops = 0;         ///< hops of all delivered packets
+  std::uint64_t link_events = 0;        ///< link_up/link_down calls
   std::uint64_t reversals = 0;  ///< reversal steps across all maintenance
 };
 
+/// The centralized TORA-style routing service; see the file comment.
 class ToraRouter {
  public:
   /// Builds the service over an initial topology and stabilizes it.
   ToraRouter(const Graph& initial_topology, NodeId destination);
 
+  /// The destination all packets are addressed to.
   NodeId destination() const noexcept { return dag_.destination(); }
 
   /// Topology churn.  Each call re-stabilizes the DAG immediately (the
@@ -63,7 +67,9 @@ class ToraRouter {
   /// Packets currently parked at partitioned sources.
   std::size_t buffered_packets() const;
 
+  /// Service-lifetime counters.
   const ToraStats& stats() const noexcept { return stats_; }
+  /// The underlying height DAG (read-only).
   const DynamicHeightsDag& dag() const noexcept { return dag_; }
 
  private:

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
@@ -103,13 +104,17 @@ EnginePolicy engine_policy(SchedulerKind kind) {
 ///
 /// Two back-ends fill identical records (the equivalence is locked in by
 /// tests/reversal_engine_test.cpp): the default CSR path batches the whole
-/// execution through core/reversal_engine.hpp; the legacy path drives the
+/// execution through core/reversal_engine.hpp — over the sweep cache's
+/// frozen snapshot when one is supplied — and the legacy path drives the
 /// paper-shaped automata through the analysis layer's measure_cost.  The
 /// bench_e2 A/B mode times one against the other.
-void run_strategy_kernel(RunRecord& record, const Instance& instance, Strategy strategy) {
+void run_strategy_kernel(RunRecord& record, const Instance& instance, const CsrGraph* frozen,
+                         Strategy strategy) {
   const RunSpec& spec = record.spec;
   if (spec.path == ExecutionPath::kCsr) {
-    const CsrGraph csr(instance.graph, instance.senses);
+    const CsrGraph local =
+        frozen != nullptr ? CsrGraph() : CsrGraph(instance.graph, instance.senses);
+    const CsrGraph& csr = frozen != nullptr ? *frozen : local;
     ReversalEngine engine(csr, instance.destination);
     const EngineResult result =
         engine.run(engine_algorithm(strategy), engine_policy(spec.scheduler),
@@ -172,18 +177,29 @@ void run_tora_kernel(RunRecord& record, const Instance& instance) {
 }
 
 /// dist-fr / dist-pr: the message-passing protocol over the simulated
-/// asynchronous network, driven to convergence with resync rounds.
-void run_dist_kernel(RunRecord& record, const Instance& instance, ReversalRule rule) {
+/// asynchronous network, driven to convergence with resync rounds.  On the
+/// CSR path with a warm sweep cache, both the network and the protocol
+/// borrow the cached frozen snapshot instead of freezing their own; the
+/// snapshot's contents are identical either way, so records are too.
+void run_dist_kernel(RunRecord& record, const Instance& instance, const CsrGraph* frozen,
+                     ReversalRule rule) {
   const RunSpec& spec = record.spec;
   NetworkConfig config;
   config.seed = spec.network_seed();
-  Network network(instance.graph, config);
-  DistLinkReversal protocol(instance, rule, network);
-  const auto resync_rounds = protocol.run_with_resync();
-  record.work = protocol.total_steps();
-  record.messages = network.messages_sent();
+  std::optional<Network> network;
+  std::optional<DistLinkReversal> protocol;
+  if (frozen != nullptr) {
+    network.emplace(instance.graph, config, *frozen);
+    protocol.emplace(instance, rule, *network, *frozen);
+  } else {
+    network.emplace(instance.graph, config);
+    protocol.emplace(instance, rule, *network);
+  }
+  const auto resync_rounds = protocol->run_with_resync();
+  record.work = protocol->total_steps();
+  record.messages = network->messages_sent();
   record.rounds = resync_rounds.value_or(0);
-  record.converged = resync_rounds.has_value() && protocol.converged();
+  record.converged = resync_rounds.has_value() && protocol->converged();
 }
 
 void fill_simulation_result(RunRecord& record, const SimulationCheckResult& result,
@@ -263,43 +279,95 @@ void run_sim_rrev_kernel(RunRecord& record, const Instance& instance) {
 
 }  // namespace
 
-RunRecord execute_run(const RunSpec& spec) {
+std::shared_ptr<const FrozenInstance> SweepCache::get(const RunSpec& spec) {
+  const Key key{spec.topology, spec.size, spec.seed};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Build outside the lock so concurrent misses on different keys do not
+  // serialize; a race on the same key wastes one duplicate build at most.
+  auto frozen = std::make_shared<FrozenInstance>();
+  frozen->instance = make_instance(spec);
+  frozen->csr = CsrGraph(frozen->instance.graph, frozen->instance.senses);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  return entries_.try_emplace(key, std::move(frozen)).first->second;
+}
+
+std::size_t SweepCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t SweepCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t SweepCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+RunRecord execute_run(const RunSpec& spec) { return execute_run(spec, nullptr); }
+
+RunRecord execute_run(const RunSpec& spec, SweepCache* cache) {
   RunRecord record;
   record.spec = spec;
   record.run_seed = spec.instance_seed();
   try {
-    const Instance instance = make_instance(spec);
-    fill_instance_shape(record, instance);
+    // The CSR path draws the frozen workload from the sweep cache; the
+    // legacy path regenerates per run (the historical cost model the A/B
+    // harness compares against).  Generation is deterministic in the axis
+    // values, so the two sources yield byte-identical instances.
+    std::shared_ptr<const FrozenInstance> shared;
+    Instance local;
+    const Instance* instance = nullptr;
+    const CsrGraph* frozen = nullptr;
+    if (cache != nullptr && spec.path == ExecutionPath::kCsr) {
+      shared = cache->get(spec);
+      instance = &shared->instance;
+      frozen = &shared->csr;
+    } else {
+      local = make_instance(spec);
+      instance = &local;
+    }
+    fill_instance_shape(record, *instance);
     switch (spec.algorithm) {
       case AlgorithmKind::kFullReversal:
-        run_strategy_kernel(record, instance, Strategy::kFullReversal);
+        run_strategy_kernel(record, *instance, frozen, Strategy::kFullReversal);
         break;
       case AlgorithmKind::kOneStepPR:
-        run_strategy_kernel(record, instance, Strategy::kPartialReversal);
+        run_strategy_kernel(record, *instance, frozen, Strategy::kPartialReversal);
         break;
       case AlgorithmKind::kNewPR:
-        run_strategy_kernel(record, instance, Strategy::kNewPR);
+        run_strategy_kernel(record, *instance, frozen, Strategy::kNewPR);
         break;
       case AlgorithmKind::kHybrid:
-        run_hybrid_kernel(record, instance);
+        run_hybrid_kernel(record, *instance);
         break;
       case AlgorithmKind::kTora:
-        run_tora_kernel(record, instance);
+        run_tora_kernel(record, *instance);
         break;
       case AlgorithmKind::kDistFR:
-        run_dist_kernel(record, instance, ReversalRule::kFull);
+        run_dist_kernel(record, *instance, frozen, ReversalRule::kFull);
         break;
       case AlgorithmKind::kDistPR:
-        run_dist_kernel(record, instance, ReversalRule::kPartial);
+        run_dist_kernel(record, *instance, frozen, ReversalRule::kPartial);
         break;
       case AlgorithmKind::kSimRPrime:
-        run_sim_rprime_kernel(record, instance);
+        run_sim_rprime_kernel(record, *instance);
         break;
       case AlgorithmKind::kSimR:
-        run_sim_r_kernel(record, instance);
+        run_sim_r_kernel(record, *instance);
         break;
       case AlgorithmKind::kSimRRev:
-        run_sim_rrev_kernel(record, instance);
+        run_sim_rrev_kernel(record, *instance);
         break;
     }
   } catch (const std::exception& error) {
@@ -410,11 +478,12 @@ SweepReport ScenarioRunner::run(const SweepSpec& spec) const {
 std::vector<RunRecord> ScenarioRunner::run_all(const std::vector<RunSpec>& specs) const {
   std::vector<RunRecord> records(specs.size());
   std::atomic<std::size_t> cursor{0};
-  const auto worker = [&specs, &records, &cursor] {
+  SweepCache cache;  // shared frozen instances; dies with the sweep
+  const auto worker = [&specs, &records, &cursor, &cache] {
     while (true) {
       const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
       if (index >= specs.size()) return;
-      records[index] = execute_run(specs[index]);
+      records[index] = execute_run(specs[index], &cache);
     }
   };
   const std::size_t pool_size = std::min(threads_, specs.size());

@@ -1,9 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "runner/scenario.hpp"
 #include "trace/report.hpp"
 
@@ -56,10 +61,63 @@ struct RunRecord {
   std::string error;                  ///< non-empty iff the run threw
 };
 
+/// A workload generated once and frozen for reuse across every kernel of a
+/// sweep: the instance plus the CSR snapshot of its graph and initial
+/// orientation (the execution form the engine, the sim layer, and the
+/// network all consume).
+struct FrozenInstance {
+  Instance instance;  ///< the generated workload
+  CsrGraph csr;       ///< snapshot of instance.graph + instance.senses
+};
+
+/// Thread-safe cache of (topology, size, seed) -> FrozenInstance shared by
+/// the runs of one sweep.
+///
+/// `RunSpec::instance_seed()` is algorithm- and scheduler-independent by
+/// design, so every kernel of a sweep measures the same instances; without
+/// a cache each run still *regenerates* its instance and re-freezes the
+/// CSR snapshot.  A ScenarioRunner gives each sweep a cache so that work
+/// happens once per (topology, size, seed) on the CSR path
+/// (docs/PERFORMANCE.md measures the effect).  Entries live until the
+/// cache dies with its sweep; results are unaffected by construction —
+/// generation is deterministic in the key, so a hit returns byte-identical
+/// data to a rebuild.
+class SweepCache {
+ public:
+  /// Returns the frozen workload of `spec`'s (topology, size, seed),
+  /// generating and freezing it on first use.  Concurrent misses on the
+  /// same key may build duplicates; exactly one wins the map slot and the
+  /// others are discarded, so callers always share one snapshot.
+  std::shared_ptr<const FrozenInstance> get(const RunSpec& spec);
+
+  /// Number of distinct workloads currently cached.
+  std::size_t entries() const;
+
+  /// get() calls served from the cache.
+  std::uint64_t hits() const;
+
+  /// get() calls that generated (or raced to generate) the workload.
+  std::uint64_t misses() const;
+
+ private:
+  using Key = std::tuple<TopologyKind, std::size_t, std::uint64_t>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const FrozenInstance>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 /// Executes one RunSpec synchronously and returns its record.  Exceptions
 /// become RunRecord::error instead of propagating, so one failing scenario
 /// cannot take down a sweep.  This is the shared single-run code path.
 RunRecord execute_run(const RunSpec& spec);
+
+/// Same, drawing the workload from `cache` when the spec runs on the CSR
+/// path (the legacy path regenerates per run, preserving the historical
+/// cost model the A/B harness compares against).  `cache` may be null.
+/// Records are byte-identical with and without a cache.
+RunRecord execute_run(const RunSpec& spec, SweepCache* cache);
 
 /// A finished sweep: per-run records in expansion order plus table views.
 struct SweepReport {
@@ -104,7 +162,9 @@ class ScenarioRunner {
   SweepReport run(const SweepSpec& spec) const;
 
   /// Executes an explicit run list (already expanded or hand-built);
-  /// records are returned in input order.
+  /// records are returned in input order.  The runs share one SweepCache,
+  /// so CSR-path kernels over the same (topology, size, seed) reuse one
+  /// frozen instance instead of regenerating it per kernel.
   std::vector<RunRecord> run_all(const std::vector<RunSpec>& specs) const;
 
  private:

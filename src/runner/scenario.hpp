@@ -57,17 +57,24 @@ enum class AlgorithmKind : std::uint8_t {
   kSimRRev,       ///< reverse relation checker: NewPR -> OneStepPR
 };
 
-/// Which execution back-end a run uses for the fr/pr/newpr kernels.
+/// Which execution back-end a run uses.
 ///
-/// Both paths execute the identical action sequence and fill identical
-/// records (tests/reversal_engine_test.cpp), so this is a performance
-/// switch, not a semantics switch: record and aggregate tables are
-/// byte-identical across paths by design, which is what makes the
-/// bench_e2 A/B comparison meaningful.  Kernels without a batched
-/// implementation (hybrid, tora, dist-*, sim-*) ignore it.
+/// For the fr/pr/newpr kernels the CSR path batches the whole execution
+/// through core/reversal_engine.hpp while the legacy path drives the
+/// paper-shaped automata; for the tora and dist-* kernels the CSR path
+/// additionally consumes the sweep's cached frozen Instance + CsrGraph
+/// snapshot (runner.hpp, SweepCache) while the legacy path regenerates and
+/// re-freezes per run.  In every case both paths execute the identical
+/// action sequence and fill identical records
+/// (tests/reversal_engine_test.cpp, tests/runner_test.cpp), so this is a
+/// performance switch, not a semantics switch: record and aggregate tables
+/// are byte-identical across paths by design, which is what makes the
+/// bench_e2/e5/e7 A/B comparisons meaningful.  The remaining kernels
+/// (hybrid, sim-*) have no batched implementation; for them the switch
+/// only selects the instance source, which is itself deterministic.
 enum class ExecutionPath : std::uint8_t {
-  kCsr,     ///< batched CSR kernels (core/reversal_engine.hpp) — default
-  kLegacy,  ///< paper-shaped automata + schedulers (automata/executor.hpp)
+  kCsr,     ///< batched CSR kernels + cached frozen snapshots — default
+  kLegacy,  ///< paper-shaped automata; per-run instance regeneration
 };
 
 /// Spec-file token of an execution path ("csr", "legacy").

@@ -7,7 +7,7 @@
 namespace lr {
 
 DistLeaderElection::DistLeaderElection(const Graph& topology, Network& network)
-    : graph_(&topology), network_(&network) {
+    : graph_(&topology), network_(&network), csr_(topology) {
   const std::size_t n = graph_->num_nodes();
   candidate_.resize(n);
   a_.assign(n, 0);
@@ -16,14 +16,12 @@ DistLeaderElection::DistLeaderElection(const Graph& topology, Network& network)
     candidate_[u] = u;  // everyone starts believing in itself
     b_[u] = static_cast<std::int64_t>(u);
   }
-  offsets_.resize(n + 1, 0);
-  for (NodeId u = 0; u < n; ++u) offsets_[u + 1] = offsets_[u] + graph_->degree(u);
-  views_.resize(offsets_[n]);
+  views_.resize(2 * csr_.num_edges());
   for (NodeId u = 0; u < n; ++u) {
-    const auto nbrs = graph_->neighbors(u);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const NodeId v = nbrs[i].neighbor;
-      views_[offsets_[u] + i] = View{v, a_[v], b_[v]};
+    const CsrPos end = csr_.adjacency_end(u);
+    for (CsrPos p = csr_.adjacency_begin(u); p < end; ++p) {
+      const NodeId v = csr_.neighbor_at(p);
+      views_[p] = View{v, a_[v], b_[v]};
     }
   }
   for (NodeId u = 0; u < n; ++u) {
@@ -53,11 +51,13 @@ bool DistLeaderElection::leader_is_unique_sink() const {
   // sink iff its height is below all its neighbors'.
   std::size_t sinks = 0;
   bool leader_sink = false;
-  for (NodeId u = 0; u < graph_->num_nodes(); ++u) {
-    if (graph_->degree(u) == 0) continue;
+  for (NodeId u = 0; u < csr_.num_nodes(); ++u) {
+    const CsrPos begin = csr_.adjacency_begin(u);
+    const CsrPos end = csr_.adjacency_end(u);
+    if (begin == end) continue;
     bool below_all = true;
-    for (const Incidence& inc : graph_->neighbors(u)) {
-      const NodeId v = inc.neighbor;
+    for (CsrPos p = begin; p < end; ++p) {
+      const NodeId v = csr_.neighbor_at(p);
       if (std::tuple(a_[u], b_[u], u) > std::tuple(a_[v], b_[v], v)) {
         below_all = false;
         break;
@@ -72,37 +72,35 @@ bool DistLeaderElection::leader_is_unique_sink() const {
 }
 
 std::size_t DistLeaderElection::view_slot(NodeId u, NodeId neighbor) const {
-  const auto nbrs = graph_->neighbors(u);
-  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), neighbor,
-                                   [](const Incidence& inc, NodeId target) {
-                                     return inc.neighbor < target;
-                                   });
-  return offsets_[u] + static_cast<std::size_t>(it - nbrs.begin());
+  // Precondition: messages only arrive from topology neighbors, so the
+  // position always exists.
+  return *csr_.position_of(u, neighbor);
 }
 
 bool DistLeaderElection::height_below_all_neighbors(NodeId u) const {
-  const auto nbrs = graph_->neighbors(u);
-  if (nbrs.empty()) return false;
+  const CsrPos begin = csr_.adjacency_begin(u);
+  const CsrPos end = csr_.adjacency_end(u);
+  if (begin == end) return false;
   const auto own = std::tuple(a_[u], b_[u], u);
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const View& view = views_[offsets_[u] + i];
+  for (CsrPos p = begin; p < end; ++p) {
+    const View& view = views_[p];
     // A PR step is only meaningful among nodes that agree on the candidate.
     if (view.candidate != candidate_[u]) return false;
-    if (std::tuple(view.a, view.b, nbrs[i].neighbor) < own) return false;
+    if (std::tuple(view.a, view.b, csr_.neighbor_at(p)) < own) return false;
   }
   return true;
 }
 
 void DistLeaderElection::maybe_act(NodeId u) {
   // 1. Adopt the best candidate any neighbor reports.
-  const auto nbrs = graph_->neighbors(u);
-  std::size_t best_slot = 0;
+  const CsrPos begin = csr_.adjacency_begin(u);
+  const CsrPos end = csr_.adjacency_end(u);
+  CsrPos best_slot = begin;
   NodeId best_candidate = candidate_[u];
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const View& view = views_[offsets_[u] + i];
-    if (view.candidate > best_candidate) {
-      best_candidate = view.candidate;
-      best_slot = offsets_[u] + i;
+  for (CsrPos p = begin; p < end; ++p) {
+    if (views_[p].candidate > best_candidate) {
+      best_candidate = views_[p].candidate;
+      best_slot = p;
     }
   }
   if (best_candidate > candidate_[u]) {
@@ -119,16 +117,14 @@ void DistLeaderElection::maybe_act(NodeId u) {
   // 2. Ordinary partial-reversal step when u is a non-leader local sink.
   if (candidate_[u] == u || !height_below_all_neighbors(u)) return;
   std::int64_t min_a = std::numeric_limits<std::int64_t>::max();
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    min_a = std::min(min_a, views_[offsets_[u] + i].a);
-  }
+  for (CsrPos p = begin; p < end; ++p) min_a = std::min(min_a, views_[p].a);
   const std::int64_t new_a = min_a + 1;
   std::int64_t min_b = std::numeric_limits<std::int64_t>::max();
   bool tie = false;
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    if (views_[offsets_[u] + i].a == new_a) {
+  for (CsrPos p = begin; p < end; ++p) {
+    if (views_[p].a == new_a) {
       tie = true;
-      min_b = std::min(min_b, views_[offsets_[u] + i].b);
+      min_b = std::min(min_b, views_[p].b);
     }
   }
   a_[u] = new_a;
@@ -138,9 +134,8 @@ void DistLeaderElection::maybe_act(NodeId u) {
 }
 
 void DistLeaderElection::broadcast(NodeId u) {
-  for (const Incidence& inc : graph_->neighbors(u)) {
-    network_->send(u, inc.neighbor,
-                   {static_cast<std::int64_t>(candidate_[u]), a_[u], b_[u]});
+  for (const NodeId v : csr_.neighbors(u)) {
+    network_->send(u, v, {static_cast<std::int64_t>(candidate_[u]), a_[u], b_[u]});
   }
 }
 

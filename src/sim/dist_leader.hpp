@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "sim/network.hpp"
 
@@ -33,8 +34,12 @@
 
 namespace lr {
 
+/// Message-passing leader election over the simulated network; see the
+/// file comment for the protocol sketch.
 class DistLeaderElection {
  public:
+  /// Builds the election over `topology` (which must outlive this object)
+  /// and installs every node's delivery handler on `network`.
   DistLeaderElection(const Graph& topology, Network& network);
 
   /// Starts the election: every node announces its initial candidate.
@@ -51,7 +56,9 @@ class DistLeaderElection {
   /// sink — the local leadership certificate.
   bool leader_is_unique_sink() const;
 
+  /// Times any node adopted a better candidate.
   std::uint64_t candidate_adoptions() const noexcept { return adoptions_; }
+  /// Ordinary partial-reversal height steps fired.
   std::uint64_t height_steps() const noexcept { return height_steps_; }
 
  private:
@@ -69,11 +76,14 @@ class DistLeaderElection {
 
   const Graph* graph_;
   Network* network_;
+  // Flat CSR snapshot of the topology: every hot loop (candidate adoption,
+  // sink test, PR update, broadcast, view refresh) iterates its contiguous
+  // id arrays, and the view slots below are addressed by CSR position.
+  CsrGraph csr_;
   std::vector<NodeId> candidate_;
   std::vector<std::int64_t> a_;
   std::vector<std::int64_t> b_;
-  std::vector<std::size_t> offsets_;
-  std::vector<View> views_;
+  std::vector<View> views_;  // neighbor views, indexed by CSR position
   std::uint64_t adoptions_ = 0;
   std::uint64_t height_steps_ = 0;
 };

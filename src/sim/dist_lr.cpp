@@ -28,6 +28,14 @@ std::vector<std::int64_t> initial_levels(const Orientation& o) {
 }  // namespace
 
 DistLinkReversal::DistLinkReversal(const Instance& instance, ReversalRule rule, Network& network)
+    : DistLinkReversal(instance, rule, network, nullptr) {}
+
+DistLinkReversal::DistLinkReversal(const Instance& instance, ReversalRule rule, Network& network,
+                                   const CsrGraph& frozen)
+    : DistLinkReversal(instance, rule, network, &frozen) {}
+
+DistLinkReversal::DistLinkReversal(const Instance& instance, ReversalRule rule, Network& network,
+                                   const CsrGraph* frozen)
     : graph_(&instance.graph), network_(&network), rule_(rule), destination_(instance.destination) {
   if (&network.graph() != graph_) {
     throw std::invalid_argument("DistLinkReversal: network must be built over the instance graph");
@@ -44,14 +52,23 @@ DistLinkReversal::DistLinkReversal(const Instance& instance, ReversalRule rule, 
     b_ = levels;
   }
 
-  csr_ = CsrGraph(*graph_, initial.senses());
-  view_a_.resize(2 * csr_.num_edges());
-  view_b_.resize(2 * csr_.num_edges());
+  if (frozen != nullptr) {
+    if (frozen->num_nodes() != n || frozen->num_edges() != graph_->num_edges()) {
+      throw std::invalid_argument(
+          "DistLinkReversal: frozen CSR snapshot does not match the instance");
+    }
+    csr_ = frozen;
+  } else {
+    owned_csr_.emplace(*graph_, initial.senses());
+    csr_ = &*owned_csr_;
+  }
+  view_a_.resize(2 * csr_->num_edges());
+  view_b_.resize(2 * csr_->num_edges());
   for (NodeId u = 0; u < n; ++u) {
-    const CsrPos end = csr_.adjacency_end(u);
-    for (CsrPos p = csr_.adjacency_begin(u); p < end; ++p) {
-      view_a_[p] = a_[csr_.neighbor_at(p)];
-      view_b_[p] = b_[csr_.neighbor_at(p)];
+    const CsrPos end = csr_->adjacency_end(u);
+    for (CsrPos p = csr_->adjacency_begin(u); p < end; ++p) {
+      view_a_[p] = a_[csr_->neighbor_at(p)];
+      view_b_[p] = b_[csr_->neighbor_at(p)];
     }
   }
   steps_.assign(n, 0);
@@ -67,20 +84,20 @@ void DistLinkReversal::start() {
 
 bool DistLinkReversal::locally_sink(NodeId u) const {
   // All neighbor heights (as viewed by u) are lexicographically above u's.
-  const CsrPos begin = csr_.adjacency_begin(u);
-  const CsrPos end = csr_.adjacency_end(u);
+  const CsrPos begin = csr_->adjacency_begin(u);
+  const CsrPos end = csr_->adjacency_end(u);
   if (begin == end) return false;
   const auto own = std::tuple(a_[u], b_[u], u);
   for (CsrPos p = begin; p < end; ++p) {
-    if (std::tuple(view_a_[p], view_b_[p], csr_.neighbor_at(p)) < own) return false;
+    if (std::tuple(view_a_[p], view_b_[p], csr_->neighbor_at(p)) < own) return false;
   }
   return true;
 }
 
 void DistLinkReversal::maybe_step(NodeId u) {
   if (u == destination_ || !locally_sink(u)) return;
-  const CsrPos begin = csr_.adjacency_begin(u);
-  const CsrPos end = csr_.adjacency_end(u);
+  const CsrPos begin = csr_->adjacency_begin(u);
+  const CsrPos end = csr_->adjacency_end(u);
 
   if (rule_ == ReversalRule::kFull) {
     std::int64_t max_a = std::numeric_limits<std::int64_t>::min();
@@ -107,7 +124,7 @@ void DistLinkReversal::maybe_step(NodeId u) {
 }
 
 void DistLinkReversal::broadcast_height(NodeId u) {
-  for (const NodeId v : csr_.neighbors(u)) {
+  for (const NodeId v : csr_->neighbors(u)) {
     network_->send(u, v, {a_[u], b_[u]});
   }
 }
@@ -141,12 +158,9 @@ void DistLinkReversal::notify_link_restored(EdgeId e) {
 void DistLinkReversal::on_message(const NetMessage& message) {
   const NodeId u = message.to;
   const NodeId from = message.from;
-  // Locate `from` in u's ascending CSR neighbor slice.
-  const auto nbrs = csr_.neighbors(u);
-  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), from);
-  if (it == nbrs.end() || *it != from) return;  // not a neighbor: ignore
-  const std::size_t slot =
-      csr_.adjacency_begin(u) + static_cast<std::size_t>(it - nbrs.begin());
+  const auto position = csr_->position_of(u, from);
+  if (!position) return;  // not a neighbor: ignore
+  const std::size_t slot = *position;
 
   // Heights only increase: a stale (re-ordered) UPDATE must not regress the
   // view.
@@ -163,11 +177,11 @@ std::optional<NodeId> DistLinkReversal::best_out_neighbor_view(NodeId u) const {
   const auto own = std::tuple(a_[u], b_[u], u);
   std::optional<NodeId> best;
   std::tuple<std::int64_t, std::int64_t, NodeId> best_height{};
-  const CsrPos end = csr_.adjacency_end(u);
-  for (CsrPos p = csr_.adjacency_begin(u); p < end; ++p) {
-    const auto viewed = std::tuple(view_a_[p], view_b_[p], csr_.neighbor_at(p));
+  const CsrPos end = csr_->adjacency_end(u);
+  for (CsrPos p = csr_->adjacency_begin(u); p < end; ++p) {
+    const auto viewed = std::tuple(view_a_[p], view_b_[p], csr_->neighbor_at(p));
     if (viewed < own && (!best || viewed < best_height)) {
-      best = csr_.neighbor_at(p);
+      best = csr_->neighbor_at(p);
       best_height = viewed;
     }
   }

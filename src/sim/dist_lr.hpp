@@ -33,11 +33,14 @@
 
 namespace lr {
 
+/// Which Gafni–Bertsekas height update a DistLinkReversal node applies.
 enum class ReversalRule : std::uint8_t {
   kFull,     ///< pair heights, a := max(neighbors) + 1
   kPartial,  ///< triple heights, GB partial-reversal update
 };
 
+/// The height-based distributed link-reversal protocol; see the file
+/// comment.
 class DistLinkReversal {
  public:
   /// Heights are initialized from the instance's initial orientation (a
@@ -45,6 +48,14 @@ class DistLinkReversal {
   /// of its neighbors' initial heights.  The network must outlive this
   /// object and be built over `instance.graph`.
   DistLinkReversal(const Instance& instance, ReversalRule rule, Network& network);
+
+  /// Same, but borrows `frozen` — a CSR snapshot of `instance.graph` (e.g.
+  /// the sweep cache's) — instead of building one per run.  `frozen` must
+  /// outlive this object and match the instance's node and edge counts
+  /// (else std::invalid_argument); only its adjacency arrays are read, so
+  /// its initial orientation need not match the instance's.
+  DistLinkReversal(const Instance& instance, ReversalRule rule, Network& network,
+                   const CsrGraph& frozen);
 
   /// Kicks off the protocol: every node evaluates its sink condition once.
   /// Drive the network (network.run_until_idle()) afterwards.
@@ -81,8 +92,11 @@ class DistLinkReversal {
   /// the network is idle).
   bool converged() const;
 
+  /// The destination node D.
   NodeId destination() const noexcept { return destination_; }
+  /// Reversal steps performed by all nodes so far.
   std::uint64_t total_steps() const noexcept { return total_steps_; }
+  /// Reversal steps performed by node `u` so far.
   std::uint64_t steps(NodeId u) const { return steps_[u]; }
 
   /// The neighbor u would forward a data packet to: the one with the
@@ -93,6 +107,9 @@ class DistLinkReversal {
   std::optional<NodeId> best_out_neighbor_view(NodeId u) const;
 
  private:
+  DistLinkReversal(const Instance& instance, ReversalRule rule, Network& network,
+                   const CsrGraph* frozen);
+
   bool locally_sink(NodeId u) const;
   void maybe_step(NodeId u);
   void broadcast_height(NodeId u);
@@ -106,8 +123,10 @@ class DistLinkReversal {
   // Flat CSR snapshot of the topology: the event-loop hot path (sink test,
   // height update, broadcast, view refresh on every delivered message)
   // iterates its contiguous id arrays, and neighbor-view slots below are
-  // addressed by CSR position.
-  CsrGraph csr_;
+  // addressed by CSR position.  Borrowed from the sweep cache when a frozen
+  // snapshot is supplied, owned otherwise.
+  const CsrGraph* csr_ = nullptr;
+  std::optional<CsrGraph> owned_csr_;
 
   std::vector<std::int64_t> a_;
   std::vector<std::int64_t> b_;

@@ -8,7 +8,7 @@
 namespace lr {
 
 DistMutex::DistMutex(const Graph& topology, NodeId initial_holder, Network& network)
-    : graph_(&topology), network_(&network), holder_(initial_holder) {
+    : graph_(&topology), network_(&network), csr_(topology), holder_(initial_holder) {
   const std::size_t n = graph_->num_nodes();
   if (initial_holder >= n) {
     throw std::invalid_argument("DistMutex: initial holder out of range");
@@ -19,14 +19,12 @@ DistMutex::DistMutex(const Graph& topology, NodeId initial_holder, Network& netw
   b_[initial_holder] = -1;  // the holder is the global height minimum
   seq_.assign(n, 0);
 
-  offsets_.resize(n + 1, 0);
-  for (NodeId u = 0; u < n; ++u) offsets_[u + 1] = offsets_[u] + graph_->degree(u);
-  views_.resize(offsets_[n]);
+  views_.resize(2 * csr_.num_edges());
   for (NodeId u = 0; u < n; ++u) {
-    const auto nbrs = graph_->neighbors(u);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const NodeId v = nbrs[i].neighbor;
-      views_[offsets_[u] + i] = View{a_[v], b_[v], 0};
+    const CsrPos end = csr_.adjacency_end(u);
+    for (CsrPos p = csr_.adjacency_begin(u); p < end; ++p) {
+      const NodeId v = csr_.neighbor_at(p);
+      views_[p] = View{a_[v], b_[v], 0};
     }
   }
   pending_.resize(n);
@@ -43,24 +41,22 @@ std::optional<NodeId> DistMutex::holder() const {
 }
 
 std::size_t DistMutex::view_slot(NodeId u, NodeId neighbor) const {
-  const auto nbrs = graph_->neighbors(u);
-  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), neighbor,
-                                   [](const Incidence& inc, NodeId target) {
-                                     return inc.neighbor < target;
-                                   });
-  return offsets_[u] + static_cast<std::size_t>(it - nbrs.begin());
+  // Precondition: messages only arrive from topology neighbors, so the
+  // position always exists.
+  return *csr_.position_of(u, neighbor);
 }
 
 std::optional<NodeId> DistMutex::downhill_neighbor(NodeId u) const {
-  const auto nbrs = graph_->neighbors(u);
   const auto own = std::tuple(a_[u], b_[u], u);
   std::optional<NodeId> best;
   std::tuple<std::int64_t, std::int64_t, NodeId> best_height{};
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const View& view = views_[offsets_[u] + i];
-    const auto height = std::tuple(view.a, view.b, nbrs[i].neighbor);
+  const CsrPos end = csr_.adjacency_end(u);
+  for (CsrPos p = csr_.adjacency_begin(u); p < end; ++p) {
+    const View& view = views_[p];
+    const NodeId v = csr_.neighbor_at(p);
+    const auto height = std::tuple(view.a, view.b, v);
     if (height < own && (!best || height < best_height)) {
-      best = nbrs[i].neighbor;
+      best = v;
       best_height = height;
     }
   }
@@ -69,18 +65,17 @@ std::optional<NodeId> DistMutex::downhill_neighbor(NodeId u) const {
 
 void DistMutex::reversal_step(NodeId u) {
   // Request-driven partial reversal: raise u above its lowest neighbors.
-  const auto nbrs = graph_->neighbors(u);
+  const CsrPos begin = csr_.adjacency_begin(u);
+  const CsrPos end = csr_.adjacency_end(u);
   std::int64_t min_a = std::numeric_limits<std::int64_t>::max();
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    min_a = std::min(min_a, views_[offsets_[u] + i].a);
-  }
+  for (CsrPos p = begin; p < end; ++p) min_a = std::min(min_a, views_[p].a);
   const std::int64_t new_a = min_a + 1;
   std::int64_t min_b = std::numeric_limits<std::int64_t>::max();
   bool tie = false;
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    if (views_[offsets_[u] + i].a == new_a) {
+  for (CsrPos p = begin; p < end; ++p) {
+    if (views_[p].a == new_a) {
       tie = true;
-      min_b = std::min(min_b, views_[offsets_[u] + i].b);
+      min_b = std::min(min_b, views_[p].b);
     }
   }
   a_[u] = new_a;
@@ -91,8 +86,8 @@ void DistMutex::reversal_step(NodeId u) {
 
 void DistMutex::broadcast_height(NodeId u) {
   ++seq_[u];
-  for (const Incidence& inc : graph_->neighbors(u)) {
-    network_->send(u, inc.neighbor, {kHeight, a_[u], b_[u], seq_[u]});
+  for (const NodeId v : csr_.neighbors(u)) {
+    network_->send(u, v, {kHeight, a_[u], b_[u], seq_[u]});
   }
 }
 
@@ -115,7 +110,7 @@ void DistMutex::try_forward_pending(NodeId u) {
     }
     const auto next = downhill_neighbor(u);
     if (!next) {
-      if (graph_->degree(u) == 0) return;  // isolated: nothing to do
+      if (csr_.degree(u) == 0) return;  // isolated: nothing to do
       // Stuck local minimum with work to do: reverse and retry (a step
       // always produces a downhill neighbor).
       reversal_step(u);
@@ -128,9 +123,13 @@ void DistMutex::try_forward_pending(NodeId u) {
 
 void DistMutex::forward_request(NodeId u, QueuedRequest request) {
   const auto next = downhill_neighbor(u);
-  std::vector<std::int64_t> payload{kRequest, static_cast<std::int64_t>(request.origin)};
-  for (const NodeId hop : request.path) payload.push_back(static_cast<std::int64_t>(hop));
-  network_->send(u, *next, std::move(payload));
+  payload_scratch_.clear();
+  payload_scratch_.push_back(kRequest);
+  payload_scratch_.push_back(static_cast<std::int64_t>(request.origin));
+  for (const NodeId hop : request.path) {
+    payload_scratch_.push_back(static_cast<std::int64_t>(hop));
+  }
+  network_->send(u, *next, payload_scratch_);
 }
 
 void DistMutex::release() {
@@ -147,13 +146,16 @@ void DistMutex::release() {
   // back along it.
   if (request.path.empty() || request.path.back() != h) request.path.push_back(h);
   holder_ = kNoNode;
-  std::vector<std::int64_t> payload{kToken, a_[h], b_[h]};
+  payload_scratch_.clear();
+  payload_scratch_.push_back(kToken);
+  payload_scratch_.push_back(a_[h]);
+  payload_scratch_.push_back(b_[h]);
   // Remaining path: everything except the holder.
   for (std::size_t i = 0; i + 1 < request.path.size(); ++i) {
-    payload.push_back(static_cast<std::int64_t>(request.path[i]));
+    payload_scratch_.push_back(static_cast<std::int64_t>(request.path[i]));
   }
   const NodeId next_hop = request.path[request.path.size() - 2];
-  network_->send(h, next_hop, std::move(payload));
+  network_->send(h, next_hop, payload_scratch_);
 
   // Queued paths end at h, which is no longer the holder: re-inject them as
   // pending requests at h so they re-route towards the token's new home
@@ -228,9 +230,14 @@ void DistMutex::handle_token(NodeId u, const NetMessage& message) {
   }
   // Forward the token one hop further back along the request path.
   remaining.pop_back();
-  std::vector<std::int64_t> payload{kToken, message.payload.at(1), message.payload.at(2)};
-  for (const NodeId hop : remaining) payload.push_back(static_cast<std::int64_t>(hop));
-  network_->send(u, remaining.back(), std::move(payload));
+  payload_scratch_.clear();
+  payload_scratch_.push_back(kToken);
+  payload_scratch_.push_back(message.payload.at(1));
+  payload_scratch_.push_back(message.payload.at(2));
+  for (const NodeId hop : remaining) {
+    payload_scratch_.push_back(static_cast<std::int64_t>(hop));
+  }
+  network_->send(u, remaining.back(), payload_scratch_);
 }
 
 }  // namespace lr

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "sim/network.hpp"
 
@@ -35,8 +36,13 @@
 
 namespace lr {
 
+/// Message-passing token-based mutual exclusion over the simulated
+/// network; see the file comment for the mechanics.
 class DistMutex {
  public:
+  /// Builds the service over `topology` (which must outlive this object),
+  /// seats the token at `initial_holder`, and installs every node's
+  /// delivery handler on `network`.
   DistMutex(const Graph& topology, NodeId initial_holder, Network& network);
 
   /// Node u asks for the critical section.  No-op if u already holds the
@@ -58,7 +64,9 @@ class DistMutex {
   /// Requests waiting at the holder, in grant order.
   std::size_t queued_requests() const { return grant_queue_.size(); }
 
+  /// Token hand-offs completed so far.
   std::uint64_t grants() const noexcept { return grants_; }
+  /// Request-driven partial-reversal steps fired so far.
   std::uint64_t reversal_steps() const noexcept { return reversal_steps_; }
 
  private:
@@ -82,6 +90,11 @@ class DistMutex {
 
   const Graph* graph_;
   Network* network_;
+  // Flat CSR snapshot of the topology: the event-loop hot path (downhill
+  // scan, request-driven reversal, broadcast, view refresh) iterates its
+  // contiguous id arrays, and the view slots below are addressed by CSR
+  // position.
+  CsrGraph csr_;
 
   NodeId holder_ = kNoNode;  ///< kNoNode while the token is in flight
 
@@ -94,8 +107,12 @@ class DistMutex {
     std::int64_t b = 0;
     std::int64_t seq = -1;
   };
-  std::vector<std::size_t> offsets_;
-  std::vector<View> views_;
+  std::vector<View> views_;  // neighbor views, indexed by CSR position
+
+  // Reused payload buffer for REQUEST/TOKEN assembly: Network::send copies
+  // the words into its message pool before returning, so one scratch
+  // vector serves every send without steady-state allocation.
+  std::vector<std::int64_t> payload_scratch_;
 
   std::deque<QueuedRequest> grant_queue_;          // at the holder
   std::vector<std::deque<QueuedRequest>> pending_;  // stuck at intermediate nodes

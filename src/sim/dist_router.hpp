@@ -25,6 +25,7 @@
 
 namespace lr {
 
+/// Data-plane counters of a DistRouter.
 struct PacketStats {
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
@@ -33,6 +34,8 @@ struct PacketStats {
   std::uint64_t total_hops = 0;        ///< hops of delivered packets
 };
 
+/// The simulated data plane over the DistLinkReversal control plane; see
+/// the file comment.
 class DistRouter {
  public:
   /// The router shares the protocol's network; the protocol must outlive
@@ -44,6 +47,7 @@ class DistRouter {
   /// delivery interleaves with in-flight control traffic.
   void inject(NodeId source);
 
+  /// Data-plane counters.
   const PacketStats& stats() const noexcept { return stats_; }
 
   /// Mean hop count of delivered packets.

@@ -1,27 +1,57 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <utility>
 
 namespace lr {
 
-void EventQueue::schedule_at(SimTime at, Callback fn) {
+EventQueue::~EventQueue() {
+  // Freed slots have null hooks; anything still engaged is a pending event
+  // whose callable must be torn down.
+  for (std::uint32_t index = 0; index < pool_.slots(); ++index) {
+    Slot& slot = pool_[index];
+    if (slot.destroy != nullptr) slot.destroy(slot.storage);
+  }
+}
+
+void EventQueue::check_schedulable(SimTime at) const {
   if (at < now_) {
     throw std::invalid_argument("EventQueue::schedule_at: cannot schedule in the past");
   }
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = pool_[index];
+  if (slot.destroy != nullptr) slot.destroy(slot.storage);
+  slot.invoke = nullptr;
+  slot.destroy = nullptr;
+  pool_.release(index);
+}
+
+void EventQueue::push_entry(SimTime at, std::uint32_t index) {
+  heap_.push_back(HeapEntry{at, next_seq_++, index});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::run_one() {
-  if (queue_.empty()) return false;
-  // priority_queue::top only exposes const&, so the event (and its
-  // std::function) is copied out before the pop.  Events are small; the
-  // copy is not worth a custom heap.
-  Event event = queue_.top();
-  queue_.pop();
-  now_ = event.time;
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapEntry entry = heap_.back();
+  heap_.pop_back();
+  now_ = entry.time;
   ++executed_;
-  event.fn();
+  // Release the slot whether or not the callback throws (a throwing event
+  // must not strand its slot outside the freelist), but only *after* it
+  // finishes: a reentrant schedule from inside the callback can then never
+  // recycle the running event's storage.  Slot addresses are stable under
+  // reentrant growth (slot_pool.hpp).
+  struct ReleaseGuard {
+    EventQueue* queue;
+    std::uint32_t index;
+    ~ReleaseGuard() { queue->release_slot(index); }
+  } guard{this, entry.slot};
+  Slot& slot = pool_[entry.slot];
+  slot.invoke(slot.storage);
   return true;
 }
 

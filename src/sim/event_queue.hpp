@@ -1,39 +1,106 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "sim/slot_pool.hpp"
 
 /// \file event_queue.hpp
 /// A minimal discrete-event simulation core: a time-ordered queue of
-/// callbacks with deterministic FIFO tie-breaking.
+/// callbacks with deterministic FIFO tie-breaking, backed by a slab/pool
+/// allocator so steady-state operation performs no heap allocation.
 ///
 /// The paper's algorithms are asynchronous-model algorithms; the DES is the
 /// substitute for a physical ad-hoc network (docs/ARCHITECTURE.md, sim
 /// layer).  Determinism matters: with a fixed seed, every simulated
 /// experiment replays exactly — the scenario runner's sweeps rely on it.
+///
+/// Memory model (docs/PERFORMANCE.md): every scheduled callback lives in a
+/// fixed-size *slot* drawn from a freelist over slabs that are never
+/// returned; the time-ordered index is a plain binary heap of POD entries.
+/// Once the pool and heap have grown to a simulation's high-water mark,
+/// scheduling and running events allocates nothing — the preallocated-pool
+/// discipline line-rate event systems (NDN-DPDK-style) are built on, which
+/// keeps message-heavy sweeps engine-bound instead of allocator-bound.
 
 namespace lr {
 
 /// Simulated time in abstract ticks.
 using SimTime = std::uint64_t;
 
+/// The pooled discrete-event queue.  Callbacks are any callables whose
+/// captured state fits `kInlineEventBytes`; they are stored in place inside
+/// pool slots, never on the general heap.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Upper bound on a scheduled callable's size.  Protocol events capture a
+  /// pointer plus a couple of integers; 64 bytes leaves generous headroom.
+  /// Exceeding it is a compile error — shrink the capture (e.g. capture an
+  /// index into externally owned state) rather than raising the bound.
+  static constexpr std::size_t kInlineEventBytes = 64;
 
-  /// Schedules `fn` at absolute time `at` (must be >= now()).
-  void schedule_at(SimTime at, Callback fn);
+  /// An empty queue at time 0 with an empty pool.
+  EventQueue() = default;
+
+  /// Slots hold type-erased live callables whose teardown only the
+  /// destructor knows how to run; a defaulted copy would duplicate them
+  /// bitwise and a defaulted move would skip that teardown on the
+  /// assigned-to queue, so the type is pinned in place.
+  EventQueue(const EventQueue&) = delete;
+  /// \copydoc EventQueue(const EventQueue&)
+  EventQueue& operator=(const EventQueue&) = delete;
+  /// \copydoc EventQueue(const EventQueue&)
+  EventQueue(EventQueue&&) = delete;
+  /// \copydoc EventQueue(const EventQueue&)
+  EventQueue& operator=(EventQueue&&) = delete;
+
+  /// Destroys all still-pending callbacks.
+  ~EventQueue();
+
+  /// Schedules `fn` at absolute time `at` (must be >= now(), else
+  /// std::invalid_argument).  `fn`'s captured state must fit
+  /// `kInlineEventBytes` (enforced at compile time); it is moved into a
+  /// pool slot, so no heap allocation happens once the pool is warm.
+  template <typename F>
+  void schedule_at(SimTime at, F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineEventBytes,
+                  "EventQueue callback capture exceeds kInlineEventBytes; "
+                  "capture an index/pointer into externally owned state");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "EventQueue callback over-aligned beyond max_align_t");
+    check_schedulable(at);
+    const std::uint32_t index = pool_.acquire();
+    Slot& slot = pool_[index];
+    try {
+      ::new (static_cast<void*>(slot.storage)) Fn(std::forward<F>(fn));
+      slot.invoke = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
+      slot.destroy = [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); };
+      push_entry(at, index);
+    } catch (...) {
+      release_slot(index);
+      throw;
+    }
+  }
 
   /// Schedules `fn` `delay` ticks from now.
-  void schedule_in(SimTime delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+  template <typename F>
+  void schedule_in(SimTime delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Current simulated time.
   SimTime now() const noexcept { return now_; }
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  /// True iff no event is pending.
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Number of pending events.
+  std::size_t pending() const noexcept { return heap_.size(); }
 
   /// Pops and runs the earliest event; returns false when the queue is
   /// empty.  Events scheduled at the same tick run in scheduling order.
@@ -46,19 +113,44 @@ class EventQueue {
   /// Total events executed since construction.
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Pool slots ever allocated (the high-water mark of concurrently
+  /// pending events).  Stable across steady-state schedule/run cycles —
+  /// the property the pool's unit tests pin down.
+  std::size_t pool_slots() const noexcept { return pool_.slots(); }
+
+  /// Pool slots currently on the freelist (== pool_slots() when idle).
+  std::size_t free_slots() const noexcept { return pool_.free_slots(); }
+
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;  // FIFO tie break
-    Callback fn;
+  /// One pooled event: in-place callable storage plus type-erased
+  /// invoke/destroy hooks (null when the slot is free).
+  struct Slot {
+    alignas(alignof(std::max_align_t)) unsigned char storage[kInlineEventBytes];
+    void (*invoke)(void*) = nullptr;
+    void (*destroy)(void*) = nullptr;
   };
+
+  /// POD heap entry; `seq` breaks same-tick ties in FIFO order.
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  /// Heap order: the entry that fires *later* compares "greater", so the
+  /// binary heap keeps the earliest (then lowest-seq) entry at the front.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  void check_schedulable(SimTime at) const;
+  void release_slot(std::uint32_t index);
+  void push_entry(SimTime at, std::uint32_t index);
+
+  SlotPool<Slot> pool_;          ///< event slab pool (slot_pool.hpp)
+  std::vector<HeapEntry> heap_;  ///< binary heap of pending entries
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,25 +1,59 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace lr {
 
-Network::Network(const Graph& g, NetworkConfig config)
-    : graph_(&g),
-      config_(config),
-      rng_(config.seed),
-      handlers_(g.num_nodes()),
-      link_up_(g.num_edges(), 1) {
-  if (config_.min_delay == 0 || config_.min_delay > config_.max_delay) {
+namespace {
+
+void validate_delays(const NetworkConfig& config) {
+  if (config.min_delay == 0 || config.min_delay > config.max_delay) {
     throw std::invalid_argument("Network: require 0 < min_delay <= max_delay");
   }
 }
 
-void Network::send(NodeId from, NodeId to, std::vector<std::int64_t> payload) {
-  const EdgeId e = graph_->edge_between(from, to);
-  if (e == kNoEdge) {
+}  // namespace
+
+Network::Network(const Graph& g, NetworkConfig config)
+    : graph_(&g),
+      csr_(nullptr),
+      owned_csr_(std::in_place, g),
+      config_(config),
+      rng_(config.seed),
+      handlers_(g.num_nodes()),
+      link_up_(g.num_edges(), 1) {
+  validate_delays(config_);
+  csr_ = &*owned_csr_;
+}
+
+Network::Network(const Graph& g, NetworkConfig config, const CsrGraph& frozen)
+    : graph_(&g),
+      csr_(&frozen),
+      config_(config),
+      rng_(config.seed),
+      handlers_(g.num_nodes()),
+      link_up_(g.num_edges(), 1) {
+  validate_delays(config_);
+  if (frozen.num_nodes() != g.num_nodes() || frozen.num_edges() != g.num_edges()) {
+    throw std::invalid_argument("Network: frozen CSR snapshot does not match the graph");
+  }
+}
+
+void Network::deliver(std::uint32_t index) {
+  ++messages_delivered_;
+  const NetMessage& message = pool_[index];
+  if (handlers_[message.to]) handlers_[message.to](message);
+  pool_[index].payload.clear();  // keeps capacity for the next send
+  pool_.release(index);
+}
+
+void Network::send(NodeId from, NodeId to, std::span<const std::int64_t> payload) {
+  const auto position = csr_->position_of(from, to);
+  if (!position) {
     throw std::invalid_argument("Network::send: nodes are not adjacent");
   }
+  const EdgeId e = csr_->edge_at(*position);
   ++messages_sent_;
   if (!link_up_[e]) {
     ++messages_dropped_;
@@ -39,11 +73,12 @@ void Network::send(NodeId from, NodeId to, std::vector<std::int64_t> payload) {
     if (duplicate(rng_)) copies = 2;
   }
   for (std::size_t i = 0; i < copies; ++i) {
-    NetMessage message{from, to, payload};
-    queue_.schedule_in(delay(rng_), [this, message = std::move(message)]() {
-      ++messages_delivered_;
-      if (handlers_[message.to]) handlers_[message.to](message);
-    });
+    const std::uint32_t index = pool_.acquire();
+    NetMessage& message = pool_[index];
+    message.from = from;
+    message.to = to;
+    message.payload.assign(payload.begin(), payload.end());
+    queue_.schedule_in(delay(rng_), [this, index] { deliver(index); });
   }
 }
 

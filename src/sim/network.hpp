@@ -2,11 +2,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
+#include <optional>
 #include <random>
+#include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/slot_pool.hpp"
 
 /// \file network.hpp
 /// A simulated asynchronous message-passing network over a fixed topology
@@ -17,17 +22,24 @@
 /// motivate link reversal routing (Gafni–Bertsekas's "frequently changing
 /// topology"; docs/ARCHITECTURE.md, sim layer): the algorithms only
 /// require eventual delivery on up links, which the simulator provides.
+///
+/// Hot-path layout (docs/PERFORMANCE.md): adjacency checks run over a
+/// `CsrGraph` snapshot (borrowed from the sweep cache when available), and
+/// every in-flight message lives in a pooled slot whose payload vector is
+/// recycled — combined with the pooled `EventQueue`, a warmed-up simulation
+/// sends, delivers, and re-sends messages with zero heap allocation.
 
 namespace lr {
 
 /// An application message.  The payload layout is protocol-defined (the
 /// distributed link-reversal protocol ships heights as int64 tuples).
 struct NetMessage {
-  NodeId from = kNoNode;
-  NodeId to = kNoNode;
-  std::vector<std::int64_t> payload;
+  NodeId from = kNoNode;              ///< sending node
+  NodeId to = kNoNode;                ///< receiving node
+  std::vector<std::int64_t> payload;  ///< protocol-defined words
 };
 
+/// Delay, seed, and failure-injection knobs of a simulated network.
 struct NetworkConfig {
   SimTime min_delay = 1;   ///< per-message delay lower bound (ticks)
   SimTime max_delay = 10;  ///< per-message delay upper bound (ticks)
@@ -39,17 +51,40 @@ struct NetworkConfig {
   /// Protocols must tolerate both; see DistLinkReversal's monotone-height
   /// filter and resync rounds.
   double drop_probability = 0.0;
+  /// See `drop_probability`.
   double duplicate_probability = 0.0;
 };
 
+/// The simulated asynchronous network: messages, delays, churn, handlers.
 class Network {
  public:
+  /// Per-node delivery callback.  The referenced message is valid only for
+  /// the duration of the call (its slot is recycled afterwards).
   using Handler = std::function<void(const NetMessage&)>;
 
+  /// Builds the network over `g`, which must outlive it.  A private
+  /// `CsrGraph` snapshot is built for adjacency lookups.
   Network(const Graph& g, NetworkConfig config);
 
+  /// Same, but borrows `frozen` — a CSR snapshot of `g` (e.g. the sweep
+  /// cache's) — instead of building one.  `frozen` must outlive the
+  /// network and match `g`'s node and edge counts (else
+  /// std::invalid_argument).
+  Network(const Graph& g, NetworkConfig config, const CsrGraph& frozen);
+
+  /// Handlers and in-flight events capture `this`; copying or moving would
+  /// dangle them, so both are disabled.
+  Network(const Network&) = delete;
+  /// \copydoc Network(const Network&)
+  Network& operator=(const Network&) = delete;
+
+  /// The topology graph the network was built over.
   const Graph& graph() const noexcept { return *graph_; }
+
+  /// The underlying event queue (for co-scheduling application events).
   EventQueue& queue() noexcept { return queue_; }
+
+  /// Current simulated time.
   SimTime now() const noexcept { return queue_.now(); }
 
   /// Installs the delivery callback of node `u`.
@@ -58,12 +93,21 @@ class Network {
   /// Sends `payload` from `from` to adjacent node `to`.  The message is
   /// delivered after a random delay if the link is up *at send time*;
   /// otherwise it is dropped (counted).  Throws if the nodes are not
-  /// adjacent in the topology graph.
-  void send(NodeId from, NodeId to, std::vector<std::int64_t> payload);
+  /// adjacent in the topology graph.  The payload is copied into a pooled
+  /// message slot before this call returns, so callers may reuse their
+  /// buffer immediately.
+  void send(NodeId from, NodeId to, std::span<const std::int64_t> payload);
+
+  /// Braced-list convenience: `send(u, v, {a, b})` ships the words without
+  /// materializing a vector.
+  void send(NodeId from, NodeId to, std::initializer_list<std::int64_t> payload) {
+    send(from, to, std::span<const std::int64_t>(payload.begin(), payload.size()));
+  }
 
   /// Marks a link up or down.  Messages already in flight still arrive
   /// (they model frames already on the medium).
   void set_link_up(EdgeId e, bool up) { link_up_[e] = up; }
+  /// True iff link `e` is currently up.
   bool link_up(EdgeId e) const { return link_up_[e]; }
 
   /// Runs the simulation until no events remain (or the safety budget is
@@ -72,17 +116,31 @@ class Network {
     return queue_.run_until_idle(max_events);
   }
 
+  /// Messages handed to send() (dropped ones included).
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  /// Messages delivered to a handler slot (duplicates counted).
   std::uint64_t messages_delivered() const noexcept { return messages_delivered_; }
+  /// Messages dropped by down links or injected loss.
   std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
 
+  /// Message-pool slots ever allocated (the high-water mark of in-flight
+  /// messages); stable across steady-state send/deliver cycles.
+  std::size_t message_pool_slots() const noexcept { return pool_.slots(); }
+
  private:
+  void deliver(std::uint32_t index);
+
   const Graph* graph_;
+  const CsrGraph* csr_;               ///< adjacency snapshot (owned or borrowed)
+  std::optional<CsrGraph> owned_csr_; ///< engaged iff the snapshot is owned
   NetworkConfig config_;
   EventQueue queue_;
   std::mt19937_64 rng_;
   std::vector<Handler> handlers_;
   std::vector<std::uint8_t> link_up_;
+  /// In-flight message pool (slot_pool.hpp); recycled payload vectors keep
+  /// their capacity, so steady-state sends do not allocate.
+  SlotPool<NetMessage> pool_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;

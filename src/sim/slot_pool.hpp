@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+/// \file slot_pool.hpp
+/// The slab/freelist pool shared by the sim layer's hot-path allocators
+/// (the event queue's callback slots, the network's in-flight messages).
+///
+/// One invariant, held once: slots are drawn from a freelist over slabs
+/// that are never returned, so the pool only ever grows at a new
+/// high-water mark of concurrently live slots and steady-state
+/// acquire/release cycles perform no heap allocation.  `std::deque`
+/// storage keeps slot addresses stable across growth, which is what makes
+/// reentrant acquisition (an event handler scheduling new events while its
+/// own slot is live) safe for every client.
+
+namespace lr {
+
+/// A freelist pool of `T` slots addressed by stable `std::uint32_t`
+/// indices.  `T` must be default-constructible; released slots keep their
+/// `T` (and therefore any capacity it owns, e.g. a payload vector's) for
+/// the next acquirer — clients reset whatever state must not leak across
+/// reuse before or after release.
+template <typename T>
+class SlotPool {
+ public:
+  /// Sentinel index ("no slot").
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Pops a slot off the freelist, growing the pool by one
+  /// default-constructed slot when the freelist is empty (a new high-water
+  /// mark — steady state never re-enters the grow path).
+  std::uint32_t acquire() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t index = free_head_;
+      free_head_ = entries_[index].next_free;
+      entries_[index].next_free = kNoSlot;
+      --free_count_;
+      return index;
+    }
+    entries_.emplace_back();
+    return static_cast<std::uint32_t>(entries_.size() - 1);
+  }
+
+  /// Returns `index` to the freelist.  The slot's `T` is not destroyed or
+  /// reset — it is recycled as-is for the next acquire().
+  void release(std::uint32_t index) {
+    entries_[index].next_free = free_head_;
+    free_head_ = index;
+    ++free_count_;
+  }
+
+  /// The slot at `index`; the reference stays valid across acquire()
+  /// (deque slabs never move).
+  T& operator[](std::uint32_t index) { return entries_[index].value; }
+  /// \copydoc operator[]
+  const T& operator[](std::uint32_t index) const { return entries_[index].value; }
+
+  /// Slots ever allocated (the high-water mark of concurrently live
+  /// slots); stable across steady-state acquire/release cycles.
+  std::size_t slots() const noexcept { return entries_.size(); }
+
+  /// Slots currently on the freelist (== slots() when fully idle).
+  std::size_t free_slots() const noexcept { return free_count_; }
+
+ private:
+  /// One pooled slot: the payload plus its intrusive freelist link.
+  struct Entry {
+    T value{};
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  std::deque<Entry> entries_;          ///< slab storage; addresses stable
+  std::uint32_t free_head_ = kNoSlot;  ///< freelist head
+  std::size_t free_count_ = 0;         ///< freelist length
+};
+
+}  // namespace lr

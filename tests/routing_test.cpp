@@ -90,6 +90,56 @@ TEST(DynamicHeightsTest, RejectsBadArguments) {
   EXPECT_THROW(dag.add_link(0, 9), std::invalid_argument);
   EXPECT_THROW(dag.set_destination(9), std::invalid_argument);
   EXPECT_THROW(DynamicHeightsDag(3, 7), std::invalid_argument);
+  EXPECT_THROW(DynamicHeightsDag(make_chain_graph(3), 7), std::invalid_argument);
+}
+
+TEST(DynamicHeightsTest, BatchConstructorMatchesIncrementalConstruction) {
+  std::mt19937_64 rng(47);
+  const Graph g = make_random_connected_graph(24, 20, rng);
+
+  DynamicHeightsDag batch(g, 5);
+  DynamicHeightsDag incremental(g.num_nodes(), 5);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    incremental.add_link(g.edge_u(e), g.edge_v(e));
+  }
+  EXPECT_EQ(batch.stabilize(), incremental.stabilize());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(batch.height(u), incremental.height(u)) << "node " << u;
+    EXPECT_EQ(batch.is_sink(u), incremental.is_sink(u)) << "node " << u;
+    EXPECT_EQ(batch.route(u), incremental.route(u)) << "node " << u;
+  }
+}
+
+TEST(DynamicHeightsTest, NeighborsSliceTracksChurnAndStaysAscending) {
+  DynamicHeightsDag dag(5, 0);
+  dag.add_link(2, 4);
+  dag.add_link(2, 0);
+  dag.add_link(2, 3);
+  const auto slice = dag.neighbors(2);
+  EXPECT_EQ(std::vector<NodeId>(slice.begin(), slice.end()),
+            (std::vector<NodeId>{0, 3, 4}));
+  dag.remove_link(2, 3);
+  const auto after = dag.neighbors(2);
+  EXPECT_EQ(std::vector<NodeId>(after.begin(), after.end()), (std::vector<NodeId>{0, 4}));
+  EXPECT_TRUE(dag.neighbors(1).empty());
+}
+
+TEST(DynamicHeightsTest, QueriesBetweenChurnEventsShareOneSnapshot) {
+  // Regression guard for the lazy CSR rebuild: interleaved queries after a
+  // single churn event must agree with a freshly built DAG over the same
+  // link set.
+  DynamicHeightsDag dag(6, 0);
+  for (NodeId u = 0; u + 1 < 6; ++u) dag.add_link(u, u + 1);
+  dag.stabilize();
+  dag.remove_link(2, 3);
+  EXPECT_FALSE(dag.has_link(2, 3));  // pre-snapshot query (sorted link set)
+  dag.stabilize();
+  EXPECT_TRUE(dag.routable(2));
+  EXPECT_FALSE(dag.routable(3));
+  EXPECT_FALSE(dag.route(3).has_value());
+  const auto path = dag.route(2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->back(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -226,6 +226,91 @@ TEST(ScenarioRunnerTest, AggregatesIdenticalAcrossThreadCounts) {
   EXPECT_EQ(a1.str(), a4.str());
 }
 
+// ---------------------------------------------------------------------------
+// Sweep cache and execution-path invariance for the tora / dist-* kernels
+// ---------------------------------------------------------------------------
+
+TEST(SweepCacheTest, GeneratesOncePerTopologySizeSeed) {
+  SweepCache cache;
+  RunSpec spec;
+  spec.topology = TopologyKind::kRandom;
+  spec.size = 12;
+  spec.seed = 5;
+  const auto first = cache.get(spec);
+  spec.algorithm = AlgorithmKind::kDistPR;  // algorithm must not affect the key
+  spec.scheduler = SchedulerKind::kRandom;  // neither must the scheduler
+  const auto second = cache.get(spec);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  spec.seed = 6;
+  const auto third = cache.get(spec);
+  EXPECT_NE(first.get(), third.get());
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(SweepCacheTest, FrozenInstanceMatchesFreshGeneration) {
+  SweepCache cache;
+  RunSpec spec;
+  spec.topology = TopologyKind::kRandom;
+  spec.size = 16;
+  spec.seed = 9;
+  const auto frozen = cache.get(spec);
+  const Instance fresh = make_instance(spec);
+  EXPECT_EQ(frozen->instance.graph, fresh.graph);
+  EXPECT_EQ(frozen->instance.senses, fresh.senses);
+  EXPECT_EQ(frozen->instance.destination, fresh.destination);
+  EXPECT_EQ(frozen->csr.num_nodes(), fresh.graph.num_nodes());
+  EXPECT_EQ(frozen->csr.num_edges(), fresh.graph.num_edges());
+}
+
+TEST(SweepCacheTest, CachedAndUncachedRecordsAgreeForEveryKernel) {
+  for (const AlgorithmKind algorithm :
+       {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR, AlgorithmKind::kNewPR,
+        AlgorithmKind::kHybrid, AlgorithmKind::kTora, AlgorithmKind::kDistFR,
+        AlgorithmKind::kDistPR, AlgorithmKind::kSimR}) {
+    SweepCache cache;
+    RunSpec spec;
+    spec.topology = TopologyKind::kRandom;
+    spec.size = 12;
+    spec.seed = 2;
+    spec.algorithm = algorithm;
+    const RunRecord cached = execute_run(spec, &cache);
+    const RunRecord uncached = execute_run(spec);
+    const std::string context = algorithm_token(algorithm);
+    EXPECT_EQ(cached.work, uncached.work) << context;
+    EXPECT_EQ(cached.edge_reversals, uncached.edge_reversals) << context;
+    EXPECT_EQ(cached.rounds, uncached.rounds) << context;
+    EXPECT_EQ(cached.messages, uncached.messages) << context;
+    EXPECT_EQ(cached.converged, uncached.converged) << context;
+    EXPECT_EQ(cached.error, uncached.error) << context;
+  }
+}
+
+TEST(ScenarioRunnerTest, ToraAndDistTablesAreBytewisePathInvariant) {
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kChain, TopologyKind::kRandom};
+  sweep.sizes = {8, 12};
+  sweep.algorithms = {AlgorithmKind::kTora, AlgorithmKind::kDistFR, AlgorithmKind::kDistPR};
+  sweep.schedulers = {SchedulerKind::kLowestId};
+  sweep.seeds = {1, 2};
+
+  const auto csv_of = [](const SweepSpec& spec) {
+    const SweepReport report = ScenarioRunner(RunnerOptions{.threads = 2}).run(spec);
+    std::ostringstream oss;
+    write_table_csv(oss, report.records_table());
+    write_table_csv(oss, report.aggregate_table());
+    return oss.str();
+  };
+  SweepSpec csr = sweep;
+  csr.path = ExecutionPath::kCsr;
+  SweepSpec legacy = sweep;
+  legacy.path = ExecutionPath::kLegacy;
+  EXPECT_EQ(csv_of(csr), csv_of(legacy));
+}
+
 TEST(ScenarioRunnerTest, ThreadCountZeroResolvesToHardware) {
   EXPECT_GE(ScenarioRunner(RunnerOptions{}).threads(), 1u);
   EXPECT_EQ(ScenarioRunner({.threads = 3}).threads(), 3u);

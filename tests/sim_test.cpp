@@ -1,10 +1,56 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <stdexcept>
+
 #include "graph/digraph_algos.hpp"
 #include "graph/generators.hpp"
 #include "sim/dist_lr.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every replaceable operator new form bumps it,
+// so a test can assert that a code region performed zero heap allocations
+// (the event-pool acceptance criterion; see SteadyStateAllocationTest).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_heap_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  ++g_heap_allocations;
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : alignment) != 0) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace lr {
 namespace {
@@ -64,6 +110,102 @@ TEST(EventQueueTest, MaxEventsBudget) {
 }
 
 // ---------------------------------------------------------------------------
+// Event pool (slab/freelist) behavior
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueTest, PoolReusesSlotsAtSteadyState) {
+  EventQueue q;
+  const auto churn = [&q] {
+    for (int i = 0; i < 64; ++i) q.schedule_in(static_cast<SimTime>(i % 5), [] {});
+    q.run_until_idle();
+  };
+  churn();  // warm-up: grows the pool to the cycle's high-water mark
+  const std::size_t slots = q.pool_slots();
+  ASSERT_GT(slots, 0u);
+  for (int round = 0; round < 10; ++round) churn();
+  EXPECT_EQ(q.pool_slots(), slots);  // steady state: no further growth
+  EXPECT_EQ(q.free_slots(), slots);  // idle queue: every slot recycled
+}
+
+TEST(EventQueueTest, PoolGrowsOnExhaustionThenStabilizes) {
+  EventQueue q;
+  for (int i = 0; i < 8; ++i) q.schedule_in(1, [] {});
+  q.run_until_idle();
+  EXPECT_EQ(q.pool_slots(), 8u);
+
+  // A burst beyond the freelist exhausts it: the pool must grow and every
+  // event must still run exactly once.
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) q.schedule_in(1, [&fired] { ++fired; });
+  q.run_until_idle();
+  EXPECT_EQ(fired, 20);
+  EXPECT_EQ(q.pool_slots(), 20u);
+
+  // The grown pool absorbs an identical burst without growing again.
+  for (int i = 0; i < 20; ++i) q.schedule_in(1, [&fired] { ++fired; });
+  q.run_until_idle();
+  EXPECT_EQ(fired, 40);
+  EXPECT_EQ(q.pool_slots(), 20u);
+  EXPECT_EQ(q.free_slots(), 20u);
+}
+
+TEST(EventQueueTest, InterleavedScheduleAndRunRecyclesAggressively) {
+  // One event in flight at a time: a self-rescheduling chain must reuse a
+  // single slot no matter how long it runs.
+  EventQueue q;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 100) q.schedule_in(1, hop);
+  };
+  q.schedule_at(0, hop);
+  q.run_until_idle();
+  EXPECT_EQ(hops, 100);
+  // The chain holds at most one pending event plus the one being run.
+  EXPECT_LE(q.pool_slots(), 2u);
+}
+
+TEST(EventQueueTest, ThrowingCallbackStillReleasesItsSlot) {
+  EventQueue q;
+  const auto tracker = std::make_shared<int>(1);
+  q.schedule_at(1, [tracker] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(q.run_one(), std::runtime_error);
+  // The callable was destroyed during unwinding and its slot went back to
+  // the freelist, so the next schedule reuses it instead of growing.
+  EXPECT_EQ(tracker.use_count(), 1);
+  EXPECT_EQ(q.free_slots(), q.pool_slots());
+  int fired = 0;
+  q.schedule_in(1, [&fired] { ++fired; });
+  EXPECT_EQ(q.pool_slots(), 1u);
+  q.run_until_idle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, DestroysPendingCallbacksOnDestruction) {
+  const auto tracker = std::make_shared<int>(7);
+  {
+    EventQueue q;
+    q.schedule_at(5, [tracker] {});
+    q.schedule_at(9, [tracker] {});
+    EXPECT_EQ(tracker.use_count(), 3);
+    // q destroyed with both events still pending.
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(EventQueueTest, SchedulingAllocatesNothingOnceWarm) {
+  EventQueue q;
+  const auto churn = [&q] {
+    for (int i = 0; i < 32; ++i) q.schedule_in(static_cast<SimTime>(i % 3), [] {});
+    q.run_until_idle();
+  };
+  churn();
+  churn();
+  const std::uint64_t before = g_heap_allocations.load();
+  churn();
+  EXPECT_EQ(g_heap_allocations.load() - before, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Network
 // ---------------------------------------------------------------------------
 
@@ -109,6 +251,38 @@ TEST(NetworkTest, RejectsBadDelayConfig) {
   Graph g(2, {{0, 1}});
   EXPECT_THROW(Network(g, {.min_delay = 0, .max_delay = 5, .seed = 1}), std::invalid_argument);
   EXPECT_THROW(Network(g, {.min_delay = 6, .max_delay = 5, .seed = 1}), std::invalid_argument);
+}
+
+TEST(NetworkTest, BorrowedFrozenSnapshotMatchesOwnedBehavior) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  const CsrGraph frozen(g);
+  Network owned(g, {.min_delay = 1, .max_delay = 1, .seed = 4});
+  Network borrowed(g, {.min_delay = 1, .max_delay = 1, .seed = 4}, frozen);
+  for (Network* net : {&owned, &borrowed}) {
+    int received = 0;
+    net->set_handler(2, [&received](const NetMessage&) { ++received; });
+    net->send(1, 2, {5});
+    EXPECT_THROW(net->send(0, 2, {5}), std::invalid_argument);
+    net->run_until_idle();
+    EXPECT_EQ(received, 1);
+  }
+  Graph other(4, {{0, 1}});
+  EXPECT_THROW(Network(other, {}, frozen), std::invalid_argument);
+}
+
+TEST(NetworkTest, MessagePoolIsReusedAcrossSendCycles) {
+  Graph g(2, {{0, 1}});
+  Network net(g, {.min_delay = 1, .max_delay = 3, .seed = 2});
+  net.set_handler(1, [](const NetMessage&) {});
+  const auto cycle = [&net] {
+    for (int i = 0; i < 16; ++i) net.send(0, 1, {i, i + 1});
+    net.run_until_idle();
+  };
+  cycle();
+  const std::size_t slots = net.message_pool_slots();
+  ASSERT_GT(slots, 0u);
+  for (int round = 0; round < 8; ++round) cycle();
+  EXPECT_EQ(net.message_pool_slots(), slots);
 }
 
 // ---------------------------------------------------------------------------
@@ -205,6 +379,62 @@ TEST(DistLRTest, LinkChurnRecoversAfterRestore) {
   net.set_link_up(cut, true);
   proto.notify_link_restored(cut);
   net.run_until_idle();
+  EXPECT_TRUE(proto.converged());
+}
+
+TEST(DistLRTest, FrozenSnapshotConstructorMatchesOwnedSnapshot) {
+  std::mt19937_64 rng(13);
+  const Instance inst = make_random_instance(20, 16, rng);
+  const CsrGraph frozen(inst.graph, inst.senses);
+
+  Network owned_net(inst.graph, {.min_delay = 1, .max_delay = 6, .seed = 3});
+  DistLinkReversal owned(inst, ReversalRule::kPartial, owned_net);
+  owned.start();
+  owned_net.run_until_idle();
+
+  Network frozen_net(inst.graph, {.min_delay = 1, .max_delay = 6, .seed = 3}, frozen);
+  DistLinkReversal borrowed(inst, ReversalRule::kPartial, frozen_net, frozen);
+  borrowed.start();
+  frozen_net.run_until_idle();
+
+  EXPECT_EQ(owned.total_steps(), borrowed.total_steps());
+  EXPECT_EQ(owned_net.messages_sent(), frozen_net.messages_sent());
+  for (NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+    EXPECT_EQ(owned.height(u), borrowed.height(u));
+  }
+  EXPECT_TRUE(borrowed.converged());
+
+  // A mismatched snapshot is rejected.
+  const Instance other = make_worst_case_chain(5);
+  const CsrGraph wrong(other.graph, other.senses);
+  Network net3(inst.graph, {.min_delay = 1, .max_delay = 6, .seed = 3});
+  EXPECT_THROW(DistLinkReversal(inst, ReversalRule::kPartial, net3, wrong),
+               std::invalid_argument);
+}
+
+TEST(SteadyStateAllocationTest, WarmedDistProtocolRunsAllocationFree) {
+  // The acceptance criterion of the pooled event core: once the event and
+  // message pools, the heap index, and the payload buffers have reached
+  // their high-water marks, an entire resync storm (every node broadcasts,
+  // every message is delivered and filtered) performs zero heap
+  // allocations.
+  std::mt19937_64 rng(21);
+  const Instance inst = make_random_instance(24, 24, rng);
+  Network net(inst.graph, {.min_delay = 1, .max_delay = 6, .seed = 11});
+  DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+  proto.start();
+  net.run_until_idle();
+  // Two identical warm-up storms grow every pool to its high-water mark.
+  proto.resync_round();
+  net.run_until_idle();
+  proto.resync_round();
+  net.run_until_idle();
+
+  const std::uint64_t before = g_heap_allocations.load();
+  proto.resync_round();
+  net.run_until_idle();
+  const std::uint64_t after = g_heap_allocations.load();
+  EXPECT_EQ(after - before, 0u);
   EXPECT_TRUE(proto.converged());
 }
 
