@@ -18,6 +18,11 @@
 ///     checksums must match — the harness exits non-zero otherwise — and
 ///     the per-iteration nanoseconds on the largest stock topology are the
 ///     committed baseline numbers.
+///  6. Parallel greedy rounds: the engine's sharded worklist kernels vs
+///     the serial kernel across thread counts, plus the runner-level
+///     engine_threads table A/B.  Results and final orientations must be
+///     byte-identical at every thread count; the scaling numbers land in
+///     docs/PERFORMANCE.md.
 ///
 /// All measurement loops run through the scenario runner (src/runner), so
 /// these series use exactly the code path of `lr_cli sweep` and execute
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "analysis/bounds.hpp"
+#include "analysis/rounds.hpp"
 #include "automata/executor.hpp"
 #include "automata/scheduler.hpp"
 #include "core/full_reversal.hpp"
@@ -269,6 +275,168 @@ bool print_ab_series(bool smoke) {
   return tables_ok && checksums_ok;
 }
 
+// ---------------------------------------------------------------------------
+// E2.6: parallel greedy rounds — serial engine vs sharded worklist kernels
+// ---------------------------------------------------------------------------
+
+/// One rounds A/B measurement on a fixed instance: the legacy maximal-set
+/// path (analysis/rounds.hpp, the ExecutionPath::kLegacy counterpart) vs
+/// the batched engine serial and sharded with pools of 2 / 4 workers.
+/// Every engine configuration is checksum-verified against the serial
+/// result, and the legacy path against the round/step totals, before any
+/// timing is trusted.
+struct RoundsSample {
+  std::string topology;              ///< instance label, e.g. "grid-64"
+  std::string kernel;                ///< "fr" or "pr"
+  std::uint64_t rounds = 0;          ///< greedy rounds to convergence
+  std::uint64_t node_steps = 0;      ///< total sink fires (round widths sum)
+  double legacy_ns = 0.0;            ///< legacy maximal-set path
+  double serial_ns = 0.0;            ///< engine, 1 worker
+  double t2_ns = 0.0;                ///< engine, 2 workers
+  double t4_ns = 0.0;                ///< engine, 4 workers
+  std::uint64_t serial_checksum = 0;  ///< final orientation, serial kernel
+  bool identical = true;  ///< all configurations matched the serial kernel
+
+  /// Rounds per second at the given per-execution cost.
+  double throughput(double ns) const {
+    return ns > 0.0 ? static_cast<double>(rounds) * 1e9 / ns : 0.0;
+  }
+};
+
+RoundsSample measure_parallel_rounds(const std::string& label, const Instance& instance,
+                                     EngineAlgorithm algorithm, bool smoke) {
+  const double min_ms = smoke ? 10.0 : 200.0;
+  const std::uint64_t budget = 10'000'000;
+  RoundsSample sample;
+  sample.topology = label;
+  sample.kernel = algorithm == EngineAlgorithm::kFullReversal ? "fr" : "pr";
+
+  ReversalEngine engine(instance);
+  const EngineRoundsResult serial = engine.run_greedy_rounds(algorithm, budget);
+  sample.rounds = serial.rounds;
+  sample.node_steps = serial.node_steps;
+  sample.serial_checksum = engine.state_checksum();
+  sample.serial_ns =
+      bench::measure_ns_per_iter([&] { engine.run_greedy_rounds(algorithm, budget); }, 3, min_ms);
+
+  const RoundStrategy legacy_strategy = algorithm == EngineAlgorithm::kFullReversal
+                                            ? RoundStrategy::kFullReversal
+                                            : RoundStrategy::kPartialReversal;
+  const RoundHistory history = run_greedy_rounds(instance, legacy_strategy, budget);
+  sample.identical &= history.total_rounds() == serial.rounds &&
+                      history.total_node_steps() == serial.node_steps &&
+                      history.converged == serial.converged;
+  sample.legacy_ns = bench::measure_ns_per_iter(
+      [&] { run_greedy_rounds(instance, legacy_strategy, budget); }, 3, min_ms);
+
+  for (const std::size_t workers : {2u, 4u}) {
+    ThreadPool pool(workers);
+    // Verification forces the sharded kernel onto *every* round
+    // (min_parallel_round = 1) so the equality check genuinely exercises
+    // the parallel path at smoke sizes too; the timing runs keep the
+    // default threshold, the configuration users get.
+    const EngineRoundsOptions verify_options{
+        .max_rounds = budget, .pool = &pool, .min_parallel_round = 1};
+    const EngineRoundsResult parallel = engine.run_greedy_rounds(algorithm, verify_options);
+    sample.identical &= parallel.rounds == serial.rounds &&
+                        parallel.node_steps == serial.node_steps &&
+                        parallel.edge_reversals == serial.edge_reversals &&
+                        parallel.converged == serial.converged &&
+                        engine.state_checksum() == sample.serial_checksum;
+    const EngineRoundsOptions timing_options{.max_rounds = budget, .pool = &pool};
+    const double ns = bench::measure_ns_per_iter(
+        [&] { engine.run_greedy_rounds(algorithm, timing_options); }, 3, min_ms);
+    (workers == 2 ? sample.t2_ns : sample.t4_ns) = ns;
+  }
+  return sample;
+}
+
+/// E2.6 driver; returns false if any thread count diverged from the serial
+/// kernel (results or final orientation).  Also replays a stock scenario
+/// subset through the runner at engine_threads 1 vs 4 and demands
+/// byte-identical record + aggregate tables — the ExecutionPath-style
+/// harness for the engine_threads sweep option.
+bool print_parallel_rounds_series(bool smoke) {
+  bench::print_header(
+      "E2.6: parallel greedy rounds, serial vs sharded worklist kernels",
+      "byte-identical results and orientations at every thread count; wide "
+      "rounds scale with cores (docs/PERFORMANCE.md records the table)");
+
+  // Runner-level A/B over the chain + layered stock scenarios: the rounds
+  // measure is the only engine_threads consumer, so tables must be
+  // byte-identical across thread counts.  The stock sizes all sit below
+  // the runner's pool gate (num_nodes >= min_parallel_round), so two
+  // wide-round specs — chain-4096 (peak round width 2048) and star-4097
+  // (width 2048) — ride along to make the engine_threads side actually
+  // spawn a pool and shard rounds; without them the A/B would compare
+  // serial against serial.
+  std::vector<RunSpec> specs;
+  for (std::size_t nb = 4; nb <= max_chain_nb(smoke); nb *= 2) {
+    specs.push_back(chain_spec(nb + 1, AlgorithmKind::kFullReversal));
+    specs.push_back(chain_spec(nb + 1, AlgorithmKind::kOneStepPR));
+  }
+  for (const RunSpec& spec : layered_specs(smoke)) specs.push_back(spec);
+  specs.push_back(chain_spec(4097, AlgorithmKind::kFullReversal));
+  RunSpec wide_star;
+  wide_star.topology = TopologyKind::kStar;
+  wide_star.size = 4097;
+  wide_star.algorithm = AlgorithmKind::kFullReversal;
+  specs.push_back(wide_star);
+  const auto tables_at = [&specs](std::size_t engine_threads) {
+    std::vector<RunSpec> configured = specs;
+    for (RunSpec& spec : configured) spec.engine_threads = engine_threads;
+    return bench::sweep_report_csv(SweepReport{ScenarioRunner().run_all(configured), {}});
+  };
+  const bool tables_ok = tables_at(1) == tables_at(4);
+  std::printf("engine_threads 1 vs 4 over %zu stock scenarios: %s\n", specs.size(),
+              tables_ok ? "byte-identical tables" : "TABLE MISMATCH");
+
+  // Engine-level scaling: narrow-round worst case (chain), mixed-width
+  // (grid, random), and maximally wide rounds (star).
+  std::mt19937_64 rng(23);
+  const std::size_t chain_nb = smoke ? 256 : 4096;
+  const std::size_t grid_side = smoke ? 16 : 64;
+  const std::size_t star_n = smoke ? 257 : 4097;
+  const std::size_t random_n = smoke ? 256 : 4096;
+  std::vector<RoundsSample> samples;
+  samples.push_back(measure_parallel_rounds("chain-" + std::to_string(chain_nb),
+                                            make_worst_case_chain(chain_nb + 1),
+                                            EngineAlgorithm::kFullReversal, smoke));
+  const Instance grid = make_grid_instance(grid_side, grid_side, rng);
+  samples.push_back(measure_parallel_rounds("grid-" + std::to_string(grid_side), grid,
+                                            EngineAlgorithm::kFullReversal, smoke));
+  samples.push_back(measure_parallel_rounds("grid-" + std::to_string(grid_side), grid,
+                                            EngineAlgorithm::kOneStepPR, smoke));
+  samples.push_back(measure_parallel_rounds("star-" + std::to_string(star_n),
+                                            make_sink_source_instance(star_n),
+                                            EngineAlgorithm::kFullReversal, smoke));
+  samples.push_back(measure_parallel_rounds("random-" + std::to_string(random_n),
+                                            make_random_instance(random_n, 2 * random_n, rng),
+                                            EngineAlgorithm::kOneStepPR, smoke));
+
+  Table table;
+  table.columns = {"topology",       "kernel",        "rounds",        "node_steps",
+                   "legacy_ns",      "serial_ns",     "t2_ns",         "t4_ns",
+                   "rounds_per_sec_t2", "speedup_vs_legacy_t2", "speedup_vs_serial_t2",
+                   "speedup_vs_serial_t4", "serial_checksum", "identical"};
+  bool checksums_ok = true;
+  for (const RoundsSample& sample : samples) {
+    checksums_ok &= sample.identical;
+    table.add_row({sample.topology, sample.kernel, bench::fmt_u(sample.rounds),
+                   bench::fmt_u(sample.node_steps), bench::fmt(sample.legacy_ns),
+                   bench::fmt(sample.serial_ns), bench::fmt(sample.t2_ns),
+                   bench::fmt(sample.t4_ns), bench::fmt(sample.throughput(sample.t2_ns)),
+                   bench::fmt(sample.t2_ns > 0 ? sample.legacy_ns / sample.t2_ns : 0.0),
+                   bench::fmt(sample.t2_ns > 0 ? sample.serial_ns / sample.t2_ns : 0.0),
+                   bench::fmt(sample.t4_ns > 0 ? sample.serial_ns / sample.t4_ns : 0.0),
+                   bench::fmt_hex(sample.serial_checksum), sample.identical ? "yes" : "NO"});
+  }
+  bench::emit_csv(table);
+  std::printf("parallel-vs-serial and legacy-vs-engine results: %s\n",
+              checksums_ok ? "all identical" : "MISMATCH");
+  return tables_ok && checksums_ok;
+}
+
 void BM_FRChain(benchmark::State& state) {
   const std::size_t nb = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_worst_case_chain(nb + 1);
@@ -337,6 +505,10 @@ int main(int argc, char** argv) {
   lr::print_pr_adversarial_search(smoke);
   if (!lr::print_ab_series(smoke)) {
     std::fprintf(stderr, "E2.5 A/B verification FAILED\n");
+    return 1;
+  }
+  if (!lr::print_parallel_rounds_series(smoke)) {
+    std::fprintf(stderr, "E2.6 parallel-rounds verification FAILED\n");
     return 1;
   }
   if (smoke) return 0;

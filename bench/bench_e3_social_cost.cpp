@@ -12,6 +12,14 @@
 /// sweep of E3.2 executes on the thread pool.  E3.4 (the Nash-equilibrium
 /// check) is a game-theoretic analysis, not a run measurement, and stays
 /// on the analysis layer directly.
+///
+/// E3.5 is the execution-path A/B mode (docs/PERFORMANCE.md): the social
+/// cost kernels (fr / pr / newpr) replayed on `path = legacy` (the
+/// paper-shaped automata) versus `path = csr` (the batched engine over the
+/// sweep cache's frozen instances).  Record tables must be byte-identical
+/// (FNV-1a table checksums) before the timings are trusted; the harness
+/// exits non-zero otherwise.  `--smoke` shrinks every series to seconds,
+/// skips the micro-timings, and is wired into the CI bench-smoke job.
 
 #include <benchmark/benchmark.h>
 
@@ -60,16 +68,17 @@ void print_family_table() {
   }
 }
 
-void print_distribution_table() {
+void print_distribution_table(bool smoke) {
   bench::print_header("E3.2: FR vs PR across 100 random instances per size",
                       "PR wins in aggregate; occasional per-instance losses counted");
   bench::print_row({"n", "PR_wins", "FR_wins", "ties", "sum_FR", "sum_PR"});
   SweepSpec sweep;
   sweep.topologies = {TopologyKind::kRandom};
-  sweep.sizes = {16, 64, 128};
+  sweep.sizes = smoke ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 64, 128};
   sweep.algorithms = {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR};
   sweep.schedulers = {SchedulerKind::kLowestId};
-  for (std::uint64_t seed = 1; seed <= 100; ++seed) sweep.seeds.push_back(seed);
+  const std::uint64_t seed_count = smoke ? 10 : 100;
+  for (std::uint64_t seed = 1; seed <= seed_count; ++seed) sweep.seeds.push_back(seed);
   const SweepReport report = ScenarioRunner().run(sweep);
   // Pair FR/PR by (size, seed): instance seeds ignore the algorithm axis,
   // so both records of a pair measured the *same* instance.
@@ -152,6 +161,75 @@ void print_nash_table() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// E3.5: the legacy-vs-CSR A/B comparison of the social cost kernels
+// ---------------------------------------------------------------------------
+
+/// The stock A/B scenario set: every strategy kernel over the structured
+/// families and a random-graph slice, across two schedulers.
+std::vector<RunSpec> stock_specs(bool smoke) {
+  const std::vector<std::pair<TopologyKind, std::size_t>> families =
+      smoke ? std::vector<std::pair<TopologyKind, std::size_t>>{{TopologyKind::kChain, 17},
+                                                                {TopologyKind::kRandom, 16}}
+            : std::vector<std::pair<TopologyKind, std::size_t>>{{TopologyKind::kChain, 65},
+                                                                {TopologyKind::kLayered, 48},
+                                                                {TopologyKind::kGrid, 64},
+                                                                {TopologyKind::kStar, 65},
+                                                                {TopologyKind::kRandom, 64}};
+  const std::vector<std::uint64_t> seeds =
+      smoke ? std::vector<std::uint64_t>{1} : std::vector<std::uint64_t>{1, 2};
+  std::vector<RunSpec> specs;
+  for (const auto& [topology, size] : families) {
+    for (const AlgorithmKind algorithm : {AlgorithmKind::kFullReversal,
+                                          AlgorithmKind::kOneStepPR, AlgorithmKind::kNewPR}) {
+      for (const SchedulerKind scheduler :
+           {SchedulerKind::kLowestId, SchedulerKind::kRandom}) {
+        for (const std::uint64_t seed : seeds) {
+          RunSpec spec;
+          spec.topology = topology;
+          spec.size = size;
+          spec.algorithm = algorithm;
+          spec.scheduler = scheduler;
+          spec.seed = seed;
+          specs.push_back(spec);
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+/// E3.5 driver; returns false (failing the harness) if any path pair
+/// diverged in tables or checksums.  The equality check, the warm-cache
+/// timing protocol, and the checksum columns are the shared kit in
+/// bench_util.hpp (the same harness as E2.5 / E5.2 / E7.6).
+bool print_ab_series(bool smoke) {
+  bench::print_header("E3.5: execution-path A/B, legacy automata vs batched CSR engine",
+                      "identical tables and table checksums for the social cost kernels "
+                      "(docs/PERFORMANCE.md records the speedups)");
+  const bool tables_ok = bench::ab_tables_identical(stock_specs(smoke));
+
+  const std::size_t n = smoke ? 16 : 128;
+  const std::string label = "random-" + std::to_string(n);
+  std::vector<bench::AbSample> samples;
+  for (const AlgorithmKind algorithm : {AlgorithmKind::kFullReversal,
+                                        AlgorithmKind::kOneStepPR, AlgorithmKind::kNewPR}) {
+    RunSpec spec;
+    spec.topology = TopologyKind::kRandom;
+    spec.size = n;
+    spec.algorithm = algorithm;
+    spec.scheduler = SchedulerKind::kLowestId;
+    spec.seed = 1;
+    samples.push_back(bench::measure_cached_ab(label, spec, smoke ? 20.0 : 300.0));
+  }
+  bench::emit_csv(bench::ab_table(samples));
+
+  bool checksums_ok = true;
+  for (const bench::AbSample& sample : samples) checksums_ok &= sample.identical();
+  std::printf("table checksums: %s\n", checksums_ok ? "all identical" : "MISMATCH");
+  return tables_ok && checksums_ok;
+}
+
 void BM_MeasureCostPR(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(3);
@@ -178,10 +256,18 @@ BENCHMARK(BM_MeasureCostFR)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace lr
 
 int main(int argc, char** argv) {
+  const bool smoke = lr::bench::consume_smoke_flag(argc, argv);
   lr::print_family_table();
-  lr::print_distribution_table();
-  lr::print_scheduler_table();
-  lr::print_nash_table();
+  lr::print_distribution_table(smoke);
+  if (!smoke) {
+    lr::print_scheduler_table();
+    lr::print_nash_table();
+  }
+  if (!lr::print_ab_series(smoke)) {
+    std::fprintf(stderr, "E3.5 A/B verification FAILED\n");
+    return 1;
+  }
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,6 +3,14 @@
 /// theorems hold under every scheduler; this experiment quantifies the
 /// *liveness* side (how fast quiescence arrives) and verifies the
 /// quiescence consistency claim (quiescent iff destination-oriented).
+///
+/// E6.3 is the execution-path A/B mode (docs/PERFORMANCE.md): the
+/// convergence kernels (fr / pr across all four schedulers) replayed on
+/// `path = legacy` versus `path = csr` through the scenario runner, with
+/// byte-identical record tables demanded (FNV-1a table checksums) before
+/// any timing is trusted — the same self-verifying harness as E2.5 / E3.5
+/// / E5.2 / E7.6.  `--smoke` shrinks the series, skips the micro-timings,
+/// and exits non-zero on any divergence; CI runs it.
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +19,7 @@
 #include "core/invariants.hpp"
 #include "core/pr.hpp"
 #include "graph/generators.hpp"
+#include "runner/runner.hpp"
 
 #include "bench_util.hpp"
 
@@ -35,13 +44,15 @@ RunResult run_with(const Instance& inst, Scheduler scheduler) {
   return r;
 }
 
-void print_convergence_table() {
+void print_convergence_table(bool smoke) {
   bench::print_header("E6: PR steps to quiescence by scheduler and family",
                       "quiescent iff destination-oriented; steps vary mildly by scheduler");
   bench::print_row({"family", "n", "lowest-id", "random", "round-robin", "farthest", "lrf",
                     "max-degree"});
+  const std::vector<unsigned> sizes = smoke ? std::vector<unsigned>{32u}
+                                            : std::vector<unsigned>{32u, 128u};
   for (const std::string family : {"chain", "random", "grid", "layered"}) {
-    for (const std::size_t n : {32u, 128u}) {
+    for (const std::size_t n : sizes) {
       const Instance inst = family_instance(family, n, n * 3 + 1);
       const auto lowest = run_with(inst, LowestIdScheduler{});
       const auto random = run_with(inst, RandomScheduler{7});
@@ -78,6 +89,72 @@ void print_rounds_table() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// E6.3: the legacy-vs-CSR A/B comparison of the convergence kernels
+// ---------------------------------------------------------------------------
+
+/// The stock A/B scenario set: fr and pr to quiescence under all four
+/// schedulers over the convergence families (the E6.1 grid, swept).
+std::vector<RunSpec> stock_specs(bool smoke) {
+  const std::vector<std::pair<TopologyKind, std::size_t>> families =
+      smoke ? std::vector<std::pair<TopologyKind, std::size_t>>{{TopologyKind::kChain, 17},
+                                                                {TopologyKind::kGrid, 16}}
+            : std::vector<std::pair<TopologyKind, std::size_t>>{{TopologyKind::kChain, 33},
+                                                                {TopologyKind::kRandom, 32},
+                                                                {TopologyKind::kGrid, 32},
+                                                                {TopologyKind::kLayered, 32},
+                                                                {TopologyKind::kRandom, 128}};
+  std::vector<RunSpec> specs;
+  for (const auto& [topology, size] : families) {
+    for (const AlgorithmKind algorithm :
+         {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR}) {
+      for (const SchedulerKind scheduler :
+           {SchedulerKind::kLowestId, SchedulerKind::kRandom, SchedulerKind::kRoundRobin,
+            SchedulerKind::kFarthestFirst}) {
+        RunSpec spec;
+        spec.topology = topology;
+        spec.size = size;
+        spec.algorithm = algorithm;
+        spec.scheduler = scheduler;
+        spec.seed = 5;
+        specs.push_back(spec);
+      }
+    }
+  }
+  return specs;
+}
+
+/// E6.3 driver; returns false (failing the harness) if any path pair
+/// diverged in tables or checksums.
+bool print_ab_series(bool smoke) {
+  bench::print_header("E6.3: execution-path A/B, legacy automata vs batched CSR engine",
+                      "identical tables and table checksums for the convergence kernels "
+                      "across every scheduler (docs/PERFORMANCE.md records the speedups)");
+  const bool tables_ok = bench::ab_tables_identical(stock_specs(smoke));
+
+  const std::size_t n = smoke ? 16 : 128;
+  const std::string label = "random-" + std::to_string(n);
+  std::vector<bench::AbSample> samples;
+  for (const SchedulerKind scheduler :
+       {SchedulerKind::kLowestId, SchedulerKind::kFarthestFirst}) {
+    RunSpec spec;
+    spec.topology = TopologyKind::kRandom;
+    spec.size = n;
+    spec.algorithm = AlgorithmKind::kOneStepPR;
+    spec.scheduler = scheduler;
+    spec.seed = 5;
+    bench::AbSample sample = bench::measure_cached_ab(label, spec, smoke ? 20.0 : 300.0);
+    sample.label = std::string("pr/") + scheduler_token(scheduler);
+    samples.push_back(sample);
+  }
+  bench::emit_csv(bench::ab_table(samples));
+
+  bool checksums_ok = true;
+  for (const bench::AbSample& sample : samples) checksums_ok &= sample.identical();
+  std::printf("table checksums: %s\n", checksums_ok ? "all identical" : "MISMATCH");
+  return tables_ok && checksums_ok;
+}
+
 void BM_PRConvergenceRandomGraph(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(17);
@@ -107,8 +184,14 @@ BENCHMARK(BM_GreedyRounds)->Arg(256)->Arg(1024);
 }  // namespace lr
 
 int main(int argc, char** argv) {
-  lr::print_convergence_table();
+  const bool smoke = lr::bench::consume_smoke_flag(argc, argv);
+  lr::print_convergence_table(smoke);
   lr::print_rounds_table();
+  if (!lr::print_ab_series(smoke)) {
+    std::fprintf(stderr, "E6.3 A/B verification FAILED\n");
+    return 1;
+  }
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

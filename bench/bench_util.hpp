@@ -158,9 +158,9 @@ inline std::string sweep_report_csv(const SweepReport& report) {
 /// demands byte-identical record + aggregate tables; prints the verdict.
 inline bool ab_tables_identical(std::vector<RunSpec> specs) {
   for (RunSpec& spec : specs) spec.path = ExecutionPath::kLegacy;
-  const std::string legacy = sweep_report_csv(SweepReport{ScenarioRunner().run_all(specs)});
+  const std::string legacy = sweep_report_csv(SweepReport{ScenarioRunner().run_all(specs), {}});
   for (RunSpec& spec : specs) spec.path = ExecutionPath::kCsr;
-  const std::string csr = sweep_report_csv(SweepReport{ScenarioRunner().run_all(specs)});
+  const std::string csr = sweep_report_csv(SweepReport{ScenarioRunner().run_all(specs), {}});
   const bool identical = legacy == csr;
   std::printf("A/B tables over %zu stock scenarios x 2 paths: %s\n", specs.size(),
               identical ? "byte-identical" : "MISMATCH");
@@ -181,13 +181,13 @@ inline AbSample measure_cached_ab(const std::string& topology_label, RunSpec spe
   spec.path = ExecutionPath::kLegacy;
   sample.legacy_ns_per_iter =
       measure_ns_per_iter([&spec] { execute_run(spec); }, 5, min_ms, &sample.legacy_iterations);
-  sample.legacy_checksum = fnv1a(sweep_report_csv(SweepReport{ScenarioRunner().run_all({spec})}));
+  sample.legacy_checksum = fnv1a(sweep_report_csv(SweepReport{ScenarioRunner().run_all({spec}), {}}));
   spec.path = ExecutionPath::kCsr;
   SweepCache cache;
   cache.get(spec);  // warm: the sweep's first run over this workload built it
   sample.csr_ns_per_iter = measure_ns_per_iter([&spec, &cache] { execute_run(spec, &cache); }, 5,
                                                min_ms, &sample.csr_iterations);
-  sample.csr_checksum = fnv1a(sweep_report_csv(SweepReport{ScenarioRunner().run_all({spec})}));
+  sample.csr_checksum = fnv1a(sweep_report_csv(SweepReport{ScenarioRunner().run_all({spec}), {}}));
   return sample;
 }
 

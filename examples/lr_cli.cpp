@@ -15,11 +15,14 @@
 ///       Exhaustively explores ALL schedules and checks acyclicity in
 ///       every reachable state (small instances only).
 ///
-///   lr_cli sweep <spec.sweep> [--threads N] [--records out.csv] [--json out.json]
+///   lr_cli sweep <spec.sweep> [--threads N] [--cache-cap N] [--records out.csv]
+///              [--json out.json]
 ///       Expands the declarative sweep spec (topology x size x algorithm x
 ///       scheduler x seed; see docs/EXPERIMENTS.md) and executes every run
 ///       on a fixed-size thread pool.  Prints the aggregate table as CSV on
-///       stdout — byte-identical for every --threads value.
+///       stdout — byte-identical for every --threads and --cache-cap value
+///       (the cap LRU-bounds the sweep's frozen-instance cache; 0 =
+///       unbounded, the default).
 
 #include <chrono>
 #include <cstdio>
@@ -54,8 +57,8 @@ int usage() {
                "  lr_cli info <in.lri>\n"
                "  lr_cli run <in.lri> <pr|newpr|fr> <lowest|random|rr|farthest> [seed]\n"
                "  lr_cli modelcheck <in.lri> <pr|newpr|fr>\n"
-               "  lr_cli sweep <spec.sweep> [--threads N] [--records out.csv]"
-               " [--json out.json]\n");
+               "  lr_cli sweep <spec.sweep> [--threads N] [--cache-cap N]"
+               " [--records out.csv] [--json out.json]\n");
   return 2;
 }
 
@@ -176,12 +179,13 @@ int cmd_sweep(int argc, char** argv) {
     const std::string flag = argv[i];
     if (i + 1 >= argc) return usage();  // every sweep flag takes a value
     const std::string value = argv[++i];
-    if (flag == "--threads") {
+    if (flag == "--threads" || flag == "--cache-cap") {
       char* end = nullptr;
-      options.threads = std::strtoull(value.c_str(), &end, 10);
+      const std::size_t parsed = std::strtoull(value.c_str(), &end, 10);
       // Reject non-numeric or negative input instead of silently wrapping
       // ("-1" would otherwise become a 2^64-sized thread pool).
       if (value.empty() || *end != '\0' || value[0] == '-') return usage();
+      (flag == "--threads" ? options.threads : options.cache_max_entries) = parsed;
     } else if (flag == "--records") {
       records_path = value;
     } else if (flag == "--json") {
@@ -209,10 +213,16 @@ int cmd_sweep(int argc, char** argv) {
   for (const RunRecord& record : report.records) {
     if (!record.error.empty()) ++errors;
   }
-  // Wall-clock only on stderr: stdout must be identical across thread counts.
+  // Wall-clock and cache stats only on stderr: stdout must be identical
+  // across thread counts and cache bounds.
   std::fprintf(stderr, "sweep: %zu runs on %zu thread(s) in %lld ms, %llu error(s)\n",
                report.records.size(), runner.threads(), static_cast<long long>(elapsed_ms),
                static_cast<unsigned long long>(errors));
+  std::fprintf(stderr,
+               "cache: %zu workload(s) resident, %llu hit(s), %llu miss(es), %llu eviction(s)\n",
+               report.cache.entries, static_cast<unsigned long long>(report.cache.hits),
+               static_cast<unsigned long long>(report.cache.misses),
+               static_cast<unsigned long long>(report.cache.evictions));
 
   write_table_csv(std::cout, report.aggregate_table());
   if (!records_path.empty()) {

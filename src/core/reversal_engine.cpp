@@ -1,6 +1,7 @@
 #include "core/reversal_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <limits>
 #include <random>
@@ -94,26 +95,39 @@ bool ReversalEngine::compute_destination_oriented() {
   return reached == n;
 }
 
-template <typename PushSink>
+template <bool Atomic, typename PushSink>
 void ReversalEngine::flip(CsrPos p, PushSink&& push) {
   const EdgeId e = csr_->edge_at(p);
   sense_[e] = sense_[e] == EdgeSense::kForward ? EdgeSense::kBackward : EdgeSense::kForward;
   const NodeId v = csr_->neighbor_at(p);
-  if (--out_degree_[v] == 0) push(v);
+  if constexpr (Atomic) {
+    // v may neighbor several concurrently firing shards; the RMW both
+    // keeps the count exact and elects exactly one pusher (the thread
+    // whose decrement lands on zero).  Relaxed suffices: the counts
+    // commute and the round barrier publishes everything else.
+    if (std::atomic_ref<std::uint32_t>(out_degree_[v]).fetch_sub(1, std::memory_order_relaxed) ==
+        1) {
+      push(v);
+    }
+  } else {
+    if (--out_degree_[v] == 0) push(v);
+  }
 }
 
-template <typename PushSink>
+template <bool Atomic, typename PushSink>
 std::uint32_t ReversalEngine::fire_full(NodeId u, PushSink&& push) {
   const CsrPos begin = csr_->adjacency_begin(u);
   const CsrPos end = csr_->adjacency_end(u);
-  for (CsrPos p = begin; p < end; ++p) flip(p, push);
+  for (CsrPos p = begin; p < end; ++p) flip<Atomic>(p, push);
   const std::uint32_t flips = end - begin;
+  // Plain store even in the Atomic kernel: u's round peers are pairwise
+  // non-adjacent to it, so no other shard touches out_degree_[u].
   out_degree_[u] = flips;
   if (flips == 0) push(u);  // a degree-0 node stays a (vacuous) sink
   return flips;
 }
 
-template <typename PushSink>
+template <bool Atomic, typename PushSink>
 std::uint32_t ReversalEngine::fire_pr(NodeId u, PushSink&& push) {
   const CsrPos begin = csr_->adjacency_begin(u);
   const CsrPos end = csr_->adjacency_end(u);
@@ -121,13 +135,21 @@ std::uint32_t ReversalEngine::fire_pr(NodeId u, PushSink&& push) {
   std::uint32_t flips = 0;
   for (CsrPos p = begin; p < end; ++p) {
     if (!reverse_all && in_list_[p]) continue;  // v ∈ list[u]: keep the edge
-    flip(p, push);
+    flip<Atomic>(p, push);
     ++flips;
     // list[v] := list[v] ∪ {u}, addressed through the mirror position.
+    // The mirror slot is written by at most one shard per round (it names
+    // the {u, v} edge from v's side and u is the only firing endpoint),
+    // but v's list-size counter is shared with u's round peers.
     const CsrPos mp = csr_->mirror(p);
     if (!in_list_[mp]) {
       in_list_[mp] = 1;
-      ++list_size_[csr_->neighbor_at(p)];
+      if constexpr (Atomic) {
+        std::atomic_ref<std::uint32_t>(list_size_[csr_->neighbor_at(p)])
+            .fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++list_size_[csr_->neighbor_at(p)];
+      }
     }
   }
   for (CsrPos p = begin; p < end; ++p) in_list_[p] = 0;  // list[u] := ∅
@@ -141,7 +163,7 @@ template <typename PushSink>
 std::uint32_t ReversalEngine::fire_newpr(NodeId u, PushSink&& push) {
   const std::span<const CsrPos> selected =
       parity_[u] ? csr_->initial_out_positions(u) : csr_->initial_in_positions(u);
-  for (const CsrPos p : selected) flip(p, push);
+  for (const CsrPos p : selected) flip<false>(p, push);
   const std::uint32_t flips = static_cast<std::uint32_t>(selected.size());
   out_degree_[u] = flips;
   if (flips == 0) {
@@ -152,15 +174,15 @@ std::uint32_t ReversalEngine::fire_newpr(NodeId u, PushSink&& push) {
   return flips;
 }
 
-template <typename PushSink>
+template <bool Atomic, typename PushSink>
 std::uint32_t ReversalEngine::fire(EngineAlgorithm algorithm, NodeId u, PushSink&& push) {
   switch (algorithm) {
     case EngineAlgorithm::kFullReversal:
-      return fire_full(u, push);
+      return fire_full<Atomic>(u, push);
     case EngineAlgorithm::kOneStepPR:
-      return fire_pr(u, push);
+      return fire_pr<Atomic>(u, push);
     case EngineAlgorithm::kNewPR:
-      return fire_newpr(u, push);
+      return fire_newpr(u, push);  // single-step only: rounds reject NewPR
   }
   throw std::invalid_argument("ReversalEngine: unknown algorithm");
 }
@@ -215,7 +237,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
           result.quiescent = true;
           break;
         }
-        account(u, fire(algorithm, u, push));
+        account(u, fire<false>(algorithm, u, push));
       }
       break;
     }
@@ -235,7 +257,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
         }
         std::uniform_int_distribution<std::size_t> pick(0, sink_list_.size() - 1);
         const NodeId u = sink_list_[pick(rng)];
-        account(u, fire(algorithm, u, no_push));
+        account(u, fire<false>(algorithm, u, no_push));
       }
       break;
     }
@@ -258,7 +280,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
           result.quiescent = true;
           break;
         }
-        account(u, fire(algorithm, u, no_push));
+        account(u, fire<false>(algorithm, u, no_push));
       }
       break;
     }
@@ -301,7 +323,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
           result.quiescent = true;
           break;
         }
-        account(u, fire(algorithm, u, push));
+        account(u, fire<false>(algorithm, u, push));
       }
       break;
     }
@@ -314,6 +336,11 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
 
 EngineRoundsResult ReversalEngine::run_greedy_rounds(EngineAlgorithm algorithm,
                                                      std::uint64_t max_rounds) {
+  return run_greedy_rounds(algorithm, EngineRoundsOptions{.max_rounds = max_rounds});
+}
+
+EngineRoundsResult ReversalEngine::run_greedy_rounds(EngineAlgorithm algorithm,
+                                                     const EngineRoundsOptions& options) {
   if (algorithm == EngineAlgorithm::kNewPR) {
     throw std::invalid_argument(
         "ReversalEngine::run_greedy_rounds: greedy rounds are defined for FR and "
@@ -336,14 +363,61 @@ EngineRoundsResult ReversalEngine::run_greedy_rounds(EngineAlgorithm algorithm,
   const auto push = [this](NodeId v) {
     if (v != destination_) round_next_.push_back(v);
   };
-  while (!round_current_.empty() && result.rounds < max_rounds) {
+  const std::size_t shards = options.pool != nullptr ? options.pool->size() : 1;
+  std::size_t width = 0;
+  std::function<void(std::size_t)> shard_job;
+  if (shards > 1) {
+    shard_next_.resize(shards);
+    shard_reversals_.assign(shards, 0);
+    // Built once per execution (not per round): the job reads the current
+    // round's size through `width`.
+    shard_job = [this, algorithm, &width, shards](std::size_t shard) {
+      const std::size_t begin = width * shard / shards;
+      const std::size_t end = width * (shard + 1) / shards;
+      std::vector<NodeId>& next = shard_next_[shard];
+      const auto shard_push = [this, &next](NodeId v) {
+        if (v != destination_) next.push_back(v);
+      };
+      std::uint64_t reversals = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        reversals += fire<true>(algorithm, round_current_[i], shard_push);
+      }
+      shard_reversals_[shard] = reversals;
+    };
+  }
+  while (!round_current_.empty() && result.rounds < options.max_rounds) {
     ++result.rounds;
     result.node_steps += round_current_.size();
-    round_next_.clear();
-    for (const NodeId u : round_current_) {
-      result.edge_reversals += fire(algorithm, u, push);
+    width = round_current_.size();
+    if (shards > 1 && width >= options.min_parallel_round) {
+      // Sharded round: contiguous worklist slices, one per worker.  Edge
+      // flips are disjoint across shards (round sinks are pairwise
+      // non-adjacent), shared neighbor counters are relaxed atomics inside
+      // fire<true>, and each shard collects the sinks *it* zeroed into its
+      // own buffer — the atomic decrement elects exactly one collector per
+      // new sink, so the merged buffers hold each node once.
+      for (std::vector<NodeId>& buffer : shard_next_) buffer.clear();
+      options.pool->run(shard_job);
+      round_current_.clear();
+      for (std::size_t shard = 0; shard < shards; ++shard) {
+        result.edge_reversals += shard_reversals_[shard];
+        round_current_.insert(round_current_.end(), shard_next_[shard].begin(),
+                              shard_next_[shard].end());
+      }
+      // Which shard zeroed a node (and thus the merged order) is a race,
+      // but the merged *membership* is not: the atomic decrement elects
+      // exactly one collector per new sink.  Order within a round is
+      // unobservable — round sinks are pairwise non-adjacent, so every
+      // counter update and edge flip commutes — which is why the merge
+      // needs no sort and results stay byte-identical anyway
+      // (tests/reversal_engine_test.cpp pins this at every pool size).
+    } else {
+      round_next_.clear();
+      for (const NodeId u : round_current_) {
+        result.edge_reversals += fire<false>(algorithm, u, push);
+      }
+      round_current_.swap(round_next_);
     }
-    round_current_.swap(round_next_);
   }
   result.converged = round_current_.empty();
   return result;

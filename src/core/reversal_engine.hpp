@@ -6,6 +6,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
+#include "runner/thread_pool.hpp"
 
 /// \file reversal_engine.hpp
 /// The batched CSR execution engine: FR / OneStepPR / NewPR run to
@@ -93,6 +94,36 @@ struct EngineRoundsResult {
   bool converged = false;            ///< quiescent within the round budget
 };
 
+/// Execution limits and parallelism knobs for `run_greedy_rounds`.
+///
+/// Why greedy rounds parallelize at all: a round's sinks are pairwise
+/// non-adjacent (two adjacent nodes cannot both be sinks — their shared
+/// edge points out of one of them), so each edge is flipped by at most one
+/// firing node per round and the only cross-shard state is the out-degree
+/// (and PR list-size) counters of *non-firing* neighbors, which commute
+/// under atomic increments/decrements.  Sharding a round is therefore
+/// deterministic by construction; docs/ARCHITECTURE.md §"Parallel
+/// execution" spells out the merge invariants.
+struct EngineRoundsOptions {
+  /// Hard round budget, matching the legacy `run_greedy_rounds` limit.
+  std::uint64_t max_rounds = 10'000'000;
+
+  /// Worker pool to shard each round's worklist across; nullptr (or a
+  /// single-worker pool) runs the serial kernel.  Results are byte-
+  /// identical to the serial engine at every pool size.  The pool is
+  /// borrowed, never owned, so one pool can serve a whole sweep or bench
+  /// loop (and is the same `ThreadPool` the scenario runner uses).
+  ThreadPool* pool = nullptr;
+
+  /// Rounds with fewer sinks than this fire serially even when a pool is
+  /// supplied: a round's per-node work is tens of nanoseconds, so a round
+  /// must be ~a thousand sinks wide before sharding beats firing inline
+  /// (measured in docs/PERFORMANCE.md).  Purely a performance knob
+  /// (results never depend on it); tests lower it to 1 to force the
+  /// sharded kernel onto tiny rounds.
+  std::size_t min_parallel_round = 1024;
+};
+
 /// FNV-1a checksum of an edge-sense vector — the canonical fingerprint of
 /// a final orientation (from which any height assignment is derived).
 /// Benches use it to make legacy/CSR A/B runs self-verifying.
@@ -133,6 +164,12 @@ class ReversalEngine {
   /// with std::invalid_argument, matching the legacy rounds API surface.
   EngineRoundsResult run_greedy_rounds(EngineAlgorithm algorithm, std::uint64_t max_rounds);
 
+  /// Same, with the full option set: supply `options.pool` to shard each
+  /// round's worklist across the pool's workers (results byte-identical to
+  /// the serial kernel at every pool size; see EngineRoundsOptions).
+  EngineRoundsResult run_greedy_rounds(EngineAlgorithm algorithm,
+                                       const EngineRoundsOptions& options);
+
   /// The CSR snapshot this engine executes over.
   const CsrGraph& csr() const noexcept { return *csr_; }
 
@@ -155,15 +192,19 @@ class ReversalEngine {
   void ensure_distances();
   bool compute_destination_oriented();
 
-  template <typename PushSink>
+  // The Atomic variants are the sharded-round kernels: neighbor counters
+  // (out-degree, PR list sizes) become relaxed atomic RMWs because a
+  // non-firing node can neighbor several concurrently firing shards; all
+  // other state is shard-private within a round (see EngineRoundsOptions).
+  template <bool Atomic, typename PushSink>
   std::uint32_t fire(EngineAlgorithm algorithm, NodeId u, PushSink&& push);
-  template <typename PushSink>
+  template <bool Atomic, typename PushSink>
   std::uint32_t fire_full(NodeId u, PushSink&& push);
-  template <typename PushSink>
+  template <bool Atomic, typename PushSink>
   std::uint32_t fire_pr(NodeId u, PushSink&& push);
   template <typename PushSink>
   std::uint32_t fire_newpr(NodeId u, PushSink&& push);
-  template <typename PushSink>
+  template <bool Atomic, typename PushSink>
   void flip(CsrPos p, PushSink&& push);
 
   const CsrGraph* csr_ = nullptr;
@@ -191,6 +232,8 @@ class ReversalEngine {
   std::vector<NodeId> sink_list_;       // random policy: ascending sinks
   std::vector<NodeId> round_current_;   // greedy rounds: this round's set
   std::vector<NodeId> round_next_;      // greedy rounds: next round's set
+  std::vector<std::vector<NodeId>> shard_next_;   // per-shard next-round buffers
+  std::vector<std::uint64_t> shard_reversals_;    // per-shard flip counters
   std::vector<std::uint32_t> distance_; // undirected BFS distance to D
   std::vector<std::uint8_t> visited_;   // destination-oriented BFS scratch
   std::vector<NodeId> bfs_queue_;       // BFS scratch

@@ -35,8 +35,13 @@
 ///     constant sets `in-nbrs_u` / `out-nbrs_u` that NewPR reverses by
 ///     parity, so the NewPR kernel touches exactly the set it flips.
 ///
-/// A `CsrGraph` never changes after construction; mutable execution state
+/// A `CsrGraph` never changes during an execution; mutable execution state
 /// (current edge senses, out-degrees, lists, parities) lives in the engine.
+/// Between executions, however, a snapshot can be *patched in place* for
+/// single-link topology events (`insert_link` / `remove_link`): one linear
+/// pass over the flat arrays instead of a `Graph` reconstruction plus a
+/// full rebuild.  The dynamic routing core (routing/dynamic_heights.hpp)
+/// uses this to keep churn-heavy TORA sweeps rebuild-free.
 
 namespace lr {
 
@@ -44,7 +49,8 @@ namespace lr {
 /// `[0, 2m)` with node `u`'s block at `[adjacency_begin(u), adjacency_end(u))`.
 using CsrPos = std::uint32_t;
 
-/// Immutable flat CSR snapshot of a `Graph` plus an initial orientation.
+/// Flat CSR snapshot of a `Graph` plus an initial orientation; immutable
+/// during execution, patchable between executions (see insert_link).
 class CsrGraph {
  public:
   /// An empty CSR graph (0 nodes); useful as a placeholder before assignment.
@@ -142,6 +148,34 @@ class CsrGraph {
   bool points_out_of(CsrPos p, NodeId u, std::span<const EdgeSense> senses) const {
     return (senses[edge_[p]] == EdgeSense::kForward) == (u < nbr_[p]);
   }
+
+  // -------------------------------------------------------------------------
+  // Single-link in-place patching (the incremental snapshot-repair path)
+  // -------------------------------------------------------------------------
+  //
+  // Both calls keep every class invariant — adjacency order, mirror links,
+  // the initial in/out partition, and edge-id numbering — via one linear
+  // pass over the flat arrays, so a patched snapshot is *byte-identical*
+  // to one rebuilt from scratch over the modified edge list
+  // (tests/csr_test.cpp locks this in under randomized churn).
+  //
+  // Precondition (documented, not checked): edge ids must ascend in
+  // canonical (min, max) endpoint order, i.e. the snapshot was built from
+  // a Graph over a canonically sorted edge list — which is exactly how
+  // `DynamicHeightsDag` builds and rebuilds its snapshots.  Patching
+  // preserves the property, so any number of patches may be chained.
+
+  /// Patches the link {u, v} into the snapshot with initial sense `sense`
+  /// for the new edge (forward = min -> max, the canonical default).
+  /// Throws std::invalid_argument on bad endpoints or an existing link.
+  /// O(n + m) array shifting — no allocation beyond vector growth, no
+  /// Graph reconstruction, no re-sorting.
+  void insert_link(NodeId u, NodeId v, EdgeSense sense = EdgeSense::kForward);
+
+  /// Patches the link {u, v} out of the snapshot.  Throws
+  /// std::invalid_argument on bad endpoints or an absent link.  Same cost
+  /// model as insert_link.
+  void remove_link(NodeId u, NodeId v);
 
  private:
   void build(const Graph& g, std::span<const EdgeSense> initial);

@@ -31,15 +31,11 @@ DynamicHeightsDag::DynamicHeightsDag(const Graph& topology, NodeId destination)
     : DynamicHeightsDag(topology.num_nodes(), destination) {
   links_ = topology.edges();
   std::sort(links_.begin(), links_.end());
-  // Snapshot directly from the caller's graph, skipping one rebuild.
-  csr_ = CsrGraph(topology);
-  stale_ = false;
-  out_degree_.assign(num_nodes(), 0);
-  for (NodeId u = 0; u < num_nodes(); ++u) {
-    for (const NodeId v : csr_.neighbors(u)) {
-      if (directed_from(u, v)) ++out_degree_[u];
-    }
-  }
+  // Snapshot through the one rebuild path (ensure_snapshot builds from the
+  // sorted link list) so edge ids are canonical ranks — the precondition
+  // CsrGraph's in-place patching maintains; a Graph keeps its input edge
+  // order, so snapshotting `topology` directly would bake in arbitrary ids.
+  ensure_snapshot();
 }
 
 void DynamicHeightsDag::set_destination(NodeId d) {
@@ -57,7 +53,13 @@ void DynamicHeightsDag::add_link(NodeId u, NodeId v) {
   const auto it = std::lower_bound(links_.begin(), links_.end(), link);
   if (it != links_.end() && *it == link) return;  // already present
   links_.insert(it, link);
-  stale_ = true;
+  if (stale_) return;  // no snapshot to repair; the next query rebuilds
+  // Incremental repair: patch the adjacency in place and admit the link
+  // into the out-degree counters under the current heights.  The patched
+  // snapshot is byte-identical to a full rebuild from links_.
+  csr_.insert_link(u, v);
+  ++out_degree_[directed_from(u, v) ? u : v];
+  ++snapshot_patches_;
 }
 
 void DynamicHeightsDag::remove_link(NodeId u, NodeId v) {
@@ -68,7 +70,26 @@ void DynamicHeightsDag::remove_link(NodeId u, NodeId v) {
   const auto it = std::lower_bound(links_.begin(), links_.end(), link);
   if (it == links_.end() || *it != link) return;  // absent
   links_.erase(it);
-  stale_ = true;
+  if (stale_) return;
+  // Incremental repair, mirroring add_link: retract the link from the
+  // counters under the current heights, then patch it out of the CSR.
+  --out_degree_[directed_from(u, v) ? u : v];
+  csr_.remove_link(u, v);
+  ++snapshot_patches_;
+}
+
+void DynamicHeightsDag::apply_events(std::span<const LinkEvent> events) {
+  // Beyond this many events, one rebuild is cheaper than per-event O(m)
+  // patches; results are identical either way.
+  constexpr std::size_t kPatchBatchLimit = 4;
+  if (events.size() > kPatchBatchLimit) stale_ = true;  // batch-churn fallback
+  for (const LinkEvent& event : events) {
+    if (event.up) {
+      add_link(event.u, event.v);
+    } else {
+      remove_link(event.u, event.v);
+    }
+  }
 }
 
 bool DynamicHeightsDag::has_link(NodeId u, NodeId v) const {
@@ -77,6 +98,7 @@ bool DynamicHeightsDag::has_link(NodeId u, NodeId v) const {
 
 void DynamicHeightsDag::ensure_snapshot() const {
   if (!stale_) return;
+  ++snapshot_rebuilds_;
   csr_ = CsrGraph(Graph(num_nodes(), links_));
   out_degree_.assign(num_nodes(), 0);
   for (NodeId u = 0; u < num_nodes(); ++u) {

@@ -33,14 +33,29 @@
 ///
 /// Execution layout (docs/PERFORMANCE.md): the link set is a sorted
 /// canonical edge list, and every query loop (sink tests, reversal steps,
-/// component BFS, next-hop scans) runs over a frozen `CsrGraph` snapshot
-/// that is rebuilt lazily after churn — the paper's own model makes
-/// topology events rare relative to reversal/routing work, so the snapshot
-/// amortizes across every stabilize/route call between two churn events.
+/// component BFS, next-hop scans) runs over a frozen `CsrGraph` snapshot.
 /// Per-node out-degree counters are maintained incrementally under height
 /// updates, making sink tests O(1) instead of an adjacency walk.
+///
+/// Snapshot maintenance is *incremental*: a single add_link/remove_link on
+/// a live snapshot patches the CSR adjacency in place
+/// (`CsrGraph::insert_link` / `remove_link`, one linear array pass) and
+/// adjusts the one affected out-degree counter, so churn-heavy TORA sweeps
+/// never rebuild.  A full rebuild happens only when no snapshot exists yet
+/// (the empty-construction bootstrap) or after batch churn
+/// (`apply_events` beyond the patch limit), where one rebuild beats many
+/// patches.  The `snapshot_rebuilds()` / `snapshot_patches()` counters
+/// expose which path ran, and tests assert single-link churn is
+/// rebuild-free.
 
 namespace lr {
+
+/// One topology event of a batch handed to DynamicHeightsDag::apply_events.
+struct LinkEvent {
+  NodeId u = 0;     ///< one endpoint
+  NodeId v = 0;     ///< the other endpoint
+  bool up = false;  ///< true = link comes up, false = link goes down
+};
 
 /// The dynamic-topology partial-reversal height core; see the file comment.
 class DynamicHeightsDag {
@@ -66,12 +81,33 @@ class DynamicHeightsDag {
   void set_destination(NodeId d);
 
   /// Adds / removes an undirected link.  Idempotent.  Call stabilize()
-  /// afterwards to restore destination orientation.
+  /// afterwards to restore destination orientation.  On a live snapshot
+  /// this is an in-place CSR patch, not a rebuild (see the file comment).
   void add_link(NodeId u, NodeId v);
   /// \copydoc add_link
   void remove_link(NodeId u, NodeId v);
   /// True iff the undirected link {u, v} is currently present.
   bool has_link(NodeId u, NodeId v) const;
+
+  /// Applies a batch of link events in order (each idempotent, like
+  /// add_link/remove_link).  Small batches patch the snapshot per event;
+  /// beyond the internal patch limit the snapshot is invalidated first so
+  /// the whole batch costs one rebuild — the batch-churn fallback.
+  void apply_events(std::span<const LinkEvent> events);
+
+  /// Drops the current snapshot so the next query rebuilds it from the
+  /// link list.  Results never depend on this (a rebuilt snapshot is
+  /// byte-identical to a patched one); it exists as a debug/test hook to
+  /// force the full-rebuild path for comparison.
+  void invalidate_snapshot() { stale_ = true; }
+
+  /// Full snapshot (re)builds performed so far, the initial construction
+  /// included.  Single-link churn on a live snapshot never increments
+  /// this.
+  std::uint64_t snapshot_rebuilds() const noexcept { return snapshot_rebuilds_; }
+
+  /// In-place single-link snapshot patches performed so far.
+  std::uint64_t snapshot_patches() const noexcept { return snapshot_patches_; }
 
   /// The Gafni–Bertsekas triple height of `u`: (a, b, id), compared
   /// lexicographically.
@@ -123,10 +159,13 @@ class DynamicHeightsDag {
   std::vector<std::int64_t> b_;
   std::uint64_t total_reversals_ = 0;
 
-  // Lazily rebuilt execution snapshot (mutable: const queries refresh it).
+  // Lazily (re)built, incrementally patched execution snapshot (mutable:
+  // const queries refresh it when stale).
   mutable CsrGraph csr_;
   mutable std::vector<std::uint32_t> out_degree_;  ///< derived from heights
   mutable bool stale_ = true;
+  mutable std::uint64_t snapshot_rebuilds_ = 0;
+  std::uint64_t snapshot_patches_ = 0;
 };
 
 }  // namespace lr

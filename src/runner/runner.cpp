@@ -127,7 +127,18 @@ void run_strategy_kernel(RunRecord& record, const Instance& instance, const CsrG
       const EngineAlgorithm rounds_algorithm = strategy == Strategy::kFullReversal
                                                    ? EngineAlgorithm::kFullReversal
                                                    : EngineAlgorithm::kOneStepPR;
-      record.rounds = engine.run_greedy_rounds(rounds_algorithm, spec.max_steps).rounds;
+      // engine_threads != 1 shards the rounds across a per-run pool (0 =
+      // hardware concurrency).  The record is byte-identical either way;
+      // only the wall clock moves (docs/PERFORMANCE.md).  A round is never
+      // wider than the node count, so instances that cannot reach the
+      // parallel threshold skip the pool spawn entirely.
+      EngineRoundsOptions rounds_options{.max_rounds = spec.max_steps};
+      std::optional<ThreadPool> pool;
+      if (spec.engine_threads != 1 &&
+          csr.num_nodes() >= rounds_options.min_parallel_round) {
+        rounds_options.pool = &pool.emplace(spec.engine_threads);
+      }
+      record.rounds = engine.run_greedy_rounds(rounds_algorithm, rounds_options).rounds;
     }
     return;
   }
@@ -286,7 +297,8 @@ std::shared_ptr<const FrozenInstance> SweepCache::get(const RunSpec& spec) {
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);  // mark most recent
+      return it->second.frozen;
     }
   }
   // Build outside the lock so concurrent misses on different keys do not
@@ -296,7 +308,22 @@ std::shared_ptr<const FrozenInstance> SweepCache::get(const RunSpec& spec) {
   frozen->csr = CsrGraph(frozen->instance.graph, frozen->instance.senses);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
-  return entries_.try_emplace(key, std::move(frozen)).first->second;
+  const auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);  // lost the build race
+    return it->second.frozen;
+  }
+  it->second.frozen = std::move(frozen);
+  lru_.push_front(key);
+  it->second.lru_position = lru_.begin();
+  if (max_entries_ != 0 && entries_.size() > max_entries_) {
+    // Evict the least recently used entry (never the one just inserted:
+    // max_entries_ >= 1, so the list has at least two entries here).
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return it->second.frozen;
 }
 
 std::size_t SweepCache::entries() const {
@@ -312,6 +339,11 @@ std::uint64_t SweepCache::hits() const {
 std::uint64_t SweepCache::misses() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::uint64_t SweepCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 RunRecord execute_run(const RunSpec& spec) { return execute_run(spec, nullptr); }
@@ -467,34 +499,33 @@ Table SweepReport::aggregate_table() const {
 }
 
 ScenarioRunner::ScenarioRunner(RunnerOptions options)
-    : threads_(options.threads != 0
-                   ? options.threads
-                   : std::max<std::size_t>(1, std::thread::hardware_concurrency())) {}
+    : cache_max_entries_(options.cache_max_entries), pool_(options.threads) {}
 
 SweepReport ScenarioRunner::run(const SweepSpec& spec) const {
-  return SweepReport{run_all(spec.expand())};
+  SweepCache cache(cache_max_entries_);  // shared frozen instances; dies with the sweep
+  SweepReport report{run_all(spec.expand(), cache), {}};
+  report.cache = {cache.entries(), cache.hits(), cache.misses(), cache.evictions()};
+  return report;
 }
 
 std::vector<RunRecord> ScenarioRunner::run_all(const std::vector<RunSpec>& specs) const {
+  SweepCache cache(cache_max_entries_);
+  return run_all(specs, cache);
+}
+
+std::vector<RunRecord> ScenarioRunner::run_all(const std::vector<RunSpec>& specs,
+                                               SweepCache& cache) const {
   std::vector<RunRecord> records(specs.size());
+  if (specs.empty()) return records;
   std::atomic<std::size_t> cursor{0};
-  SweepCache cache;  // shared frozen instances; dies with the sweep
-  const auto worker = [&specs, &records, &cursor, &cache] {
+  const std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+  pool_.run([&specs, &records, &cursor, &cache](std::size_t) {
     while (true) {
       const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
       if (index >= specs.size()) return;
       records[index] = execute_run(specs[index], &cache);
     }
-  };
-  const std::size_t pool_size = std::min(threads_, specs.size());
-  if (pool_size <= 1) {
-    worker();
-    return records;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(pool_size);
-  for (std::size_t i = 0; i < pool_size; ++i) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
+  });
   return records;
 }
 

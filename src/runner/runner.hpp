@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 
 #include "graph/csr.hpp"
 #include "runner/scenario.hpp"
+#include "runner/thread_pool.hpp"
 #include "trace/report.hpp"
 
 /// \file runner.hpp
@@ -78,12 +80,25 @@ struct FrozenInstance {
 /// a cache each run still *regenerates* its instance and re-freezes the
 /// CSR snapshot.  A ScenarioRunner gives each sweep a cache so that work
 /// happens once per (topology, size, seed) on the CSR path
-/// (docs/PERFORMANCE.md measures the effect).  Entries live until the
-/// cache dies with its sweep; results are unaffected by construction —
-/// generation is deterministic in the key, so a hit returns byte-identical
-/// data to a rebuild.
+/// (docs/PERFORMANCE.md measures the effect).  Results are unaffected by
+/// construction — generation is deterministic in the key, so a hit returns
+/// byte-identical data to a rebuild, and an *evicted* entry is simply
+/// regenerated on its next use.
+///
+/// Memory bound: by default entries live until the cache dies with its
+/// sweep, but very large topology×size×seed products can pin every
+/// distinct workload at once; construct with `max_entries > 0` to keep an
+/// LRU bound instead.  Eviction only drops the cache's own reference —
+/// runs still holding the shared_ptr keep their snapshot alive.
 class SweepCache {
  public:
+  /// Unbounded cache (the historical default).
+  SweepCache() = default;
+
+  /// Cache holding at most `max_entries` workloads, evicting the least
+  /// recently used beyond that; 0 means unbounded.
+  explicit SweepCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
   /// Returns the frozen workload of `spec`'s (topology, size, seed),
   /// generating and freezing it on first use.  Concurrent misses on the
   /// same key may build duplicates; exactly one wins the map slot and the
@@ -99,13 +114,26 @@ class SweepCache {
   /// get() calls that generated (or raced to generate) the workload.
   std::uint64_t misses() const;
 
+  /// Workloads dropped by the LRU bound (0 for an unbounded cache).
+  std::uint64_t evictions() const;
+
+  /// The configured LRU bound (0 = unbounded).
+  std::size_t max_entries() const noexcept { return max_entries_; }
+
  private:
   using Key = std::tuple<TopologyKind, std::size_t, std::uint64_t>;
+  struct Entry {
+    std::shared_ptr<const FrozenInstance> frozen;  ///< the shared workload
+    std::list<Key>::iterator lru_position;         ///< this entry in lru_
+  };
 
   mutable std::mutex mutex_;
-  std::map<Key, std::shared_ptr<const FrozenInstance>> entries_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  ///< most recently used first
+  std::size_t max_entries_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// Executes one RunSpec synchronously and returns its record.  Exceptions
@@ -119,9 +147,19 @@ RunRecord execute_run(const RunSpec& spec);
 /// Records are byte-identical with and without a cache.
 RunRecord execute_run(const RunSpec& spec, SweepCache* cache);
 
+/// Counters of the SweepCache one sweep ran over, surfaced so callers
+/// (e.g. `lr_cli sweep`) can report cache effectiveness next to timing.
+struct SweepCacheStats {
+  std::size_t entries = 0;       ///< distinct workloads resident at sweep end
+  std::uint64_t hits = 0;        ///< get() calls served from the cache
+  std::uint64_t misses = 0;      ///< get() calls that generated the workload
+  std::uint64_t evictions = 0;   ///< workloads dropped by the LRU bound
+};
+
 /// A finished sweep: per-run records in expansion order plus table views.
 struct SweepReport {
   std::vector<RunRecord> records;  ///< one record per expanded RunSpec
+  SweepCacheStats cache;           ///< the sweep's shared-cache counters
 
   /// Per-run table, one row per record in expansion order.  Columns:
   /// topology,size,algorithm,scheduler,seed,run_seed,nodes,bad_nodes,
@@ -142,9 +180,14 @@ struct RunnerOptions {
   /// Worker threads in the pool; 0 means std::thread::hardware_concurrency
   /// (at least 1).  Results are identical for every value by construction.
   std::size_t threads = 0;
+
+  /// LRU bound of the per-sweep SweepCache (0 = unbounded, the default).
+  /// Purely a memory knob: records are byte-identical at every value.
+  std::size_t cache_max_entries = 0;
 };
 
-/// Executes sweeps on a fixed-size thread pool.
+/// Executes sweeps on a fixed-size `ThreadPool` (runner/thread_pool.hpp,
+/// the pool the reversal engine's sharded greedy rounds share).
 ///
 /// Work distribution is an atomic cursor over the expanded run list, so
 /// threads self-balance across runs of very different cost; determinism is
@@ -152,13 +195,15 @@ struct RunnerOptions {
 /// never depend on claim order.
 class ScenarioRunner {
  public:
-  /// Creates a runner; see RunnerOptions for the thread-count rule.
+  /// Creates a runner; see RunnerOptions for the thread-count rule.  The
+  /// pool is spawned once here and reused by every run()/run_all() call.
   explicit ScenarioRunner(RunnerOptions options = {});
 
   /// The resolved worker-thread count (>= 1).
-  std::size_t threads() const noexcept { return threads_; }
+  std::size_t threads() const noexcept { return pool_.size(); }
 
-  /// Expands `spec` and executes every run; returns the full report.
+  /// Expands `spec` and executes every run; returns the full report
+  /// (records plus the sweep's cache counters).
   SweepReport run(const SweepSpec& spec) const;
 
   /// Executes an explicit run list (already expanded or hand-built);
@@ -167,8 +212,21 @@ class ScenarioRunner {
   /// frozen instance instead of regenerating it per kernel.
   std::vector<RunRecord> run_all(const std::vector<RunSpec>& specs) const;
 
+  /// run_all() over an externally owned cache (reported through `run()`'s
+  /// SweepReport::cache); the building block the two calls above share.
+  std::vector<RunRecord> run_all(const std::vector<RunSpec>& specs, SweepCache& cache) const;
+
  private:
-  std::size_t threads_;
+  std::size_t cache_max_entries_;
+  /// Serializes dispatches onto the shared pool: a ThreadPool runs one
+  /// fork/join job at a time, and the historical spawn-per-call runner was
+  /// safe to share across caller threads, so concurrent run()/run_all()
+  /// calls on one runner must stay legal — they now queue on this lock
+  /// (results are unaffected; only their wall clocks overlap less).
+  mutable std::mutex dispatch_mutex_;
+  /// The worker pool; mutable because dispatching jobs mutates pool state
+  /// while a runner stays logically const (results are state-independent).
+  mutable ThreadPool pool_;
 };
 
 }  // namespace lr

@@ -189,6 +189,7 @@ std::vector<RunSpec> SweepSpec::expand() const {
             spec.seed = seed;
             spec.max_steps = max_steps;
             spec.path = path;
+            spec.engine_threads = engine_threads;
             runs.push_back(spec);
           }
         }
@@ -298,6 +299,10 @@ SweepSpec SweepSpec::parse(std::istream& is) {
         const auto tokens = split_values(values);
         if (tokens.size() != 1) throw std::invalid_argument("path takes a single value");
         spec.path = parse_path(tokens[0]);
+      } else if (key == "engine_threads") {
+        const auto list = parse_integer_list(values);
+        if (list.size() != 1) throw std::invalid_argument("engine_threads takes a single value");
+        spec.engine_threads = static_cast<std::size_t>(list[0]);
       } else {
         throw std::invalid_argument("unknown key '" + key + "'");
       }

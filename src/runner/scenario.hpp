@@ -94,6 +94,15 @@ struct RunSpec {
   std::uint64_t max_steps = 10'000'000;  ///< step/round safety budget
   ExecutionPath path = ExecutionPath::kCsr;  ///< execution back-end (A/B switch)
 
+  /// Worker threads of the reversal engine's sharded greedy-rounds kernel
+  /// (CSR path, fr/pr kernels only): 1 = serial (default), 0 = hardware
+  /// concurrency, N = a pool of N.  Purely a performance switch — the
+  /// parallel engine is deterministic and byte-identical to the serial one
+  /// at every value (tests/reversal_engine_test.cpp), so records never
+  /// depend on it.  A value > 1 spawns a short-lived ThreadPool per run;
+  /// worth it on large topologies, overhead on tiny ones.
+  std::size_t engine_threads = 1;
+
   /// Seed of the instance-construction RNG stream.  Depends only on
   /// (topology, size, seed) — *not* on algorithm or scheduler — so all
   /// kernels of one sweep measure the same instances, which is what makes
@@ -167,6 +176,11 @@ struct SweepSpec {
   /// an axis: results are identical on both paths, so sweeping it would
   /// only duplicate rows.
   ExecutionPath path = ExecutionPath::kCsr;
+  /// `engine_threads =` scalar option: the engine's greedy-rounds worker
+  /// count stamped on every expanded run (see RunSpec::engine_threads).
+  /// Also a scalar, for the same reason as `path`: results are identical
+  /// at every thread count by construction.
+  std::size_t engine_threads = 1;
 
   /// Number of runs the spec expands to (the axes' size product).
   std::size_t run_count() const;

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// The fixed-size worker pool shared by the two parallel layers of the
+/// library: the scenario runner (one swept run per task,
+/// `runner/runner.hpp`) and the reversal engine's sharded greedy rounds
+/// (one worklist shard per task, `core/reversal_engine.hpp`).
+///
+/// This header is a *leaf* utility: it depends on nothing but the standard
+/// library, which is what lets `src/core` use it without inverting the
+/// layer order (the runner layer proper still sits above core; see
+/// docs/ARCHITECTURE.md §"Parallel execution").
+///
+/// Design: N logical workers, N-1 of them std::threads and one of them the
+/// *caller* of run() — so a single-worker pool spawns no threads at all
+/// and run() degenerates to a plain call, and a multi-worker pool keeps
+/// the calling thread busy instead of blocked.  run() is a fork/join
+/// barrier: it returns only after every worker finished the job.
+///
+/// Latency: the engine dispatches one job per greedy *round*, and a round
+/// can be only a few microseconds of work, so dispatch cost is the whole
+/// game.  Workers therefore spin briefly on an atomic generation counter
+/// before parking on a condition variable (new work normally arrives
+/// within the spin window), and the caller spin-yields on the outstanding
+/// count instead of sleeping.  The release/acquire pairs on the two
+/// counters sequence one job's writes before the next job's reads — the
+/// happens-before edge the engine's per-round merges rely on.
+
+namespace lr {
+
+/// Implementation helpers of the pool's spin-wait ladder.
+namespace detail {
+
+/// One spin-wait beat: a pause/yield *instruction* (not the syscall — a
+/// sched_yield per spin iteration costs microseconds and defeats the whole
+/// point of spinning).
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+}  // namespace detail
+
+/// Fixed-size reusable fork/join worker pool; see the file comment.
+class ThreadPool {
+ public:
+  /// Creates a pool of `threads` logical workers (the calling thread
+  /// counts as one, so `threads - 1` std::threads are spawned); 0 means
+  /// std::thread::hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0) {
+    const std::size_t n = threads != 0
+                              ? threads
+                              : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    size_ = n;
+    workers_.reserve(n - 1);
+    for (std::size_t index = 1; index < n; ++index) {
+      workers_.emplace_back([this, index] { worker_loop(index); });
+    }
+  }
+
+  /// Joins all workers.  Must not race with an in-flight run() call.
+  ~ThreadPool() {
+    stop_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      // Empty critical section: a worker past its spin window re-checks
+      // the predicate under this mutex before parking, so the notify
+      // cannot fall between its check and its wait.
+      const std::lock_guard<std::mutex> lock(mutex_);
+    }
+    wake_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// Pools own their worker threads; copying or moving would dangle the
+  /// `this` captured by every worker loop, so both are disabled.
+  ThreadPool(const ThreadPool&) = delete;
+  /// \copydoc ThreadPool(const ThreadPool&)
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of logical workers (>= 1, caller included).
+  std::size_t size() const noexcept { return size_; }
+
+  /// Runs `job(worker_index)` once per worker, indices `[0, size())`, and
+  /// returns after *all* invocations completed (a fork/join barrier).  The
+  /// caller executes index 0 itself.  `job` must not throw and must not
+  /// re-enter run() on the same pool (workers are all busy: re-entry would
+  /// deadlock).  At most one run() may be in flight at a time: callers
+  /// sharing a pool across threads must serialize their dispatches (the
+  /// scenario runner does, behind its dispatch mutex).
+  void run(const std::function<void(std::size_t)>& job) {
+    if (size_ == 1) {
+      job(0);
+      return;
+    }
+    job_ = &job;
+    pending_.store(size_ - 1, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_seq_cst);
+    // Wake parked workers only when there are any: in the hot path between
+    // two engine rounds every worker is still spinning, and skipping the
+    // mutex + notify keeps dispatch syscall-free.  seq_cst on the counter
+    // pair closes the race with a worker about to park (see worker_loop).
+    if (parked_.load(std::memory_order_seq_cst) != 0) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);  // see ~ThreadPool
+      }
+      wake_cv_.notify_all();
+    }
+    job(0);
+    // Spin rather than sleep: shards finish within microseconds of each
+    // other, and the next round is dispatched immediately after.  Fall
+    // back to yielding only when a worker is clearly descheduled (the
+    // oversubscribed case), so the wait cannot starve it.
+    std::uint32_t spins = 0;
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      if (++spins > kSpinIterations) {
+        std::this_thread::yield();
+      } else {
+        detail::cpu_pause();
+      }
+    }
+    job_ = nullptr;
+  }
+
+ private:
+  /// Pause-spin budget before easing off the CPU (~tens of microseconds):
+  /// long enough to bridge the serial merge section between two engine
+  /// rounds, short enough that an idle pool backs off almost immediately.
+  static constexpr std::uint32_t kSpinIterations = 1u << 13;
+  /// Yield-spin budget after the pause phase: keeps an oversubscribed pool
+  /// (more workers than cores) making progress by ceding the core to
+  /// whichever worker actually holds the next shard, before parking.
+  static constexpr std::uint32_t kYieldIterations = 64;
+
+  void worker_loop(std::size_t index) {
+    std::uint64_t seen = 0;
+    while (true) {
+      // Wait for the next generation in three escalating phases: pause-spin
+      // (the hot path between two rounds of one execution), yield-spin
+      // (oversubscribed pools), then park on the condition variable.
+      std::uint64_t current = generation_.load(std::memory_order_acquire);
+      for (std::uint32_t spin = 0; current == seen && spin < kSpinIterations; ++spin) {
+        detail::cpu_pause();
+        current = generation_.load(std::memory_order_acquire);
+      }
+      for (std::uint32_t spin = 0; current == seen && spin < kYieldIterations; ++spin) {
+        std::this_thread::yield();
+        current = generation_.load(std::memory_order_acquire);
+      }
+      if (current == seen) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // Announce the park *before* re-checking the generation, both
+        // seq_cst: either run() sees parked_ != 0 and notifies under the
+        // mutex, or this worker sees the new generation and never waits —
+        // the Dekker-style pairing that keeps the notify skippable.
+        parked_.fetch_add(1, std::memory_order_seq_cst);
+        wake_cv_.wait(lock, [this, seen] {
+          return generation_.load(std::memory_order_seq_cst) != seen;
+        });
+        parked_.fetch_sub(1, std::memory_order_seq_cst);
+        current = generation_.load(std::memory_order_acquire);
+      }
+      if (stop_.load(std::memory_order_acquire)) return;
+      seen = current;
+      (*job_)(index);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> parked_{0};
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace lr

@@ -338,6 +338,150 @@ TEST(ReversalEngineTest, SweepTablesAreBytewisePathInvariant) {
   EXPECT_EQ(csr_csv, legacy_csv);
 }
 
+// ---------------------------------------------------------------------------
+// Parallel greedy rounds: byte-identical to the serial kernel everywhere
+// ---------------------------------------------------------------------------
+
+TEST(ReversalEngineTest, ParallelGreedyRoundsMatchSerialAtEveryPoolSize) {
+  for (const Instance& instance : equivalence_instances()) {
+    ReversalEngine engine(instance);
+    for (const EngineAlgorithm algorithm :
+         {EngineAlgorithm::kFullReversal, EngineAlgorithm::kOneStepPR}) {
+      const EngineRoundsResult serial = engine.run_greedy_rounds(algorithm, 1'000'000);
+      const std::uint64_t serial_checksum = engine.state_checksum();
+      for (const std::size_t workers : {2u, 4u, 8u}) {
+        ThreadPool pool(workers);
+        // min_parallel_round = 1 forces the sharded kernel onto every
+        // round, however narrow — the worst case for determinism.
+        const EngineRoundsResult parallel = engine.run_greedy_rounds(
+            algorithm, {.max_rounds = 1'000'000, .pool = &pool, .min_parallel_round = 1});
+        const std::string context = std::string(instance.name) + " workers=" +
+                                    std::to_string(workers) +
+                                    (algorithm == EngineAlgorithm::kFullReversal ? " fr" : " pr");
+        EXPECT_EQ(parallel.rounds, serial.rounds) << context;
+        EXPECT_EQ(parallel.node_steps, serial.node_steps) << context;
+        EXPECT_EQ(parallel.edge_reversals, serial.edge_reversals) << context;
+        EXPECT_EQ(parallel.converged, serial.converged) << context;
+        EXPECT_EQ(engine.state_checksum(), serial_checksum) << context;
+      }
+    }
+  }
+}
+
+TEST(ReversalEngineTest, ParallelGreedyRoundsExhaustBudgetIdentically) {
+  const Instance instance = disconnected_instance(0);
+  ReversalEngine engine(instance);
+  const EngineRoundsResult serial =
+      engine.run_greedy_rounds(EngineAlgorithm::kFullReversal, 32);
+  ThreadPool pool(4);
+  const EngineRoundsResult parallel = engine.run_greedy_rounds(
+      EngineAlgorithm::kFullReversal, {.max_rounds = 32, .pool = &pool, .min_parallel_round = 1});
+  EXPECT_EQ(parallel.rounds, serial.rounds);
+  EXPECT_EQ(parallel.node_steps, serial.node_steps);
+  EXPECT_FALSE(parallel.converged);
+  EXPECT_FALSE(serial.converged);
+}
+
+TEST(ReversalEngineTest, ParallelGreedyRoundsRejectNewPR) {
+  ReversalEngine engine(make_worst_case_chain(4));
+  ThreadPool pool(2);
+  EXPECT_THROW(engine.run_greedy_rounds(EngineAlgorithm::kNewPR,
+                                        {.max_rounds = 10, .pool = &pool}),
+               std::invalid_argument);
+}
+
+TEST(ReversalEngineTest, ExecuteRunIsEngineThreadInvariant) {
+  // The satellite determinism contract: records byte-identical across
+  // 1/2/4/8 engine threads for every algorithm x scheduler pair (the
+  // engine_threads knob only touches the fr/pr rounds kernel, but the
+  // sweep-format contract is that *no* record ever depends on it).
+  for (const AlgorithmKind algorithm :
+       {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR, AlgorithmKind::kNewPR}) {
+    for (const NamedPolicy& pair : kPolicies) {
+      RunSpec spec;
+      spec.topology = TopologyKind::kRandom;
+      spec.size = 24;
+      spec.algorithm = algorithm;
+      spec.scheduler = pair.scheduler;
+      spec.seed = 11;
+      spec.engine_threads = 1;
+      const RunRecord baseline = execute_run(spec);
+      for (const std::size_t threads : {2u, 4u, 8u}) {
+        spec.engine_threads = threads;
+        const RunRecord record = execute_run(spec);
+        const std::string context = std::string(algorithm_token(algorithm)) + "/" +
+                                    scheduler_token(pair.scheduler) + " engine_threads=" +
+                                    std::to_string(threads);
+        expect_records_equal(record, baseline, context);
+      }
+    }
+  }
+}
+
+TEST(ReversalEngineTest, ExecuteRunShardsWideTopologiesIdentically) {
+  // The cases above stay below the runner's num_nodes >= 1024 pool gate,
+  // so they pin record invariance but compare serial against serial.
+  // star-2049 (spec size 2048 -> n = 2049, round width 1024) both spawns
+  // the per-run pool and clears the sharding threshold, so this is the
+  // one ctest case where execute_run's engine_threads plumbing drives the
+  // sharded kernel end to end.
+  for (const AlgorithmKind algorithm :
+       {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR}) {
+    RunSpec spec;
+    spec.topology = TopologyKind::kStar;
+    spec.size = 2048;
+    spec.algorithm = algorithm;
+    spec.seed = 1;
+    spec.engine_threads = 1;
+    const RunRecord baseline = execute_run(spec);
+    ASSERT_GE(baseline.nodes, 1024u);
+    ASSERT_GT(baseline.rounds, 0u);
+    for (const std::size_t threads : {2u, 4u}) {
+      spec.engine_threads = threads;
+      const RunRecord record = execute_run(spec);
+      expect_records_equal(record, baseline,
+                           std::string(algorithm_token(algorithm)) + " wide engine_threads=" +
+                               std::to_string(threads));
+    }
+  }
+}
+
+TEST(ReversalEngineTest, SweepTablesAreEngineThreadInvariant) {
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kChain, TopologyKind::kLayered};
+  sweep.sizes = {16, 32};
+  sweep.algorithms = {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR};
+  sweep.schedulers = {SchedulerKind::kLowestId, SchedulerKind::kRandom};
+  sweep.seeds = {1, 2};
+
+  const auto csv_of = [&sweep](std::size_t engine_threads) {
+    SweepSpec configured = sweep;
+    configured.engine_threads = engine_threads;
+    const SweepReport report = ScenarioRunner(RunnerOptions{.threads = 2}).run(configured);
+    std::ostringstream oss;
+    write_table_csv(oss, report.records_table());
+    write_table_csv(oss, report.aggregate_table());
+    return oss.str();
+  };
+  const std::string serial_csv = csv_of(1);
+  EXPECT_EQ(serial_csv, csv_of(2));
+  EXPECT_EQ(serial_csv, csv_of(4));
+}
+
+TEST(ReversalEngineTest, SweepSpecParsesEngineThreadsOption) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = chain\nsize = 8\nalgorithm = pr\nengine_threads = 4\n");
+  EXPECT_EQ(spec.engine_threads, 4u);
+  ASSERT_EQ(spec.expand().size(), 1u);
+  EXPECT_EQ(spec.expand()[0].engine_threads, 4u);
+  EXPECT_EQ(SweepSpec::parse_string("topology = chain\nsize = 8\nalgorithm = pr\n")
+                .engine_threads,
+            1u);
+  EXPECT_THROW(SweepSpec::parse_string(
+                   "topology = chain\nsize = 8\nalgorithm = pr\nengine_threads = 2, 4\n"),
+               std::invalid_argument);
+}
+
 TEST(ReversalEngineTest, SweepSpecParsesPathOption) {
   const SweepSpec spec = SweepSpec::parse_string(
       "topology = chain\nsize = 8\nalgorithm = pr\npath = legacy\n");

@@ -142,6 +142,94 @@ TEST(DynamicHeightsTest, QueriesBetweenChurnEventsShareOneSnapshot) {
   EXPECT_EQ(path->back(), 0u);
 }
 
+TEST(DynamicHeightsTest, SingleLinkChurnPatchesInsteadOfRebuilding) {
+  std::mt19937_64 rng(53);
+  const Graph g = make_random_connected_graph(24, 28, rng);
+  DynamicHeightsDag dag(g, 0);
+  EXPECT_EQ(dag.snapshot_rebuilds(), 1u);  // the constructor's initial build
+  dag.stabilize();
+
+  // 40 single-link events with stabilize/route traffic in between: the
+  // incremental-repair acceptance criterion — zero further rebuilds.
+  std::uint64_t events = 0;
+  for (int i = 0; i < 40; ++i) {
+    const NodeId u = static_cast<NodeId>(rng() % 24);
+    NodeId v = static_cast<NodeId>(rng() % 24);
+    if (u == v) v = (v + 1) % 24;
+    if (dag.has_link(u, v)) {
+      dag.remove_link(u, v);
+    } else {
+      dag.add_link(u, v);
+    }
+    ++events;
+    dag.stabilize();
+    dag.route(u);
+  }
+  EXPECT_EQ(dag.snapshot_rebuilds(), 1u);
+  EXPECT_EQ(dag.snapshot_patches(), events);
+}
+
+TEST(DynamicHeightsTest, PatchedAndRebuiltSnapshotsBehaveIdentically) {
+  // Two DAGs, identical event streams; `control` has its snapshot
+  // invalidated before every query round, forcing the historical
+  // full-rebuild path.  Heights, stabilization work, and routes must agree
+  // after every event — the behavioral half of the patched == rebuilt
+  // contract (tests/csr_test.cpp pins the byte-level half).
+  std::mt19937_64 rng(59);
+  const Graph g = make_random_connected_graph(20, 24, rng);
+  DynamicHeightsDag patched(g, 2);
+  DynamicHeightsDag control(g, 2);
+  patched.stabilize();
+  control.stabilize();
+  for (int i = 0; i < 30; ++i) {
+    const NodeId u = static_cast<NodeId>(rng() % 20);
+    NodeId v = static_cast<NodeId>(rng() % 20);
+    if (u == v) v = (v + 1) % 20;
+    if (patched.has_link(u, v)) {
+      patched.remove_link(u, v);
+      control.remove_link(u, v);
+    } else {
+      patched.add_link(u, v);
+      control.add_link(u, v);
+    }
+    control.invalidate_snapshot();
+    ASSERT_EQ(patched.stabilize(), control.stabilize()) << "event " << i;
+    for (NodeId w = 0; w < 20; ++w) {
+      ASSERT_EQ(patched.height(w), control.height(w)) << "event " << i << " node " << w;
+      ASSERT_EQ(patched.is_sink(w), control.is_sink(w)) << "event " << i << " node " << w;
+      ASSERT_EQ(patched.route(w), control.route(w)) << "event " << i << " node " << w;
+    }
+  }
+  EXPECT_EQ(patched.snapshot_rebuilds(), 1u);
+  EXPECT_GT(control.snapshot_rebuilds(), 1u);
+}
+
+TEST(DynamicHeightsTest, BatchChurnFallsBackToOneRebuild) {
+  DynamicHeightsDag dag(make_chain_graph(8), 0);
+  dag.stabilize();
+  EXPECT_EQ(dag.snapshot_rebuilds(), 1u);
+
+  // A small batch stays on the patch path...
+  const LinkEvent small_batch[] = {{0, 2, true}, {0, 3, true}};
+  dag.apply_events(small_batch);
+  EXPECT_EQ(dag.snapshot_rebuilds(), 1u);
+  EXPECT_EQ(dag.snapshot_patches(), 2u);
+  dag.stabilize();
+
+  // ...a large one invalidates once and rebuilds once, patching nothing.
+  const LinkEvent large_batch[] = {{0, 4, true}, {0, 5, true}, {1, 3, true},
+                                   {1, 4, true}, {2, 4, true}, {0, 2, false}};
+  dag.apply_events(large_batch);
+  EXPECT_EQ(dag.snapshot_patches(), 2u);
+  dag.stabilize();
+  EXPECT_EQ(dag.snapshot_rebuilds(), 2u);
+  EXPECT_TRUE(dag.has_link(2, 4));
+  EXPECT_FALSE(dag.has_link(0, 2));
+  for (NodeId u = 1; u < 8; ++u) {
+    ASSERT_TRUE(dag.route(u).has_value()) << u;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ToraRouter
 // ---------------------------------------------------------------------------
@@ -222,6 +310,29 @@ TEST(ToraTest, BufferedPacketsStayParkedWhileStillPartitioned) {
   EXPECT_EQ(router.buffered_packets(), 1u);
   router.link_up(2, 3);
   EXPECT_EQ(router.buffered_packets(), 0u);
+}
+
+TEST(ToraTest, ChurnMaintenanceIsRebuildFree) {
+  // The service's maintenance loop is all single-link events, so a whole
+  // churn-heavy run must ride the incremental snapshot-repair path: one
+  // build at construction, a patch per event, zero rebuilds.
+  std::mt19937_64 rng(61);
+  const Graph g = make_random_connected_graph(32, 40, rng);
+  ToraRouter router(g, 0);
+  std::uniform_int_distribution<EdgeId> pick_edge(0, static_cast<EdgeId>(g.num_edges() - 1));
+  for (int i = 0; i < 50; ++i) {
+    const EdgeId e = pick_edge(rng);
+    const NodeId u = g.edge_u(e);
+    const NodeId v = g.edge_v(e);
+    if (router.dag().has_link(u, v)) {
+      router.link_down(u, v);
+    } else {
+      router.link_up(u, v);
+    }
+    router.send_packet(static_cast<NodeId>(rng() % 32));
+  }
+  EXPECT_EQ(router.dag().snapshot_rebuilds(), 1u);
+  EXPECT_EQ(router.dag().snapshot_patches(), 50u);
 }
 
 TEST(ToraTest, PacketAccountingConsistentUnderChurn) {

@@ -251,6 +251,102 @@ TEST(SweepCacheTest, GeneratesOncePerTopologySizeSeed) {
   EXPECT_EQ(cache.entries(), 2u);
 }
 
+TEST(SweepCacheTest, LruBoundEvictsLeastRecentlyUsed) {
+  SweepCache cache(2);
+  RunSpec spec;
+  spec.topology = TopologyKind::kRandom;
+  spec.size = 12;
+
+  spec.seed = 1;
+  cache.get(spec);  // cache: {1}
+  spec.seed = 2;
+  cache.get(spec);  // cache: {2, 1}
+  spec.seed = 1;
+  cache.get(spec);  // touch 1 -> cache: {1, 2}
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  spec.seed = 3;
+  cache.get(spec);  // evicts 2 (least recently used), not 1
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  const std::uint64_t misses_before = cache.misses();
+  spec.seed = 1;
+  cache.get(spec);  // still resident: a hit
+  EXPECT_EQ(cache.misses(), misses_before);
+  spec.seed = 2;
+  cache.get(spec);  // evicted earlier: regenerated
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  EXPECT_EQ(cache.evictions(), 2u);  // seed 3 was the LRU this time
+}
+
+TEST(SweepCacheTest, UnboundedCacheNeverEvicts) {
+  SweepCache cache;
+  EXPECT_EQ(cache.max_entries(), 0u);
+  RunSpec spec;
+  spec.topology = TopologyKind::kRandom;
+  spec.size = 12;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    spec.seed = seed;
+    cache.get(spec);
+  }
+  EXPECT_EQ(cache.entries(), 16u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(SweepCacheTest, EvictedWorkloadsRegenerateIdentically) {
+  SweepCache bounded(1);
+  SweepCache unbounded;
+  RunSpec spec;
+  spec.topology = TopologyKind::kRandom;
+  spec.size = 12;
+  spec.algorithm = AlgorithmKind::kDistPR;
+  for (const std::uint64_t seed : {1u, 2u, 1u, 2u}) {  // every get after the
+    spec.seed = seed;                                  // first two is a miss
+    const RunRecord squeezed = execute_run(spec, &bounded);
+    const RunRecord roomy = execute_run(spec, &unbounded);
+    EXPECT_EQ(squeezed.work, roomy.work) << seed;
+    EXPECT_EQ(squeezed.messages, roomy.messages) << seed;
+    EXPECT_EQ(squeezed.converged, roomy.converged) << seed;
+  }
+  EXPECT_GE(bounded.evictions(), 3u);
+  EXPECT_EQ(unbounded.evictions(), 0u);
+}
+
+TEST(ScenarioRunnerTest, CacheBoundDoesNotChangeSweepTables) {
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kRandom};
+  sweep.sizes = {8, 12};
+  sweep.algorithms = {AlgorithmKind::kTora, AlgorithmKind::kDistFR};
+  sweep.schedulers = {SchedulerKind::kLowestId};
+  sweep.seeds = {1, 2, 3};
+
+  const auto csv_of = [&sweep](std::size_t cache_cap) {
+    const SweepReport report =
+        ScenarioRunner(RunnerOptions{.threads = 2, .cache_max_entries = cache_cap}).run(sweep);
+    std::ostringstream oss;
+    write_table_csv(oss, report.records_table());
+    write_table_csv(oss, report.aggregate_table());
+    return oss.str();
+  };
+  EXPECT_EQ(csv_of(0), csv_of(1));
+}
+
+TEST(ScenarioRunnerTest, SweepReportSurfacesCacheCounters) {
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kRandom};
+  sweep.sizes = {12};
+  sweep.algorithms = {AlgorithmKind::kTora, AlgorithmKind::kDistFR};  // share workloads
+  sweep.schedulers = {SchedulerKind::kLowestId};
+  sweep.seeds = {1, 2};
+  const SweepReport report = ScenarioRunner(RunnerOptions{.threads = 1}).run(sweep);
+  EXPECT_EQ(report.cache.entries, 2u);
+  EXPECT_EQ(report.cache.misses, 2u);
+  EXPECT_EQ(report.cache.hits, 2u);  // the second kernel hits both workloads
+  EXPECT_EQ(report.cache.evictions, 0u);
+}
+
 TEST(SweepCacheTest, FrozenInstanceMatchesFreshGeneration) {
   SweepCache cache;
   RunSpec spec;
