@@ -332,11 +332,11 @@ RoundsSample measure_parallel_rounds(const std::string& label, const Instance& i
   for (const std::size_t workers : {2u, 4u}) {
     ThreadPool pool(workers);
     // Verification forces the sharded kernel onto *every* round
-    // (min_parallel_round = 1) so the equality check genuinely exercises
+    // (min_parallel_work = 1) so the equality check genuinely exercises
     // the parallel path at smoke sizes too; the timing runs keep the
     // default threshold, the configuration users get.
     const EngineRoundsOptions verify_options{
-        .max_rounds = budget, .pool = &pool, .min_parallel_round = 1};
+        .max_rounds = budget, .pool = &pool, .min_parallel_work = 1};
     const EngineRoundsResult parallel = engine.run_greedy_rounds(algorithm, verify_options);
     sample.identical &= parallel.rounds == serial.rounds &&
                         parallel.node_steps == serial.node_steps &&
@@ -365,11 +365,13 @@ bool print_parallel_rounds_series(bool smoke) {
   // Runner-level A/B over the chain + layered stock scenarios: the rounds
   // measure is the only engine_threads consumer, so tables must be
   // byte-identical across thread counts.  The stock sizes all sit below
-  // the runner's pool gate (num_nodes >= min_parallel_round), so two
-  // wide-round specs — chain-4096 (peak round width 2048) and star-4097
-  // (width 2048) — ride along to make the engine_threads side actually
-  // spawn a pool and shard rounds; without them the A/B would compare
-  // serial against serial.
+  // the engine's work threshold (round width x max firing degree >=
+  // min_parallel_work), so two wide specs ride along: chain-4096 (peak
+  // width 2048 at degree 2 — work 4096, shards) and star-4097 (leaf
+  // rounds are 2048 x degree 1 — work 2048, and the hub fires alone —
+  // the negative control that must stay on the inline path even with a
+  // pool in hand); without chain-4096 the A/B would compare serial
+  // against serial.
   std::vector<RunSpec> specs;
   for (std::size_t nb = 4; nb <= max_chain_nb(smoke); nb *= 2) {
     specs.push_back(chain_spec(nb + 1, AlgorithmKind::kFullReversal));

@@ -17,9 +17,15 @@
 /// byte-identical (FNV-1a table checksums) before the timings are trusted;
 /// the harness exits non-zero otherwise.  `--smoke` shrinks the series,
 /// skips the micro-timings, and also fails on any relation violation.
+///
+/// E5.3 is the event-core scheduler A/B: a self-replenishing event storm
+/// replayed on the binary-heap and timing-wheel time-index backends
+/// (sim/time_index.hpp), with an execution-order FNV fingerprint that both
+/// must reproduce exactly before the events/sec figures are trusted.
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +34,8 @@
 #include "core/relations.hpp"
 #include "graph/generators.hpp"
 #include "runner/runner.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time_index.hpp"
 
 #include "bench_util.hpp"
 
@@ -133,6 +141,85 @@ bool print_ab_series(bool smoke) {
   return tables_ok && checksums_ok;
 }
 
+// ---------------------------------------------------------------------------
+// E5.3: the event-core scheduler A/B (binary heap vs hierarchical wheel)
+// ---------------------------------------------------------------------------
+
+/// One self-replenishing event storm on a fresh EventQueue: each fired
+/// event draws from the RNG *in execution order* and reschedules followers
+/// with a bimodal (mostly-near, occasionally-far) delay profile.  Heap and
+/// wheel therefore produce the same order fingerprint only if they agree
+/// on the exact execution order — any divergence forks the RNG stream and
+/// snowballs into a different checksum.
+struct StormResult {
+  std::uint64_t checksum = 0;
+  std::uint64_t executed = 0;
+};
+
+StormResult run_event_storm(EventSchedulerKind backend, std::uint64_t events,
+                            std::uint64_t seed) {
+  EventQueue queue(backend);
+  std::mt19937_64 rng(seed);
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffu;
+      hash *= 1099511628211ULL;
+    }
+  };
+  std::uint64_t remaining = events;
+  std::function<void()> fire;
+  fire = [&] {
+    mix(queue.now());
+    const std::uint64_t fan = 1 + rng() % 2;
+    for (std::uint64_t i = 0; i < fan && remaining > 0; ++i) {
+      --remaining;
+      const SimTime delay = rng() % 16 == 0 ? 1 + static_cast<SimTime>(rng() % 4096)
+                                            : 1 + static_cast<SimTime>(rng() % 12);
+      queue.schedule_in(delay, fire);
+    }
+  };
+  for (int i = 0; i < 32 && remaining > 0; ++i) {
+    --remaining;
+    queue.schedule_at(rng() % 8, fire);
+  }
+  StormResult result;
+  result.executed = queue.run_until_idle();
+  result.checksum = hash;
+  return result;
+}
+
+/// E5.3 driver; returns false if the two backends disagree on the order
+/// fingerprint (a correctness failure of the wheel, not a perf matter).
+bool print_event_core_series(bool smoke) {
+  bench::print_header("E5.3: event-core scheduler A/B, binary heap vs timing wheel",
+                      "identical execution-order fingerprints; events/sec per backend "
+                      "(docs/PERFORMANCE.md)");
+  const std::uint64_t events = smoke ? 20'000 : 400'000;
+  Table table;
+  table.columns = {"backend", "events", "ns_per_event", "events_per_sec", "order_checksum",
+                   "identical"};
+  StormResult reference;
+  bool identical = true;
+  for (const EventSchedulerKind backend :
+       {EventSchedulerKind::kHeap, EventSchedulerKind::kWheel}) {
+    StormResult result;
+    const double ns_per_storm = bench::measure_ns_per_iter(
+        [&] { result = run_event_storm(backend, events, 41); }, smoke ? 1 : 5,
+        smoke ? 0.0 : 200.0);
+    if (backend == EventSchedulerKind::kHeap) reference = result;
+    identical &= result.checksum == reference.checksum && result.executed == reference.executed;
+    const double ns_per_event = ns_per_storm / static_cast<double>(result.executed);
+    table.add_row({event_scheduler_token(backend), bench::fmt_u(result.executed),
+                   bench::fmt(ns_per_event), bench::fmt(1e9 / ns_per_event),
+                   bench::fmt_hex(result.checksum),
+                   result.checksum == reference.checksum ? "yes" : "NO"});
+  }
+  bench::emit_csv(table);
+  std::printf("order checksums: %s\n", identical ? "identical" : "MISMATCH");
+  return identical;
+}
+
 void BM_SimulationCheckRPrime(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(9);
@@ -174,6 +261,10 @@ int main(int argc, char** argv) {
   }
   if (!lr::print_ab_series(smoke)) {
     std::fprintf(stderr, "E5.2 A/B verification FAILED\n");
+    return 1;
+  }
+  if (!lr::print_event_core_series(smoke)) {
+    std::fprintf(stderr, "E5.3 event-core A/B verification FAILED\n");
     return 1;
   }
   if (smoke) return 0;

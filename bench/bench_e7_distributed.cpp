@@ -16,6 +16,13 @@
 /// `--smoke` shrinks every series to seconds and skips the
 /// google-benchmark micro-timings; CI runs it to keep this harness (and
 /// the A/B equivalence) from bit-rotting.
+///
+/// E7.7 is the event-core A/B: dist-fr / dist-pr convergence replayed on
+/// the binary-heap and timing-wheel scheduler backends and on the sharded
+/// per-node event lanes (sim/sharded_loop.hpp) at 2 and 4 workers.  Every
+/// configuration must reproduce the serial heap run's FNV fingerprint
+/// (counters, quiescence time, final heights) exactly before the
+/// delivered-messages/sec figures are trusted.
 
 #include <benchmark/benchmark.h>
 
@@ -25,8 +32,10 @@
 #include "graph/generators.hpp"
 #include "routing/tora.hpp"
 #include "runner/runner.hpp"
+#include "runner/thread_pool.hpp"
 #include "sim/dist_lr.hpp"
 #include "sim/dist_router.hpp"
+#include "sim/time_index.hpp"
 
 #include "bench_util.hpp"
 
@@ -216,6 +225,105 @@ bool print_ab_series(bool smoke) {
   return tables_ok && checksums_ok;
 }
 
+// ---------------------------------------------------------------------------
+// E7.7: the event-core A/B — heap vs wheel vs sharded event lanes
+// ---------------------------------------------------------------------------
+
+/// Runs one dist-LR convergence and folds every observable counter plus
+/// the final per-node heights into an FNV fingerprint.  Every event-core
+/// configuration (scheduler backend x worker count) must reproduce this
+/// fingerprint exactly — the knobs are perf switches, not semantics.
+std::uint64_t dist_fingerprint(const Instance& inst, ReversalRule rule, NetworkConfig config) {
+  Network net(inst.graph, config);
+  DistLinkReversal proto(inst, rule, net);
+  proto.start();
+  net.run_until_idle();
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffu;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(net.messages_sent());
+  mix(net.messages_delivered());
+  mix(net.messages_dropped());
+  mix(net.now());
+  mix(proto.total_steps());
+  mix(proto.converged() ? 1 : 0);
+  for (NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+    const auto [a, b, id] = proto.height(u);
+    mix(static_cast<std::uint64_t>(a));
+    mix(static_cast<std::uint64_t>(b));
+    mix(id);
+  }
+  return hash;
+}
+
+/// E7.7 driver; returns false if any configuration's fingerprint diverges
+/// from the serial heap baseline.  Throughput is delivered messages per
+/// wall-clock second of the whole convergence run (the sweep-relevant
+/// figure for docs/PERFORMANCE.md); sharded rows borrow a pre-built pool
+/// so pool construction is not billed to the event core.
+bool print_event_core_series(bool smoke) {
+  bench::print_header("E7.7: event-core A/B, heap vs wheel vs sharded event lanes",
+                      "identical run fingerprints at every scheduler x worker count; "
+                      "delivered messages/sec per configuration (docs/PERFORMANCE.md)");
+  const std::size_t n = smoke ? 24 : 96;
+  std::mt19937_64 rng(n);
+  const Instance inst = make_random_instance(n, n, rng);
+  const NetworkConfig base{.min_delay = 1, .max_delay = 12, .seed = 7};
+  ThreadPool pool2(2);
+  ThreadPool pool4(4);
+
+  struct CoreConfig {
+    const char* label;
+    EventSchedulerKind scheduler;
+    ThreadPool* pool;  // nullptr: serial EventQueue
+  };
+  const CoreConfig configs[] = {
+      {"heap t=1", EventSchedulerKind::kHeap, nullptr},
+      {"wheel t=1", EventSchedulerKind::kWheel, nullptr},
+      {"wheel t=2", EventSchedulerKind::kWheel, &pool2},
+      {"wheel t=4", EventSchedulerKind::kWheel, &pool4},
+  };
+
+  Table table;
+  table.columns = {"rule", "config", "delivered", "msgs_per_sec", "fingerprint", "identical"};
+  bool identical = true;
+  for (const ReversalRule rule : {ReversalRule::kFull, ReversalRule::kPartial}) {
+    std::uint64_t reference = 0;
+    for (const CoreConfig& core : configs) {
+      NetworkConfig config = base;
+      config.scheduler = core.scheduler;
+      config.sim_threads = core.pool == nullptr ? 1 : core.pool->size();
+      config.sim_pool = core.pool;
+      const std::uint64_t fingerprint = dist_fingerprint(inst, rule, config);
+      if (core.pool == nullptr && core.scheduler == EventSchedulerKind::kHeap)
+        reference = fingerprint;
+      identical &= fingerprint == reference;
+
+      std::uint64_t delivered = 0;
+      const double ns_per_run = bench::measure_ns_per_iter(
+          [&] {
+            Network net(inst.graph, config);
+            DistLinkReversal proto(inst, rule, net);
+            proto.start();
+            net.run_until_idle();
+            delivered = net.messages_delivered();
+          },
+          smoke ? 1 : 5, smoke ? 0.0 : 200.0);
+      const double msgs_per_sec = static_cast<double>(delivered) * 1e9 / ns_per_run;
+      table.add_row({rule == ReversalRule::kFull ? "dist-fr" : "dist-pr", core.label,
+                     bench::fmt_u(delivered), bench::fmt(msgs_per_sec),
+                     bench::fmt_hex(fingerprint), fingerprint == reference ? "yes" : "NO"});
+    }
+  }
+  bench::emit_csv(table);
+  std::printf("run fingerprints: %s\n", identical ? "all identical" : "MISMATCH");
+  return identical;
+}
+
 void BM_DistributedPRConvergence(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(21);
@@ -248,6 +356,10 @@ int main(int argc, char** argv) {
   if (!smoke) lr::print_loss_recovery_sweep();
   if (!lr::print_ab_series(smoke)) {
     std::fprintf(stderr, "E7.6 A/B verification FAILED\n");
+    return 1;
+  }
+  if (!lr::print_event_core_series(smoke)) {
+    std::fprintf(stderr, "E7.7 event-core A/B verification FAILED\n");
     return 1;
   }
   if (smoke) return 0;

@@ -389,7 +389,23 @@ EngineRoundsResult ReversalEngine::run_greedy_rounds(EngineAlgorithm algorithm,
     ++result.rounds;
     result.node_steps += round_current_.size();
     width = round_current_.size();
-    if (shards > 1 && width >= options.min_parallel_round) {
+    // Work estimate: width x the widest firing sink's adjacency span.  The
+    // scan is two offset loads per sink; it keeps star-like rounds (many
+    // degree-1 leaves, almost no per-node work) on the inline path where
+    // they are fastest.
+    std::size_t work = 0;
+    if (shards > 1) {
+      std::size_t max_degree = 0;
+      for (const NodeId u : round_current_) {
+        max_degree = std::max(max_degree,
+                              static_cast<std::size_t>(csr_->adjacency_end(u) -
+                                                       csr_->adjacency_begin(u)));
+      }
+      work = width * max_degree;
+    }
+    // width > 1: a single sink cannot be split across shards, however
+    // heavy (star hubs hit exactly this — one firing node of huge degree).
+    if (shards > 1 && width > 1 && work >= options.min_parallel_work) {
       // Sharded round: contiguous worklist slices, one per worker.  Edge
       // flips are disjoint across shards (round sinks are pairwise
       // non-adjacent), shared neighbor counters are relaxed atomics inside

@@ -115,13 +115,16 @@ struct EngineRoundsOptions {
   /// loop (and is the same `ThreadPool` the scenario runner uses).
   ThreadPool* pool = nullptr;
 
-  /// Rounds with fewer sinks than this fire serially even when a pool is
-  /// supplied: a round's per-node work is tens of nanoseconds, so a round
-  /// must be ~a thousand sinks wide before sharding beats firing inline
-  /// (measured in docs/PERFORMANCE.md).  Purely a performance knob
-  /// (results never depend on it); tests lower it to 1 to force the
+  /// Rounds whose estimated work — round width times the maximum degree
+  /// among the firing sinks — falls below this fire serially even when a
+  /// pool is supplied.  Width alone misleads on skewed graphs: a round of
+  /// 2048 degree-1 leaves (star topologies) is ~2048 counter decrements,
+  /// far too cheap to amortize a dispatch, while 2048 degree-2 chain nodes
+  /// are worth sharding.  The firing-degree scan is O(width) over CSR
+  /// offset pairs, noise next to the round itself.  Purely a performance
+  /// knob (results never depend on it); tests lower it to 1 to force the
   /// sharded kernel onto tiny rounds.
-  std::size_t min_parallel_round = 1024;
+  std::size_t min_parallel_work = 4096;
 };
 
 /// FNV-1a checksum of an edge-sense vector — the canonical fingerprint of

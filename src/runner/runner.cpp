@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -109,7 +110,7 @@ EnginePolicy engine_policy(SchedulerKind kind) {
 /// paper-shaped automata through the analysis layer's measure_cost.  The
 /// bench_e2 A/B mode times one against the other.
 void run_strategy_kernel(RunRecord& record, const Instance& instance, const CsrGraph* frozen,
-                         Strategy strategy) {
+                         Strategy strategy, WorkerPoolCache* pools) {
   const RunSpec& spec = record.spec;
   if (spec.path == ExecutionPath::kCsr) {
     const CsrGraph local =
@@ -127,16 +128,24 @@ void run_strategy_kernel(RunRecord& record, const Instance& instance, const CsrG
       const EngineAlgorithm rounds_algorithm = strategy == Strategy::kFullReversal
                                                    ? EngineAlgorithm::kFullReversal
                                                    : EngineAlgorithm::kOneStepPR;
-      // engine_threads != 1 shards the rounds across a per-run pool (0 =
+      // engine_threads != 1 shards the rounds across a worker pool (0 =
       // hardware concurrency).  The record is byte-identical either way;
-      // only the wall clock moves (docs/PERFORMANCE.md).  A round is never
-      // wider than the node count, so instances that cannot reach the
-      // parallel threshold skip the pool spawn entirely.
+      // only the wall clock moves (docs/PERFORMANCE.md).  With a
+      // WorkerPoolCache the pool is borrowed (spawned once per sweep
+      // worker); without one a short-lived local pool is spawned, but only
+      // when the instance could plausibly clear the engine's work
+      // threshold — 2|E| caps the *total* degree any round's sinks can
+      // carry, so instances below it never shard (the cap is a heuristic:
+      // width x max-degree can exceed it on skewed graphs, which at worst
+      // keeps such a run serial, never changes its record).
       EngineRoundsOptions rounds_options{.max_rounds = spec.max_steps};
-      std::optional<ThreadPool> pool;
-      if (spec.engine_threads != 1 &&
-          csr.num_nodes() >= rounds_options.min_parallel_round) {
-        rounds_options.pool = &pool.emplace(spec.engine_threads);
+      std::optional<ThreadPool> local_pool;
+      if (spec.engine_threads != 1) {
+        if (pools != nullptr) {
+          rounds_options.pool = pools->get(spec.engine_threads);
+        } else if (2 * csr.num_edges() >= rounds_options.min_parallel_work) {
+          rounds_options.pool = &local_pool.emplace(spec.engine_threads);
+        }
       }
       record.rounds = engine.run_greedy_rounds(rounds_algorithm, rounds_options).rounds;
     }
@@ -193,10 +202,19 @@ void run_tora_kernel(RunRecord& record, const Instance& instance) {
 /// borrow the cached frozen snapshot instead of freezing their own; the
 /// snapshot's contents are identical either way, so records are too.
 void run_dist_kernel(RunRecord& record, const Instance& instance, const CsrGraph* frozen,
-                     ReversalRule rule) {
+                     ReversalRule rule, WorkerPoolCache* pools) {
   const RunSpec& spec = record.spec;
   NetworkConfig config;
   config.seed = spec.network_seed();
+  // Event-core knobs: the time-index backend and the sharded event loop's
+  // worker count (both byte-identical to the defaults by construction;
+  // tests/sim_test.cpp pins it).  With a pool cache the loop borrows the
+  // worker's pool instead of spawning its own per run.
+  config.scheduler = spec.sim_scheduler;
+  config.sim_threads = spec.sim_threads;
+  if (spec.sim_threads != 1 && pools != nullptr) {
+    config.sim_pool = pools->get(spec.sim_threads);
+  }
   std::optional<Network> network;
   std::optional<DistLinkReversal> protocol;
   if (frozen != nullptr) {
@@ -346,9 +364,21 @@ std::uint64_t SweepCache::evictions() const {
   return evictions_;
 }
 
-RunRecord execute_run(const RunSpec& spec) { return execute_run(spec, nullptr); }
+ThreadPool* WorkerPoolCache::get(std::size_t threads) {
+  for (auto& [size, pool] : pools_) {
+    if (size == threads) return pool.get();
+  }
+  pools_.emplace_back(threads, std::make_unique<ThreadPool>(threads));
+  return pools_.back().second.get();
+}
+
+RunRecord execute_run(const RunSpec& spec) { return execute_run(spec, nullptr, nullptr); }
 
 RunRecord execute_run(const RunSpec& spec, SweepCache* cache) {
+  return execute_run(spec, cache, nullptr);
+}
+
+RunRecord execute_run(const RunSpec& spec, SweepCache* cache, WorkerPoolCache* pools) {
   RunRecord record;
   record.spec = spec;
   record.run_seed = spec.instance_seed();
@@ -372,13 +402,13 @@ RunRecord execute_run(const RunSpec& spec, SweepCache* cache) {
     fill_instance_shape(record, *instance);
     switch (spec.algorithm) {
       case AlgorithmKind::kFullReversal:
-        run_strategy_kernel(record, *instance, frozen, Strategy::kFullReversal);
+        run_strategy_kernel(record, *instance, frozen, Strategy::kFullReversal, pools);
         break;
       case AlgorithmKind::kOneStepPR:
-        run_strategy_kernel(record, *instance, frozen, Strategy::kPartialReversal);
+        run_strategy_kernel(record, *instance, frozen, Strategy::kPartialReversal, pools);
         break;
       case AlgorithmKind::kNewPR:
-        run_strategy_kernel(record, *instance, frozen, Strategy::kNewPR);
+        run_strategy_kernel(record, *instance, frozen, Strategy::kNewPR, pools);
         break;
       case AlgorithmKind::kHybrid:
         run_hybrid_kernel(record, *instance);
@@ -387,10 +417,10 @@ RunRecord execute_run(const RunSpec& spec, SweepCache* cache) {
         run_tora_kernel(record, *instance);
         break;
       case AlgorithmKind::kDistFR:
-        run_dist_kernel(record, *instance, frozen, ReversalRule::kFull);
+        run_dist_kernel(record, *instance, frozen, ReversalRule::kFull, pools);
         break;
       case AlgorithmKind::kDistPR:
-        run_dist_kernel(record, *instance, frozen, ReversalRule::kPartial);
+        run_dist_kernel(record, *instance, frozen, ReversalRule::kPartial, pools);
         break;
       case AlgorithmKind::kSimRPrime:
         run_sim_rprime_kernel(record, *instance);
@@ -499,7 +529,9 @@ Table SweepReport::aggregate_table() const {
 }
 
 ScenarioRunner::ScenarioRunner(RunnerOptions options)
-    : cache_max_entries_(options.cache_max_entries), pool_(options.threads) {}
+    : cache_max_entries_(options.cache_max_entries), pool_(options.threads) {
+  worker_pools_.resize(pool_.size());
+}
 
 SweepReport ScenarioRunner::run(const SweepSpec& spec) const {
   SweepCache cache(cache_max_entries_);  // shared frozen instances; dies with the sweep
@@ -519,11 +551,12 @@ std::vector<RunRecord> ScenarioRunner::run_all(const std::vector<RunSpec>& specs
   if (specs.empty()) return records;
   std::atomic<std::size_t> cursor{0};
   const std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
-  pool_.run([&specs, &records, &cursor, &cache](std::size_t) {
+  pool_.run([this, &specs, &records, &cursor, &cache](std::size_t worker) {
+    WorkerPoolCache& pools = worker_pools_[worker];
     while (true) {
       const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
       if (index >= specs.size()) return;
-      records[index] = execute_run(specs[index], &cache);
+      records[index] = execute_run(specs[index], &cache, &pools);
     }
   });
   return records;

@@ -136,6 +136,28 @@ class SweepCache {
   std::uint64_t evictions_ = 0;
 };
 
+/// Per-worker cache of the ThreadPools a run's sharded kernels borrow —
+/// the engine's greedy rounds (`engine_threads`) and the network's
+/// sharded event loop (`sim_threads`).  Historically every such run
+/// spawned and joined a short-lived pool; a sweep worker now keeps one
+/// pool per requested size alive across all the runs it claims, so the
+/// spawn cost is paid once per (worker, size) instead of once per run.
+/// Records are byte-identical either way (pools carry no run state).
+///
+/// NOT thread-safe: each ScenarioRunner worker owns a private cache, and
+/// standalone callers may hold a local one next to their execute_run loop.
+class WorkerPoolCache {
+ public:
+  /// The cached pool of `threads` logical workers (0 = hardware
+  /// concurrency), spawned on first use.  Borrowed, never owned, by the
+  /// run: the pool outlives the call and is reused by the next run that
+  /// requests the same size.
+  ThreadPool* get(std::size_t threads);
+
+ private:
+  std::vector<std::pair<std::size_t, std::unique_ptr<ThreadPool>>> pools_;
+};
+
 /// Executes one RunSpec synchronously and returns its record.  Exceptions
 /// become RunRecord::error instead of propagating, so one failing scenario
 /// cannot take down a sweep.  This is the shared single-run code path.
@@ -146,6 +168,12 @@ RunRecord execute_run(const RunSpec& spec);
 /// cost model the A/B harness compares against).  `cache` may be null.
 /// Records are byte-identical with and without a cache.
 RunRecord execute_run(const RunSpec& spec, SweepCache* cache);
+
+/// Same, additionally borrowing sharded-kernel pools from `pools` (may be
+/// null: the run then spawns short-lived pools itself when its spec asks
+/// for parallelism that looks worth the spawn).  Records are
+/// byte-identical with and without a pool cache.
+RunRecord execute_run(const RunSpec& spec, SweepCache* cache, WorkerPoolCache* pools);
 
 /// Counters of the SweepCache one sweep ran over, surfaced so callers
 /// (e.g. `lr_cli sweep`) can report cache effectiveness next to timing.
@@ -227,6 +255,11 @@ class ScenarioRunner {
   /// The worker pool; mutable because dispatching jobs mutates pool state
   /// while a runner stays logically const (results are state-independent).
   mutable ThreadPool pool_;
+  /// One sharded-kernel pool cache per worker (indexed by the pool's
+  /// worker id), so runs claimed by the same worker reuse its pools.
+  /// Safe without locks: dispatches are serialized by dispatch_mutex_ and
+  /// each worker touches only its own slot.
+  mutable std::vector<WorkerPoolCache> worker_pools_;
 };
 
 }  // namespace lr

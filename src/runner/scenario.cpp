@@ -190,6 +190,8 @@ std::vector<RunSpec> SweepSpec::expand() const {
             spec.max_steps = max_steps;
             spec.path = path;
             spec.engine_threads = engine_threads;
+            spec.sim_scheduler = sim_scheduler;
+            spec.sim_threads = sim_threads;
             runs.push_back(spec);
           }
         }
@@ -303,6 +305,14 @@ SweepSpec SweepSpec::parse(std::istream& is) {
         const auto list = parse_integer_list(values);
         if (list.size() != 1) throw std::invalid_argument("engine_threads takes a single value");
         spec.engine_threads = static_cast<std::size_t>(list[0]);
+      } else if (key == "sim_scheduler") {
+        const auto tokens = split_values(values);
+        if (tokens.size() != 1) throw std::invalid_argument("sim_scheduler takes a single value");
+        spec.sim_scheduler = parse_event_scheduler(tokens[0]);
+      } else if (key == "sim_threads") {
+        const auto list = parse_integer_list(values);
+        if (list.size() != 1) throw std::invalid_argument("sim_threads takes a single value");
+        spec.sim_threads = static_cast<std::size_t>(list[0]);
       } else {
         throw std::invalid_argument("unknown key '" + key + "'");
       }

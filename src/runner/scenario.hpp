@@ -7,6 +7,7 @@
 
 #include "analysis/game.hpp"
 #include "graph/generators.hpp"
+#include "sim/time_index.hpp"
 
 /// \file scenario.hpp
 /// Declarative scenario-sweep specifications: the input language of the
@@ -103,6 +104,20 @@ struct RunSpec {
   /// worth it on large topologies, overhead on tiny ones.
   std::size_t engine_threads = 1;
 
+  /// Event-scheduler backend of the simulated network's time index
+  /// (dist-fr / dist-pr kernels): the historical binary heap or the
+  /// hierarchical timing wheel (sim/time_index.hpp).  Purely a performance
+  /// switch — pop order, and hence every record, is byte-identical across
+  /// backends (tests/sim_test.cpp pins the equivalence).
+  EventSchedulerKind sim_scheduler = EventSchedulerKind::kHeap;
+
+  /// Worker threads of the simulated network's sharded event loop
+  /// (dist-fr / dist-pr kernels): 1 = the serial event queue (default),
+  /// 0 = hardware concurrency, N = a pool of N per-node event lanes
+  /// (sim/sharded_loop.hpp).  Deterministic and byte-identical to the
+  /// serial loop at every value, like engine_threads.
+  std::size_t sim_threads = 1;
+
   /// Seed of the instance-construction RNG stream.  Depends only on
   /// (topology, size, seed) — *not* on algorithm or scheduler — so all
   /// kernels of one sweep measure the same instances, which is what makes
@@ -181,6 +196,15 @@ struct SweepSpec {
   /// Also a scalar, for the same reason as `path`: results are identical
   /// at every thread count by construction.
   std::size_t engine_threads = 1;
+  /// `sim_scheduler =` scalar option (`heap` default, `wheel` for the
+  /// timing-wheel backend): the network time index stamped on every
+  /// expanded run (see RunSpec::sim_scheduler).  Scalar because records
+  /// are byte-identical across backends.
+  EventSchedulerKind sim_scheduler = EventSchedulerKind::kHeap;
+  /// `sim_threads =` scalar option: the network's sharded-event-loop
+  /// worker count stamped on every expanded run (see RunSpec::sim_threads).
+  /// Scalar because records are byte-identical at every value.
+  std::size_t sim_threads = 1;
 
   /// Number of runs the spec expands to (the axes' size product).
   std::size_t run_count() const;

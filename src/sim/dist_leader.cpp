@@ -16,6 +16,8 @@ DistLeaderElection::DistLeaderElection(const Graph& topology, Network& network)
     candidate_[u] = u;  // everyone starts believing in itself
     b_[u] = static_cast<std::int64_t>(u);
   }
+  adoptions_.assign(n, 0);
+  height_steps_.assign(n, 0);
   views_.resize(2 * csr_.num_edges());
   for (NodeId u = 0; u < n; ++u) {
     const CsrPos end = csr_.adjacency_end(u);
@@ -109,7 +111,7 @@ void DistLeaderElection::maybe_act(NodeId u) {
     // we heard it from, so our edge points at them.
     a_[u] = views_[best_slot].a;
     b_[u] = views_[best_slot].b + 1;
-    ++adoptions_;
+    ++adoptions_[u];
     broadcast(u);
     return;
   }
@@ -129,8 +131,20 @@ void DistLeaderElection::maybe_act(NodeId u) {
   }
   a_[u] = new_a;
   if (tie) b_[u] = min_b - 1;
-  ++height_steps_;
+  ++height_steps_[u];
   broadcast(u);
+}
+
+std::uint64_t DistLeaderElection::candidate_adoptions() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t a : adoptions_) total += a;
+  return total;
+}
+
+std::uint64_t DistLeaderElection::height_steps() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : height_steps_) total += s;
+  return total;
 }
 
 void DistLeaderElection::broadcast(NodeId u) {

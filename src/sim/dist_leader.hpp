@@ -56,10 +56,13 @@ class DistLeaderElection {
   /// sink — the local leadership certificate.
   bool leader_is_unique_sink() const;
 
-  /// Times any node adopted a better candidate.
-  std::uint64_t candidate_adoptions() const noexcept { return adoptions_; }
-  /// Ordinary partial-reversal height steps fired.
-  std::uint64_t height_steps() const noexcept { return height_steps_; }
+  /// Times any node adopted a better candidate (summed over the per-node
+  /// counters — kept per node so handlers running on different shards of
+  /// the sharded event loop never share a counter).
+  std::uint64_t candidate_adoptions() const;
+  /// Ordinary partial-reversal height steps fired (summed per node, for
+  /// the same reason).
+  std::uint64_t height_steps() const;
 
  private:
   struct View {
@@ -84,8 +87,9 @@ class DistLeaderElection {
   std::vector<std::int64_t> a_;
   std::vector<std::int64_t> b_;
   std::vector<View> views_;  // neighbor views, indexed by CSR position
-  std::uint64_t adoptions_ = 0;
-  std::uint64_t height_steps_ = 0;
+  // Per-node action counters (see the accessor comments).
+  std::vector<std::uint64_t> adoptions_;
+  std::vector<std::uint64_t> height_steps_;
 };
 
 }  // namespace lr

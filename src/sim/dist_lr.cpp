@@ -119,7 +119,6 @@ void DistLinkReversal::maybe_step(NodeId u) {
     if (tie) b_[u] = min_b - 1;
   }
   ++steps_[u];
-  ++total_steps_;
   broadcast_height(u);
 }
 
@@ -171,6 +170,12 @@ void DistLinkReversal::on_message(const NetMessage& message) {
   view_b_[slot] = message.payload[1];
 
   maybe_step(u);
+}
+
+std::uint64_t DistLinkReversal::total_steps() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : steps_) total += s;
+  return total;
 }
 
 std::optional<NodeId> DistLinkReversal::best_out_neighbor_view(NodeId u) const {

@@ -94,8 +94,10 @@ class DistLinkReversal {
 
   /// The destination node D.
   NodeId destination() const noexcept { return destination_; }
-  /// Reversal steps performed by all nodes so far.
-  std::uint64_t total_steps() const noexcept { return total_steps_; }
+  /// Reversal steps performed by all nodes so far (the sum of the per-node
+  /// counters — kept per node rather than global so handlers running on
+  /// different shards of the sharded event loop never share a counter).
+  std::uint64_t total_steps() const;
   /// Reversal steps performed by node `u` so far.
   std::uint64_t steps(NodeId u) const { return steps_[u]; }
 
@@ -135,7 +137,6 @@ class DistLinkReversal {
   std::vector<std::int64_t> view_b_;
 
   std::vector<std::uint64_t> steps_;
-  std::uint64_t total_steps_ = 0;
 };
 
 }  // namespace lr

@@ -8,11 +8,13 @@
 namespace lr {
 
 DistMutex::DistMutex(const Graph& topology, NodeId initial_holder, Network& network)
-    : graph_(&topology), network_(&network), csr_(topology), holder_(initial_holder) {
+    : graph_(&topology), network_(&network), csr_(topology) {
   const std::size_t n = graph_->num_nodes();
   if (initial_holder >= n) {
     throw std::invalid_argument("DistMutex: initial holder out of range");
   }
+  is_holder_.assign(n, 0);
+  is_holder_[initial_holder] = 1;
   a_.assign(n, 0);
   b_.resize(n);
   for (NodeId u = 0; u < n; ++u) b_[u] = static_cast<std::int64_t>(u);
@@ -27,8 +29,12 @@ DistMutex::DistMutex(const Graph& topology, NodeId initial_holder, Network& netw
       views_[p] = View{a_[v], b_[v], 0};
     }
   }
+  payload_scratch_.resize(n);
+  grant_queue_.resize(n);
   pending_.resize(n);
-  outstanding_.assign(n, false);
+  outstanding_.assign(n, 0);
+  grants_.assign(n, 0);
+  reversal_steps_.assign(n, 0);
 
   for (NodeId u = 0; u < n; ++u) {
     network_->set_handler(u, [this](const NetMessage& message) { on_message(message); });
@@ -36,8 +42,28 @@ DistMutex::DistMutex(const Graph& topology, NodeId initial_holder, Network& netw
 }
 
 std::optional<NodeId> DistMutex::holder() const {
-  if (holder_ == kNoNode) return std::nullopt;
-  return holder_;
+  for (NodeId u = 0; u < is_holder_.size(); ++u) {
+    if (is_holder_[u] != 0) return u;
+  }
+  return std::nullopt;
+}
+
+std::size_t DistMutex::queued_requests() const {
+  std::size_t total = 0;
+  for (const auto& queue : grant_queue_) total += queue.size();
+  return total;
+}
+
+std::uint64_t DistMutex::grants() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t g : grants_) total += g;
+  return total;
+}
+
+std::uint64_t DistMutex::reversal_steps() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : reversal_steps_) total += s;
+  return total;
 }
 
 std::size_t DistMutex::view_slot(NodeId u, NodeId neighbor) const {
@@ -80,7 +106,7 @@ void DistMutex::reversal_step(NodeId u) {
   }
   a_[u] = new_a;
   if (tie) b_[u] = min_b - 1;
-  ++reversal_steps_;
+  ++reversal_steps_[u];
   broadcast_height(u);
 }
 
@@ -95,16 +121,16 @@ void DistMutex::request(NodeId u) {
   if (u >= graph_->num_nodes()) {
     throw std::invalid_argument("DistMutex::request: node out of range");
   }
-  if (u == holder_ || outstanding_[u]) return;
-  outstanding_[u] = true;
+  if (is_holder_[u] != 0 || outstanding_[u] != 0) return;
+  outstanding_[u] = 1;
   pending_[u].push_back(QueuedRequest{u, {u}});
   try_forward_pending(u);
 }
 
 void DistMutex::try_forward_pending(NodeId u) {
   while (!pending_[u].empty()) {
-    if (u == holder_) {
-      grant_queue_.push_back(std::move(pending_[u].front()));
+    if (is_holder_[u] != 0) {
+      grant_queue_[u].push_back(std::move(pending_[u].front()));
       pending_[u].pop_front();
       continue;
     }
@@ -123,21 +149,23 @@ void DistMutex::try_forward_pending(NodeId u) {
 
 void DistMutex::forward_request(NodeId u, QueuedRequest request) {
   const auto next = downhill_neighbor(u);
-  payload_scratch_.clear();
-  payload_scratch_.push_back(kRequest);
-  payload_scratch_.push_back(static_cast<std::int64_t>(request.origin));
+  std::vector<std::int64_t>& scratch = payload_scratch_[u];
+  scratch.clear();
+  scratch.push_back(kRequest);
+  scratch.push_back(static_cast<std::int64_t>(request.origin));
   for (const NodeId hop : request.path) {
-    payload_scratch_.push_back(static_cast<std::int64_t>(hop));
+    scratch.push_back(static_cast<std::int64_t>(hop));
   }
-  network_->send(u, *next, payload_scratch_);
+  network_->send(u, *next, scratch);
 }
 
 void DistMutex::release() {
-  if (holder_ == kNoNode) return;  // token in flight: nothing to release
-  if (grant_queue_.empty()) return;
-  QueuedRequest request = std::move(grant_queue_.front());
-  grant_queue_.pop_front();
-  const NodeId h = holder_;
+  const auto current = holder();
+  if (!current) return;  // token in flight: nothing to release
+  const NodeId h = *current;
+  if (grant_queue_[h].empty()) return;
+  QueuedRequest request = std::move(grant_queue_[h].front());
+  grant_queue_[h].pop_front();
   if (request.origin == h) {  // stale self-request; try the next one
     release();
     return;
@@ -145,24 +173,25 @@ void DistMutex::release() {
   // Complete the recorded path with the holder itself, then send the token
   // back along it.
   if (request.path.empty() || request.path.back() != h) request.path.push_back(h);
-  holder_ = kNoNode;
-  payload_scratch_.clear();
-  payload_scratch_.push_back(kToken);
-  payload_scratch_.push_back(a_[h]);
-  payload_scratch_.push_back(b_[h]);
+  is_holder_[h] = 0;
+  std::vector<std::int64_t>& scratch = payload_scratch_[h];
+  scratch.clear();
+  scratch.push_back(kToken);
+  scratch.push_back(a_[h]);
+  scratch.push_back(b_[h]);
   // Remaining path: everything except the holder.
   for (std::size_t i = 0; i + 1 < request.path.size(); ++i) {
-    payload_scratch_.push_back(static_cast<std::int64_t>(request.path[i]));
+    scratch.push_back(static_cast<std::int64_t>(request.path[i]));
   }
   const NodeId next_hop = request.path[request.path.size() - 2];
-  network_->send(h, next_hop, payload_scratch_);
+  network_->send(h, next_hop, scratch);
 
   // Queued paths end at h, which is no longer the holder: re-inject them as
   // pending requests at h so they re-route towards the token's new home
   // (extending their recorded paths hop by hop).
-  while (!grant_queue_.empty()) {
-    pending_[h].push_back(std::move(grant_queue_.front()));
-    grant_queue_.pop_front();
+  while (!grant_queue_[h].empty()) {
+    pending_[h].push_back(std::move(grant_queue_[h].front()));
+    grant_queue_[h].pop_front();
   }
   try_forward_pending(h);
 }
@@ -218,26 +247,29 @@ void DistMutex::handle_token(NodeId u, const NetMessage& message) {
 
   if (remaining.size() == 1) {
     // u is the grantee: drop just below the granting holder's height,
-    // becoming the new global minimum.
+    // becoming the new global minimum.  Only u ever sets its own flag (the
+    // old holder's was cleared by release() before the token left), so the
+    // write stays inside u's shard.
     a_[u] = message.payload.at(1);
     b_[u] = message.payload.at(2) - 1;
-    holder_ = u;
-    outstanding_[u] = false;
-    ++grants_;
+    is_holder_[u] = 1;
+    outstanding_[u] = 0;
+    ++grants_[u];
     broadcast_height(u);
     try_forward_pending(u);  // locally stuck requests go to the grant queue
     return;
   }
   // Forward the token one hop further back along the request path.
   remaining.pop_back();
-  payload_scratch_.clear();
-  payload_scratch_.push_back(kToken);
-  payload_scratch_.push_back(message.payload.at(1));
-  payload_scratch_.push_back(message.payload.at(2));
+  std::vector<std::int64_t>& scratch = payload_scratch_[u];
+  scratch.clear();
+  scratch.push_back(kToken);
+  scratch.push_back(message.payload.at(1));
+  scratch.push_back(message.payload.at(2));
   for (const NodeId hop : remaining) {
-    payload_scratch_.push_back(static_cast<std::int64_t>(hop));
+    scratch.push_back(static_cast<std::int64_t>(hop));
   }
-  network_->send(u, remaining.back(), payload_scratch_);
+  network_->send(u, remaining.back(), scratch);
 }
 
 }  // namespace lr

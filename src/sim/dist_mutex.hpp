@@ -59,15 +59,19 @@ class DistMutex {
   std::optional<NodeId> holder() const;
 
   /// True iff u may enter its critical section now.
-  bool may_enter(NodeId u) const { return holder_ == u; }
+  bool may_enter(NodeId u) const { return is_holder_[u] != 0; }
 
-  /// Requests waiting at the holder, in grant order.
-  std::size_t queued_requests() const { return grant_queue_.size(); }
+  /// Requests waiting at the holder, in grant order (summed over the
+  /// per-node queues; only the holder's can be non-empty at quiescence).
+  std::size_t queued_requests() const;
 
-  /// Token hand-offs completed so far.
-  std::uint64_t grants() const noexcept { return grants_; }
-  /// Request-driven partial-reversal steps fired so far.
-  std::uint64_t reversal_steps() const noexcept { return reversal_steps_; }
+  /// Token hand-offs completed so far (summed over the per-node counters —
+  /// kept per node so handlers running on different shards of the sharded
+  /// event loop never share a counter; same for the other per-node state
+  /// below).
+  std::uint64_t grants() const;
+  /// Request-driven partial-reversal steps fired so far (summed per node).
+  std::uint64_t reversal_steps() const;
 
  private:
   enum MessageKind : std::int64_t { kHeight = 0, kRequest = 1, kToken = 2 };
@@ -96,7 +100,13 @@ class DistMutex {
   // position.
   CsrGraph csr_;
 
-  NodeId holder_ = kNoNode;  ///< kNoNode while the token is in flight
+  // Sharded-loop discipline: every member a delivery handler touches is
+  // per-node state owned by the receiving node (its shard), so handlers on
+  // different shards never write the same element.  The token-holder fact
+  // is therefore a per-node flag (set by the grantee's handle_token, only
+  // ever for itself; cleared by the main-thread release()) instead of one
+  // shared NodeId.
+  std::vector<std::uint8_t> is_holder_;  ///< all zero while in flight
 
   std::vector<std::int64_t> a_;
   std::vector<std::int64_t> b_;
@@ -109,17 +119,20 @@ class DistMutex {
   };
   std::vector<View> views_;  // neighbor views, indexed by CSR position
 
-  // Reused payload buffer for REQUEST/TOKEN assembly: Network::send copies
-  // the words into its message pool before returning, so one scratch
-  // vector serves every send without steady-state allocation.
-  std::vector<std::int64_t> payload_scratch_;
+  // Reused per-node payload buffers for REQUEST/TOKEN assembly:
+  // Network::send copies the words into its message pool before returning,
+  // so one scratch vector per node serves every send without steady-state
+  // allocation (per node, not shared, for the sharding discipline above).
+  std::vector<std::vector<std::int64_t>> payload_scratch_;
 
-  std::deque<QueuedRequest> grant_queue_;          // at the holder
+  std::vector<std::deque<QueuedRequest>> grant_queue_;  // at the holder
   std::vector<std::deque<QueuedRequest>> pending_;  // stuck at intermediate nodes
-  std::vector<bool> outstanding_;                   // origin has an unserved request
+  // Origin has an unserved request.  uint8_t, not vector<bool>: packed
+  // bits would let two shards' byte-level writes race on neighbors.
+  std::vector<std::uint8_t> outstanding_;
 
-  std::uint64_t grants_ = 0;
-  std::uint64_t reversal_steps_ = 0;
+  std::vector<std::uint64_t> grants_;          // per-node grant counters
+  std::vector<std::uint64_t> reversal_steps_;  // per-node reversal counters
 };
 
 }  // namespace lr

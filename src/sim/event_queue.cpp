@@ -1,6 +1,5 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace lr {
@@ -29,15 +28,12 @@ void EventQueue::release_slot(std::uint32_t index) {
 }
 
 void EventQueue::push_entry(SimTime at, std::uint32_t index) {
-  heap_.push_back(HeapEntry{at, next_seq_++, index});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  index_.push(at, next_seq_++, index);
 }
 
 bool EventQueue::run_one() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  const HeapEntry entry = heap_.back();
-  heap_.pop_back();
+  TimeIndexEntry entry;
+  if (!index_.pop_min(entry)) return false;
   now_ = entry.time;
   ++executed_;
   // Release the slot whether or not the callback throws (a throwing event

@@ -5,9 +5,9 @@
 #include <new>
 #include <type_traits>
 #include <utility>
-#include <vector>
 
 #include "sim/slot_pool.hpp"
+#include "sim/time_index.hpp"
 
 /// \file event_queue.hpp
 /// A minimal discrete-event simulation core: a time-ordered queue of
@@ -21,16 +21,16 @@
 ///
 /// Memory model (docs/PERFORMANCE.md): every scheduled callback lives in a
 /// fixed-size *slot* drawn from a freelist over slabs that are never
-/// returned; the time-ordered index is a plain binary heap of POD entries.
-/// Once the pool and heap have grown to a simulation's high-water mark,
-/// scheduling and running events allocates nothing — the preallocated-pool
-/// discipline line-rate event systems (NDN-DPDK-style) are built on, which
-/// keeps message-heavy sweeps engine-bound instead of allocator-bound.
+/// returned; the time-ordered index is a pluggable `TimeIndex`
+/// (time_index.hpp) — a binary heap of POD entries by default, or a
+/// hierarchical timing wheel behind the `EventSchedulerKind::kWheel` knob,
+/// with identical pop order either way.  Once the pool and index have
+/// grown to a simulation's high-water mark, scheduling and running events
+/// allocates nothing — the preallocated-pool discipline line-rate event
+/// systems (NDN-DPDK-style) are built on, which keeps message-heavy
+/// sweeps engine-bound instead of allocator-bound.
 
 namespace lr {
-
-/// Simulated time in abstract ticks.
-using SimTime = std::uint64_t;
 
 /// The pooled discrete-event queue.  Callbacks are any callables whose
 /// captured state fits `kInlineEventBytes`; they are stored in place inside
@@ -43,8 +43,11 @@ class EventQueue {
   /// index into externally owned state) rather than raising the bound.
   static constexpr std::size_t kInlineEventBytes = 64;
 
-  /// An empty queue at time 0 with an empty pool.
-  EventQueue() = default;
+  /// An empty queue at time 0 with an empty pool.  `scheduler` selects the
+  /// time-index backend (heap or timing wheel, time_index.hpp); event
+  /// execution order is byte-identical across backends.
+  explicit EventQueue(EventSchedulerKind scheduler = EventSchedulerKind::kHeap)
+      : index_(scheduler) {}
 
   /// Slots hold type-erased live callables whose teardown only the
   /// destructor knows how to run; a defaulted copy would duplicate them
@@ -97,10 +100,13 @@ class EventQueue {
   SimTime now() const noexcept { return now_; }
 
   /// True iff no event is pending.
-  bool empty() const noexcept { return heap_.empty(); }
+  bool empty() const noexcept { return index_.empty(); }
 
   /// Number of pending events.
-  std::size_t pending() const noexcept { return heap_.size(); }
+  std::size_t pending() const noexcept { return index_.size(); }
+
+  /// The configured time-index backend.
+  EventSchedulerKind scheduler() const noexcept { return index_.kind(); }
 
   /// Pops and runs the earliest event; returns false when the queue is
   /// empty.  Events scheduled at the same tick run in scheduling order.
@@ -130,27 +136,12 @@ class EventQueue {
     void (*destroy)(void*) = nullptr;
   };
 
-  /// POD heap entry; `seq` breaks same-tick ties in FIFO order.
-  struct HeapEntry {
-    SimTime time;
-    std::uint64_t seq;
-    std::uint32_t slot;
-  };
-
-  /// Heap order: the entry that fires *later* compares "greater", so the
-  /// binary heap keeps the earliest (then lowest-seq) entry at the front.
-  struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
-
   void check_schedulable(SimTime at) const;
   void release_slot(std::uint32_t index);
   void push_entry(SimTime at, std::uint32_t index);
 
-  SlotPool<Slot> pool_;          ///< event slab pool (slot_pool.hpp)
-  std::vector<HeapEntry> heap_;  ///< binary heap of pending entries
+  SlotPool<Slot> pool_;  ///< event slab pool (slot_pool.hpp)
+  TimeIndex index_;      ///< pending entries in (time, seq) order
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <optional>
 #include <random>
 #include <span>
@@ -12,6 +13,7 @@
 #include "graph/graph.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/slot_pool.hpp"
+#include "sim/time_index.hpp"
 
 /// \file network.hpp
 /// A simulated asynchronous message-passing network over a fixed topology
@@ -30,6 +32,9 @@
 /// sends, delivers, and re-sends messages with zero heap allocation.
 
 namespace lr {
+
+class ShardedEventLoop;
+class ThreadPool;
 
 /// An application message.  The payload layout is protocol-defined (the
 /// distributed link-reversal protocol ships heights as int64 tuples).
@@ -53,6 +58,26 @@ struct NetworkConfig {
   double drop_probability = 0.0;
   /// See `drop_probability`.
   double duplicate_probability = 0.0;
+
+  /// Time-index backend of the event core (heap or timing wheel,
+  /// time_index.hpp).  Purely a performance switch: delivery order,
+  /// counters, and quiescence times are byte-identical across backends.
+  EventSchedulerKind scheduler = EventSchedulerKind::kHeap;
+
+  /// Event-loop worker count: 1 (default) drives the serial EventQueue;
+  /// 0 means hardware concurrency; N > 1 runs the sharded per-node event
+  /// lanes (sharded_loop.hpp) on N workers.  Also purely a performance
+  /// switch — the sharded loop's deterministic merge reproduces the serial
+  /// queue's delivery order, RNG stream, and counters byte-for-byte at
+  /// every worker count.  Sharded mode drives protocol messages only;
+  /// application events co-scheduled through queue() (e.g. DistRouter's
+  /// packet hops) are unsupported there and rejected by run_until_idle.
+  std::size_t sim_threads = 1;
+
+  /// Optional borrowed worker pool for sharded mode (its size overrides
+  /// `sim_threads`); nullptr makes the network own a pool.  Borrowing lets
+  /// a sweep reuse one pool across runs (runner.hpp's per-worker cache).
+  ThreadPool* sim_pool = nullptr;
 };
 
 /// The simulated asynchronous network: messages, delays, churn, handlers.
@@ -78,14 +103,18 @@ class Network {
   /// \copydoc Network(const Network&)
   Network& operator=(const Network&) = delete;
 
+  /// Out-of-line so the sharded loop can be an incomplete type here.
+  ~Network();
+
   /// The topology graph the network was built over.
   const Graph& graph() const noexcept { return *graph_; }
 
-  /// The underlying event queue (for co-scheduling application events).
+  /// The underlying event queue (for co-scheduling application events;
+  /// serial mode only — see NetworkConfig::sim_threads).
   EventQueue& queue() noexcept { return queue_; }
 
   /// Current simulated time.
-  SimTime now() const noexcept { return queue_.now(); }
+  SimTime now() const noexcept;
 
   /// Installs the delivery callback of node `u`.
   void set_handler(NodeId u, Handler handler) { handlers_[u] = std::move(handler); }
@@ -111,10 +140,13 @@ class Network {
   bool link_up(EdgeId e) const { return link_up_[e]; }
 
   /// Runs the simulation until no events remain (or the safety budget is
-  /// hit); returns events executed.
-  std::uint64_t run_until_idle(std::uint64_t max_events = 50'000'000) {
-    return queue_.run_until_idle(max_events);
-  }
+  /// hit); returns events executed.  In sharded mode the budget binds at
+  /// tick granularity (whole ticks execute atomically); the default budget
+  /// never binds either way.
+  std::uint64_t run_until_idle(std::uint64_t max_events = 50'000'000);
+
+  /// The sharded event loop when sim_threads selected one, else nullptr.
+  const ShardedEventLoop* sharded_loop() const noexcept { return sharded_.get(); }
 
   /// Messages handed to send() (dropped ones included).
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
@@ -124,11 +156,22 @@ class Network {
   std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
 
   /// Message-pool slots ever allocated (the high-water mark of in-flight
-  /// messages); stable across steady-state send/deliver cycles.
-  std::size_t message_pool_slots() const noexcept { return pool_.slots(); }
+  /// messages); stable across steady-state send/deliver cycles.  Sharded
+  /// mode sums the per-shard pools.
+  std::size_t message_pool_slots() const noexcept;
 
  private:
+  friend class ShardedEventLoop;  ///< drives plan_send/handlers_/counters
+
   void deliver(std::uint32_t index);
+
+  /// The send decision shared by the serial path and the sharded merge:
+  /// adjacency check (throws when not adjacent), sent/dropped counters,
+  /// link-state and loss filtering, and the delay/duplicate RNG draws —
+  /// in exactly the serial draw order, so both paths consume the one RNG
+  /// stream identically.  Returns the number of copies to deliver (0 when
+  /// dropped) and fills `delays` with that many per-copy delays.
+  std::size_t plan_send(NodeId from, NodeId to, SimTime (&delays)[2]);
 
   const Graph* graph_;
   const CsrGraph* csr_;               ///< adjacency snapshot (owned or borrowed)
@@ -144,6 +187,10 @@ class Network {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  /// Engaged when sim_threads selected sharded mode; replaces queue_ as
+  /// the execution engine (queue_ stays for the serial path and the
+  /// queue() accessor).  Last member: it captures `this` internals.
+  std::unique_ptr<ShardedEventLoop> sharded_;
 };
 
 }  // namespace lr

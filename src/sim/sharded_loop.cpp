@@ -1,0 +1,189 @@
+#include "sim/sharded_loop.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lr {
+
+namespace {
+
+/// Which shard the current thread is executing during a parallel phase
+/// (workers only; meaningless outside run_phase).
+thread_local std::size_t tls_shard_index = 0;
+/// Global seq of the delivery whose handler is currently running — the
+/// merge key stamped on every send the handler defers.
+thread_local std::uint64_t tls_trigger_seq = 0;
+
+}  // namespace
+
+ShardedEventLoop::ShardedEventLoop(Network& network, std::size_t workers,
+                                   EventSchedulerKind scheduler, ThreadPool* pool)
+    : network_(&network), num_nodes_(network.graph().num_nodes()) {
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(workers);
+    pool_ = owned_pool_.get();
+  }
+  if (num_nodes_ == 0) {
+    throw std::invalid_argument("ShardedEventLoop: network has no nodes");
+  }
+  const std::size_t shards = std::min(pool_->size(), num_nodes_);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(scheduler));
+  }
+}
+
+ShardedEventLoop::~ShardedEventLoop() = default;
+
+std::size_t ShardedEventLoop::message_pool_slots() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->pool.slots();
+  return total;
+}
+
+bool ShardedEventLoop::idle() const {
+  for (const auto& shard : shards_) {
+    if (shard->next_time != kNoTime || shard->lane_min != kNoTime) return false;
+  }
+  return true;
+}
+
+void ShardedEventLoop::submit(NodeId from, NodeId to, std::span<const std::int64_t> payload) {
+  if (!in_parallel_) {
+    // Serial context (protocol start / resync / release calls between
+    // runs): execute the send immediately, exactly like the serial queue.
+    immediate_send(from, to, payload);
+    return;
+  }
+  // Parallel phase: defer into this shard's outbox.  The outbox stays
+  // ascending in trigger seq because the shard pops its deliveries in
+  // (time, seq) order.
+  Shard& shard = *shards_[tls_shard_index];
+  const std::uint32_t offset = static_cast<std::uint32_t>(shard.arena.size());
+  shard.arena.insert(shard.arena.end(), payload.begin(), payload.end());
+  shard.outbox.push_back(
+      PendingSend{tls_trigger_seq, from, to, offset, static_cast<std::uint32_t>(payload.size())});
+}
+
+void ShardedEventLoop::immediate_send(NodeId from, NodeId to,
+                                      std::span<const std::int64_t> payload) {
+  SimTime delays[2];
+  const std::size_t copies = network_->plan_send(from, to, delays);
+  for (std::size_t i = 0; i < copies; ++i) {
+    Shard& dest = *shards_[shard_of(to)];
+    const std::uint32_t slot = dest.pool.acquire();
+    NetMessage& message = dest.pool[slot];
+    message.from = from;
+    message.to = to;
+    message.payload.assign(payload.begin(), payload.end());
+    const Delivery delivery{now_ + delays[i], next_seq_++, slot};
+    if (!dest.ring.try_push(delivery)) dest.spill.push_back(delivery);
+    dest.lane_min = std::min(dest.lane_min, delivery.time);
+  }
+}
+
+void ShardedEventLoop::run_phase(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  tls_shard_index = shard_index;
+  shard.phase_delivered = 0;
+  try {
+    // Drain the lane into the time index: ring first, spill after.  Both
+    // segments are ascending in seq and every ring seq precedes every
+    // spill seq (the producer spills only once the ring is full), so
+    // same-tick FIFO order survives — the wheel backend relies on it.
+    Delivery delivery;
+    while (shard.ring.try_pop(delivery)) {
+      shard.index.push(delivery.time, delivery.seq, delivery.slot);
+    }
+    for (const Delivery& spilled : shard.spill) {
+      shard.index.push(spilled.time, spilled.seq, spilled.slot);
+    }
+    shard.spill.clear();
+
+    // Run every delivery at the current tick in (time, seq) order.
+    SimTime next;
+    while (shard.index.peek_min_time(next) && next == now_) {
+      TimeIndexEntry entry;
+      shard.index.pop_min(entry);
+      ++shard.phase_delivered;
+      NetMessage& message = shard.pool[entry.slot];
+      tls_trigger_seq = entry.seq;
+      if (network_->handlers_[message.to]) network_->handlers_[message.to](message);
+      message.payload.clear();  // keeps capacity for the next send
+      shard.pool.release(entry.slot);
+    }
+    shard.next_time = shard.index.peek_min_time(next) ? next : kNoTime;
+  } catch (...) {
+    shard.error = std::current_exception();
+  }
+}
+
+void ShardedEventLoop::merge_outboxes() {
+  // K-way merge of the per-shard outboxes by trigger seq (each outbox is
+  // already ascending, and seqs are globally unique): replays the phase's
+  // handler sends in exactly the interleaving the serial queue would have
+  // executed them, so plan_send consumes the RNG draw-for-draw
+  // identically.
+  std::vector<std::size_t> cursor(shards_.size(), 0);
+  while (true) {
+    std::size_t best = shards_.size();
+    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const Shard& shard = *shards_[s];
+      if (cursor[s] < shard.outbox.size() && shard.outbox[cursor[s]].trigger_seq < best_seq) {
+        best = s;
+        best_seq = shard.outbox[cursor[s]].trigger_seq;
+      }
+    }
+    if (best == shards_.size()) break;
+    Shard& shard = *shards_[best];
+    const PendingSend& send = shard.outbox[cursor[best]++];
+    immediate_send(send.from, send.to,
+                   std::span<const std::int64_t>(shard.arena.data() + send.offset, send.words));
+  }
+  for (const auto& shard : shards_) {
+    shard->outbox.clear();
+    shard->arena.clear();
+  }
+}
+
+std::uint64_t ShardedEventLoop::run_until_idle(std::uint64_t max_events) {
+  if (!network_->queue_.empty()) {
+    throw std::logic_error(
+        "ShardedEventLoop: application events on Network::queue() are unsupported in "
+        "sharded mode (set sim_threads = 1)");
+  }
+  std::uint64_t ran = 0;
+  while (ran < max_events) {
+    SimTime tick = kNoTime;
+    for (const auto& shard : shards_) {
+      tick = std::min({tick, shard->next_time, shard->lane_min});
+    }
+    if (tick == kNoTime) break;
+    now_ = tick;
+    in_parallel_ = true;
+    pool_->run([this](std::size_t worker) {
+      if (worker < shards_.size()) run_phase(worker);
+    });
+    in_parallel_ = false;
+    std::uint64_t delivered = 0;
+    for (const auto& shard : shards_) {
+      if (shard->error) {
+        std::exception_ptr error = shard->error;
+        shard->error = nullptr;
+        std::rethrow_exception(error);
+      }
+      delivered += shard->phase_delivered;
+      shard->lane_min = kNoTime;  // lanes fully drained by the phase
+    }
+    ran += delivered;
+    network_->messages_delivered_ += delivered;
+    merge_outboxes();  // refills lanes and lane_min for the next tick
+  }
+  return ran;
+}
+
+}  // namespace lr

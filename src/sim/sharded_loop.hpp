@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+#include "sim/network.hpp"
+#include "sim/slot_pool.hpp"
+#include "sim/spsc_ring.hpp"
+#include "sim/time_index.hpp"
+
+/// \file sharded_loop.hpp
+/// The sharded event loop: K per-shard event loops over per-node event
+/// lanes, fork/join-synchronized per simulated tick, with a deterministic
+/// serial merge — the parallel execution engine behind
+/// `NetworkConfig::sim_threads` (network.hpp).
+///
+/// Architecture (NDN-DPDK's shared-nothing forwarder, adapted to a DES):
+/// nodes are partitioned into K contiguous shards.  Each shard owns its
+/// slice of the simulation outright — a TimeIndex of pending deliveries, a
+/// message SlotPool, and an inbound SPSC ring (spsc_ring.hpp) its lane —
+/// so the hot phase touches no shared mutable state at all.
+///
+/// One tick executes in two phases:
+///
+///  1. **Parallel phase** (ThreadPool fork/join): every shard drains its
+///     lane into its time index and runs all deliveries at the current
+///     tick T in (time, seq) order.  Handler sends are *deferred*: they
+///     are recorded (with the triggering delivery's global seq) into the
+///     shard's outbox instead of touching the shared RNG.
+///  2. **Serial merge** (the calling thread, after the barrier): the
+///     per-shard outboxes — each already ascending in trigger seq — are
+///     k-way merged by trigger seq, and each send executes the shared
+///     decision logic (Network::plan_send: adjacency, counters, drop /
+///     delay / duplicate draws) in exactly the order the serial queue
+///     would have, then pushes the resulting deliveries into the
+///     destination shards' lanes with globally sequenced (time, seq) tags.
+///
+/// **Merge-ordering invariant** (docs/ARCHITECTURE.md §"Scheduler & event
+/// lanes"): deliveries at one tick on distinct nodes are causally
+/// independent (min_delay >= 1, so nothing sent at T can arrive at T), and
+/// the merge replays their sends in ascending trigger seq — the exact
+/// interleaving of the serial queue.  Hence the one RNG stream is consumed
+/// draw-for-draw identically, seq tags coincide, and traces, quiescence
+/// times, counters, and sweep tables are byte-identical to the serial
+/// EventQueue at every worker count (pinned by tests/sim_test.cpp and the
+/// bench_e5/e7 checksummed A/B sections).
+
+namespace lr {
+
+/// The K-shard tick-synchronous event loop; see the file comment.  Driven
+/// through Network (send / run_until_idle / now delegate here when
+/// `NetworkConfig::sim_threads` selects sharded mode); not constructed
+/// directly by user code.
+class ShardedEventLoop {
+ public:
+  /// Builds the loop over `network` with `workers` shards, using
+  /// `scheduler` for every per-shard time index.  When `pool` is non-null
+  /// it is borrowed (its size overrides `workers`); otherwise the loop
+  /// owns a pool of `workers` threads (0 = hardware concurrency).
+  ShardedEventLoop(Network& network, std::size_t workers, EventSchedulerKind scheduler,
+                   ThreadPool* pool);
+
+  /// Loop state holds pool-slot indices only; default teardown is fine,
+  /// but the destructor must see complete member types out of line.
+  ~ShardedEventLoop();
+
+  /// Shards capture `this` and the network; copying/moving would dangle.
+  ShardedEventLoop(const ShardedEventLoop&) = delete;
+  /// \copydoc ShardedEventLoop(const ShardedEventLoop&)
+  ShardedEventLoop& operator=(const ShardedEventLoop&) = delete;
+
+  /// Runs ticks until no delivery is pending anywhere (or `max_events`
+  /// deliveries have executed — checked between ticks); returns deliveries
+  /// executed by this call.  Throws std::logic_error when application
+  /// events were co-scheduled on the network's serial queue (unsupported
+  /// in sharded mode).
+  std::uint64_t run_until_idle(std::uint64_t max_events);
+
+  /// Current simulated time: the last tick processed (0 before the first).
+  SimTime now() const noexcept { return now_; }
+
+  /// Entry point for Network::send: defers the send into the current
+  /// shard's outbox during a parallel phase, or executes it immediately
+  /// (exactly like the serial path) from ordinary serial context.
+  void submit(NodeId from, NodeId to, std::span<const std::int64_t> payload);
+
+  /// Number of shards (== pool worker count).
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// The shard owning node `u` (contiguous ranges: u * K / n).
+  std::size_t shard_of(NodeId u) const noexcept {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(u) * shards_.size() / num_nodes_);
+  }
+
+  /// Message-pool slots summed over all shards (Network's pool metric).
+  std::size_t message_pool_slots() const;
+
+  /// True iff no delivery is pending in any lane or index.
+  bool idle() const;
+
+ private:
+  /// Sentinel "no pending time".
+  static constexpr SimTime kNoTime = ~SimTime{0};
+  /// Lane ring capacity; overflow spills to an unbounded side buffer, so
+  /// this bounds only the lock-free fast path, never correctness.
+  static constexpr std::size_t kLaneCapacity = 4096;
+
+  /// One pending delivery in a lane or per-shard index: global (time, seq)
+  /// tag plus the destination shard's message-pool slot.
+  struct Delivery {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  /// One deferred handler send, recorded during a parallel phase: the
+  /// triggering delivery's global seq (the merge key) plus the payload's
+  /// span in the shard's arena.
+  struct PendingSend {
+    std::uint64_t trigger_seq;
+    NodeId from;
+    NodeId to;
+    std::uint32_t offset;
+    std::uint32_t words;
+  };
+
+  /// One shard's private world.  Aligned out of false sharing; held by
+  /// unique_ptr because the ring's atomics pin it in place.
+  struct alignas(64) Shard {
+    explicit Shard(EventSchedulerKind scheduler)
+        : index(scheduler), ring(kLaneCapacity) {}
+
+    TimeIndex index;             ///< pending deliveries, (time, seq) order
+    SlotPool<NetMessage> pool;   ///< this shard's in-flight message slots
+    SpscRing<Delivery> ring;     ///< inbound lane (merge thread -> shard)
+    std::vector<Delivery> spill; ///< lane overflow (barrier-synchronized)
+    std::vector<PendingSend> outbox;  ///< deferred sends of the last phase
+    std::vector<std::int64_t> arena;  ///< payload words backing the outbox
+    SimTime next_time = kNoTime;  ///< index minimum after the last phase
+    SimTime lane_min = kNoTime;   ///< earliest undrained lane delivery
+    std::uint64_t phase_delivered = 0;  ///< deliveries run in the last phase
+    std::exception_ptr error;     ///< first handler exception of the phase
+  };
+
+  void run_phase(std::size_t shard_index);
+  void merge_outboxes();
+  void immediate_send(NodeId from, NodeId to, std::span<const std::int64_t> payload);
+
+  Network* network_;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< engaged when not borrowing
+  ThreadPool* pool_;                        ///< the pool actually used
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t num_nodes_;
+  SimTime now_ = 0;       ///< last processed tick
+  std::uint64_t next_seq_ = 0;  ///< global delivery sequence
+  bool in_parallel_ = false;    ///< set around the fork/join phase
+};
+
+}  // namespace lr

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+/// \file spsc_ring.hpp
+/// A fixed-capacity single-producer / single-consumer ring buffer — the
+/// event *lane* of the sharded event loop (sharded_loop.hpp): the merge
+/// thread pushes deliveries addressed to a shard, that shard's worker
+/// drains them at the start of its next phase.
+///
+/// The NDN-DPDK forwarder feeds its shared-nothing workers exactly this
+/// way (one ring per worker, producers never touch consumer state).  Here
+/// the roles additionally alternate across a fork/join barrier — the
+/// producer only runs while consumers are parked and vice versa — so the
+/// acquire/release pairs below are belt-and-braces for the cross-thread
+/// handoff rather than load-bearing for mutual exclusion; they are what
+/// lets the ThreadSanitizer job run the sharded suites clean.
+
+namespace lr {
+
+/// The SPSC ring; see the file comment.  `T` must be trivially copyable
+/// (entries are POD delivery descriptors).  Capacity is rounded up to a
+/// power of two.  When the ring is full, try_push returns false and the
+/// caller spills to an unbounded side buffer — lanes never drop events.
+template <typename T>
+class SpscRing {
+ public:
+  /// A ring holding at most `capacity` entries (rounded up to a power of
+  /// two, minimum 2).
+  explicit SpscRing(std::size_t capacity = 1024) {
+    std::size_t size = 2;
+    while (size < capacity) size <<= 1;
+    buffer_.resize(size);
+    mask_ = size - 1;
+  }
+
+  /// Producer side: appends `value`; returns false when full.
+  bool try_push(const T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == buffer_.size()) return false;
+    buffer_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pops the oldest entry into `out`; returns false when
+  /// empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = buffer_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Entries currently buffered (exact only when producer and consumer are
+  /// quiescent, which the sharded loop's barrier guarantees at call sites).
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) - head_.load(std::memory_order_acquire);
+  }
+
+  /// The rounded-up capacity.
+  std::size_t capacity() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace lr

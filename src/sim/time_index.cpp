@@ -1,0 +1,210 @@
+#include "sim/time_index.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace lr {
+
+const char* event_scheduler_token(EventSchedulerKind kind) {
+  switch (kind) {
+    case EventSchedulerKind::kHeap:
+      return "heap";
+    case EventSchedulerKind::kWheel:
+      return "wheel";
+  }
+  return "?";
+}
+
+EventSchedulerKind parse_event_scheduler(const std::string& token) {
+  if (token == "heap") return EventSchedulerKind::kHeap;
+  if (token == "wheel") return EventSchedulerKind::kWheel;
+  throw std::invalid_argument("unknown event scheduler '" + token + "' (known: heap, wheel)");
+}
+
+TimeIndex::TimeIndex(EventSchedulerKind kind) : kind_(kind) {}
+
+std::uint32_t TimeIndex::alloc_node(SimTime time, std::uint64_t seq, std::uint32_t slot) {
+  std::uint32_t index;
+  if (free_head_ != kNoNode) {
+    index = free_head_;
+    free_head_ = nodes_[index].next;
+  } else {
+    nodes_.emplace_back();
+    index = static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+  nodes_[index].entry = TimeIndexEntry{time, seq, slot};
+  nodes_[index].next = kNoNode;
+  return index;
+}
+
+void TimeIndex::free_node(std::uint32_t index) {
+  nodes_[index].next = free_head_;
+  free_head_ = index;
+}
+
+void TimeIndex::bucket_append(std::size_t level, std::size_t bucket, std::uint32_t node_index) {
+  Bucket& b = buckets_[level][bucket];
+  if (b.head == kNoNode) {
+    b.head = b.tail = node_index;
+  } else {
+    nodes_[b.tail].next = node_index;
+    b.tail = node_index;
+  }
+  occupancy_[level] |= std::uint64_t{1} << bucket;
+}
+
+void TimeIndex::place(std::uint32_t node_index) {
+  const SimTime t = nodes_[node_index].entry.time;
+  // Beyond the wheel horizon (t and ref_ disagree above bit 24): park in
+  // the overflow ring.  Appends keep arrival (= seq) order; cascades
+  // re-place in the same order, so FIFO-within-a-tick survives the trip.
+  if ((t >> kHorizonBits) != (ref_ >> kHorizonBits)) {
+    overflow_.push_back(node_index);
+    return;
+  }
+  // Smallest level whose aligned window contains both t and ref_; level
+  // kLevels-1 always matches here because the horizon check above is
+  // exactly its window condition.
+  for (std::size_t level = 0; level < kLevels; ++level) {
+    const std::size_t shift = kLevelBits * (level + 1);
+    if ((t >> shift) == (ref_ >> shift)) {
+      const std::size_t bucket = (t >> (kLevelBits * level)) & (kBuckets - 1);
+      bucket_append(level, bucket, node_index);
+      return;
+    }
+  }
+}
+
+void TimeIndex::cascade_overflow() {
+  // Every wheel level is empty: re-anchor the reference at the aligned
+  // horizon window of the earliest overflow entry and replay the ring in
+  // order.  Entries inside the new window land in the wheel; the rest are
+  // compacted in place, preserving their FIFO order for the next cascade.
+  SimTime min_time = std::numeric_limits<SimTime>::max();
+  for (const std::uint32_t index : overflow_) {
+    min_time = std::min(min_time, nodes_[index].entry.time);
+  }
+  ref_ = min_time >> kHorizonBits << kHorizonBits;
+  std::size_t kept = 0;
+  for (const std::uint32_t index : overflow_) {
+    const SimTime t = nodes_[index].entry.time;
+    if ((t >> kHorizonBits) == (ref_ >> kHorizonBits)) {
+      place(index);
+    } else {
+      overflow_[kept++] = index;
+    }
+  }
+  overflow_.resize(kept);
+}
+
+bool TimeIndex::ensure_level0() {
+  while (true) {
+    if (occupancy_[0] != 0) return true;
+    std::size_t level = 1;
+    while (level < kLevels && occupancy_[level] == 0) ++level;
+    if (level == kLevels) {
+      if (overflow_.empty()) return false;
+      cascade_overflow();
+      continue;
+    }
+    // Advance the reference to the start of the earliest occupied window
+    // of that level (bits above the window stay put; lower bits zero).
+    // Safe: all levels below are empty, so no pending entry precedes it.
+    const std::size_t bucket = static_cast<std::size_t>(std::countr_zero(occupancy_[level]));
+    const std::size_t window_shift = kLevelBits * (level + 1);
+    ref_ = (ref_ >> window_shift << window_shift) |
+           (static_cast<SimTime>(bucket) << (kLevelBits * level));
+    // Drain the bucket in FIFO order; each entry now shares a smaller
+    // aligned window with ref_, so it re-places strictly below `level`.
+    Bucket& b = buckets_[level][bucket];
+    std::uint32_t node = b.head;
+    b.head = b.tail = kNoNode;
+    occupancy_[level] &= ~(std::uint64_t{1} << bucket);
+    while (node != kNoNode) {
+      const std::uint32_t next = nodes_[node].next;
+      nodes_[node].next = kNoNode;
+      place(node);
+      node = next;
+    }
+  }
+}
+
+void TimeIndex::push(SimTime time, std::uint64_t seq, std::uint32_t slot) {
+  ++size_;
+  if (kind_ == EventSchedulerKind::kHeap) {
+    heap_.push_back(TimeIndexEntry{time, seq, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return;
+  }
+  place(alloc_node(time, seq, slot));
+}
+
+bool TimeIndex::pop_min(TimeIndexEntry& out) {
+  if (size_ == 0) return false;
+  --size_;
+  if (kind_ == EventSchedulerKind::kHeap) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    out = heap_.back();
+    heap_.pop_back();
+    return true;
+  }
+  ensure_level0();
+  const std::size_t bucket = static_cast<std::size_t>(std::countr_zero(occupancy_[0]));
+  Bucket& b = buckets_[0][bucket];
+  const std::uint32_t node = b.head;
+  b.head = nodes_[node].next;
+  if (b.head == kNoNode) {
+    b.tail = kNoNode;
+    occupancy_[0] &= ~(std::uint64_t{1} << bucket);
+  }
+  out = nodes_[node].entry;
+  free_node(node);
+  return true;
+}
+
+bool TimeIndex::peek_min_time(SimTime& out) const {
+  if (size_ == 0) return false;
+  if (kind_ == EventSchedulerKind::kHeap) {
+    out = heap_.front().time;
+    return true;
+  }
+  // Read-only on purpose: cascading here would advance ref_ past the
+  // caller's push floor (the last *popped* time), and a later push between
+  // the floor and the advanced reference would land "below" the wheel and
+  // be ordered after later entries.  ref_ therefore only moves inside
+  // pop_min, where the pop itself immediately raises the floor to at least
+  // the new reference.  The min is still cheap to read: every level-0
+  // entry precedes every level-1 entry and so on, so only the earliest
+  // bucket of the lowest non-empty level (exact time at level 0, a FIFO
+  // scan above it) or, failing that, the overflow ring needs looking at.
+  for (std::size_t level = 0; level < kLevels; ++level) {
+    if (occupancy_[level] == 0) continue;
+    const std::size_t bucket = static_cast<std::size_t>(std::countr_zero(occupancy_[level]));
+    if (level == 0) {
+      // A level-0 bucket pins the full time: all its entries fire at the
+      // reference window's base plus the bucket index.
+      out = (ref_ >> kLevelBits << kLevelBits) | static_cast<SimTime>(bucket);
+    } else {
+      // A coarser bucket holds a FIFO mix of lower digits: scan it.  Other
+      // buckets and levels hold strictly later entries, so the scan is
+      // bounded by one bucket's population.
+      SimTime min_time = std::numeric_limits<SimTime>::max();
+      for (std::uint32_t node = buckets_[level][bucket].head; node != kNoNode;
+           node = nodes_[node].next) {
+        min_time = std::min(min_time, nodes_[node].entry.time);
+      }
+      out = min_time;
+    }
+    return true;
+  }
+  SimTime min_time = std::numeric_limits<SimTime>::max();
+  for (const std::uint32_t index : overflow_) {
+    min_time = std::min(min_time, nodes_[index].entry.time);
+  }
+  out = min_time;
+  return true;
+}
+
+}  // namespace lr

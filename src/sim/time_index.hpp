@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file time_index.hpp
+/// The time-ordered index behind the discrete-event core: given entries
+/// tagged (time, seq), pop them in exactly (time, then seq) order — the
+/// documented FIFO-within-a-tick contract of EventQueue.
+///
+/// Two interchangeable backends sit behind one `EventSchedulerKind` knob:
+///
+///  * `kHeap` — the historical binary heap of POD entries.  O(log n) per
+///    operation, comparison-heavy, no horizon.
+///  * `kWheel` — a hierarchical timing wheel (the calendar-queue family
+///    line-rate dataplanes schedule timers with, e.g. NDN-DPDK's mintmr):
+///    four levels of 64 buckets each cover an aligned 64^4-tick window
+///    around a monotone reference time; entries beyond that horizon wait
+///    in an overflow ring that cascades into the wheel when it drains.
+///    Push is O(1); pop finds the earliest bucket with one ctz per level
+///    over per-level occupancy bitmaps and amortizes cascades over the
+///    entries they move.
+///
+/// Level rule (the part that makes order exact rather than approximate):
+/// an entry at time t lives at the smallest level g whose aligned window
+/// contains both t and the reference — i.e. t and ref share all bits above
+/// bit 6*(g+1).  Windows never wrap, so every level-0 entry precedes every
+/// level-1 entry, and so on, and the global minimum is always the first
+/// set bit of the lowest non-empty level.  Within a bucket entries are a
+/// FIFO list; pushes arrive in ascending seq per (time) by construction
+/// (callers allocate seq monotonically and cascades replay buckets in
+/// order), so FIFO order *is* seq order and pops reproduce the heap's
+/// (time, seq) order byte-for-byte — the property the randomized
+/// wheel-vs-heap test in tests/sim_test.cpp pins down.
+
+namespace lr {
+
+/// Simulated time in abstract ticks (shared with event_queue.hpp).
+using SimTime = std::uint64_t;
+
+/// Which time-index backend an event queue (or sharded event lane) uses.
+/// Purely a performance switch: pop order is byte-identical across kinds.
+enum class EventSchedulerKind : std::uint8_t {
+  kHeap,   ///< binary heap of (time, seq) entries — the historical default
+  kWheel,  ///< hierarchical timing wheel with overflow cascading
+};
+
+/// Spec-file / CLI token of an event-scheduler kind ("heap", "wheel").
+const char* event_scheduler_token(EventSchedulerKind kind);
+
+/// Parses an event-scheduler token; throws std::invalid_argument when
+/// unknown.
+EventSchedulerKind parse_event_scheduler(const std::string& token);
+
+/// One indexed entry: when it fires, its FIFO tie-breaker, and an opaque
+/// 32-bit payload (pool-slot index for every current client).
+struct TimeIndexEntry {
+  SimTime time = 0;        ///< absolute fire time (ticks)
+  std::uint64_t seq = 0;   ///< FIFO tie-breaker within a tick
+  std::uint32_t slot = 0;  ///< opaque payload (a pool-slot index)
+};
+
+/// The pluggable (time, seq)-ordered index; see the file comment.  Callers
+/// must push monotonically non-decreasing `seq` values and never push a
+/// time earlier than the last popped time (EventQueue's "no scheduling in
+/// the past" rule already guarantees both).
+class TimeIndex {
+ public:
+  /// An empty index with the given backend.
+  explicit TimeIndex(EventSchedulerKind kind = EventSchedulerKind::kHeap);
+
+  /// Inserts an entry.  Amortized O(1) for the wheel, O(log n) for the
+  /// heap; no allocation once internal storage is warm.
+  void push(SimTime time, std::uint64_t seq, std::uint32_t slot);
+
+  /// Pops the earliest (time, then seq) entry into `out`; returns false
+  /// when empty.
+  bool pop_min(TimeIndexEntry& out);
+
+  /// The earliest pending fire time, without popping; returns false when
+  /// empty.  Strictly read-only: the wheel reference only advances inside
+  /// pop_min, so a peek never invalidates the push floor (pushes at or
+  /// after the last popped time remain well-placed).
+  bool peek_min_time(SimTime& out) const;
+
+  /// Number of pending entries.
+  std::size_t size() const noexcept { return size_; }
+
+  /// True iff no entry is pending.
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// The configured backend.
+  EventSchedulerKind kind() const noexcept { return kind_; }
+
+ private:
+  // -- wheel geometry -------------------------------------------------------
+  static constexpr std::size_t kLevelBits = 6;                  ///< 64 buckets per level
+  static constexpr std::size_t kBuckets = 1u << kLevelBits;     ///< buckets per level
+  static constexpr std::size_t kLevels = 4;                     ///< wheel depth
+  static constexpr std::size_t kHorizonBits = kLevelBits * kLevels;  ///< 24
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;         ///< null list link
+
+  /// Heap entry ordering: the entry that fires later compares "greater".
+  struct Later {
+    bool operator()(const TimeIndexEntry& a, const TimeIndexEntry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  /// One wheel node: an indexed entry plus its intrusive FIFO link.  Nodes
+  /// live in a slab vector recycled through an internal freelist, so a
+  /// warmed-up wheel pushes and pops without allocating.
+  struct WheelNode {
+    TimeIndexEntry entry;
+    std::uint32_t next = kNoNode;
+  };
+
+  /// One FIFO bucket (head/tail of an intrusive node list).
+  struct Bucket {
+    std::uint32_t head = kNoNode;
+    std::uint32_t tail = kNoNode;
+  };
+
+  std::uint32_t alloc_node(SimTime time, std::uint64_t seq, std::uint32_t slot);
+  void free_node(std::uint32_t index);
+  void place(std::uint32_t node_index);
+  void bucket_append(std::size_t level, std::size_t bucket, std::uint32_t node_index);
+  /// Cascades until level 0 is non-empty; returns false when the index is
+  /// empty.  Content- and order-preserving.
+  bool ensure_level0();
+  void cascade_overflow();
+
+  EventSchedulerKind kind_;
+  std::size_t size_ = 0;
+
+  // Heap backend.
+  std::vector<TimeIndexEntry> heap_;
+
+  // Wheel backend.
+  std::vector<WheelNode> nodes_;       ///< node slab (freelist-recycled)
+  std::uint32_t free_head_ = kNoNode;  ///< node freelist
+  Bucket buckets_[kLevels][kBuckets];
+  std::uint64_t occupancy_[kLevels] = {};  ///< per-level bucket bitmaps
+  std::vector<std::uint32_t> overflow_;    ///< FIFO beyond the wheel horizon
+  /// Monotone reference time: every pending entry fires at or after it,
+  /// and the level rule classifies entries against its aligned windows.
+  SimTime ref_ = 0;
+};
+
+}  // namespace lr

@@ -33,6 +33,42 @@ TEST_P(DistLeaderSweep, ElectsMaxIdWithSinkCertificate) {
       << "the elected leader must be the unique sink (local certificate)";
 }
 
+TEST(DistLeaderTest, ShardedLanesMatchSerialElection) {
+  // The election on the sharded per-node event lanes must reproduce the
+  // serial run exactly — counters, quiescence time, and outcome — at
+  // every worker count and with either time-index backend.
+  std::mt19937_64 rng(99);
+  const Graph g = make_random_connected_graph(40, 36, rng);
+  const NetworkConfig base{.min_delay = 1, .max_delay = 8, .seed = 13};
+
+  Network serial_net(g, base);
+  DistLeaderElection serial(g, serial_net);
+  serial.start();
+  serial_net.run_until_idle();
+  const auto serial_leader = serial.agreed_leader();
+  ASSERT_TRUE(serial_leader.has_value());
+
+  for (const std::size_t workers : {2u, 4u}) {
+    for (const EventSchedulerKind scheduler :
+         {EventSchedulerKind::kHeap, EventSchedulerKind::kWheel}) {
+      NetworkConfig config = base;
+      config.scheduler = scheduler;
+      config.sim_threads = workers;
+      Network net(g, config);
+      DistLeaderElection election(g, net);
+      election.start();
+      net.run_until_idle();
+      EXPECT_EQ(election.agreed_leader(), serial_leader);
+      EXPECT_TRUE(election.leader_is_unique_sink());
+      EXPECT_EQ(net.now(), serial_net.now());
+      EXPECT_EQ(net.messages_sent(), serial_net.messages_sent());
+      EXPECT_EQ(net.messages_delivered(), serial_net.messages_delivered());
+      EXPECT_EQ(election.candidate_adoptions(), serial.candidate_adoptions());
+      EXPECT_EQ(election.height_steps(), serial.height_steps());
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Sweep, DistLeaderSweep,
                          ::testing::Values(LeaderParam{4, 1}, LeaderParam{8, 2},
                                            LeaderParam{8, 3}, LeaderParam{16, 4},

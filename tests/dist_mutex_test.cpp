@@ -48,6 +48,53 @@ TEST(DistMutexTest, FifoGrantOrderAcrossNodes) {
   EXPECT_EQ(mutex.holder(), std::optional<NodeId>{3});
 }
 
+TEST(DistMutexTest, ShardedLanesMatchSerialTokenPassing) {
+  // The same scripted request/release schedule replayed on the sharded
+  // per-node event lanes must grant in the same order with the same
+  // counters at every worker count, including across repeated idle
+  // points (each run_until_idle re-enters the sharded loop).
+  std::mt19937_64 rng(21);
+  const Graph g = make_random_connected_graph(24, 20, rng);
+  const NetworkConfig base{.min_delay = 1, .max_delay = 5, .seed = 17};
+
+  const auto run_script = [&g](NetworkConfig config, std::vector<std::optional<NodeId>>& holders,
+                               std::uint64_t& grants, std::uint64_t& steps, SimTime& now) {
+    Network net(g, config);
+    DistMutex mutex(g, 0, net);
+    for (const NodeId u : {NodeId{7}, NodeId{3}, NodeId{19}, NodeId{11}}) {
+      mutex.request(u);
+      net.run_until_idle();
+    }
+    for (int round = 0; round < 4; ++round) {
+      mutex.release();
+      net.run_until_idle();
+      holders.push_back(mutex.holder());
+    }
+    grants = mutex.grants();
+    steps = mutex.reversal_steps();
+    now = net.now();
+  };
+
+  std::vector<std::optional<NodeId>> serial_holders;
+  std::uint64_t serial_grants = 0, serial_steps = 0;
+  SimTime serial_now = 0;
+  run_script(base, serial_holders, serial_grants, serial_steps, serial_now);
+
+  for (const std::size_t workers : {2u, 4u}) {
+    NetworkConfig config = base;
+    config.scheduler = EventSchedulerKind::kWheel;
+    config.sim_threads = workers;
+    std::vector<std::optional<NodeId>> holders;
+    std::uint64_t grants = 0, steps = 0;
+    SimTime now = 0;
+    run_script(config, holders, grants, steps, now);
+    EXPECT_EQ(holders, serial_holders);
+    EXPECT_EQ(grants, serial_grants);
+    EXPECT_EQ(steps, serial_steps);
+    EXPECT_EQ(now, serial_now);
+  }
+}
+
 TEST(DistMutexTest, AtMostOneHolderAtAllTimes) {
   std::mt19937_64 rng(4);
   const Graph g = make_random_connected_graph(12, 10, rng);

@@ -351,10 +351,10 @@ TEST(ReversalEngineTest, ParallelGreedyRoundsMatchSerialAtEveryPoolSize) {
       const std::uint64_t serial_checksum = engine.state_checksum();
       for (const std::size_t workers : {2u, 4u, 8u}) {
         ThreadPool pool(workers);
-        // min_parallel_round = 1 forces the sharded kernel onto every
+        // min_parallel_work = 1 forces the sharded kernel onto every
         // round, however narrow — the worst case for determinism.
         const EngineRoundsResult parallel = engine.run_greedy_rounds(
-            algorithm, {.max_rounds = 1'000'000, .pool = &pool, .min_parallel_round = 1});
+            algorithm, {.max_rounds = 1'000'000, .pool = &pool, .min_parallel_work = 1});
         const std::string context = std::string(instance.name) + " workers=" +
                                     std::to_string(workers) +
                                     (algorithm == EngineAlgorithm::kFullReversal ? " fr" : " pr");
@@ -375,7 +375,7 @@ TEST(ReversalEngineTest, ParallelGreedyRoundsExhaustBudgetIdentically) {
       engine.run_greedy_rounds(EngineAlgorithm::kFullReversal, 32);
   ThreadPool pool(4);
   const EngineRoundsResult parallel = engine.run_greedy_rounds(
-      EngineAlgorithm::kFullReversal, {.max_rounds = 32, .pool = &pool, .min_parallel_round = 1});
+      EngineAlgorithm::kFullReversal, {.max_rounds = 32, .pool = &pool, .min_parallel_work = 1});
   EXPECT_EQ(parallel.rounds, serial.rounds);
   EXPECT_EQ(parallel.node_steps, serial.node_steps);
   EXPECT_FALSE(parallel.converged);

@@ -61,6 +61,46 @@ TEST(SweepSpecTest, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(SweepSpecTest, ParsesEventCoreOptionsAndStampsEveryRun) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = chain\n"
+      "size = 8\n"
+      "algorithm = dist-fr, dist-pr\n"
+      "seed = 1, 2\n"
+      "sim_scheduler = wheel\n"
+      "sim_threads = 4\n");
+  EXPECT_EQ(spec.sim_scheduler, EventSchedulerKind::kWheel);
+  EXPECT_EQ(spec.sim_threads, 4u);
+  for (const RunSpec& run : spec.expand()) {
+    EXPECT_EQ(run.sim_scheduler, EventSchedulerKind::kWheel);
+    EXPECT_EQ(run.sim_threads, 4u);
+  }
+}
+
+TEST(SweepSpecTest, EventCoreOptionsDefaultToSerialHeap) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = chain\n"
+      "size = 8\n"
+      "algorithm = pr\n");
+  EXPECT_EQ(spec.sim_scheduler, EventSchedulerKind::kHeap);
+  EXPECT_EQ(spec.sim_threads, 1u);
+}
+
+TEST(SweepSpecTest, RejectsBadEventCoreOptions) {
+  const std::string base =
+      "topology = chain\n"
+      "size = 8\n"
+      "algorithm = pr\n";
+  // Unknown backend token.
+  EXPECT_THROW(SweepSpec::parse_string(base + "sim_scheduler = calendar\n"),
+               std::invalid_argument);
+  // Both are perf switches, not sweep axes: lists are rejected.
+  EXPECT_THROW(SweepSpec::parse_string(base + "sim_scheduler = heap, wheel\n"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse_string(base + "sim_threads = 1, 2\n"),
+               std::invalid_argument);
+}
+
 TEST(SweepSpecTest, ExpansionOrderIsSeedInnermost) {
   const SweepSpec spec = SweepSpec::parse_string(
       "topology = chain, star\n"
@@ -405,6 +445,33 @@ TEST(ScenarioRunnerTest, ToraAndDistTablesAreBytewisePathInvariant) {
   SweepSpec legacy = sweep;
   legacy.path = ExecutionPath::kLegacy;
   EXPECT_EQ(csv_of(csr), csv_of(legacy));
+}
+
+TEST(ScenarioRunnerTest, DistTablesAreBytewiseEventCoreInvariant) {
+  // The event-core switches (scheduler backend, event-lane worker count)
+  // are pure perf knobs: every combination must reproduce the serial-heap
+  // tables byte for byte, including through the runner's worker pool cache.
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kChain, TopologyKind::kRandom};
+  sweep.sizes = {8, 12};
+  sweep.algorithms = {AlgorithmKind::kDistFR, AlgorithmKind::kDistPR};
+  sweep.schedulers = {SchedulerKind::kLowestId};
+  sweep.seeds = {1, 2};
+
+  const auto csv_of = [&sweep](EventSchedulerKind scheduler, std::size_t threads) {
+    SweepSpec spec = sweep;
+    spec.sim_scheduler = scheduler;
+    spec.sim_threads = threads;
+    const SweepReport report = ScenarioRunner(RunnerOptions{.threads = 2}).run(spec);
+    std::ostringstream oss;
+    write_table_csv(oss, report.records_table());
+    write_table_csv(oss, report.aggregate_table());
+    return oss.str();
+  };
+  const std::string baseline = csv_of(EventSchedulerKind::kHeap, 1);
+  EXPECT_EQ(baseline, csv_of(EventSchedulerKind::kWheel, 1));
+  EXPECT_EQ(baseline, csv_of(EventSchedulerKind::kHeap, 2));
+  EXPECT_EQ(baseline, csv_of(EventSchedulerKind::kWheel, 4));
 }
 
 TEST(ScenarioRunnerTest, ThreadCountZeroResolvesToHardware) {

@@ -11,6 +11,8 @@
 #include "sim/dist_lr.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
+#include "sim/sharded_loop.hpp"
+#include "sim/time_index.hpp"
 
 // ---------------------------------------------------------------------------
 // Global allocation counter: every replaceable operator new form bumps it,
@@ -436,6 +438,218 @@ TEST(SteadyStateAllocationTest, WarmedDistProtocolRunsAllocationFree) {
   const std::uint64_t after = g_heap_allocations.load();
   EXPECT_EQ(after - before, 0u);
   EXPECT_TRUE(proto.converged());
+}
+
+// ---------------------------------------------------------------------------
+// TimeIndex: the timing wheel is byte-identical to the heap
+// ---------------------------------------------------------------------------
+
+TEST(TimeIndexTest, WheelMatchesHeapPopOrderUnderRandomizedChurn) {
+  // Drive both backends with one randomized (push-batch | pop-batch)
+  // stream — deltas span all four wheel levels plus the overflow ring —
+  // and demand identical (time, seq, slot) pops throughout.
+  std::mt19937_64 rng(0x7ee1);
+  for (int trial = 0; trial < 4; ++trial) {
+    TimeIndex heap(EventSchedulerKind::kHeap);
+    TimeIndex wheel(EventSchedulerKind::kWheel);
+    SimTime clock = 0;  // last popped time: the "never push the past" floor
+    std::uint64_t seq = 0;
+    for (int op = 0; op < 250; ++op) {
+      if (rng() % 3 != 0 || heap.empty()) {
+        const int batch = 1 + static_cast<int>(rng() % 8);
+        for (int i = 0; i < batch; ++i) {
+          SimTime delta = rng() % 64;  // level 0 by default
+          const std::uint64_t stretch = rng() % 8;
+          if (stretch == 0) {
+            delta = rng() % (SimTime{1} << 26);  // often beyond the horizon
+          } else if (stretch == 1) {
+            delta = rng() % (SimTime{1} << 14);  // upper wheel levels
+          }
+          const std::uint32_t slot = static_cast<std::uint32_t>(rng());
+          heap.push(clock + delta, seq, slot);
+          wheel.push(clock + delta, seq, slot);
+          ++seq;
+        }
+      } else {
+        const std::size_t batch = 1 + rng() % heap.size();
+        for (std::size_t i = 0; i < batch; ++i) {
+          TimeIndexEntry he{}, we{};
+          ASSERT_TRUE(heap.pop_min(he));
+          ASSERT_TRUE(wheel.pop_min(we));
+          ASSERT_EQ(he.time, we.time);
+          ASSERT_EQ(he.seq, we.seq);
+          ASSERT_EQ(he.slot, we.slot);
+          clock = he.time;
+        }
+      }
+      SimTime heap_min = 0, wheel_min = 0;
+      const bool heap_any = heap.peek_min_time(heap_min);
+      ASSERT_EQ(heap_any, wheel.peek_min_time(wheel_min));
+      if (heap_any) ASSERT_EQ(heap_min, wheel_min);
+      ASSERT_EQ(heap.size(), wheel.size());
+    }
+    TimeIndexEntry he{}, we{};
+    while (heap.pop_min(he)) {
+      ASSERT_TRUE(wheel.pop_min(we));
+      ASSERT_EQ(he.time, we.time);
+      ASSERT_EQ(he.seq, we.seq);
+      ASSERT_EQ(he.slot, we.slot);
+    }
+    EXPECT_FALSE(wheel.pop_min(we));
+  }
+}
+
+TEST(EventQueueTest, WheelBackendRunsInOrderWithFifoTies) {
+  EventQueue q(EventSchedulerKind::kWheel);
+  std::vector<int> order;
+  q.schedule_at(5, [&order] { order.push_back(5); });
+  q.schedule_at(2, [&order] { order.push_back(2); });
+  q.schedule_at(2, [&order] { order.push_back(20); });  // FIFO within a tick
+  q.schedule_at((SimTime{1} << 25) + 3, [&order] { order.push_back(99); });  // overflow
+  q.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{2, 20, 5, 99}));
+  EXPECT_EQ(q.now(), (SimTime{1} << 25) + 3);
+}
+
+TEST(EventQueueTest, WheelMatchesHeapUnderRandomizedScheduleRunMix) {
+  // The satellite property test: >= 200 mixed schedule_at / schedule_in /
+  // run_until_idle operations replayed against both backends must execute
+  // the same callbacks at the same times in the same order.
+  std::mt19937_64 rng(0x5eed);
+  EventQueue heap(EventSchedulerKind::kHeap);
+  EventQueue wheel(EventSchedulerKind::kWheel);
+  std::vector<std::pair<SimTime, int>> heap_log, wheel_log;
+  int next_id = 0;
+  const auto random_delta = [&rng]() -> SimTime {
+    switch (rng() % 8) {
+      case 0:
+        return rng() % (SimTime{1} << 26);  // overflow territory
+      case 1:
+        return rng() % (SimTime{1} << 14);  // upper wheel levels
+      default:
+        return rng() % 64;  // level 0
+    }
+  };
+  for (int op = 0; op < 240; ++op) {
+    ASSERT_EQ(heap.now(), wheel.now());
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // schedule_at an absolute time at or after now
+        const SimTime at = heap.now() + random_delta();
+        const int id = next_id++;
+        heap.schedule_at(at, [&heap_log, &heap, id] { heap_log.emplace_back(heap.now(), id); });
+        wheel.schedule_at(at,
+                          [&wheel_log, &wheel, id] { wheel_log.emplace_back(wheel.now(), id); });
+        break;
+      }
+      case 2: {  // schedule_in a relative delay
+        const SimTime delay = random_delta();
+        const int id = next_id++;
+        heap.schedule_in(delay, [&heap_log, &heap, id] { heap_log.emplace_back(heap.now(), id); });
+        wheel.schedule_in(delay,
+                          [&wheel_log, &wheel, id] { wheel_log.emplace_back(wheel.now(), id); });
+        break;
+      }
+      default: {  // run a bounded burst
+        const std::uint64_t budget = rng() % 16;
+        ASSERT_EQ(heap.run_until_idle(budget), wheel.run_until_idle(budget));
+        break;
+      }
+    }
+    ASSERT_EQ(heap.pending(), wheel.pending());
+    ASSERT_EQ(heap_log, wheel_log);
+  }
+  EXPECT_EQ(heap.run_until_idle(), wheel.run_until_idle());
+  EXPECT_EQ(heap_log, wheel_log);
+  EXPECT_EQ(heap.now(), wheel.now());
+  EXPECT_GE(next_id, 100);  // the mix really did schedule plenty of work
+}
+
+// ---------------------------------------------------------------------------
+// Sharded event loop: byte-identical to the serial queue at every size
+// ---------------------------------------------------------------------------
+
+TEST(ShardedNetworkTest, DistLRMatchesSerialAtEveryWorkerCount) {
+  std::mt19937_64 rng(31);
+  const Instance inst = make_random_instance(48, 40, rng);
+  const NetworkConfig base{.min_delay = 1, .max_delay = 7, .seed = 9};
+
+  Network serial_net(inst.graph, base);
+  DistLinkReversal serial(inst, ReversalRule::kPartial, serial_net);
+  serial.start();
+  serial_net.run_until_idle();
+  ASSERT_TRUE(serial.converged());
+
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    for (const EventSchedulerKind kind :
+         {EventSchedulerKind::kHeap, EventSchedulerKind::kWheel}) {
+      NetworkConfig config = base;
+      config.sim_threads = workers;
+      config.scheduler = kind;
+      Network net(inst.graph, config);
+      ASSERT_NE(net.sharded_loop(), nullptr);
+      DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+      proto.start();
+      net.run_until_idle();
+      const std::string context =
+          "workers=" + std::to_string(workers) + " " + event_scheduler_token(kind);
+      EXPECT_TRUE(proto.converged()) << context;
+      EXPECT_EQ(net.now(), serial_net.now()) << context;
+      EXPECT_EQ(net.messages_sent(), serial_net.messages_sent()) << context;
+      EXPECT_EQ(net.messages_delivered(), serial_net.messages_delivered()) << context;
+      EXPECT_EQ(net.messages_dropped(), serial_net.messages_dropped()) << context;
+      EXPECT_EQ(proto.total_steps(), serial.total_steps()) << context;
+      for (NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+        ASSERT_EQ(proto.height(u), serial.height(u)) << context << " node " << u;
+      }
+    }
+  }
+}
+
+TEST(ShardedNetworkTest, LossyResyncRunsMatchSerialRngStream) {
+  // Drops and duplicates draw from the same RNG stream as delays, so this
+  // pins the sharded merge's serial-order RNG replay, not just delivery
+  // order.  Resync rounds drive repeated quiescence cycles through one
+  // network.
+  std::mt19937_64 rng(47);
+  const Instance inst = make_random_instance(32, 28, rng);
+  NetworkConfig base{.min_delay = 1, .max_delay = 5, .seed = 13};
+  base.drop_probability = 0.15;
+  base.duplicate_probability = 0.1;
+
+  Network serial_net(inst.graph, base);
+  DistLinkReversal serial(inst, ReversalRule::kPartial, serial_net);
+  const auto serial_rounds = serial.run_with_resync(64);
+  ASSERT_TRUE(serial_rounds.has_value());
+
+  for (const std::size_t workers : {2u, 4u}) {
+    NetworkConfig config = base;
+    config.sim_threads = workers;
+    config.scheduler = EventSchedulerKind::kWheel;
+    Network net(inst.graph, config);
+    DistLinkReversal proto(inst, ReversalRule::kPartial, net);
+    const auto rounds = proto.run_with_resync(64);
+    const std::string context = "workers=" + std::to_string(workers);
+    ASSERT_TRUE(rounds.has_value()) << context;
+    EXPECT_EQ(*rounds, *serial_rounds) << context;
+    EXPECT_EQ(net.now(), serial_net.now()) << context;
+    EXPECT_EQ(net.messages_sent(), serial_net.messages_sent()) << context;
+    EXPECT_EQ(net.messages_delivered(), serial_net.messages_delivered()) << context;
+    EXPECT_EQ(net.messages_dropped(), serial_net.messages_dropped()) << context;
+    for (NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+      ASSERT_EQ(proto.height(u), serial.height(u)) << context << " node " << u;
+    }
+  }
+}
+
+TEST(ShardedNetworkTest, RejectsAppEventsCoScheduledThroughQueue) {
+  Graph g(2, {{0, 1}});
+  NetworkConfig config;
+  config.sim_threads = 2;
+  Network net(g, config);
+  net.set_handler(1, [](const NetMessage&) {});
+  net.queue().schedule_at(1, [] {});
+  EXPECT_THROW(net.run_until_idle(), std::logic_error);
 }
 
 TEST(DistLRTest, MessageComplexityIsStepsTimesDegree) {
