@@ -23,6 +23,16 @@
 /// configuration must reproduce the serial heap run's FNV fingerprint
 /// (counters, quiescence time, final heights) exactly before the
 /// delivered-messages/sec figures are trusted.
+///
+/// E7.8 is the process-shard A/B: the same sweep executed by the
+/// in-process ScenarioRunner and by the multi-process ProcessShardRunner
+/// at 2 and 4 worker processes (runner/process_runner.hpp).  The full
+/// record + aggregate CSV of every deployment must hash to the
+/// single-process fingerprint — the merge contract is byte-identity, not
+/// statistical agreement — before the sweep-runs/sec scaling figures are
+/// trusted.  This harness is its own sweep worker (main() forwards a
+/// `sweep-worker` argv to sweep_worker_main), so the A/B runs even in
+/// builds without lr_cli.
 
 #include <benchmark/benchmark.h>
 
@@ -31,6 +41,7 @@
 
 #include "graph/generators.hpp"
 #include "routing/tora.hpp"
+#include "runner/process_runner.hpp"
 #include "runner/runner.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/dist_lr.hpp"
@@ -324,6 +335,67 @@ bool print_event_core_series(bool smoke) {
   return identical;
 }
 
+// ---------------------------------------------------------------------------
+// E7.8: the process-shard A/B — in-process sweep vs multi-process shards
+// ---------------------------------------------------------------------------
+
+/// E7.8 driver; returns false if any multi-process deployment's table
+/// fingerprint diverges from the single-process baseline.  Throughput is
+/// whole sweeps per second (spawn + spec shipping + execution + merge),
+/// so the figure honestly charges the fork/exec and framing overhead the
+/// dataplane adds (docs/PERFORMANCE.md).
+bool print_process_shard_series(bool smoke) {
+  bench::print_header("E7.8: process-shard A/B, in-process sweep vs worker processes",
+                      "identical table fingerprints at every worker count; "
+                      "sweeps/sec per deployment (docs/PERFORMANCE.md)");
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kChain, TopologyKind::kRandom};
+  sweep.sizes = smoke ? std::vector<std::size_t>{12} : std::vector<std::size_t>{16, 32};
+  sweep.algorithms = {AlgorithmKind::kDistFR, AlgorithmKind::kDistPR, AlgorithmKind::kTora};
+  sweep.schedulers = {SchedulerKind::kLowestId};
+  sweep.seeds = smoke ? std::vector<std::uint64_t>{1, 2} : std::vector<std::uint64_t>{1, 2, 3, 4};
+  sweep.max_steps = 500'000;
+
+  const auto fingerprint_of = [](const SweepReport& report) {
+    return bench::fnv1a(bench::sweep_report_csv(report));
+  };
+
+  Table table;
+  table.columns = {"deployment", "runs", "sweeps_per_sec", "fingerprint", "identical"};
+  bool identical = true;
+  std::uint64_t reference = 0;
+
+  const auto add_row = [&](const char* label, std::uint64_t fingerprint, double ns_per_sweep,
+                           std::size_t runs) {
+    if (reference == 0) reference = fingerprint;
+    identical &= fingerprint == reference;
+    table.add_row({label, bench::fmt_u(runs), bench::fmt(1e9 / ns_per_sweep),
+                   bench::fmt_hex(fingerprint), fingerprint == reference ? "yes" : "NO"});
+  };
+
+  const std::size_t runs = sweep.run_count();
+  {
+    const ScenarioRunner runner({.threads = 1});
+    std::uint64_t fingerprint = 0;
+    const double ns = bench::measure_ns_per_iter(
+        [&] { fingerprint = fingerprint_of(runner.run(sweep)); }, smoke ? 1 : 3,
+        smoke ? 0.0 : 200.0);
+    add_row("in-process t=1", fingerprint, ns, runs);
+  }
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    ProcessShardRunner runner({.threads = 1, .process_workers = workers});
+    std::uint64_t fingerprint = 0;
+    const double ns = bench::measure_ns_per_iter(
+        [&] { fingerprint = fingerprint_of(runner.run(sweep)); }, smoke ? 1 : 3,
+        smoke ? 0.0 : 200.0);
+    const std::string label = "processes n=" + std::to_string(workers);
+    add_row(label.c_str(), fingerprint, ns, runs);
+  }
+  bench::emit_csv(table);
+  std::printf("table fingerprints: %s\n", identical ? "all identical" : "MISMATCH");
+  return identical;
+}
+
 void BM_DistributedPRConvergence(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(21);
@@ -348,6 +420,11 @@ BENCHMARK(BM_ChurnScenario)->Arg(32)->Arg(128);
 }  // namespace lr
 
 int main(int argc, char** argv) {
+  // Self-hosting sweep worker for the E7.8 process-shard A/B: the
+  // ProcessShardRunner fork/execs this very binary (/proc/self/exe).
+  if (argc > 1 && std::string(argv[1]) == "sweep-worker") {
+    return lr::sweep_worker_main(argc, argv);
+  }
   const bool smoke = lr::bench::consume_smoke_flag(argc, argv);
   lr::print_size_sweep(smoke);
   if (!smoke) lr::print_delay_sweep();
@@ -360,6 +437,10 @@ int main(int argc, char** argv) {
   }
   if (!lr::print_event_core_series(smoke)) {
     std::fprintf(stderr, "E7.7 event-core A/B verification FAILED\n");
+    return 1;
+  }
+  if (!lr::print_process_shard_series(smoke)) {
+    std::fprintf(stderr, "E7.8 process-shard A/B verification FAILED\n");
     return 1;
   }
   if (smoke) return 0;

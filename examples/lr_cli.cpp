@@ -16,13 +16,22 @@
 ///       every reachable state (small instances only).
 ///
 ///   lr_cli sweep <spec.sweep> [--threads N] [--cache-cap N] [--records out.csv]
-///              [--json out.json]
+///              [--json out.json] [--processes N] [--retries N]
 ///       Expands the declarative sweep spec (topology x size x algorithm x
 ///       scheduler x seed; see docs/EXPERIMENTS.md) and executes every run
 ///       on a fixed-size thread pool.  Prints the aggregate table as CSV on
 ///       stdout — byte-identical for every --threads and --cache-cap value
 ///       (the cap LRU-bounds the sweep's frozen-instance cache; 0 =
-///       unbounded, the default).
+///       unbounded, the default).  --processes N shards the sweep across N
+///       shared-nothing `sweep-worker` child processes with crash-isolated
+///       retries (--retries, default 2); tables stay byte-identical to the
+///       in-process run at every worker count.  With --processes, --threads
+///       sets each worker's internal thread count (default 1).
+///
+///   lr_cli sweep-worker ... (internal)
+///       Child-process entry point spawned by `sweep --processes N`; reads
+///       the spec on stdin and emits binary shard frames on stdout.  Not
+///       for direct invocation.
 
 #include <chrono>
 #include <cstdio>
@@ -42,6 +51,7 @@
 #include "graph/dot.hpp"
 #include "graph/generators.hpp"
 #include "graph/serialize.hpp"
+#include "runner/process_runner.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
 #include "trace/report.hpp"
@@ -58,7 +68,10 @@ int usage() {
                "  lr_cli run <in.lri> <pr|newpr|fr> <lowest|random|rr|farthest> [seed]\n"
                "  lr_cli modelcheck <in.lri> <pr|newpr|fr>\n"
                "  lr_cli sweep <spec.sweep> [--threads N] [--cache-cap N]"
-               " [--records out.csv] [--json out.json]\n");
+               " [--records out.csv] [--json out.json]\n"
+               "               [--processes N] [--retries N]\n"
+               "      --processes shards the sweep across N worker processes (>= 1);\n"
+               "      tables are byte-identical to the in-process run at every N\n");
   return 2;
 }
 
@@ -175,17 +188,32 @@ int cmd_sweep(int argc, char** argv) {
   RunnerOptions options;
   std::string records_path;
   std::string json_path;
+  bool threads_given = false;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     if (i + 1 >= argc) return usage();  // every sweep flag takes a value
     const std::string value = argv[++i];
-    if (flag == "--threads" || flag == "--cache-cap") {
+    if (flag == "--threads" || flag == "--cache-cap" || flag == "--processes" ||
+        flag == "--retries") {
       char* end = nullptr;
       const std::size_t parsed = std::strtoull(value.c_str(), &end, 10);
       // Reject non-numeric or negative input instead of silently wrapping
       // ("-1" would otherwise become a 2^64-sized thread pool).
       if (value.empty() || *end != '\0' || value[0] == '-') return usage();
-      (flag == "--threads" ? options.threads : options.cache_max_entries) = parsed;
+      if (flag == "--threads") {
+        options.threads = parsed;
+        threads_given = true;
+      } else if (flag == "--cache-cap") {
+        options.cache_max_entries = parsed;
+      } else if (flag == "--processes") {
+        // 0 is rejected: "no worker processes" is spelled by omitting the
+        // flag, and silently falling back in-process would misreport the
+        // deployment the user asked to measure.
+        if (parsed == 0) return usage();
+        options.process_workers = parsed;
+      } else {
+        options.worker_retries = parsed;
+      }
     } else if (flag == "--records") {
       records_path = value;
     } else if (flag == "--json") {
@@ -202,9 +230,35 @@ int cmd_sweep(int argc, char** argv) {
   }
   const SweepSpec spec = SweepSpec::parse(spec_file);
 
-  const ScenarioRunner runner(options);
+  SweepReport report;
+  std::string deployment;
   const auto started = std::chrono::steady_clock::now();
-  const SweepReport report = runner.run(spec);
+  if (options.process_workers > 0) {
+    // Multi-process backend: each worker is shared-nothing, so --threads
+    // is per worker and defaults to 1 (not hardware concurrency, which
+    // would oversubscribe the host N-fold).
+    if (!threads_given) options.threads = 1;
+    ProcessShardRunner runner(options);
+    const std::size_t workers = runner.resolved_workers(spec.run_count());
+    if (workers < options.process_workers) {
+      std::fprintf(stderr, "note: --processes %zu clamped to %zu (one shard per run)\n",
+                   options.process_workers, workers);
+    }
+    report = runner.run(spec);
+    std::size_t retries = 0;
+    for (const ShardDiagnostics& diag : runner.shard_diagnostics()) {
+      retries += diag.failures.size();
+      for (const std::string& failure : diag.failures) {
+        std::fprintf(stderr, "shard %zu retry: %s\n", diag.shard, failure.c_str());
+      }
+    }
+    deployment = std::to_string(workers) + " process(es) x " + std::to_string(options.threads) +
+                 " thread(s), " + std::to_string(retries) + " worker retry(ies)";
+  } else {
+    const ScenarioRunner runner(options);
+    report = runner.run(spec);
+    deployment = std::to_string(runner.threads()) + " thread(s)";
+  }
   const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                               std::chrono::steady_clock::now() - started)
                               .count();
@@ -214,9 +268,9 @@ int cmd_sweep(int argc, char** argv) {
     if (!record.error.empty()) ++errors;
   }
   // Wall-clock and cache stats only on stderr: stdout must be identical
-  // across thread counts and cache bounds.
-  std::fprintf(stderr, "sweep: %zu runs on %zu thread(s) in %lld ms, %llu error(s)\n",
-               report.records.size(), runner.threads(), static_cast<long long>(elapsed_ms),
+  // across thread counts, process counts, and cache bounds.
+  std::fprintf(stderr, "sweep: %zu runs on %s in %lld ms, %llu error(s)\n",
+               report.records.size(), deployment.c_str(), static_cast<long long>(elapsed_ms),
                static_cast<unsigned long long>(errors));
   std::fprintf(stderr,
                "cache: %zu workload(s) resident, %llu hit(s), %llu miss(es), %llu eviction(s)\n",
@@ -249,6 +303,11 @@ int cmd_sweep(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  // The internal worker entry point dispatches before anything touches
+  // stdout: its stdout is a binary frame pipe, not a terminal surface.
+  // (sweep_worker_main itself rejects invocations that did not come from
+  // a ProcessShardRunner parent, with a readable explanation.)
+  if (command == "sweep-worker") return lr::sweep_worker_main(argc, argv);
   try {
     if (command == "gen") return cmd_gen(argc, argv);
     if (command == "info") return cmd_info(argc, argv);

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+
+/// \file process_runner.hpp
+/// The multi-process sweep backend: shards an expanded SweepSpec across
+/// shared-nothing `sweep-worker` child processes and merges their record
+/// streams back into one SweepReport that is byte-identical to the
+/// in-process ScenarioRunner's at every worker count.
+///
+/// Dataplane (docs/ARCHITECTURE.md §"Process-shard dataplane"):
+///
+///   1. The parent expands the sweep, splits the run list into
+///      `process_workers` contiguous shards (shard_ranges()), and
+///      fork/execs one worker per shard.  Each worker is a fresh process
+///      with its own SweepCache, thread pools, and address space — a
+///      crash takes down one shard's attempt, never the sweep.
+///   2. The canonical spec text (format_sweep_spec()) is piped to each
+///      worker's stdin; the worker re-expands it and verifies the run
+///      count, so parent and workers provably agree on what global run
+///      index #k means.
+///   3. Workers stream length-prefixed record frames
+///      (runner/shard_protocol.hpp) back over their stdout pipe in
+///      ascending global-index order; the parent multiplexes all pipes
+///      with poll() and writes each record into its expansion slot.
+///   4. Crash isolation: a worker that exits nonzero, dies on a signal,
+///      truncates a frame, violates the protocol, or stalls past the
+///      inactivity watchdog is killed, reaped, and its shard is retried
+///      from scratch in a fresh process, up to RunnerOptions::
+///      worker_retries extra attempts.  Because every record is a pure
+///      function of its RunSpec, a retry re-emits byte-identical records
+///      and the merge converges regardless of which attempt served a
+///      shard.  A shard that exhausts its budget fails the whole sweep
+///      loudly (std::runtime_error carrying per-shard diagnostics).
+///
+/// Fault injection (test hook): the LR_TEST_WORKER_FAULT environment
+/// variable — `exit:<shard>`, `segv:<shard>`, `truncate:<shard>`,
+/// `stall:<shard>`, each with an optional `:<attempts>` suffix (default
+/// 1) — makes sweep-worker inject that fault mid-shard on its first
+/// `<attempts>` attempts, which is how tests/process_runner_test.cpp
+/// drives the retry-then-success and bounded-retry-then-loud-failure
+/// batteries.  LR_TEST_WORKER_TIMEOUT_MS overrides the stall watchdog.
+
+namespace lr {
+
+/// One contiguous shard of the expanded run list: global indexes
+/// [begin, end).
+struct ShardRange {
+  std::size_t begin = 0;  ///< first global run index of the shard
+  std::size_t end = 0;    ///< one past the last global run index
+
+  /// Number of runs in the shard.
+  std::size_t size() const noexcept { return end - begin; }
+
+  /// Ranges compare by their bounds.
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+/// Deterministically partitions `runs` global run indexes into `shards`
+/// contiguous, maximally balanced ranges (sizes differ by at most one,
+/// larger shards first).  `shards` is clamped to `runs` so no shard is
+/// empty; runs = 0 yields no shards.  This is fixed merge contract: run
+/// #k lives in the same shard on every machine and every invocation.
+std::vector<ShardRange> shard_ranges(std::size_t runs, std::size_t shards);
+
+/// What happened to one shard across all its attempts — surfaced so a
+/// failed sweep can say exactly which shard died how, and a recovered
+/// one can report the retries it absorbed.
+struct ShardDiagnostics {
+  std::size_t shard = 0;              ///< shard index
+  ShardRange range;                   ///< the shard's run range
+  std::size_t attempts = 0;           ///< processes spawned for this shard
+  bool completed = false;             ///< shard delivered all its records
+  std::vector<std::string> failures;  ///< one human-readable line per failed attempt
+};
+
+/// Executes sweeps by sharding them across `sweep-worker` child
+/// processes (see the file comment for the dataplane).  Configured by
+/// the same RunnerOptions as the in-process ScenarioRunner:
+/// `process_workers` is the worker-process count, `threads` the thread
+/// count *inside* each worker, `worker_retries` / `worker_timeout_ms`
+/// the crash-isolation budget.  Tables are byte-identical to
+/// ScenarioRunner's for every option value by construction.
+class ProcessShardRunner {
+ public:
+  /// Creates a runner.  `worker_command` is the executable fork/exec'd
+  /// as `<worker_command> sweep-worker ...`; empty means this process's
+  /// own binary (/proc/self/exe), which is the normal arrangement — any
+  /// binary that forwards its `sweep-worker` argv to sweep_worker_main()
+  /// can act as its own worker.  Throws std::invalid_argument when
+  /// options.process_workers is 0 (that value means "in-process"; use
+  /// ScenarioRunner).
+  explicit ProcessShardRunner(RunnerOptions options, std::string worker_command = {});
+
+  /// Expands `spec`, runs every shard to completion (retrying failed
+  /// workers within budget), and returns the merged report; records are
+  /// in expansion order and byte-identical to the in-process runner's.
+  /// The report's cache stats are the sum over the final per-shard
+  /// attempts.  Throws std::runtime_error with per-shard diagnostics
+  /// when any shard exhausts its retry budget — never hangs, never
+  /// silently drops runs.
+  SweepReport run(const SweepSpec& spec);
+
+  /// Per-shard attempt/failure log of the most recent run() call (valid
+  /// after both success and failure).
+  const std::vector<ShardDiagnostics>& shard_diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+  /// The worker count run() will use for a sweep of `runs` runs
+  /// (process_workers clamped to the run count).
+  std::size_t resolved_workers(std::size_t runs) const noexcept;
+
+ private:
+  RunnerOptions options_;
+  std::string worker_command_;
+  std::vector<ShardDiagnostics> diagnostics_;
+};
+
+/// Entry point of the `sweep-worker` subcommand: parses the internal
+/// argv contract (`sweep-worker --shard I --range B:E --total R
+/// --attempt A [--threads T] [--cache-cap C]`), reads the canonical
+/// sweep-spec text from stdin, executes global runs [B, E), and streams
+/// hello / record / shard-done frames on stdout.  Returns the process
+/// exit code.  Refuses to run (exit 2, clear stderr message) unless the
+/// LR_SWEEP_WORKER environment variable marks the invocation as coming
+/// from a ProcessShardRunner parent — humans get pointed at
+/// `lr_cli sweep --processes N` instead of a screenful of binary frames.
+int sweep_worker_main(int argc, char** argv);
+
+}  // namespace lr

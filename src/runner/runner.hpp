@@ -212,6 +212,27 @@ struct RunnerOptions {
   /// LRU bound of the per-sweep SweepCache (0 = unbounded, the default).
   /// Purely a memory knob: records are byte-identical at every value.
   std::size_t cache_max_entries = 0;
+
+  /// Worker *processes* of the multi-process sweep backend
+  /// (runner/process_runner.hpp): 0 = in-process execution on this
+  /// runner's thread pool (the default), N >= 1 = shard the expanded run
+  /// list across N shared-nothing `sweep-worker` child processes (clamped
+  /// to the run count).  Like `threads`, a pure deployment knob: the
+  /// merged tables are byte-identical at every value by construction.
+  std::size_t process_workers = 0;
+
+  /// How many times a crashed / stalled / protocol-violating worker's
+  /// shard is retried in a fresh process before the whole sweep fails
+  /// loudly (process_workers > 0 only).  Total attempts per shard is
+  /// 1 + worker_retries.
+  std::size_t worker_retries = 2;
+
+  /// Inactivity watchdog per worker process in milliseconds: a worker
+  /// that emits no frame for this long is presumed wedged, killed, and
+  /// retried (process_workers > 0 only).  The LR_TEST_WORKER_TIMEOUT_MS
+  /// environment variable overrides it (test hook for the stall-fault
+  /// battery).
+  int worker_timeout_ms = 30'000;
 };
 
 /// Executes sweeps on a fixed-size `ThreadPool` (runner/thread_pool.hpp,

@@ -338,4 +338,30 @@ SweepSpec SweepSpec::parse_string(const std::string& text) {
   return parse(iss);
 }
 
+std::string format_sweep_spec(const SweepSpec& spec) {
+  std::ostringstream os;
+  const auto list_line = [&os](const char* key, const auto& values, const auto& token) {
+    os << key << " = ";
+    bool first = true;
+    for (const auto& value : values) {
+      if (!first) os << ", ";
+      first = false;
+      os << token(value);
+    }
+    os << "\n";
+  };
+  const auto integer = [](const auto value) { return std::to_string(value); };
+  list_line("topology", spec.topologies, topology_token);
+  list_line("size", spec.sizes, integer);
+  list_line("algorithm", spec.algorithms, algorithm_token);
+  list_line("scheduler", spec.schedulers, scheduler_token);
+  list_line("seed", spec.seeds, integer);
+  os << "max_steps = " << spec.max_steps << "\n";
+  os << "path = " << path_token(spec.path) << "\n";
+  os << "engine_threads = " << spec.engine_threads << "\n";
+  os << "sim_scheduler = " << event_scheduler_token(spec.sim_scheduler) << "\n";
+  os << "sim_threads = " << spec.sim_threads << "\n";
+  return os.str();
+}
+
 }  // namespace lr

@@ -221,4 +221,12 @@ struct SweepSpec {
   static SweepSpec parse_string(const std::string& text);
 };
 
+/// Canonical text form of a sweep spec: one `key = values` line per axis
+/// plus every scalar option, in a fixed order.  The round-trip contract
+/// `SweepSpec::parse_string(format_sweep_spec(s)).expand() == s.expand()`
+/// is what lets the multi-process sweep backend ship a spec to its worker
+/// processes as text (runner/process_runner.hpp) without the parent and
+/// the workers ever disagreeing about what run #k means.
+std::string format_sweep_spec(const SweepSpec& spec);
+
 }  // namespace lr

@@ -1,0 +1,288 @@
+#include "runner/shard_protocol.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lr {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive little-endian encoding
+// ---------------------------------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t value) { out.push_back(value); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int byte = 0; byte < 4; ++byte) out.push_back((value >> (8 * byte)) & 0xffu);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) out.push_back((value >> (8 * byte)) & 0xffu);
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& value) {
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+std::uint64_t fnv1a(FrameType type, const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint8_t byte) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint8_t>(type));
+  for (std::size_t i = 0; i < size; ++i) mix(data[i]);
+  return hash;
+}
+
+/// Bounds-checked little-endian decoding cursor over one frame payload.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int byte = 0; byte < 4; ++byte) value |= std::uint32_t{data_[pos_++]} << (8 * byte);
+    return value;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int byte = 0; byte < 8; ++byte) value |= std::uint64_t{data_[pos_++]} << (8 * byte);
+    return value;
+  }
+
+  std::string string() {
+    const std::uint32_t length = u32();
+    need(length);
+    std::string value(reinterpret_cast<const char*>(data_ + pos_), length);
+    pos_ += length;
+    return value;
+  }
+
+  /// Every payload decoder ends with this: leftover bytes mean the
+  /// sender and receiver disagree about the schema.
+  void expect_exhausted() const {
+    if (pos_ != size_) throw ShardProtocolError("shard frame payload has trailing bytes");
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (size_ - pos_ < bytes) throw ShardProtocolError("shard frame payload truncated");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Decodes an enum byte, rejecting values outside the known range so a
+/// corrupted record can never smuggle an out-of-range discriminator into
+/// the merged report.
+template <typename Enum>
+Enum checked_enum(std::uint8_t raw, Enum max, const char* what) {
+  if (raw > static_cast<std::uint8_t>(max)) {
+    throw ShardProtocolError(std::string("shard frame: bad ") + what + " value " +
+                             std::to_string(raw));
+  }
+  return static_cast<Enum>(raw);
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoders / decoders per frame type
+// ---------------------------------------------------------------------------
+
+void encode_payload(std::vector<std::uint8_t>& out, const HelloFrame& hello) {
+  put_u32(out, hello.version);
+  put_u64(out, hello.shard);
+  put_u64(out, hello.begin);
+  put_u64(out, hello.end);
+  put_u64(out, hello.attempt);
+}
+
+HelloFrame decode_hello(Cursor& cursor) {
+  HelloFrame hello;
+  hello.version = cursor.u32();
+  hello.shard = cursor.u64();
+  hello.begin = cursor.u64();
+  hello.end = cursor.u64();
+  hello.attempt = cursor.u64();
+  cursor.expect_exhausted();
+  return hello;
+}
+
+void encode_payload(std::vector<std::uint8_t>& out, const RecordFrame& frame) {
+  put_u64(out, frame.global_index);
+  const RunSpec& spec = frame.record.spec;
+  put_u8(out, static_cast<std::uint8_t>(spec.topology));
+  put_u64(out, spec.size);
+  put_u8(out, static_cast<std::uint8_t>(spec.algorithm));
+  put_u8(out, static_cast<std::uint8_t>(spec.scheduler));
+  put_u64(out, spec.seed);
+  put_u64(out, spec.max_steps);
+  put_u8(out, static_cast<std::uint8_t>(spec.path));
+  put_u64(out, spec.engine_threads);
+  put_u8(out, static_cast<std::uint8_t>(spec.sim_scheduler));
+  put_u64(out, spec.sim_threads);
+  const RunRecord& record = frame.record;
+  put_u64(out, record.run_seed);
+  put_u64(out, record.nodes);
+  put_u64(out, record.bad_nodes);
+  put_u64(out, record.work);
+  put_u64(out, record.edge_reversals);
+  put_u64(out, record.rounds);
+  put_u64(out, record.dummy_steps);
+  put_u64(out, record.abstract_steps);
+  put_u64(out, record.messages);
+  put_u8(out, record.converged ? 1 : 0);
+  put_u8(out, static_cast<std::uint8_t>(record.relation));
+  put_string(out, record.error);
+}
+
+RecordFrame decode_record(Cursor& cursor) {
+  RecordFrame frame;
+  frame.global_index = cursor.u64();
+  RunSpec& spec = frame.record.spec;
+  spec.topology = checked_enum(cursor.u8(), TopologyKind::kUnitDisk, "topology");
+  spec.size = static_cast<std::size_t>(cursor.u64());
+  spec.algorithm = checked_enum(cursor.u8(), AlgorithmKind::kSimRRev, "algorithm");
+  spec.scheduler = checked_enum(cursor.u8(), SchedulerKind::kFarthestFirst, "scheduler");
+  spec.seed = cursor.u64();
+  spec.max_steps = cursor.u64();
+  spec.path = checked_enum(cursor.u8(), ExecutionPath::kLegacy, "path");
+  spec.engine_threads = static_cast<std::size_t>(cursor.u64());
+  spec.sim_scheduler = checked_enum(cursor.u8(), EventSchedulerKind::kWheel, "sim_scheduler");
+  spec.sim_threads = static_cast<std::size_t>(cursor.u64());
+  RunRecord& record = frame.record;
+  record.run_seed = cursor.u64();
+  record.nodes = cursor.u64();
+  record.bad_nodes = cursor.u64();
+  record.work = cursor.u64();
+  record.edge_reversals = cursor.u64();
+  record.rounds = cursor.u64();
+  record.dummy_steps = cursor.u64();
+  record.abstract_steps = cursor.u64();
+  record.messages = cursor.u64();
+  const std::uint8_t converged = cursor.u8();
+  if (converged > 1) throw ShardProtocolError("shard frame: bad converged flag");
+  record.converged = converged == 1;
+  record.relation = checked_enum(cursor.u8(), RelationVerdict::kViolated, "relation");
+  record.error = cursor.string();
+  cursor.expect_exhausted();
+  return frame;
+}
+
+void encode_payload(std::vector<std::uint8_t>& out, const ShardDoneFrame& done) {
+  put_u64(out, done.records_emitted);
+  put_u64(out, done.cache.entries);
+  put_u64(out, done.cache.hits);
+  put_u64(out, done.cache.misses);
+  put_u64(out, done.cache.evictions);
+}
+
+ShardDoneFrame decode_done(Cursor& cursor) {
+  ShardDoneFrame done;
+  done.records_emitted = cursor.u64();
+  done.cache.entries = static_cast<std::size_t>(cursor.u64());
+  done.cache.hits = cursor.u64();
+  done.cache.misses = cursor.u64();
+  done.cache.evictions = cursor.u64();
+  cursor.expect_exhausted();
+  return done;
+}
+
+template <typename Payload>
+std::vector<std::uint8_t> encode(FrameType type, const Payload& payload) {
+  std::vector<std::uint8_t> body;
+  encode_payload(body, payload);
+  std::vector<std::uint8_t> out;
+  out.reserve(body.size() + 17);
+  put_u32(out, kFrameMagic);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  put_u64(out, fnv1a(type, body.data(), body.size()));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const HelloFrame& hello) {
+  return encode(FrameType::kHello, hello);
+}
+
+std::vector<std::uint8_t> encode_frame(const RecordFrame& record) {
+  return encode(FrameType::kRecord, record);
+}
+
+std::vector<std::uint8_t> encode_frame(const ShardDoneFrame& done) {
+  return encode(FrameType::kShardDone, done);
+}
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t size) {
+  // Compact lazily: drop fully decoded bytes once they dominate the
+  // buffer so a long-lived worker stream stays O(frame), not O(stream).
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameParser::next() {
+  constexpr std::size_t kHeaderSize = 4 + 1 + 4;  // magic + type + payload_len
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderSize) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  std::uint32_t magic = 0;
+  for (int byte = 0; byte < 4; ++byte) magic |= std::uint32_t{head[byte]} << (8 * byte);
+  if (magic != kFrameMagic) throw ShardProtocolError("shard frame: bad magic");
+  const std::uint8_t raw_type = head[4];
+  if (raw_type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      raw_type > static_cast<std::uint8_t>(FrameType::kShardDone)) {
+    throw ShardProtocolError("shard frame: unknown frame type " + std::to_string(raw_type));
+  }
+  std::uint32_t payload_len = 0;
+  for (int byte = 0; byte < 4; ++byte) payload_len |= std::uint32_t{head[5 + byte]} << (8 * byte);
+  if (payload_len > kMaxFramePayload) {
+    throw ShardProtocolError("shard frame: oversized payload (" + std::to_string(payload_len) +
+                             " bytes)");
+  }
+  if (available < kHeaderSize + payload_len + 8) return std::nullopt;  // checksum still missing
+  const std::uint8_t* payload = head + kHeaderSize;
+  const FrameType type = static_cast<FrameType>(raw_type);
+  std::uint64_t checksum = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    checksum |= std::uint64_t{payload[payload_len + byte]} << (8 * byte);
+  }
+  if (checksum != fnv1a(type, payload, payload_len)) {
+    throw ShardProtocolError("shard frame: checksum mismatch");
+  }
+  Cursor cursor(payload, payload_len);
+  Frame frame;
+  frame.type = type;
+  switch (type) {
+    case FrameType::kHello:
+      frame.hello = decode_hello(cursor);
+      break;
+    case FrameType::kRecord:
+      frame.record = decode_record(cursor);
+      break;
+    case FrameType::kShardDone:
+      frame.done = decode_done(cursor);
+      break;
+  }
+  consumed_ += kHeaderSize + payload_len + 8;
+  return frame;
+}
+
+}  // namespace lr

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+
+/// \file shard_protocol.hpp
+/// The wire protocol between a multi-process sweep parent and its
+/// `sweep-worker` child processes (runner/process_runner.hpp): a small
+/// length-prefixed binary framing over a pipe, carrying per-run records
+/// back to the parent as the worker finishes them.
+///
+/// Frame layout (all integers little-endian):
+///
+///     u32 magic ("LRSH")  |  u8 type  |  u32 payload_len  |
+///     payload_len bytes   |  u64 fnv1a(type || payload)
+///
+/// Three frame types flow, always in this order per worker attempt:
+/// one kHello (handshake: protocol version, shard index, run range,
+/// attempt), then one kRecord per run of the shard in ascending global
+/// run-index order, then one kShardDone (record count + the worker's
+/// cache counters) — after which the worker exits 0 and the parent sees
+/// EOF.  Everything else — wrong magic, a payload over kMaxFramePayload,
+/// a checksum mismatch, an unknown enum value inside a record, trailing
+/// payload bytes, EOF mid-frame — is a protocol error the parent treats
+/// exactly like a worker crash: kill, reap, retry the shard
+/// (tests/shard_protocol_test.cpp pins the rejection behavior, including
+/// a randomized fuzz over frame boundaries).
+///
+/// The parser is deliberately incremental (feed() bytes as the pipe
+/// yields them, next() yields complete frames) so the parent can
+/// multiplex many workers over poll() without threads, and so tests can
+/// replay a stream at any chunking.
+
+namespace lr {
+
+/// Frame discriminator on the wire.
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< worker handshake, first frame of every attempt
+  kRecord = 2,     ///< one finished run, in ascending global-index order
+  kShardDone = 3,  ///< shard complete: record count + cache counters
+};
+
+/// Wire magic prefixing every frame ("LRSH" little-endian).
+inline constexpr std::uint32_t kFrameMagic = 0x4853524cu;
+
+/// Protocol version carried by the hello frame; parent and worker must
+/// match exactly (the worker is always the same binary, so a mismatch
+/// means a build-skew bug, not a compatibility situation to paper over).
+inline constexpr std::uint32_t kShardProtocolVersion = 1;
+
+/// Upper bound on a frame payload.  Records are a few hundred bytes;
+/// anything near this limit is garbage (e.g. random bytes read as a
+/// length field) and is rejected without allocating.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// A malformed or out-of-contract byte stream.  The parent maps this to
+/// "worker failed, retry the shard", same as a crash.
+class ShardProtocolError : public std::runtime_error {
+ public:
+  explicit ShardProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Handshake payload: which shard this attempt serves.
+struct HelloFrame {
+  std::uint32_t version = kShardProtocolVersion;  ///< must equal the parent's
+  std::uint64_t shard = 0;    ///< shard index the worker was assigned
+  std::uint64_t begin = 0;    ///< first global run index of the shard
+  std::uint64_t end = 0;      ///< one past the last global run index
+  std::uint64_t attempt = 0;  ///< 0 = first try, +1 per retry
+};
+
+/// One finished run: the record plus where it lands in the merged table.
+struct RecordFrame {
+  std::uint64_t global_index = 0;  ///< expansion index in the full sweep
+  RunRecord record;                ///< the run's full record
+};
+
+/// End-of-shard marker: lets the parent distinguish a complete shard
+/// from a worker that died after its last record but before finishing.
+struct ShardDoneFrame {
+  std::uint64_t records_emitted = 0;  ///< must equal end - begin
+  SweepCacheStats cache;              ///< the worker's private cache counters
+};
+
+/// A decoded frame; `type` selects which member is meaningful.
+struct Frame {
+  FrameType type = FrameType::kHello;  ///< which payload member is live
+  HelloFrame hello;                    ///< payload when type == kHello
+  RecordFrame record;                  ///< payload when type == kRecord
+  ShardDoneFrame done;                 ///< payload when type == kShardDone
+};
+
+/// Encodes one frame (header + payload + checksum) to wire bytes.
+std::vector<std::uint8_t> encode_frame(const HelloFrame& hello);
+/// \copydoc encode_frame(const HelloFrame&)
+std::vector<std::uint8_t> encode_frame(const RecordFrame& record);
+/// \copydoc encode_frame(const HelloFrame&)
+std::vector<std::uint8_t> encode_frame(const ShardDoneFrame& done);
+
+/// Incremental frame decoder: feed() raw pipe bytes in any chunking,
+/// pull complete frames with next().  Throws ShardProtocolError on the
+/// first malformed byte; the instance is then unusable (the parent
+/// discards it with the worker).
+class FrameParser {
+ public:
+  /// Appends `size` raw bytes to the parse buffer.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Decodes and returns the next complete frame, or nullopt when the
+  /// buffered bytes end mid-frame (feed more).  Throws ShardProtocolError
+  /// on bad magic, oversized length, checksum mismatch, or an
+  /// undecodable payload.
+  std::optional<Frame> next();
+
+  /// True when undecoded bytes are buffered — at worker EOF this means
+  /// the stream was truncated mid-frame, which the parent must treat as
+  /// a failed attempt, never as a clean end.
+  bool mid_frame() const noexcept { return consumed_ < buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< bytes of buffer_ already decoded
+};
+
+}  // namespace lr

@@ -175,6 +175,97 @@ TEST_F(CliIntegrationTest, GracefulErrorOnMissingFile) {
   EXPECT_NE(result.output.find("error:"), std::string::npos);
 }
 
+// Lines outside the sweep determinism contract: "sweep:"/"cache:" vary
+// with deployment and timing, "note:" reports worker clamping, and
+// "shard N retry:" reports absorbed worker crashes.
+std::string strip_sweep_progress(const std::string& output) {
+  std::string kept;
+  std::istringstream iss(output);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (line.rfind("sweep:", 0) == 0 || line.rfind("cache:", 0) == 0 ||
+        line.rfind("note:", 0) == 0 || line.rfind("shard ", 0) == 0) {
+      continue;
+    }
+    kept += line + "\n";
+  }
+  return kept;
+}
+
+std::string write_small_sweep_spec(const char* name) {
+  const std::string spec_path = temp_file(name);
+  std::ofstream spec(spec_path);
+  // 2 x 1 x 2 x 1 x 3 = 12 runs: small enough to stay fast, large
+  // enough to spread across 4 worker processes.
+  spec << "topology  = chain, random\n"
+          "size      = 8\n"
+          "algorithm = fr, pr\n"
+          "seed      = 1..3\n";
+  return spec_path;
+}
+
+TEST_F(CliIntegrationTest, SweepWorkerRejectsDirectInvocation) {
+  // The sweep-worker subcommand is an internal argv contract between a
+  // ProcessShardRunner parent and its children; invoked by a human (no
+  // LR_SWEEP_WORKER handshake in the environment) it must refuse with a
+  // clear pointer at the public flag instead of emitting binary frames.
+  const auto result = run_command("sweep-worker --shard 0 --range 0:1 --total 1 --attempt 1");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("internal"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("--processes"), std::string::npos) << result.output;
+  // Bare invocation too, not just one with plausible-looking flags.
+  EXPECT_EQ(run_command("sweep-worker").exit_code, 2);
+}
+
+TEST_F(CliIntegrationTest, SweepProcessesFlagValidation) {
+  const std::string spec_path = write_small_sweep_spec("cli_it_procs_val.sweep");
+  EXPECT_EQ(run_command("sweep " + spec_path + " --processes 0").exit_code, 2);
+  EXPECT_EQ(run_command("sweep " + spec_path + " --processes -1").exit_code, 2);
+  EXPECT_EQ(run_command("sweep " + spec_path + " --processes two").exit_code, 2);
+  EXPECT_EQ(run_command("sweep " + spec_path + " --processes").exit_code, 2);
+  EXPECT_EQ(run_command("sweep " + spec_path + " --retries -1").exit_code, 2);
+  std::filesystem::remove(spec_path);
+}
+
+TEST_F(CliIntegrationTest, SweepMultiProcessMatchesSingleProcessByteForByte) {
+  const std::string spec_path = write_small_sweep_spec("cli_it_procs.sweep");
+  const std::string records1 = temp_file("cli_it_procs1.csv");
+  const std::string records4 = temp_file("cli_it_procs4.csv");
+
+  const auto single = run_command("sweep " + spec_path + " --threads 1 --records " + records1);
+  EXPECT_EQ(single.exit_code, 0) << single.output;
+  const auto sharded = run_command("sweep " + spec_path + " --processes 4 --records " + records4);
+  EXPECT_EQ(sharded.exit_code, 0) << sharded.output;
+  EXPECT_NE(sharded.output.find("4 process(es)"), std::string::npos) << sharded.output;
+
+  EXPECT_EQ(strip_sweep_progress(single.output), strip_sweep_progress(sharded.output));
+
+  std::ifstream r1(records1), r4(records4);
+  std::stringstream s1, s4;
+  s1 << r1.rdbuf();
+  s4 << r4.rdbuf();
+  EXPECT_FALSE(s1.str().empty());
+  EXPECT_EQ(s1.str(), s4.str());
+
+  std::filesystem::remove(spec_path);
+  std::filesystem::remove(records1);
+  std::filesystem::remove(records4);
+}
+
+TEST_F(CliIntegrationTest, SweepProcessesAboveRunCountClampsAndMatches) {
+  const std::string spec_path = write_small_sweep_spec("cli_it_procs_clamp.sweep");
+  const auto single = run_command("sweep " + spec_path + " --threads 1");
+  ASSERT_EQ(single.exit_code, 0) << single.output;
+  // 12 runs, 64 requested workers: the CLI must clamp (with a note),
+  // run one worker per run, and still produce identical tables.
+  const auto clamped = run_command("sweep " + spec_path + " --processes 64");
+  EXPECT_EQ(clamped.exit_code, 0) << clamped.output;
+  EXPECT_NE(clamped.output.find("note: --processes 64 clamped to 12"), std::string::npos)
+      << clamped.output;
+  EXPECT_EQ(strip_sweep_progress(single.output), strip_sweep_progress(clamped.output));
+  std::filesystem::remove(spec_path);
+}
+
 TEST_F(CliIntegrationTest, RunRejectsUnknownScheduler) {
   const std::string path = temp_file("cli_it_sched.lri");
   ASSERT_EQ(run_command("gen chain 5 1 " + path).exit_code, 0);
