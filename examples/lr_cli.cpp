@@ -28,6 +28,16 @@
 ///       in-process run at every worker count.  With --processes, --threads
 ///       sets each worker's internal thread count (default 1).
 ///
+///   lr_cli serve <topology> <size> [--workload route|lock|leader|mixed]
+///              [--clients N] [--duration T] [--seed S] [--threads N]
+///              [--scheduler heap|wheel] [--churn T] [--json out.json]
+///       Runs the request-serving harness (service/service_harness.hpp)
+///       over the named sweep topology under random link churn and prints
+///       the latency report (p50/p99/p999, per request kind) as CSV on
+///       stdout.  stdout is byte-identical at every --threads value and
+///       under both --scheduler backends (the determinism contract);
+///       wall-clock throughput goes to stderr.
+///
 ///   lr_cli sweep-worker ... (internal)
 ///       Child-process entry point spawned by `sweep --processes N`; reads
 ///       the spec on stdin and emits binary shard frames on stdout.  Not
@@ -54,6 +64,7 @@
 #include "runner/process_runner.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
+#include "service/service_harness.hpp"
 #include "trace/report.hpp"
 
 namespace {
@@ -71,7 +82,13 @@ int usage() {
                " [--records out.csv] [--json out.json]\n"
                "               [--processes N] [--retries N]\n"
                "      --processes shards the sweep across N worker processes (>= 1);\n"
-               "      tables are byte-identical to the in-process run at every N\n");
+               "      tables are byte-identical to the in-process run at every N\n"
+               "  lr_cli serve <chain|random|grid|layered|star|unitdisk> <n>"
+               " [--workload route|lock|leader|mixed]\n"
+               "               [--clients N] [--duration T] [--seed S] [--threads N]\n"
+               "               [--scheduler heap|wheel] [--churn T] [--json out.json]\n"
+               "      latency CSV on stdout is byte-identical at every --threads value\n"
+               "      and under both --scheduler backends; throughput goes to stderr\n");
   return 2;
 }
 
@@ -298,6 +315,100 @@ int cmd_sweep(int argc, char** argv) {
   return errors == 0 ? 0 : 1;
 }
 
+int cmd_serve(int argc, char** argv) {
+  if (argc < 4) return usage();
+  TopologyKind topology;
+  try {
+    topology = parse_topology(argv[2]);
+  } catch (const std::invalid_argument&) {
+    return usage();
+  }
+  ServiceOptions options;
+  RunSpec instance_spec;
+  instance_spec.topology = topology;
+  std::string json_path;
+  std::uint64_t seed = 1;
+  {
+    char* end = nullptr;
+    const std::string value = argv[3];
+    instance_spec.size = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || value[0] == '-' || instance_spec.size == 0) {
+      return usage();
+    }
+  }
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return usage();  // every serve flag takes a value
+    const std::string value = argv[++i];
+    if (flag == "--workload") {
+      try {
+        options.workload = parse_service_workload(value);
+      } catch (const std::invalid_argument&) {
+        return usage();
+      }
+    } else if (flag == "--scheduler") {
+      try {
+        options.scheduler = parse_event_scheduler(value);
+      } catch (const std::invalid_argument&) {
+        return usage();
+      }
+    } else if (flag == "--json") {
+      json_path = value;
+    } else if (flag == "--clients" || flag == "--duration" || flag == "--seed" ||
+               flag == "--threads" || flag == "--churn") {
+      char* end = nullptr;
+      const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+      // Same rejection rule as sweep: non-numeric or negative input fails
+      // loudly instead of wrapping.
+      if (value.empty() || *end != '\0' || value[0] == '-') return usage();
+      if (flag == "--clients") {
+        if (parsed == 0) return usage();
+        options.clients = static_cast<std::size_t>(parsed);
+      } else if (flag == "--duration") {
+        options.duration = parsed;
+      } else if (flag == "--seed") {
+        seed = parsed;
+      } else if (flag == "--threads") {
+        options.workers = static_cast<std::size_t>(parsed);
+      } else {
+        options.churn_interval = parsed;
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  // Derive the workload and harness seeds exactly like the sweep layer's
+  // service kernel, so `serve chain 32 --seed 3` reproduces the sweep row
+  // (topology=chain, size=32, seed=3, algorithm=service).
+  instance_spec.seed = seed;
+  options.seed = instance_spec.network_seed();
+  const Instance instance = make_instance(instance_spec);
+
+  ServiceHarness harness(instance.graph, instance.destination, options);
+  const ServiceReport report = harness.run();
+  const Table table = report.latency_table();
+
+  // Deterministic report on stdout; wall-clock throughput and churn
+  // accounting only on stderr (outside the determinism contract).
+  std::fprintf(stderr,
+               "serve: %llu request(s) in %.3f s (%.0f req/s), %llu churn event(s), "
+               "%llu reversal step(s)\n",
+               static_cast<unsigned long long>(report.total_issued()), report.wall_seconds,
+               report.requests_per_sec(), static_cast<unsigned long long>(report.churn_events),
+               static_cast<unsigned long long>(report.reversal_steps));
+  write_table_csv(std::cout, table);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    write_table_json(os, table);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -314,6 +425,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(argc, argv);
     if (command == "modelcheck") return cmd_modelcheck(argc, argv);
     if (command == "sweep") return cmd_sweep(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -43,6 +43,17 @@ std::uint64_t LeaderElectionService::fail_node(NodeId u) {
   return dag_.total_reversals() - before;
 }
 
+void LeaderElectionService::link_up(NodeId u, NodeId v) {
+  if (!alive_[u] || !alive_[v]) return;  // failed nodes stay disconnected
+  dag_.add_link(u, v);
+  dag_.stabilize();
+}
+
+void LeaderElectionService::link_down(NodeId u, NodeId v) {
+  dag_.remove_link(u, v);
+  dag_.stabilize();
+}
+
 bool LeaderElectionService::leader_reachable_from_all() const {
   if (alive_count_ == 0) return true;
   const NodeId leader_id = dag_.destination();

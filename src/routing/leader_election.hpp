@@ -46,6 +46,15 @@ class LeaderElectionService {
   /// number of reversal steps the re-election cost.
   std::uint64_t fail_node(NodeId u);
 
+  /// Topology churn (the service-harness path): adds / removes an
+  /// undirected link between *alive* nodes and re-stabilizes towards the
+  /// leader.  A link touching a failed node is ignored on the way up
+  /// (failed nodes stay disconnected) and a no-op on the way down (its
+  /// links were already removed).  Idempotent, incremental.
+  void link_up(NodeId u, NodeId v);
+  /// \copydoc link_up
+  void link_down(NodeId u, NodeId v);
+
   /// True iff every alive node in the leader's component has a directed
   /// path to the leader (the election's correctness condition).
   bool leader_reachable_from_all() const;

@@ -25,6 +25,16 @@ std::size_t LinkReversalMutex::request(NodeId u) {
   return path->size() - 1;
 }
 
+void LinkReversalMutex::link_up(NodeId u, NodeId v) {
+  dag_.add_link(u, v);
+  dag_.stabilize();
+}
+
+void LinkReversalMutex::link_down(NodeId u, NodeId v) {
+  dag_.remove_link(u, v);
+  dag_.stabilize();
+}
+
 NodeId LinkReversalMutex::release() {
   if (queue_.empty()) return holder();  // nobody waiting: keep the token
   const NodeId next = queue_.front();

@@ -57,6 +57,16 @@ class LinkReversalMutex {
   /// DAG via partial reversal).  Returns the new holder.
   NodeId release();
 
+  /// Topology churn (the service-harness path): adds / removes an
+  /// undirected link and immediately re-stabilizes towards the holder, so
+  /// request routes stay valid across churn.  Idempotent, incremental (a
+  /// live snapshot is patched, not rebuilt).  A removal can partition
+  /// requesters from the holder; request() then has no route, which
+  /// callers detect via dag().route() first.
+  void link_up(NodeId u, NodeId v);
+  /// \copydoc link_up
+  void link_down(NodeId u, NodeId v);
+
   /// Pending requests in grant order.
   const std::deque<NodeId>& queue() const noexcept { return queue_; }
 

@@ -24,6 +24,7 @@
 #include "graph/csr.hpp"
 #include "graph/digraph_algos.hpp"
 #include "routing/tora.hpp"
+#include "service/service_harness.hpp"
 #include "sim/dist_lr.hpp"
 #include "sim/network.hpp"
 
@@ -231,6 +232,40 @@ void run_dist_kernel(RunRecord& record, const Instance& instance, const CsrGraph
   record.converged = resync_rounds.has_value() && protocol->converged();
 }
 
+/// service: the request-serving harness (service/service_harness.hpp)
+/// under random link churn.  Record mapping (docs/EXPERIMENTS.md):
+/// work = requests served, messages = route hops, rounds = churn events,
+/// edge_reversals = reversal steps, abstract_steps = failed requests,
+/// dummy_steps = the report fingerprint (so cross-process and
+/// cross-thread byte-identity checks pin the full latency histograms,
+/// not just the scalar counters).  `sim_threads` is the harness's
+/// parallel read-phase worker count; with a WorkerPoolCache the pool is
+/// borrowed (spawned once per sweep worker), satisfying the pool-reuse
+/// contract the pool-construction-counting test pins.
+void run_service_kernel(RunRecord& record, const Instance& instance, WorkerPoolCache* pools) {
+  const RunSpec& spec = record.spec;
+  ServiceOptions options;
+  options.clients = spec.service_clients;
+  options.duration = spec.service_duration;
+  options.workload = spec.service_workload;
+  options.seed = spec.network_seed();
+  options.scheduler = spec.sim_scheduler;
+  options.workers = spec.sim_threads;
+  if (spec.sim_threads != 1 && pools != nullptr) {
+    options.pool = pools->get(spec.sim_threads);
+  }
+  ServiceHarness harness(instance.graph, instance.destination, options);
+  const ServiceReport report = harness.run();
+  record.work = report.total_completed();
+  record.messages = 0;
+  for (const ServiceKindStats& kind : report.kinds) record.messages += kind.hops;
+  record.rounds = report.churn_events;
+  record.edge_reversals = report.reversal_steps;
+  record.abstract_steps = report.total_failed();
+  record.dummy_steps = report.fingerprint();
+  record.converged = report.total_issued() == report.total_completed() + report.total_failed();
+}
+
 void fill_simulation_result(RunRecord& record, const SimulationCheckResult& result,
                             const Orientation& concrete_orientation, NodeId destination) {
   record.work = result.concrete_steps;
@@ -430,6 +465,9 @@ RunRecord execute_run(const RunSpec& spec, SweepCache* cache, WorkerPoolCache* p
         break;
       case AlgorithmKind::kSimRRev:
         run_sim_rrev_kernel(record, *instance);
+        break;
+      case AlgorithmKind::kService:
+        run_service_kernel(record, *instance, pools);
         break;
     }
   } catch (const std::exception& error) {

@@ -98,6 +98,8 @@ const char* algorithm_token(AlgorithmKind kind) {
       return "sim-r";
     case AlgorithmKind::kSimRRev:
       return "sim-rrev";
+    case AlgorithmKind::kService:
+      return "service";
   }
   return "?";
 }
@@ -156,7 +158,7 @@ AlgorithmKind parse_algorithm(const std::string& token) {
                      {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR,
                       AlgorithmKind::kNewPR, AlgorithmKind::kHybrid, AlgorithmKind::kTora,
                       AlgorithmKind::kDistFR, AlgorithmKind::kDistPR, AlgorithmKind::kSimRPrime,
-                      AlgorithmKind::kSimR, AlgorithmKind::kSimRRev});
+                      AlgorithmKind::kSimR, AlgorithmKind::kSimRRev, AlgorithmKind::kService});
 }
 
 SchedulerKind parse_scheduler(const std::string& token) {
@@ -192,6 +194,9 @@ std::vector<RunSpec> SweepSpec::expand() const {
             spec.engine_threads = engine_threads;
             spec.sim_scheduler = sim_scheduler;
             spec.sim_threads = sim_threads;
+            spec.service_workload = service_workload;
+            spec.service_clients = service_clients;
+            spec.service_duration = service_duration;
             runs.push_back(spec);
           }
         }
@@ -313,6 +318,24 @@ SweepSpec SweepSpec::parse(std::istream& is) {
         const auto list = parse_integer_list(values);
         if (list.size() != 1) throw std::invalid_argument("sim_threads takes a single value");
         spec.sim_threads = static_cast<std::size_t>(list[0]);
+      } else if (key == "service_workload") {
+        const auto tokens = split_values(values);
+        if (tokens.size() != 1) {
+          throw std::invalid_argument("service_workload takes a single value");
+        }
+        spec.service_workload = parse_service_workload(tokens[0]);
+      } else if (key == "service_clients") {
+        const auto list = parse_integer_list(values);
+        if (list.size() != 1 || list[0] == 0) {
+          throw std::invalid_argument("service_clients takes a single value >= 1");
+        }
+        spec.service_clients = static_cast<std::size_t>(list[0]);
+      } else if (key == "service_duration") {
+        const auto list = parse_integer_list(values);
+        if (list.size() != 1) {
+          throw std::invalid_argument("service_duration takes a single value");
+        }
+        spec.service_duration = list[0];
       } else {
         throw std::invalid_argument("unknown key '" + key + "'");
       }
@@ -361,6 +384,9 @@ std::string format_sweep_spec(const SweepSpec& spec) {
   os << "engine_threads = " << spec.engine_threads << "\n";
   os << "sim_scheduler = " << event_scheduler_token(spec.sim_scheduler) << "\n";
   os << "sim_threads = " << spec.sim_threads << "\n";
+  os << "service_workload = " << service_workload_token(spec.service_workload) << "\n";
+  os << "service_clients = " << spec.service_clients << "\n";
+  os << "service_duration = " << spec.service_duration << "\n";
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 
 #include "analysis/game.hpp"
 #include "graph/generators.hpp"
+#include "service/workload.hpp"
 #include "sim/time_index.hpp"
 
 /// \file scenario.hpp
@@ -56,6 +57,7 @@ enum class AlgorithmKind : std::uint8_t {
   kSimRPrime,     ///< relation R' checker: PR -> OneStepPR (Lemma 5.1)
   kSimR,          ///< relation R checker: OneStepPR -> NewPR (Lemma 5.3)
   kSimRRev,       ///< reverse relation checker: NewPR -> OneStepPR
+  kService,       ///< request-serving harness with latency SLOs (E9)
 };
 
 /// Which execution back-end a run uses.
@@ -115,8 +117,21 @@ struct RunSpec {
   /// (dist-fr / dist-pr kernels): 1 = the serial event queue (default),
   /// 0 = hardware concurrency, N = a pool of N per-node event lanes
   /// (sim/sharded_loop.hpp).  Deterministic and byte-identical to the
-  /// serial loop at every value, like engine_threads.
+  /// serial loop at every value, like engine_threads.  The service
+  /// kernel reuses this knob as the harness's parallel read-phase
+  /// worker count (same contract: reports are byte-identical at every
+  /// value).
   std::size_t sim_threads = 1;
+
+  /// Client-request mix of the service kernel
+  /// (service/service_harness.hpp); ignored by every other kernel.
+  ServiceWorkload service_workload = ServiceWorkload::kMixed;
+
+  /// Closed-loop client count of the service kernel.
+  std::size_t service_clients = 8;
+
+  /// Virtual-tick duration of the service kernel's run.
+  std::uint64_t service_duration = 256;
 
   /// Seed of the instance-construction RNG stream.  Depends only on
   /// (topology, size, seed) — *not* on algorithm or scheduler — so all
@@ -147,7 +162,8 @@ Instance make_instance(const RunSpec& spec);
 const char* topology_token(TopologyKind kind);
 
 /// Spec-file token of an algorithm kernel ("fr", "pr", "newpr", "hybrid",
-/// "tora", "dist-fr", "dist-pr", "sim-rprime", "sim-r", "sim-rrev").
+/// "tora", "dist-fr", "dist-pr", "sim-rprime", "sim-r", "sim-rrev",
+/// "service").
 const char* algorithm_token(AlgorithmKind kind);
 
 /// Spec-file token of a scheduler ("lowest", "random", "rr", "farthest"),
@@ -205,6 +221,17 @@ struct SweepSpec {
   /// worker count stamped on every expanded run (see RunSpec::sim_threads).
   /// Scalar because records are byte-identical at every value.
   std::size_t sim_threads = 1;
+  /// `service_workload =` scalar option (`mixed` default): the service
+  /// kernel's request mix stamped on every expanded run.  A scalar like
+  /// max_steps: it parameterizes the workload rather than naming an
+  /// independent axis (sweep the algorithm axis to compare kernels).
+  ServiceWorkload service_workload = ServiceWorkload::kMixed;
+  /// `service_clients =` scalar option: the service kernel's closed-loop
+  /// client count stamped on every expanded run.
+  std::size_t service_clients = 8;
+  /// `service_duration =` scalar option: the service kernel's virtual-tick
+  /// duration stamped on every expanded run.
+  std::uint64_t service_duration = 256;
 
   /// Number of runs the spec expands to (the axes' size product).
   std::size_t run_count() const;

@@ -133,6 +133,9 @@ void encode_payload(std::vector<std::uint8_t>& out, const RecordFrame& frame) {
   put_u64(out, spec.engine_threads);
   put_u8(out, static_cast<std::uint8_t>(spec.sim_scheduler));
   put_u64(out, spec.sim_threads);
+  put_u8(out, static_cast<std::uint8_t>(spec.service_workload));
+  put_u64(out, spec.service_clients);
+  put_u64(out, spec.service_duration);
   const RunRecord& record = frame.record;
   put_u64(out, record.run_seed);
   put_u64(out, record.nodes);
@@ -154,7 +157,7 @@ RecordFrame decode_record(Cursor& cursor) {
   RunSpec& spec = frame.record.spec;
   spec.topology = checked_enum(cursor.u8(), TopologyKind::kUnitDisk, "topology");
   spec.size = static_cast<std::size_t>(cursor.u64());
-  spec.algorithm = checked_enum(cursor.u8(), AlgorithmKind::kSimRRev, "algorithm");
+  spec.algorithm = checked_enum(cursor.u8(), AlgorithmKind::kService, "algorithm");
   spec.scheduler = checked_enum(cursor.u8(), SchedulerKind::kFarthestFirst, "scheduler");
   spec.seed = cursor.u64();
   spec.max_steps = cursor.u64();
@@ -162,6 +165,9 @@ RecordFrame decode_record(Cursor& cursor) {
   spec.engine_threads = static_cast<std::size_t>(cursor.u64());
   spec.sim_scheduler = checked_enum(cursor.u8(), EventSchedulerKind::kWheel, "sim_scheduler");
   spec.sim_threads = static_cast<std::size_t>(cursor.u64());
+  spec.service_workload = checked_enum(cursor.u8(), ServiceWorkload::kMixed, "service_workload");
+  spec.service_clients = static_cast<std::size_t>(cursor.u64());
+  spec.service_duration = cursor.u64();
   RunRecord& record = frame.record;
   record.run_seed = cursor.u64();
   record.nodes = cursor.u64();

@@ -60,6 +60,7 @@ class ThreadPool {
   /// counts as one, so `threads - 1` std::threads are spawned); 0 means
   /// std::thread::hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0) {
+    total_constructed_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t n = threads != 0
                               ? threads
                               : std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -92,6 +93,15 @@ class ThreadPool {
 
   /// Number of logical workers (>= 1, caller included).
   std::size_t size() const noexcept { return size_; }
+
+  /// Pools constructed process-wide so far (monotone).  A test hook:
+  /// pool-reuse contracts (e.g. WorkerPoolCache covering every sharded
+  /// kernel) are pinned by asserting this counter's *delta* across a
+  /// batch of runs, so the absolute value — which includes every other
+  /// pool the process ever made — never matters.
+  static std::uint64_t total_constructed() noexcept {
+    return total_constructed_.load(std::memory_order_relaxed);
+  }
 
   /// Runs `job(worker_index)` once per worker, indices `[0, size())`, and
   /// returns after *all* invocations completed (a fork/join barrier).  The
@@ -178,6 +188,8 @@ class ThreadPool {
       pending_.fetch_sub(1, std::memory_order_acq_rel);
     }
   }
+
+  static inline std::atomic<std::uint64_t> total_constructed_{0};
 
   std::size_t size_ = 1;
   std::vector<std::thread> workers_;

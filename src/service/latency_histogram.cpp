@@ -1,0 +1,54 @@
+#include "service/latency_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lr {
+
+void LatencyHistogram::record(std::uint64_t value) noexcept {
+  ++counts_[bucket_index(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t index = 0; index < kBuckets; ++index) counts_[index] += other.counts_[index];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t index = 0; index < kBuckets; ++index) {
+    cumulative += counts_[index];
+    if (cumulative >= rank) return bucket_lower_bound(index);
+  }
+  return max_;  // unreachable: cumulative reaches count_ >= rank
+}
+
+std::uint64_t LatencyHistogram::fingerprint() const noexcept {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffu;
+      hash *= 1099511628211ULL;
+    }
+  };
+  for (const std::uint64_t bucket : counts_) mix(bucket);
+  mix(count_);
+  mix(sum_);
+  mix(min_);
+  mix(max_);
+  return hash;
+}
+
+}  // namespace lr

@@ -1,0 +1,31 @@
+#include "service/workload.hpp"
+
+#include <stdexcept>
+
+namespace lr {
+
+const char* service_workload_token(ServiceWorkload workload) {
+  switch (workload) {
+    case ServiceWorkload::kRoute:
+      return "route";
+    case ServiceWorkload::kLock:
+      return "lock";
+    case ServiceWorkload::kLeader:
+      return "leader";
+    case ServiceWorkload::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+ServiceWorkload parse_service_workload(const std::string& token) {
+  for (const ServiceWorkload workload :
+       {ServiceWorkload::kRoute, ServiceWorkload::kLock, ServiceWorkload::kLeader,
+        ServiceWorkload::kMixed}) {
+    if (token == service_workload_token(workload)) return workload;
+  }
+  throw std::invalid_argument("unknown service_workload '" + token +
+                              "' (known: route, lock, leader, mixed)");
+}
+
+}  // namespace lr

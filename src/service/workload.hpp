@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file workload.hpp
+/// The service-workload vocabulary shared by the sweep layer and the
+/// service harness.  A leaf header (like sim/time_index.hpp's scheduler
+/// tokens) so runner/scenario.hpp can name the `service_workload` sweep
+/// scalar without pulling the whole service layer into its include
+/// graph.
+
+namespace lr {
+
+/// Which client-request mix a service-harness run drives
+/// (service/service_harness.hpp).
+enum class ServiceWorkload : std::uint8_t {
+  kRoute,   ///< route queries only (ToraRouter's DAG)
+  kLock,    ///< lock acquire/release cycles only (LinkReversalMutex)
+  kLeader,  ///< leader lookups only (LeaderElectionService)
+  kMixed,   ///< 50% route, 25% lock, 25% leader per client draw
+};
+
+/// Spec-file / CLI token of a workload ("route", "lock", "leader",
+/// "mixed").
+const char* service_workload_token(ServiceWorkload workload);
+
+/// Parses a workload token; throws std::invalid_argument when unknown.
+ServiceWorkload parse_service_workload(const std::string& token);
+
+}  // namespace lr

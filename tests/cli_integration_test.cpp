@@ -273,4 +273,113 @@ TEST_F(CliIntegrationTest, RunRejectsUnknownScheduler) {
   std::filesystem::remove(path);
 }
 
+// Lines outside the serve determinism contract: the "serve:" stderr
+// line carries wall-clock throughput (run_command merges stderr into
+// stdout, so strip it before comparing reports).
+std::string strip_serve_progress(const std::string& output) {
+  std::string kept;
+  std::istringstream iss(output);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (line.rfind("serve:", 0) != 0) kept += line + "\n";
+  }
+  return kept;
+}
+
+TEST_F(CliIntegrationTest, ServeFlagValidation) {
+  EXPECT_EQ(run_command("serve").exit_code, 2);
+  EXPECT_EQ(run_command("serve chain").exit_code, 2);
+  EXPECT_EQ(run_command("serve moebius 8").exit_code, 2);    // unknown topology
+  EXPECT_EQ(run_command("serve chain 0").exit_code, 2);      // empty service
+  EXPECT_EQ(run_command("serve chain eight").exit_code, 2);  // non-numeric size
+  EXPECT_EQ(run_command("serve chain 8 --workload batch").exit_code, 2);
+  EXPECT_EQ(run_command("serve chain 8 --scheduler calendar").exit_code, 2);
+  EXPECT_EQ(run_command("serve chain 8 --clients 0").exit_code, 2);
+  EXPECT_EQ(run_command("serve chain 8 --clients two").exit_code, 2);
+  EXPECT_EQ(run_command("serve chain 8 --duration -5").exit_code, 2);
+  EXPECT_EQ(run_command("serve chain 8 --clients").exit_code, 2);  // missing value
+  EXPECT_EQ(run_command("serve chain 8 --bogus 1").exit_code, 2);
+}
+
+TEST_F(CliIntegrationTest, ServeReportsTheLatencySchema) {
+  const auto result = run_command("serve random 16 --clients 4 --duration 64 --seed 2");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  const std::string report = strip_serve_progress(result.output);
+  // Header row, then one row per kind plus the merged "all" row.
+  EXPECT_EQ(report.rfind("kind,issued,completed,failed,p50,p99,p999,mean,max,hops,fingerprint",
+                         0),
+            0u)
+      << report;
+  EXPECT_NE(report.find("\nroute,"), std::string::npos) << report;
+  EXPECT_NE(report.find("\nlock,"), std::string::npos) << report;
+  EXPECT_NE(report.find("\nleader,"), std::string::npos) << report;
+  EXPECT_NE(report.find("\nall,"), std::string::npos) << report;
+  // The stderr line reports wall-clock throughput and churn accounting.
+  EXPECT_NE(result.output.find("serve:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("req/s"), std::string::npos) << result.output;
+}
+
+TEST_F(CliIntegrationTest, ServeReportIsDeploymentInvariant) {
+  const std::string args = "serve random 24 --clients 6 --duration 96 --seed 5 --churn 8";
+  const auto reference = run_command(args);
+  ASSERT_EQ(reference.exit_code, 0) << reference.output;
+  const std::string expected = strip_serve_progress(reference.output);
+  for (const std::string variant :
+       {args + " --threads 4", args + " --scheduler wheel", args + " --threads 2 --scheduler wheel"}) {
+    const auto result = run_command(variant);
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_EQ(strip_serve_progress(result.output), expected) << variant;
+  }
+}
+
+TEST_F(CliIntegrationTest, ServeWritesJsonReport) {
+  const std::string json_path = temp_file("cli_it_serve.json");
+  const auto result =
+      run_command("serve chain 12 --clients 4 --duration 64 --json " + json_path);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  std::ifstream json(json_path);
+  std::stringstream contents;
+  contents << json.rdbuf();
+  EXPECT_NE(contents.str().find("\"kind\": \"route\""), std::string::npos) << contents.str();
+  EXPECT_NE(contents.str().find("\"kind\": \"all\""), std::string::npos) << contents.str();
+  EXPECT_NE(contents.str().find("\"p99\""), std::string::npos) << contents.str();
+  std::filesystem::remove(json_path);
+}
+
+TEST_F(CliIntegrationTest, ServiceSweepShardsMatchSingleProcessByteForByte) {
+  const std::string spec_path = temp_file("cli_it_service.sweep");
+  {
+    std::ofstream spec(spec_path);
+    spec << "topology  = chain, random\n"
+            "size      = 12\n"
+            "algorithm = service\n"
+            "seed      = 1..3\n"
+            "sim_threads = 2\n"
+            "service_clients = 4\n"
+            "service_duration = 64\n";
+  }
+  const std::string records1 = temp_file("cli_it_service1.csv");
+  const std::string records2 = temp_file("cli_it_service2.csv");
+  const auto single = run_command("sweep " + spec_path + " --threads 1 --records " + records1);
+  EXPECT_EQ(single.exit_code, 0) << single.output;
+  const auto sharded = run_command("sweep " + spec_path + " --processes 2 --records " + records2);
+  EXPECT_EQ(sharded.exit_code, 0) << sharded.output;
+
+  EXPECT_EQ(strip_sweep_progress(single.output), strip_sweep_progress(sharded.output));
+
+  std::ifstream r1(records1), r2(records2);
+  std::stringstream s1, s2;
+  s1 << r1.rdbuf();
+  s2 << r2.rdbuf();
+  EXPECT_FALSE(s1.str().empty());
+  EXPECT_EQ(s1.str(), s2.str());
+  // The record CSV must carry the service fingerprint (dummy_steps
+  // column) so shard-merge identity pins the full histograms.
+  EXPECT_NE(s1.str().find("service"), std::string::npos);
+
+  std::filesystem::remove(spec_path);
+  std::filesystem::remove(records1);
+  std::filesystem::remove(records2);
+}
+
 }  // namespace

@@ -1,0 +1,208 @@
+/// Pins the LatencyHistogram contract the service layer's determinism
+/// promise rests on (src/service/latency_histogram.hpp): the bucket map
+/// is a monotone total cover of uint64, merge is exactly split- and
+/// order-independent (byte-identical to serial recording, not just
+/// approximately equal), and quantile() lands within one bucket of the
+/// exact sorted-sample quantile.
+
+#include "service/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace lr {
+namespace {
+
+TEST(LatencyHistogramBuckets, LinearPrefixIsExact) {
+  for (std::uint64_t value = 0; value < LatencyHistogram::kLinearLimit; ++value) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(value), value);
+    EXPECT_EQ(LatencyHistogram::bucket_lower_bound(value), value);
+  }
+}
+
+TEST(LatencyHistogramBuckets, IndexIsMonotoneAcrossOctaveBoundaries) {
+  // Walk every octave boundary and its neighbours: the index must never
+  // decrease as the value grows, and the lower bound must round-trip.
+  std::vector<std::uint64_t> probes = {0, 1, 15, 16, 17};
+  for (unsigned shift = 4; shift < 64; ++shift) {
+    const std::uint64_t base = 1ull << shift;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + 1);
+    probes.push_back(base + (base >> 1));
+  }
+  probes.push_back(std::numeric_limits<std::uint64_t>::max());
+  std::sort(probes.begin(), probes.end());
+  std::size_t previous = 0;
+  for (const std::uint64_t value : probes) {
+    const std::size_t index = LatencyHistogram::bucket_index(value);
+    ASSERT_LT(index, LatencyHistogram::kBuckets) << "value " << value;
+    EXPECT_GE(index, previous) << "value " << value;
+    // The bucket's lower bound maps back to the same bucket and never
+    // exceeds the value it represents.
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_lower_bound(index)), index);
+    EXPECT_LE(LatencyHistogram::bucket_lower_bound(index), value);
+    previous = index;
+  }
+}
+
+TEST(LatencyHistogramBuckets, RelativeErrorBoundedBySubBucketWidth) {
+  // Above the linear prefix, the bucket lower bound is within one
+  // sub-bucket (1/16 relative) of the value — the ~6% width the header
+  // advertises.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 10'000; ++trial) {
+    const std::uint64_t value = rng() >> (rng() % 48);
+    if (value < LatencyHistogram::kLinearLimit) continue;
+    const std::uint64_t lower =
+        LatencyHistogram::bucket_lower_bound(LatencyHistogram::bucket_index(value));
+    ASSERT_LE(lower, value);
+    EXPECT_LT(static_cast<double>(value - lower),
+              static_cast<double>(value) / 16.0 + 1.0)
+        << "value " << value << " lower " << lower;
+  }
+}
+
+TEST(LatencyHistogramAggregates, EmptyHistogramIsZeroed) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  // Merging an empty histogram is the identity.
+  LatencyHistogram other;
+  other.record(42);
+  LatencyHistogram merged = other;
+  merged.merge(h);
+  EXPECT_EQ(merged, other);
+  EXPECT_EQ(merged.fingerprint(), other.fingerprint());
+}
+
+TEST(LatencyHistogramAggregates, CountSumMinMaxMeanTrackSamples) {
+  LatencyHistogram h;
+  const std::uint64_t samples[] = {3, 1000, 17, 3, 999'999};
+  std::uint64_t sum = 0;
+  for (const std::uint64_t s : samples) {
+    h.record(s);
+    sum += s;
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 999'999u);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 5.0);
+}
+
+/// The tentpole property: split a sample stream into random shards,
+/// merge the shard histograms back in a random order, and the result
+/// must equal the serially recorded histogram exactly — same buckets,
+/// same aggregates, same fingerprint.
+TEST(LatencyHistogramMerge, RandomSplitAndOrderIsByteIdenticalToSerial) {
+  std::mt19937_64 rng(12345);
+  for (int trial = 0; trial < 20; ++trial) {
+    // A spread of magnitudes: linear-prefix values, mid-range, and
+    // near-overflow samples all in one stream.
+    std::vector<std::uint64_t> samples;
+    const std::size_t n = 200 + static_cast<std::size_t>(rng() % 800);
+    for (std::size_t i = 0; i < n; ++i) samples.push_back(rng() >> (rng() % 60));
+
+    LatencyHistogram serial;
+    for (const std::uint64_t s : samples) serial.record(s);
+
+    const std::size_t shards = 1 + static_cast<std::size_t>(rng() % 8);
+    std::vector<LatencyHistogram> parts(shards);
+    for (const std::uint64_t s : samples) parts[rng() % shards].record(s);
+
+    std::vector<std::size_t> order(shards);
+    for (std::size_t i = 0; i < shards; ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+
+    LatencyHistogram merged;
+    for (const std::size_t part : order) merged.merge(parts[part]);
+
+    ASSERT_EQ(merged, serial) << "trial " << trial << " shards " << shards;
+    ASSERT_EQ(merged.fingerprint(), serial.fingerprint());
+    ASSERT_EQ(merged.count(), samples.size());
+  }
+}
+
+TEST(LatencyHistogramMerge, MergeIsCommutative) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 500; ++i) a.record(rng() >> (rng() % 56));
+  for (int i = 0; i < 300; ++i) b.record(rng() >> (rng() % 56));
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.fingerprint(), ba.fingerprint());
+}
+
+/// quantile() must land in the same bucket as the exact sorted-sample
+/// quantile — "within one bucket" as advertised, pinned bucket-exactly.
+TEST(LatencyHistogramQuantile, WithinOneBucketOfExactSortedQuantile) {
+  std::mt19937_64 rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint64_t> samples;
+    const std::size_t n = 100 + static_cast<std::size_t>(rng() % 2000);
+    for (std::size_t i = 0; i < n; ++i) samples.push_back(rng() >> (rng() % 52));
+    LatencyHistogram h;
+    for (const std::uint64_t s : samples) h.record(s);
+    std::sort(samples.begin(), samples.end());
+    for (const double q : {0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+      const std::size_t rank = std::min<std::size_t>(
+          samples.size(),
+          std::max<std::size_t>(1, static_cast<std::size_t>(
+                                       std::ceil(q * static_cast<double>(samples.size())))));
+      const std::uint64_t exact = samples[rank - 1];
+      const std::uint64_t estimate = h.quantile(q);
+      EXPECT_EQ(LatencyHistogram::bucket_index(estimate), LatencyHistogram::bucket_index(exact))
+          << "trial " << trial << " q " << q << " exact " << exact << " estimate " << estimate;
+      // And the estimate is a bucket lower bound, so it never exceeds
+      // the exact sample it approximates.
+      EXPECT_LE(estimate, exact);
+    }
+  }
+}
+
+TEST(LatencyHistogramQuantile, DegenerateStreamsAreExact) {
+  // All-identical samples: every quantile is that value's bucket floor.
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(7);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(h.quantile(q), 7u);
+  // Single sample.
+  LatencyHistogram single;
+  single.record(1'000'000);
+  const std::uint64_t floor =
+      LatencyHistogram::bucket_lower_bound(LatencyHistogram::bucket_index(1'000'000));
+  EXPECT_EQ(single.quantile(0.5), floor);
+  EXPECT_EQ(single.quantile(1.0), floor);
+}
+
+TEST(LatencyHistogramFingerprint, DistinguishesDifferentStreams) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(5);
+  b.record(6);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  // Same bucket, different counts.
+  LatencyHistogram c = a;
+  c.record(5);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  // Empty fingerprint is stable and distinct from a recorded one.
+  EXPECT_EQ(LatencyHistogram().fingerprint(), LatencyHistogram().fingerprint());
+  EXPECT_NE(LatencyHistogram().fingerprint(), a.fingerprint());
+}
+
+}  // namespace
+}  // namespace lr

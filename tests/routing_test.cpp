@@ -497,5 +497,69 @@ TEST(MutexTest, EveryoneCanStillRequestAfterManyHandoffs) {
   EXPECT_GT(mutex.stats().total_reversals, 0u);
 }
 
+TEST(MutexTest, LinkChurnPartitionsAndHealsTheTokenRoute) {
+  // Chain 0-1-2-3-4-5, token at 0.  Cutting (2,3) strands 3..5; the
+  // service-layer contract is that callers see the partition through
+  // dag().route() and never call request() blind.
+  Graph g = make_chain_graph(6);
+  LinkReversalMutex mutex(g, 0);
+  mutex.link_down(2, 3);
+  EXPECT_FALSE(mutex.dag().route(4).has_value());
+  EXPECT_THROW(mutex.request(4), std::logic_error);
+  // The connected side still works.
+  EXPECT_TRUE(mutex.dag().route(1).has_value());
+  EXPECT_GT(mutex.request(1), 0u);
+  EXPECT_EQ(mutex.release(), 1u);
+  // Healing restores service to the stranded side.
+  mutex.link_up(2, 3);
+  ASSERT_TRUE(mutex.dag().route(4).has_value());
+  EXPECT_GT(mutex.request(4), 0u);
+  EXPECT_EQ(mutex.release(), 4u);
+  EXPECT_TRUE(mutex.may_enter(4));
+}
+
+TEST(MutexTest, LinkChurnIsIdempotent) {
+  Graph g = make_ring_graph(5);
+  LinkReversalMutex mutex(g, 0);
+  mutex.link_down(1, 2);
+  mutex.link_down(1, 2);  // repeat: no-op
+  mutex.link_up(1, 2);
+  mutex.link_up(1, 2);  // repeat: no-op
+  for (NodeId u = 1; u < 5; ++u) {
+    ASSERT_TRUE(mutex.dag().route(u).has_value()) << "node " << u;
+  }
+}
+
+TEST(LeaderElectionTest, LinkChurnReroutesToTheLeader) {
+  // Ring of 7, leader 6.  One cut keeps the ring connected (reroute the
+  // long way); a second cut strands a segment from the leader.
+  Graph g = make_ring_graph(7);
+  LeaderElectionService service(g);
+  service.link_down(5, 6);
+  ASSERT_TRUE(service.leader().has_value());
+  EXPECT_EQ(*service.leader(), 6u);
+  EXPECT_TRUE(service.leader_reachable_from_all());
+  service.link_down(2, 3);
+  EXPECT_FALSE(service.dag().route(3).has_value());
+  EXPECT_TRUE(service.dag().route(1).has_value());
+  // Healing either cut reconnects everyone.
+  service.link_up(5, 6);
+  EXPECT_TRUE(service.leader_reachable_from_all());
+}
+
+TEST(LeaderElectionTest, LinkChurnToDeadNodesIsIgnored) {
+  Graph g = make_complete_graph(5);
+  LeaderElectionService service(g);
+  service.fail_node(2);
+  ASSERT_TRUE(service.leader().has_value());
+  const NodeId leader = *service.leader();
+  // Links touching a dead node never come (back) up.
+  service.link_up(2, 3);
+  service.link_up(2, leader);
+  EXPECT_FALSE(service.alive(2));
+  EXPECT_EQ(*service.leader(), leader);
+  EXPECT_TRUE(service.leader_reachable_from_all());
+}
+
 }  // namespace
 }  // namespace lr

@@ -101,6 +101,72 @@ TEST(SweepSpecTest, RejectsBadEventCoreOptions) {
                std::invalid_argument);
 }
 
+TEST(SweepSpecTest, ParsesServiceScalarsAndStampsEveryRun) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = random\n"
+      "size = 16\n"
+      "algorithm = service\n"
+      "seed = 1, 2\n"
+      "service_workload = lock\n"
+      "service_clients = 12\n"
+      "service_duration = 512\n");
+  EXPECT_EQ(spec.service_workload, ServiceWorkload::kLock);
+  EXPECT_EQ(spec.service_clients, 12u);
+  EXPECT_EQ(spec.service_duration, 512u);
+  for (const RunSpec& run : spec.expand()) {
+    EXPECT_EQ(run.algorithm, AlgorithmKind::kService);
+    EXPECT_EQ(run.service_workload, ServiceWorkload::kLock);
+    EXPECT_EQ(run.service_clients, 12u);
+    EXPECT_EQ(run.service_duration, 512u);
+  }
+}
+
+TEST(SweepSpecTest, ServiceScalarsDefaultToMixedReferenceLoad) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = chain\n"
+      "size = 8\n"
+      "algorithm = service\n");
+  EXPECT_EQ(spec.service_workload, ServiceWorkload::kMixed);
+  EXPECT_EQ(spec.service_clients, 8u);
+  EXPECT_EQ(spec.service_duration, 256u);
+}
+
+TEST(SweepSpecTest, RejectsBadServiceScalars) {
+  const std::string base =
+      "topology = chain\n"
+      "size = 8\n"
+      "algorithm = service\n";
+  // Unknown workload token.
+  EXPECT_THROW(SweepSpec::parse_string(base + "service_workload = batch\n"),
+               std::invalid_argument);
+  // Scalars, not sweep axes: lists are rejected.
+  EXPECT_THROW(SweepSpec::parse_string(base + "service_workload = route, lock\n"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse_string(base + "service_clients = 4, 8\n"),
+               std::invalid_argument);
+  // A service with zero clients is meaningless.
+  EXPECT_THROW(SweepSpec::parse_string(base + "service_clients = 0\n"),
+               std::invalid_argument);
+}
+
+TEST(SweepSpecTest, ServiceScalarsRoundTripThroughFormat) {
+  SweepSpec spec;
+  spec.topologies = {TopologyKind::kRandom};
+  spec.sizes = {16};
+  spec.algorithms = {AlgorithmKind::kService};
+  spec.schedulers = {SchedulerKind::kLowestId};
+  spec.seeds = {1, 2};
+  spec.service_workload = ServiceWorkload::kLeader;
+  spec.service_clients = 5;
+  spec.service_duration = 128;
+  const std::string text = format_sweep_spec(spec);
+  const SweepSpec reparsed = SweepSpec::parse_string(text);
+  EXPECT_EQ(reparsed.service_workload, ServiceWorkload::kLeader);
+  EXPECT_EQ(reparsed.service_clients, 5u);
+  EXPECT_EQ(reparsed.service_duration, 128u);
+  EXPECT_EQ(format_sweep_spec(reparsed), text);
+}
+
 TEST(SweepSpecTest, ExpansionOrderIsSeedInnermost) {
   const SweepSpec spec = SweepSpec::parse_string(
       "topology = chain, star\n"
@@ -169,7 +235,7 @@ TEST(ExecuteRunTest, EveryAlgorithmKernelExecutesCleanly) {
        {AlgorithmKind::kFullReversal, AlgorithmKind::kOneStepPR, AlgorithmKind::kNewPR,
         AlgorithmKind::kHybrid, AlgorithmKind::kTora, AlgorithmKind::kDistFR,
         AlgorithmKind::kDistPR, AlgorithmKind::kSimRPrime, AlgorithmKind::kSimR,
-        AlgorithmKind::kSimRRev}) {
+        AlgorithmKind::kSimRRev, AlgorithmKind::kService}) {
     RunSpec spec;
     spec.topology = TopologyKind::kRandom;
     spec.size = 16;
