@@ -17,6 +17,7 @@
 ///
 ///   lr_cli sweep <spec.sweep> [--threads N] [--cache-cap N] [--records out.csv]
 ///              [--json out.json] [--processes N] [--retries N]
+///              [--snapshot-dir DIR]
 ///       Expands the declarative sweep spec (topology x size x algorithm x
 ///       scheduler x seed; see docs/EXPERIMENTS.md) and executes every run
 ///       on a fixed-size thread pool.  Prints the aggregate table as CSV on
@@ -27,6 +28,19 @@
 ///       retries (--retries, default 2); tables stay byte-identical to the
 ///       in-process run at every worker count.  With --processes, --threads
 ///       sets each worker's internal thread count (default 1).
+///       --snapshot-dir DIR persists each generated workload as an
+///       mmap-reloadable snapshot file in DIR (created if absent) and
+///       reloads it on later sweeps — and, with --processes, in every
+///       worker, which then share one physical copy of the pages.  Purely
+///       a performance switch: tables are byte-identical with and without
+///       it.
+///
+///   lr_cli snapshot save <topology> <size> <seed> <out.lrsnap>
+///   lr_cli snapshot info <in.lrsnap>
+///       Builds the named sweep workload (same recipes as the sweep
+///       topology axis) and persists it as an mmap snapshot file; `info`
+///       validates an existing file (magic, extents, checksum) and prints
+///       its shape and CSR fingerprint.
 ///
 ///   lr_cli serve <topology> <size> [--workload route|lock|leader|mixed]
 ///              [--clients N] [--duration T] [--seed S] [--threads N]
@@ -61,6 +75,7 @@
 #include "graph/dot.hpp"
 #include "graph/generators.hpp"
 #include "graph/serialize.hpp"
+#include "graph/snapshot.hpp"
 #include "runner/process_runner.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
@@ -80,10 +95,15 @@ int usage() {
                "  lr_cli modelcheck <in.lri> <pr|newpr|fr>\n"
                "  lr_cli sweep <spec.sweep> [--threads N] [--cache-cap N]"
                " [--records out.csv] [--json out.json]\n"
-               "               [--processes N] [--retries N]\n"
+               "               [--processes N] [--retries N] [--snapshot-dir DIR]\n"
                "      --processes shards the sweep across N worker processes (>= 1);\n"
                "      tables are byte-identical to the in-process run at every N\n"
-               "  lr_cli serve <chain|random|grid|layered|star|unitdisk> <n>"
+               "      --snapshot-dir persists workloads as mmap snapshot files and\n"
+               "      reloads them on later sweeps and in every worker process\n"
+               "  lr_cli snapshot save <topology> <size> <seed> <out.lrsnap>\n"
+               "  lr_cli snapshot info <in.lrsnap>\n"
+               "  lr_cli serve <chain|random|grid|layered|star|unitdisk|torus|"
+               "widerandom|waypoint> <n>"
                " [--workload route|lock|leader|mixed]\n"
                "               [--clients N] [--duration T] [--seed S] [--threads N]\n"
                "               [--scheduler heap|wheel] [--churn T] [--json out.json]\n"
@@ -235,6 +255,8 @@ int cmd_sweep(int argc, char** argv) {
       records_path = value;
     } else if (flag == "--json") {
       json_path = value;
+    } else if (flag == "--snapshot-dir") {
+      options.snapshot_dir = value;
     } else {
       return usage();
     }
@@ -294,6 +316,14 @@ int cmd_sweep(int argc, char** argv) {
                report.cache.entries, static_cast<unsigned long long>(report.cache.hits),
                static_cast<unsigned long long>(report.cache.misses),
                static_cast<unsigned long long>(report.cache.evictions));
+  if (!options.snapshot_dir.empty() && options.process_workers == 0) {
+    // Worker processes keep their own counters (the shard protocol carries
+    // only the four cache counters), so this line is in-process only.
+    std::fprintf(stderr, "snapshots: %llu mmap reload(s), %llu save(s) in %s\n",
+                 static_cast<unsigned long long>(report.cache.snapshot_loads),
+                 static_cast<unsigned long long>(report.cache.snapshot_saves),
+                 options.snapshot_dir.c_str());
+  }
 
   write_table_csv(std::cout, report.aggregate_table());
   if (!records_path.empty()) {
@@ -313,6 +343,55 @@ int cmd_sweep(int argc, char** argv) {
     write_table_json(os, report.records_table());
   }
   return errors == 0 ? 0 : 1;
+}
+
+int cmd_snapshot(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string verb = argv[2];
+  if (verb == "save") {
+    if (argc != 7) return usage();
+    RunSpec spec;
+    try {
+      spec.topology = parse_topology(argv[3]);
+    } catch (const std::invalid_argument&) {
+      return usage();
+    }
+    for (const int arg : {4, 5}) {
+      char* end = nullptr;
+      const std::string value = argv[arg];
+      const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || value[0] == '-') return usage();
+      if (arg == 4) {
+        if (parsed == 0) return usage();
+        spec.size = static_cast<std::size_t>(parsed);
+      } else {
+        spec.seed = parsed;
+      }
+    }
+    // Same workload the sweep axis would build, frozen and persisted: a
+    // later `sweep --snapshot-dir` (or `snapshot info`) mmap-reloads it.
+    const Instance instance = make_instance(spec);
+    const CsrGraph csr(instance.graph, instance.senses);
+    save_snapshot(argv[6], instance, csr);
+    std::printf("wrote %s: %s, destination %u, fingerprint %016llx\n", argv[6],
+                instance.graph.describe().c_str(), instance.destination,
+                static_cast<unsigned long long>(csr.fingerprint()));
+    return 0;
+  }
+  if (verb == "info") {
+    if (argc != 4) return usage();
+    const Snapshot snap = Snapshot::load(argv[3]);  // validates magic + extents + checksum
+    std::printf("name        : %s\n", snap.name().c_str());
+    std::printf("nodes       : %zu\n", snap.num_nodes());
+    std::printf("edges       : %zu\n", snap.num_edges());
+    std::printf("destination : %u\n", snap.destination());
+    std::printf("file bytes  : %zu\n", snap.file_bytes());
+    std::printf("fingerprint : %016llx\n",
+                static_cast<unsigned long long>(snap.csr().fingerprint()));
+    std::printf("checksum    : ok\n");
+    return 0;
+  }
+  return usage();
 }
 
 int cmd_serve(int argc, char** argv) {
@@ -425,6 +504,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(argc, argv);
     if (command == "modelcheck") return cmd_modelcheck(argc, argv);
     if (command == "sweep") return cmd_sweep(argc, argv);
+    if (command == "snapshot") return cmd_snapshot(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

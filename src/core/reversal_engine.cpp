@@ -1,13 +1,58 @@
 #include "core/reversal_engine.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <functional>
 #include <limits>
 #include <random>
 #include <stdexcept>
 
 namespace lr {
+
+namespace {
+
+/// In-place neighbor updates for every serial execution path (single-step
+/// runs and un-sharded rounds): a decrement lands immediately and a node
+/// is requeued the instant its out-degree hits zero.
+template <typename PushSink>
+struct SerialOps {
+  std::uint32_t* out_degree;
+  std::uint32_t* list_size;
+  PushSink& push;
+
+  void flipped(NodeId v) {
+    if (--out_degree[v] == 0) push(v);
+  }
+  void listed(NodeId v) { ++list_size[v]; }
+  void self_sink(NodeId u) { push(u); }
+};
+
+/// Deferred neighbor updates for the sharded rounds kernel.  Touching a
+/// neighbor's counter directly would need an atomic RMW (a non-firing hub
+/// can neighbor every concurrently firing shard), and on hub topologies
+/// those RMWs all land on one cache line — star-4097's first round is
+/// 4096 leaves decrementing the same hub counter, which serializes the
+/// whole "parallel" round.  Instead the firing phase appends the neighbor
+/// id to a bucket addressed by the neighbor's *owner* shard; the merge
+/// phase has each owner drain the buckets aimed at its contiguous node
+/// range, so every counter keeps exactly one writer and no RMW is atomic.
+struct DeltaOps {
+  std::vector<NodeId>* degree_bucket;  // this firer's row: one bucket per owner
+  std::vector<NodeId>* list_bucket;
+  std::vector<NodeId>* next;  // this shard's next-round buffer (zero-flip requeues)
+  std::size_t shards;
+  std::size_t nodes;
+
+  std::size_t owner(NodeId v) const {
+    return static_cast<std::size_t>(v) * shards / nodes;
+  }
+  void flipped(NodeId v) { degree_bucket[owner(v)].push_back(v); }
+  void listed(NodeId v) { list_bucket[owner(v)].push_back(v); }
+  // The destination never fires, so a zero-flip self-requeue needs no
+  // destination filter here (the merge phase filters its own pushes).
+  void self_sink(NodeId u) { next->push_back(u); }
+};
+
+}  // namespace
 
 std::uint64_t senses_checksum(std::span<const EdgeSense> senses) {
   // FNV-1a over one byte per edge, the same encoding the automata use in
@@ -95,94 +140,79 @@ bool ReversalEngine::compute_destination_oriented() {
   return reached == n;
 }
 
-template <bool Atomic, typename PushSink>
-void ReversalEngine::flip(CsrPos p, PushSink&& push) {
+template <typename Ops>
+void ReversalEngine::flip(CsrPos p, Ops& ops) {
   const EdgeId e = csr_->edge_at(p);
   sense_[e] = sense_[e] == EdgeSense::kForward ? EdgeSense::kBackward : EdgeSense::kForward;
-  const NodeId v = csr_->neighbor_at(p);
-  if constexpr (Atomic) {
-    // v may neighbor several concurrently firing shards; the RMW both
-    // keeps the count exact and elects exactly one pusher (the thread
-    // whose decrement lands on zero).  Relaxed suffices: the counts
-    // commute and the round barrier publishes everything else.
-    if (std::atomic_ref<std::uint32_t>(out_degree_[v]).fetch_sub(1, std::memory_order_relaxed) ==
-        1) {
-      push(v);
-    }
-  } else {
-    if (--out_degree_[v] == 0) push(v);
-  }
+  ops.flipped(csr_->neighbor_at(p));
 }
 
-template <bool Atomic, typename PushSink>
-std::uint32_t ReversalEngine::fire_full(NodeId u, PushSink&& push) {
+template <typename Ops>
+std::uint32_t ReversalEngine::fire_full(NodeId u, Ops& ops) {
   const CsrPos begin = csr_->adjacency_begin(u);
   const CsrPos end = csr_->adjacency_end(u);
-  for (CsrPos p = begin; p < end; ++p) flip<Atomic>(p, push);
+  for (CsrPos p = begin; p < end; ++p) flip(p, ops);
   const std::uint32_t flips = end - begin;
-  // Plain store even in the Atomic kernel: u's round peers are pairwise
-  // non-adjacent to it, so no other shard touches out_degree_[u].
+  // Plain store in the sharded kernel too: u's round peers are pairwise
+  // non-adjacent to it and delta events only target non-firing nodes, so
+  // no other shard touches out_degree_[u] this round.
   out_degree_[u] = flips;
-  if (flips == 0) push(u);  // a degree-0 node stays a (vacuous) sink
+  if (flips == 0) ops.self_sink(u);  // a degree-0 node stays a (vacuous) sink
   return flips;
 }
 
-template <bool Atomic, typename PushSink>
-std::uint32_t ReversalEngine::fire_pr(NodeId u, PushSink&& push) {
+template <typename Ops>
+std::uint32_t ReversalEngine::fire_pr(NodeId u, Ops& ops) {
   const CsrPos begin = csr_->adjacency_begin(u);
   const CsrPos end = csr_->adjacency_end(u);
   const bool reverse_all = list_size_[u] == end - begin;
   std::uint32_t flips = 0;
   for (CsrPos p = begin; p < end; ++p) {
     if (!reverse_all && in_list_[p]) continue;  // v ∈ list[u]: keep the edge
-    flip<Atomic>(p, push);
+    flip(p, ops);
     ++flips;
     // list[v] := list[v] ∪ {u}, addressed through the mirror position.
     // The mirror slot is written by at most one shard per round (it names
-    // the {u, v} edge from v's side and u is the only firing endpoint),
-    // but v's list-size counter is shared with u's round peers.
+    // the {u, v} edge from v's side and u is the only firing endpoint);
+    // v's list-size counter is shared with u's round peers, which is why
+    // the increment goes through ops (deferred to v's owner when sharded).
     const CsrPos mp = csr_->mirror(p);
     if (!in_list_[mp]) {
       in_list_[mp] = 1;
-      if constexpr (Atomic) {
-        std::atomic_ref<std::uint32_t>(list_size_[csr_->neighbor_at(p)])
-            .fetch_add(1, std::memory_order_relaxed);
-      } else {
-        ++list_size_[csr_->neighbor_at(p)];
-      }
+      ops.listed(csr_->neighbor_at(p));
     }
   }
   for (CsrPos p = begin; p < end; ++p) in_list_[p] = 0;  // list[u] := ∅
   list_size_[u] = 0;
   out_degree_[u] = flips;
-  if (flips == 0) push(u);
+  if (flips == 0) ops.self_sink(u);
   return flips;
 }
 
-template <typename PushSink>
-std::uint32_t ReversalEngine::fire_newpr(NodeId u, PushSink&& push) {
+template <typename Ops>
+std::uint32_t ReversalEngine::fire_newpr(NodeId u, Ops& ops) {
   const std::span<const CsrPos> selected =
       parity_[u] ? csr_->initial_out_positions(u) : csr_->initial_in_positions(u);
-  for (const CsrPos p : selected) flip<false>(p, push);
+  for (const CsrPos p : selected) flip(p, ops);
   const std::uint32_t flips = static_cast<std::uint32_t>(selected.size());
   out_degree_[u] = flips;
   if (flips == 0) {
     ++dummy_steps_;  // the selected constant set is empty: a dummy step
-    push(u);
+    ops.self_sink(u);
   }
   parity_[u] ^= 1;
   return flips;
 }
 
-template <bool Atomic, typename PushSink>
-std::uint32_t ReversalEngine::fire(EngineAlgorithm algorithm, NodeId u, PushSink&& push) {
+template <typename Ops>
+std::uint32_t ReversalEngine::fire(EngineAlgorithm algorithm, NodeId u, Ops& ops) {
   switch (algorithm) {
     case EngineAlgorithm::kFullReversal:
-      return fire_full<Atomic>(u, push);
+      return fire_full(u, ops);
     case EngineAlgorithm::kOneStepPR:
-      return fire_pr<Atomic>(u, push);
+      return fire_pr(u, ops);
     case EngineAlgorithm::kNewPR:
-      return fire_newpr(u, push);  // single-step only: rounds reject NewPR
+      return fire_newpr(u, ops);  // single-step only: rounds reject NewPR
   }
   throw std::invalid_argument("ReversalEngine: unknown algorithm");
 }
@@ -221,6 +251,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
           std::push_heap(heap_.begin(), heap_.end(), std::greater<NodeId>{});
         }
       };
+      SerialOps ops{out_degree_.data(), list_size_.data(), push};
       while (result.steps < options.max_steps) {
         NodeId u = kNoNode;
         while (!heap_.empty()) {
@@ -237,7 +268,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
           result.quiescent = true;
           break;
         }
-        account(u, fire<false>(algorithm, u, push));
+        account(u, fire(algorithm, u, ops));
       }
       break;
     }
@@ -246,6 +277,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
       // uniform index draw per step from the same mt19937_64 stream.
       std::mt19937_64 rng(options.scheduler_seed);
       const auto no_push = [](NodeId) {};
+      SerialOps ops{out_degree_.data(), list_size_.data(), no_push};
       while (result.steps < options.max_steps) {
         sink_list_.clear();
         for (NodeId u = 0; u < n; ++u) {
@@ -257,7 +289,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
         }
         std::uniform_int_distribution<std::size_t> pick(0, sink_list_.size() - 1);
         const NodeId u = sink_list_[pick(rng)];
-        account(u, fire<false>(algorithm, u, no_push));
+        account(u, fire(algorithm, u, ops));
       }
       break;
     }
@@ -266,6 +298,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
       // out-degree array.
       std::size_t cursor = 0;
       const auto no_push = [](NodeId) {};
+      SerialOps ops{out_degree_.data(), list_size_.data(), no_push};
       while (result.steps < options.max_steps) {
         NodeId u = kNoNode;
         for (std::size_t i = 0; i < n; ++i) {
@@ -280,7 +313,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
           result.quiescent = true;
           break;
         }
-        account(u, fire<false>(algorithm, u, no_push));
+        account(u, fire(algorithm, u, ops));
       }
       break;
     }
@@ -307,6 +340,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
           std::push_heap(key_heap_.begin(), key_heap_.end());
         }
       };
+      SerialOps ops{out_degree_.data(), list_size_.data(), push};
       while (result.steps < options.max_steps) {
         NodeId u = kNoNode;
         while (!key_heap_.empty()) {
@@ -323,7 +357,7 @@ EngineResult ReversalEngine::run(EngineAlgorithm algorithm, EnginePolicy policy,
           result.quiescent = true;
           break;
         }
-        account(u, fire<false>(algorithm, u, push));
+        account(u, fire(algorithm, u, ops));
       }
       break;
     }
@@ -363,26 +397,48 @@ EngineRoundsResult ReversalEngine::run_greedy_rounds(EngineAlgorithm algorithm,
   const auto push = [this](NodeId v) {
     if (v != destination_) round_next_.push_back(v);
   };
+  SerialOps serial_ops{out_degree_.data(), list_size_.data(), push};
   const std::size_t shards = options.pool != nullptr ? options.pool->size() : 1;
   std::size_t width = 0;
-  std::function<void(std::size_t)> shard_job;
+  std::function<void(std::size_t)> fire_job;
+  std::function<void(std::size_t)> merge_job;
   if (shards > 1) {
     shard_next_.resize(shards);
     shard_reversals_.assign(shards, 0);
-    // Built once per execution (not per round): the job reads the current
-    // round's size through `width`.
-    shard_job = [this, algorithm, &width, shards](std::size_t shard) {
+    degree_events_.resize(shards * shards);
+    list_events_.resize(shards * shards);
+    // Both jobs are built once per execution (not per round): the fire job
+    // reads the current round's size through `width`.
+    fire_job = [this, algorithm, &width, shards](std::size_t shard) {
       const std::size_t begin = width * shard / shards;
       const std::size_t end = width * (shard + 1) / shards;
-      std::vector<NodeId>& next = shard_next_[shard];
-      const auto shard_push = [this, &next](NodeId v) {
-        if (v != destination_) next.push_back(v);
-      };
+      DeltaOps ops{degree_events_.data() + shard * shards,
+                   list_events_.data() + shard * shards,
+                   &shard_next_[shard],
+                   shards,
+                   csr_->num_nodes()};
       std::uint64_t reversals = 0;
       for (std::size_t i = begin; i < end; ++i) {
-        reversals += fire<true>(algorithm, round_current_[i], shard_push);
+        reversals += fire(algorithm, round_current_[i], ops);
       }
       shard_reversals_[shard] = reversals;
+    };
+    merge_job = [this, shards](std::size_t owner) {
+      // Drain every firer's buckets aimed at this owner's node range, in
+      // firer order.  Each counter in the range has this job as its only
+      // writer, so no decrement is atomic, and the decrement that lands on
+      // zero — hence the requeue — is the same at every pool size.
+      std::vector<NodeId>& next = shard_next_[owner];
+      for (std::size_t firer = 0; firer < shards; ++firer) {
+        std::vector<NodeId>& degree = degree_events_[firer * shards + owner];
+        for (const NodeId v : degree) {
+          if (--out_degree_[v] == 0 && v != destination_) next.push_back(v);
+        }
+        degree.clear();
+        std::vector<NodeId>& list = list_events_[firer * shards + owner];
+        for (const NodeId v : list) ++list_size_[v];
+        list.clear();
+      }
     };
   }
   while (!round_current_.empty() && result.rounds < options.max_rounds) {
@@ -406,31 +462,34 @@ EngineRoundsResult ReversalEngine::run_greedy_rounds(EngineAlgorithm algorithm,
     // width > 1: a single sink cannot be split across shards, however
     // heavy (star hubs hit exactly this — one firing node of huge degree).
     if (shards > 1 && width > 1 && work >= options.min_parallel_work) {
-      // Sharded round: contiguous worklist slices, one per worker.  Edge
-      // flips are disjoint across shards (round sinks are pairwise
-      // non-adjacent), shared neighbor counters are relaxed atomics inside
-      // fire<true>, and each shard collects the sinks *it* zeroed into its
-      // own buffer — the atomic decrement elects exactly one collector per
-      // new sink, so the merged buffers hold each node once.
+      // Sharded round, two barrier phases over contiguous worklist slices.
+      // Phase 1 (fire): edge flips are disjoint across shards (round sinks
+      // are pairwise non-adjacent), and every neighbor-counter update is
+      // deferred as a delta event bucketed by the neighbor's owner shard —
+      // nothing shared is written, so hub neighbors cost each firer an
+      // append into its private bucket instead of a contended RMW.
+      // Phase 2 (merge): each owner drains the buckets aimed at its node
+      // range and requeues the sinks it zeroes into its own buffer.
       for (std::vector<NodeId>& buffer : shard_next_) buffer.clear();
-      options.pool->run(shard_job);
+      options.pool->run(fire_job);
+      options.pool->run(merge_job);
       round_current_.clear();
       for (std::size_t shard = 0; shard < shards; ++shard) {
         result.edge_reversals += shard_reversals_[shard];
         round_current_.insert(round_current_.end(), shard_next_[shard].begin(),
                               shard_next_[shard].end());
       }
-      // Which shard zeroed a node (and thus the merged order) is a race,
-      // but the merged *membership* is not: the atomic decrement elects
-      // exactly one collector per new sink.  Order within a round is
-      // unobservable — round sinks are pairwise non-adjacent, so every
-      // counter update and edge flip commutes — which is why the merge
-      // needs no sort and results stay byte-identical anyway
-      // (tests/reversal_engine_test.cpp pins this at every pool size).
+      // The merged list is fully deterministic: bucket membership follows
+      // from the fixed slice boundaries, and each owner drains its buckets
+      // in firer order.  Order within a round is unobservable anyway —
+      // round sinks are pairwise non-adjacent, so every counter update and
+      // edge flip commutes — which is why the merge needs no sort and
+      // results stay byte-identical at every pool size
+      // (tests/reversal_engine_test.cpp pins this).
     } else {
       round_next_.clear();
       for (const NodeId u : round_current_) {
-        result.edge_reversals += fire<false>(algorithm, u, push);
+        result.edge_reversals += fire(algorithm, u, serial_ops);
       }
       round_current_.swap(round_next_);
     }

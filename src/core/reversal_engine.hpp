@@ -100,10 +100,16 @@ struct EngineRoundsResult {
 /// non-adjacent (two adjacent nodes cannot both be sinks — their shared
 /// edge points out of one of them), so each edge is flipped by at most one
 /// firing node per round and the only cross-shard state is the out-degree
-/// (and PR list-size) counters of *non-firing* neighbors, which commute
-/// under atomic increments/decrements.  Sharding a round is therefore
-/// deterministic by construction; docs/ARCHITECTURE.md §"Parallel
-/// execution" spells out the merge invariants.
+/// (and PR list-size) counters of *non-firing* neighbors, whose updates
+/// commute.  The engine never applies those updates concurrently, though:
+/// each firing shard records them as delta events bucketed by the
+/// *owner* shard of the neighbor (contiguous node ranges), and a second
+/// barrier phase has every owner drain the buckets aimed at its range.
+/// Every counter keeps a single writer per phase — no atomic RMW, no
+/// contended hub cache line — and the merge order (firer-major, firing
+/// order within a firer) is fixed, so the execution is deterministic at
+/// every pool size; docs/ARCHITECTURE.md §"Parallel execution" spells out
+/// the merge invariants.
 struct EngineRoundsOptions {
   /// Hard round budget, matching the legacy `run_greedy_rounds` limit.
   std::uint64_t max_rounds = 10'000'000;
@@ -195,20 +201,24 @@ class ReversalEngine {
   void ensure_distances();
   bool compute_destination_oriented();
 
-  // The Atomic variants are the sharded-round kernels: neighbor counters
-  // (out-degree, PR list sizes) become relaxed atomic RMWs because a
-  // non-firing node can neighbor several concurrently firing shards; all
-  // other state is shard-private within a round (see EngineRoundsOptions).
-  template <bool Atomic, typename PushSink>
-  std::uint32_t fire(EngineAlgorithm algorithm, NodeId u, PushSink&& push);
-  template <bool Atomic, typename PushSink>
-  std::uint32_t fire_full(NodeId u, PushSink&& push);
-  template <bool Atomic, typename PushSink>
-  std::uint32_t fire_pr(NodeId u, PushSink&& push);
-  template <typename PushSink>
-  std::uint32_t fire_newpr(NodeId u, PushSink&& push);
-  template <bool Atomic, typename PushSink>
-  void flip(CsrPos p, PushSink&& push);
+  // The fire kernels are policy-templated: `Ops` supplies the two
+  // neighbor-side effects (out-degree decrement on an edge flip, PR
+  // list-size increment) plus the zero-flip self-requeue.  Serial paths
+  // apply them in place; the sharded rounds kernel *defers* them as
+  // per-owner delta events instead — a hub neighbor shared by thousands
+  // of firing leaves would otherwise serialize every shard on one
+  // contended counter cache line.  See run_greedy_rounds for the
+  // two-phase fire/merge that applies the deltas without any atomic RMW.
+  template <typename Ops>
+  std::uint32_t fire(EngineAlgorithm algorithm, NodeId u, Ops& ops);
+  template <typename Ops>
+  std::uint32_t fire_full(NodeId u, Ops& ops);
+  template <typename Ops>
+  std::uint32_t fire_pr(NodeId u, Ops& ops);
+  template <typename Ops>
+  std::uint32_t fire_newpr(NodeId u, Ops& ops);
+  template <typename Ops>
+  void flip(CsrPos p, Ops& ops);
 
   const CsrGraph* csr_ = nullptr;
   std::vector<CsrGraph> owned_csr_;  // non-empty only for the Instance ctor
@@ -237,6 +247,12 @@ class ReversalEngine {
   std::vector<NodeId> round_next_;      // greedy rounds: next round's set
   std::vector<std::vector<NodeId>> shard_next_;   // per-shard next-round buffers
   std::vector<std::uint64_t> shard_reversals_;    // per-shard flip counters
+  // Sharded-round delta buckets, indexed [firing shard * shards + owner
+  // shard]; each holds the neighbor ids whose counter the firer would have
+  // touched, drained by the owner in the merge phase (capacity persists
+  // across rounds).
+  std::vector<std::vector<NodeId>> degree_events_;  // out-degree decrements
+  std::vector<std::vector<NodeId>> list_events_;    // PR list-size increments
   std::vector<std::uint32_t> distance_; // undirected BFS distance to D
   std::vector<std::uint8_t> visited_;   // destination-oriented BFS scratch
   std::vector<NodeId> bfs_queue_;       // BFS scratch

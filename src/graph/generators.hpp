@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <random>
 #include <string>
 #include <vector>
@@ -83,6 +84,36 @@ Graph make_unit_disk_graph(std::size_t n, double radius, std::mt19937_64& rng);
 Graph make_barbell_graph(std::size_t clique_size, std::size_t bridge_length);
 
 // ---------------------------------------------------------------------------
+// Million-node families (canonically sorted edge emission — see below)
+// ---------------------------------------------------------------------------
+//
+// The families in this section emit their edges in strictly ascending
+// canonical (min, max) lexicographic order, which is exactly the
+// `CsrBuilder` stream contract (graph/csr.hpp): a snapshot can be built
+// by streaming the generator twice with no intermediate edge vector, and
+// is byte-identical to the batch conversion of the corresponding Graph.
+
+/// Streams the edges of a `rows x cols` torus (grid with wraparound; node
+/// (r, c) has id r*cols + c, every node has degree 4) to `emit` in
+/// strictly ascending canonical order.  Requires rows, cols >= 3 (smaller
+/// wraps would create parallel edges).  The constant-degree, huge-diameter
+/// regular topology for million-node sweeps: 10^6 nodes cost exactly
+/// 2*10^6 edges.
+void stream_torus_edges(std::size_t rows, std::size_t cols,
+                        const std::function<void(NodeId, NodeId)>& emit);
+
+/// The torus of `stream_torus_edges` as a materialized Graph.
+Graph make_torus_graph(std::size_t rows, std::size_t cols);
+
+/// Wide random connected graph: a random-attachment spanning tree (low
+/// diameter, hence "wide") plus distinct random extra edges up to
+/// `avg_degree * n / 2` total edges (clamped to the complete graph).
+/// Built with a flat hash-key set and one final sort — no per-edge tree
+/// nodes — so it generates million-node instances in seconds.  The edge
+/// list is canonically sorted (CsrBuilder-streamable, see above).
+Graph make_wide_random_graph(std::size_t n, double avg_degree, std::mt19937_64& rng);
+
+// ---------------------------------------------------------------------------
 // Rankings (initial acyclic orientations; edges point lower -> higher rank)
 // ---------------------------------------------------------------------------
 
@@ -130,5 +161,43 @@ Instance make_sink_source_instance(std::size_t n);
 /// Unit-disk (MANET) instance with a random acyclic initial orientation;
 /// the destination is node 0 (a random position, i.e. a typical gateway).
 Instance make_unit_disk_instance(std::size_t n, double radius, std::mt19937_64& rng);
+
+/// Torus instance with a random acyclic orientation, destination 0.
+Instance make_torus_instance(std::size_t rows, std::size_t cols, std::mt19937_64& rng);
+
+/// Wide random instance with a random acyclic orientation, destination 0.
+Instance make_wide_random_instance(std::size_t n, double avg_degree, std::mt19937_64& rng);
+
+// ---------------------------------------------------------------------------
+// Churn schedules (random-waypoint mobility)
+// ---------------------------------------------------------------------------
+
+/// A frozen instance plus a precomputed churn schedule for it: the
+/// dynamic-topology workload of the E10 scale bench and the
+/// `churn_events` sweep axis.
+struct ChurnInstance {
+  Instance instance;             ///< the initial (pre-churn) workload
+  std::vector<LinkEvent> churn;  ///< link events, in application order
+};
+
+/// Random-waypoint MANET churn workload: `n` nodes placed as a connected
+/// unit-disk graph, then a mobility-driven event schedule of at least
+/// `min_events` link events.  Each mobility step teleports one node to a
+/// fresh uniform waypoint and emits `down` events for the proximity links
+/// it leaves and `up` events for the ones it enters (computed with a
+/// spatial grid, O(local density) per step).  The schedule ends with a
+/// healing suffix that returns every node's links to the initial
+/// topology, so replaying the whole schedule restores the starting link
+/// set exactly — the self-verification hook the E10 churn storm asserts
+/// with CSR fingerprints.
+///
+/// The instance's initial orientation is the canonical all-forward one
+/// (every edge min -> max), matching the default sense
+/// `CsrGraph::insert_link` assigns to patched-in links: a snapshot
+/// patched through the full schedule is byte-identical to the initial
+/// snapshot.  This is a churn/scale workload; use the static families for
+/// convergence measurements.
+ChurnInstance make_waypoint_churn_instance(std::size_t n, double radius, std::size_t min_events,
+                                           std::mt19937_64& rng);
 
 }  // namespace lr

@@ -38,8 +38,26 @@ class Graph {
  public:
   /// Builds a graph with `num_nodes` nodes and the given undirected edges.
   /// Throws std::invalid_argument on self loops, parallel edges, or
-  /// out-of-range endpoints.
+  /// out-of-range endpoints, and std::overflow_error when the adjacency
+  /// would exceed the 32-bit CSR position space (2·E >= 2^32; see the
+  /// offset-width policy in graph/types.hpp).
   Graph(std::size_t num_nodes, std::vector<std::pair<NodeId, NodeId>> edges);
+
+  /// Already-validated construction parts for the trusted fast path
+  /// (`from_trusted_parts`): the exact private representation of a Graph.
+  struct TrustedParts {
+    std::vector<std::pair<NodeId, NodeId>> endpoints;  ///< by EdgeId, canonical
+    std::vector<Incidence> adjacency;                  ///< CSR payload, ascending per node
+    std::vector<CsrPos> offsets;                       ///< CSR offsets, size n+1
+  };
+
+  /// Adopts `parts` without validation or sorting — the O(m) reload path
+  /// for representations whose invariants are already established (the
+  /// mmap snapshot loader reconstructs a Graph from a checksummed
+  /// `CsrGraph`, whose canonical order and dedup were validated when the
+  /// snapshot was first built).  Precondition: `parts` satisfies every
+  /// class invariant; passing unvalidated data breaks the graph silently.
+  static Graph from_trusted_parts(TrustedParts parts);
 
   /// An empty graph (0 nodes).  Useful as a placeholder before assignment.
   Graph() = default;
@@ -100,7 +118,10 @@ class Graph {
  private:
   std::vector<std::pair<NodeId, NodeId>> endpoints_;   // by EdgeId, canonical
   std::vector<Incidence> adjacency_;                   // CSR payload
-  std::vector<std::size_t> adjacency_offsets_;         // CSR offsets, size n+1
+  /// CSR offsets, size n+1.  32-bit by the offset-width policy
+  /// (graph/types.hpp): half the memory of the historical std::size_t
+  /// offsets at large n, guarded against 2m >= 2^32 at construction.
+  std::vector<CsrPos> adjacency_offsets_;
 };
 
 }  // namespace lr

@@ -20,6 +20,34 @@ using NodeId = std::uint32_t;
 /// Dense edge identifier: edges of a graph with m edges are 0..m-1.
 using EdgeId = std::uint32_t;
 
+/// Flat position index into a CSR adjacency layout; positions run over
+/// `[0, 2m)` with node `u`'s block at `[offsets[u], offsets[u+1])`.
+///
+/// Offset-width policy (shared by `Graph` and `CsrGraph`): node and edge
+/// *counts* are `std::size_t` end-to-end, but adjacency *positions* are
+/// 32-bit on purpose — position arrays dominate graph memory (five
+/// 2m-sized arrays in a CsrGraph snapshot), so 32-bit positions halve the
+/// footprint of every million-node topology relative to `std::size_t`.
+/// The width limits a graph to 2·E < 2^32 adjacency slots (~2.1 billion
+/// undirected edges); every CSR construction path guards that bound
+/// loudly (`std::overflow_error`) instead of wrapping silently.
+using CsrPos = std::uint32_t;
+
+/// One past the largest representable CSR position: constructions with
+/// `2 * num_edges() >= kCsrPosLimit` must be rejected.
+inline constexpr std::uint64_t kCsrPosLimit = std::uint64_t{1} << 32;
+
+/// One undirected topology event of a churn schedule: the link {u, v}
+/// comes up or goes down.  Produced by the churn-schedule generators
+/// (graph/generators.hpp), consumed in batch by
+/// `DynamicHeightsDag::apply_events` and patched into frozen snapshots by
+/// `CsrGraph::insert_link` / `remove_link`.
+struct LinkEvent {
+  NodeId u = 0;     ///< one endpoint
+  NodeId v = 0;     ///< the other endpoint
+  bool up = false;  ///< true = link comes up, false = link goes down
+};
+
 /// Sentinel for "no node".
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 

@@ -50,12 +50,9 @@
 
 namespace lr {
 
-/// One topology event of a batch handed to DynamicHeightsDag::apply_events.
-struct LinkEvent {
-  NodeId u = 0;     ///< one endpoint
-  NodeId v = 0;     ///< the other endpoint
-  bool up = false;  ///< true = link comes up, false = link goes down
-};
+// LinkEvent (one topology event of an apply_events batch) lives in
+// graph/types.hpp so the churn-schedule generators can emit event streams
+// without depending on the routing layer.
 
 /// The dynamic-topology partial-reversal height core; see the file comment.
 class DynamicHeightsDag {

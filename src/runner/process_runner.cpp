@@ -17,6 +17,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "runner/shard_protocol.hpp"
 
@@ -76,7 +77,7 @@ bool specs_equal(const RunSpec& a, const RunSpec& b) {
          a.path == b.path && a.engine_threads == b.engine_threads &&
          a.sim_scheduler == b.sim_scheduler && a.sim_threads == b.sim_threads &&
          a.service_workload == b.service_workload && a.service_clients == b.service_clients &&
-         a.service_duration == b.service_duration;
+         a.service_duration == b.service_duration && a.churn_events == b.churn_events;
 }
 
 /// Restores the previous SIGPIPE disposition on scope exit.  The parent
@@ -165,15 +166,21 @@ std::string spawn_worker(const std::string& command, const std::string& spec_tex
     const std::string attempt_arg = std::to_string(attempt);
     const std::string threads_arg = std::to_string(options.threads);
     const std::string cap_arg = std::to_string(options.cache_max_entries);
-    const char* argv[] = {command.c_str(),     "sweep-worker",
-                          "--shard",           shard_arg.c_str(),
-                          "--range",           range_arg.c_str(),
-                          "--total",           total_arg.c_str(),
-                          "--attempt",         attempt_arg.c_str(),
-                          "--threads",         threads_arg.c_str(),
-                          "--cache-cap",       cap_arg.c_str(),
-                          nullptr};
-    ::execv(command.c_str(), const_cast<char**>(argv));
+    std::vector<const char*> argv = {command.c_str(),     "sweep-worker",
+                                     "--shard",           shard_arg.c_str(),
+                                     "--range",           range_arg.c_str(),
+                                     "--total",           total_arg.c_str(),
+                                     "--attempt",         attempt_arg.c_str(),
+                                     "--threads",         threads_arg.c_str(),
+                                     "--cache-cap",       cap_arg.c_str()};
+    if (!options.snapshot_dir.empty()) {
+      // Every shard maps the same snapshot files, so the kernel keeps one
+      // physical copy of each workload's pages across the worker fleet.
+      argv.push_back("--snapshot-dir");
+      argv.push_back(options.snapshot_dir.c_str());
+    }
+    argv.push_back(nullptr);
+    ::execv(command.c_str(), const_cast<char**>(argv.data()));
     std::fprintf(stderr, "error: cannot exec sweep worker '%s': %s\n", command.c_str(),
                  std::strerror(errno));
     ::_exit(127);
@@ -323,7 +330,7 @@ int worker_argv_error(const std::string& why) {
                "error: %s\n"
                "sweep-worker is an internal subcommand: ProcessShardRunner spawns it as\n"
                "  <binary> sweep-worker --shard I --range B:E --total R --attempt A"
-               " --threads T --cache-cap C\n"
+               " --threads T --cache-cap C [--snapshot-dir D]\n"
                "with the sweep spec on stdin and binary shard frames on stdout.\n"
                "To run a multi-process sweep, use: lr_cli sweep <spec> --processes N\n",
                why.c_str());
@@ -345,11 +352,16 @@ int sweep_worker_main(int argc, char** argv) {
   std::optional<ShardRange> range;
   std::size_t threads = 1;
   std::size_t cache_cap = 0;
+  std::string snapshot_dir;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     if (i + 1 >= argc) return worker_argv_error("flag '" + flag + "' is missing its value");
     const std::string value = argv[++i];
     char* end = nullptr;
+    if (flag == "--snapshot-dir") {
+      snapshot_dir = value;
+      continue;
+    }
     if (flag == "--range") {
       const std::size_t begin = std::strtoull(value.c_str(), &end, 10);
       if (end == nullptr || *end != ':') return worker_argv_error("bad --range '" + value + "'");
@@ -419,7 +431,7 @@ int sweep_worker_main(int argc, char** argv) {
   constexpr std::size_t kChunk = 16;
   const ScenarioRunner runner({.threads = threads == 0 ? 0 : threads,
                                .cache_max_entries = cache_cap});
-  SweepCache cache(cache_cap);
+  SweepCache cache(cache_cap, snapshot_dir);
   std::size_t emitted = 0;
   for (std::size_t offset = range->begin; offset < range->end; offset += kChunk) {
     const std::size_t stop = std::min(offset + kChunk, range->end);

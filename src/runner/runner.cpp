@@ -1,5 +1,7 @@
 #include "runner/runner.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -23,6 +25,7 @@
 #include "core/reversal_engine.hpp"
 #include "graph/csr.hpp"
 #include "graph/digraph_algos.hpp"
+#include "routing/dynamic_heights.hpp"
 #include "routing/tora.hpp"
 #include "service/service_harness.hpp"
 #include "sim/dist_lr.hpp"
@@ -188,8 +191,42 @@ void run_hybrid_kernel(RunRecord& record, const Instance& instance) {
 
 /// tora: the routing service under link churn; work is maintenance
 /// reversals, messages is delivered packets.
-void run_tora_kernel(RunRecord& record, const Instance& instance) {
+///
+/// With churn_events > 0 the kernel instead replays the spec's
+/// precomputed churn schedule (make_churn_instance; drawn from the cached
+/// FrozenInstance when the sweep already generated it) over the
+/// dynamic-heights core, stabilizing after every event — the E10
+/// steady-state regime.  Record mapping: work = total reversal steps,
+/// rounds = events replayed, messages = in-place snapshot patches,
+/// abstract_steps = full snapshot rebuilds after warm-up (0 = the
+/// rebuild-free steady state docs/EXPERIMENTS.md promises).
+void run_tora_kernel(RunRecord& record, const Instance& instance,
+                     const std::vector<LinkEvent>* churn) {
   const RunSpec& spec = record.spec;
+  if (spec.churn_events > 0) {
+    std::vector<LinkEvent> local_churn;
+    if (churn == nullptr) {
+      local_churn = make_churn_instance(spec).churn;
+      churn = &local_churn;
+    }
+    DynamicHeightsDag dag(instance.graph, instance.destination);
+    dag.stabilize();
+    const std::uint64_t warm_rebuilds = dag.snapshot_rebuilds();
+    for (const LinkEvent& event : *churn) {
+      if (event.up) {
+        dag.add_link(event.u, event.v);
+      } else {
+        dag.remove_link(event.u, event.v);
+      }
+      dag.stabilize();
+    }
+    record.work = dag.total_reversals();
+    record.rounds = churn->size();
+    record.messages = dag.snapshot_patches();
+    record.abstract_steps = dag.snapshot_rebuilds() - warm_rebuilds;
+    record.converged = record.abstract_steps == 0;
+    return;
+  }
   const ToraStats stats = run_churn_scenario(instance.graph, instance.destination, spec.size, 2,
                                              spec.network_seed());
   record.work = stats.reversals;
@@ -343,8 +380,15 @@ void run_sim_rrev_kernel(RunRecord& record, const Instance& instance) {
 
 }  // namespace
 
+SweepCache::SweepCache(std::size_t max_entries, std::string snapshot_dir)
+    : max_entries_(max_entries), snapshot_dir_(std::move(snapshot_dir)) {
+  if (!snapshot_dir_.empty()) {
+    ::mkdir(snapshot_dir_.c_str(), 0755);  // EEXIST is the common case
+  }
+}
+
 std::shared_ptr<const FrozenInstance> SweepCache::get(const RunSpec& spec) {
-  const Key key{spec.topology, spec.size, spec.seed};
+  const Key key{spec.topology, spec.size, spec.seed, spec.churn_events};
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
@@ -356,11 +400,51 @@ std::shared_ptr<const FrozenInstance> SweepCache::get(const RunSpec& spec) {
   }
   // Build outside the lock so concurrent misses on different keys do not
   // serialize; a race on the same key wastes one duplicate build at most.
+  //
+  // With a snapshot directory, a churn-free workload tries the mmap file
+  // first: an O(1) zero-fixup reload (the borrowed CsrGraph views point
+  // straight into the checksum-verified mapping, kept alive by
+  // FrozenInstance::backing).  Any load failure — missing file, torn
+  // write, version skew — falls back to generating, after which the file
+  // is (re)written for the next sweep.  Workloads with churn schedules
+  // always generate: the schedule is derived state the file does not
+  // carry.
   auto frozen = std::make_shared<FrozenInstance>();
-  frozen->instance = make_instance(spec);
-  frozen->csr = CsrGraph(frozen->instance.graph, frozen->instance.senses);
+  bool loaded = false;
+  bool saved = false;
+  std::string snapshot_path;
+  if (!snapshot_dir_.empty() && spec.churn_events == 0) {
+    snapshot_path = snapshot_dir_ + "/" + topology_token(spec.topology) + "-" +
+                    std::to_string(spec.size) + "-s" + std::to_string(spec.seed) + ".lrsnap";
+    try {
+      auto snap = std::make_shared<Snapshot>(Snapshot::load(snapshot_path));
+      frozen->instance = snap->thaw_instance();
+      frozen->csr = snap->csr();  // cheap view copy aliasing the mapping
+      frozen->backing = std::move(snap);
+      loaded = true;
+    } catch (const std::exception&) {
+      // fall through to generation (and persist below)
+    }
+  }
+  if (!loaded) {
+    ChurnInstance churn = make_churn_instance(spec);
+    frozen->instance = std::move(churn.instance);
+    frozen->churn = std::move(churn.churn);
+    frozen->csr = CsrGraph(frozen->instance.graph, frozen->instance.senses);
+    if (!snapshot_path.empty()) {
+      try {
+        save_snapshot(snapshot_path, frozen->instance, frozen->csr);
+        saved = true;
+      } catch (const std::exception&) {
+        // Persistence is best-effort: an unwritable directory degrades to
+        // the generate-every-sweep behavior, never fails the run.
+      }
+    }
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
+  if (loaded) ++snapshot_loads_;
+  if (saved) ++snapshot_saves_;
   const auto [it, inserted] = entries_.try_emplace(key);
   if (!inserted) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_position);  // lost the build race
@@ -399,6 +483,16 @@ std::uint64_t SweepCache::evictions() const {
   return evictions_;
 }
 
+std::uint64_t SweepCache::snapshot_loads() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_loads_;
+}
+
+std::uint64_t SweepCache::snapshot_saves() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_saves_;
+}
+
 ThreadPool* WorkerPoolCache::get(std::size_t threads) {
   for (auto& [size, pool] : pools_) {
     if (size == threads) return pool.get();
@@ -426,10 +520,14 @@ RunRecord execute_run(const RunSpec& spec, SweepCache* cache, WorkerPoolCache* p
     Instance local;
     const Instance* instance = nullptr;
     const CsrGraph* frozen = nullptr;
+    const std::vector<LinkEvent>* churn = nullptr;
     if (cache != nullptr && spec.path == ExecutionPath::kCsr) {
       shared = cache->get(spec);
       instance = &shared->instance;
       frozen = &shared->csr;
+      // A snapshot-file reload carries no schedule; leave churn null so
+      // the tora kernel derives it from the spec (same bytes either way).
+      if (!shared->churn.empty() || spec.churn_events == 0) churn = &shared->churn;
     } else {
       local = make_instance(spec);
       instance = &local;
@@ -449,7 +547,7 @@ RunRecord execute_run(const RunSpec& spec, SweepCache* cache, WorkerPoolCache* p
         run_hybrid_kernel(record, *instance);
         break;
       case AlgorithmKind::kTora:
-        run_tora_kernel(record, *instance);
+        run_tora_kernel(record, *instance, churn);
         break;
       case AlgorithmKind::kDistFR:
         run_dist_kernel(record, *instance, frozen, ReversalRule::kFull, pools);
@@ -567,19 +665,22 @@ Table SweepReport::aggregate_table() const {
 }
 
 ScenarioRunner::ScenarioRunner(RunnerOptions options)
-    : cache_max_entries_(options.cache_max_entries), pool_(options.threads) {
+    : cache_max_entries_(options.cache_max_entries),
+      snapshot_dir_(std::move(options.snapshot_dir)),
+      pool_(options.threads) {
   worker_pools_.resize(pool_.size());
 }
 
 SweepReport ScenarioRunner::run(const SweepSpec& spec) const {
-  SweepCache cache(cache_max_entries_);  // shared frozen instances; dies with the sweep
+  SweepCache cache(cache_max_entries_, snapshot_dir_);  // dies with the sweep
   SweepReport report{run_all(spec.expand(), cache), {}};
-  report.cache = {cache.entries(), cache.hits(), cache.misses(), cache.evictions()};
+  report.cache = {cache.entries(),       cache.hits(),           cache.misses(),
+                  cache.evictions(),     cache.snapshot_loads(), cache.snapshot_saves()};
   return report;
 }
 
 std::vector<RunRecord> ScenarioRunner::run_all(const std::vector<RunSpec>& specs) const {
-  SweepCache cache(cache_max_entries_);
+  SweepCache cache(cache_max_entries_, snapshot_dir_);
   return run_all(specs, cache);
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/snapshot.hpp"
 #include "runner/scenario.hpp"
 #include "runner/thread_pool.hpp"
 #include "trace/report.hpp"
@@ -70,6 +71,14 @@ struct RunRecord {
 struct FrozenInstance {
   Instance instance;  ///< the generated workload
   CsrGraph csr;       ///< snapshot of instance.graph + instance.senses
+  /// The churn schedule of a waypoint workload with churn_events > 0;
+  /// empty otherwise (see RunSpec::churn_events).
+  std::vector<LinkEvent> churn;
+  /// When the workload was reloaded from a snapshot file, the mmap the
+  /// borrowed `csr` views point into; null for generated workloads.
+  /// Runs share the FrozenInstance by shared_ptr, so the mapping lives
+  /// exactly as long as any run still reads it.
+  std::shared_ptr<const Snapshot> backing;
 };
 
 /// Thread-safe cache of (topology, size, seed) -> FrozenInstance shared by
@@ -99,10 +108,25 @@ class SweepCache {
   /// recently used beyond that; 0 means unbounded.
   explicit SweepCache(std::size_t max_entries) : max_entries_(max_entries) {}
 
-  /// Returns the frozen workload of `spec`'s (topology, size, seed),
-  /// generating and freezing it on first use.  Concurrent misses on the
-  /// same key may build duplicates; exactly one wins the map slot and the
-  /// others are discarded, so callers always share one snapshot.
+  /// Same, additionally backed by a directory of mmap snapshot files
+  /// (graph/snapshot.hpp): an in-memory miss on a churn-free workload
+  /// first tries `<snapshot_dir>/<topology>-<size>-s<seed>.lrsnap` — an
+  /// O(1) zero-fixup reload whose pages the kernel shares across every
+  /// sweep worker process mapping the same file — and falls back to
+  /// generating (then persisting) on a missing or invalid file.  Results
+  /// are byte-identical either way: the file stores exactly the arrays a
+  /// fresh generation would produce, checksum-verified on load.  An empty
+  /// dir (the default) disables persistence.  The directory is created if
+  /// absent.  Workloads with a churn schedule bypass the files (schedules
+  /// are not persisted) but still key on churn_events so they can never
+  /// alias a static workload.
+  SweepCache(std::size_t max_entries, std::string snapshot_dir);
+
+  /// Returns the frozen workload of `spec`'s (topology, size, seed,
+  /// churn_events), generating and freezing it on first use.  Concurrent
+  /// misses on the same key may build duplicates; exactly one wins the
+  /// map slot and the others are discarded, so callers always share one
+  /// snapshot.
   std::shared_ptr<const FrozenInstance> get(const RunSpec& spec);
 
   /// Number of distinct workloads currently cached.
@@ -117,11 +141,22 @@ class SweepCache {
   /// Workloads dropped by the LRU bound (0 for an unbounded cache).
   std::uint64_t evictions() const;
 
+  /// Misses served by mmap-reloading a snapshot file instead of
+  /// generating (snapshot_dir mode only).
+  std::uint64_t snapshot_loads() const;
+
+  /// Generated workloads persisted as snapshot files (snapshot_dir mode
+  /// only; save failures are non-fatal and simply do not count).
+  std::uint64_t snapshot_saves() const;
+
   /// The configured LRU bound (0 = unbounded).
   std::size_t max_entries() const noexcept { return max_entries_; }
 
+  /// The snapshot directory (empty = persistence disabled).
+  const std::string& snapshot_dir() const noexcept { return snapshot_dir_; }
+
  private:
-  using Key = std::tuple<TopologyKind, std::size_t, std::uint64_t>;
+  using Key = std::tuple<TopologyKind, std::size_t, std::uint64_t, std::size_t>;
   struct Entry {
     std::shared_ptr<const FrozenInstance> frozen;  ///< the shared workload
     std::list<Key>::iterator lru_position;         ///< this entry in lru_
@@ -131,9 +166,12 @@ class SweepCache {
   std::map<Key, Entry> entries_;
   std::list<Key> lru_;  ///< most recently used first
   std::size_t max_entries_ = 0;
+  std::string snapshot_dir_;  ///< empty = no snapshot files
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t snapshot_loads_ = 0;
+  std::uint64_t snapshot_saves_ = 0;
 };
 
 /// Per-worker cache of the ThreadPools a run's sharded kernels borrow —
@@ -182,6 +220,11 @@ struct SweepCacheStats {
   std::uint64_t hits = 0;        ///< get() calls served from the cache
   std::uint64_t misses = 0;      ///< get() calls that generated the workload
   std::uint64_t evictions = 0;   ///< workloads dropped by the LRU bound
+  /// Misses served by mmap snapshot reloads / workloads persisted as
+  /// snapshot files (snapshot_dir mode; in-process sweeps only — the
+  /// multi-process shard protocol reports the four counters above).
+  std::uint64_t snapshot_loads = 0;
+  std::uint64_t snapshot_saves = 0;
 };
 
 /// A finished sweep: per-run records in expansion order plus table views.
@@ -233,6 +276,15 @@ struct RunnerOptions {
   /// environment variable overrides it (test hook for the stall-fault
   /// battery).
   int worker_timeout_ms = 30'000;
+
+  /// Directory of mmap-backed instance snapshot files shared by the
+  /// sweep's caches (see SweepCache's snapshot_dir constructor); empty =
+  /// disabled.  With process_workers > 0 the directory is forwarded to
+  /// every `sweep-worker` child, so all shards mmap the same files and
+  /// the kernel shares one physical copy of each workload's pages across
+  /// the whole worker fleet.  Purely a performance knob: tables are
+  /// byte-identical with and without it.
+  std::string snapshot_dir;
 };
 
 /// Executes sweeps on a fixed-size `ThreadPool` (runner/thread_pool.hpp,
@@ -267,6 +319,7 @@ class ScenarioRunner {
 
  private:
   std::size_t cache_max_entries_;
+  std::string snapshot_dir_;  ///< forwarded to the caches run()/run_all() build
   /// Serializes dispatches onto the shared pool: a ThreadPool runs one
   /// fork/join job at a time, and the historical spawn-per-call runner was
   /// safe to share across caller threads, so concurrent run()/run_all()

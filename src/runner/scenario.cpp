@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <istream>
 #include <set>
 #include <sstream>
@@ -39,6 +40,25 @@ std::uint64_t RunSpec::scheduler_seed() const { return mix(kSchedulerDomain, ins
 
 std::uint64_t RunSpec::network_seed() const { return mix(kNetworkDomain, instance_seed()); }
 
+namespace {
+
+/// Torus side length for nominal size n: the largest >= 3 square that
+/// fits, so `size = 10^6` yields a 1000 x 1000 torus.
+std::size_t torus_side(std::size_t size) {
+  std::size_t side = static_cast<std::size_t>(std::sqrt(static_cast<double>(size)));
+  while ((side + 1) * (side + 1) <= size) ++side;  // fix sqrt rounding
+  return std::max<std::size_t>(3, side);
+}
+
+/// Waypoint proximity radius for n nodes: expected degree ~= 6*pi, above
+/// the ~ln n connectivity threshold up to well past 10^6 nodes, so
+/// million-node draws connect without radius-growth retries.
+double waypoint_radius(std::size_t n) {
+  return std::sqrt(6.0 / static_cast<double>(std::max<std::size_t>(n, 1)));
+}
+
+}  // namespace
+
 Instance make_instance(const RunSpec& spec) {
   std::mt19937_64 rng(spec.instance_seed());
   switch (spec.topology) {
@@ -54,8 +74,27 @@ Instance make_instance(const RunSpec& spec) {
       return make_sink_source_instance(spec.size | 1);
     case TopologyKind::kUnitDisk:
       return make_unit_disk_instance(spec.size, 0.25, rng);
+    case TopologyKind::kTorus:
+      return make_torus_instance(torus_side(spec.size), torus_side(spec.size), rng);
+    case TopologyKind::kWideRandom:
+      return make_wide_random_instance(spec.size, 8.0, rng);
+    case TopologyKind::kWaypoint:
+      // The static part of the churn workload; the schedule draws come
+      // after it on the same stream, so dropping them changes nothing.
+      return make_waypoint_churn_instance(std::max<std::size_t>(spec.size, 2),
+                                          waypoint_radius(spec.size), 0, rng)
+          .instance;
   }
   throw std::invalid_argument("make_instance: unknown topology kind");
+}
+
+ChurnInstance make_churn_instance(const RunSpec& spec) {
+  if (spec.topology == TopologyKind::kWaypoint) {
+    std::mt19937_64 rng(spec.instance_seed());
+    return make_waypoint_churn_instance(std::max<std::size_t>(spec.size, 2),
+                                        waypoint_radius(spec.size), spec.churn_events, rng);
+  }
+  return {make_instance(spec), {}};
 }
 
 const char* topology_token(TopologyKind kind) {
@@ -72,6 +111,12 @@ const char* topology_token(TopologyKind kind) {
       return "star";
     case TopologyKind::kUnitDisk:
       return "unitdisk";
+    case TopologyKind::kTorus:
+      return "torus";
+    case TopologyKind::kWideRandom:
+      return "widerandom";
+    case TopologyKind::kWaypoint:
+      return "waypoint";
   }
   return "?";
 }
@@ -150,7 +195,8 @@ Kind parse_token(const std::string& token, const char* axis, const char* (*name)
 TopologyKind parse_topology(const std::string& token) {
   return parse_token(token, "topology", topology_token,
                      {TopologyKind::kChain, TopologyKind::kRandom, TopologyKind::kGrid,
-                      TopologyKind::kLayered, TopologyKind::kStar, TopologyKind::kUnitDisk});
+                      TopologyKind::kLayered, TopologyKind::kStar, TopologyKind::kUnitDisk,
+                      TopologyKind::kTorus, TopologyKind::kWideRandom, TopologyKind::kWaypoint});
 }
 
 AlgorithmKind parse_algorithm(const std::string& token) {
@@ -197,6 +243,7 @@ std::vector<RunSpec> SweepSpec::expand() const {
             spec.service_workload = service_workload;
             spec.service_clients = service_clients;
             spec.service_duration = service_duration;
+            spec.churn_events = churn_events;
             runs.push_back(spec);
           }
         }
@@ -336,6 +383,12 @@ SweepSpec SweepSpec::parse(std::istream& is) {
           throw std::invalid_argument("service_duration takes a single value");
         }
         spec.service_duration = list[0];
+      } else if (key == "churn_events") {
+        const auto list = parse_integer_list(values);
+        if (list.size() != 1) {
+          throw std::invalid_argument("churn_events takes a single value");
+        }
+        spec.churn_events = static_cast<std::size_t>(list[0]);
       } else {
         throw std::invalid_argument("unknown key '" + key + "'");
       }
@@ -387,6 +440,7 @@ std::string format_sweep_spec(const SweepSpec& spec) {
   os << "service_workload = " << service_workload_token(spec.service_workload) << "\n";
   os << "service_clients = " << spec.service_clients << "\n";
   os << "service_duration = " << spec.service_duration << "\n";
+  os << "churn_events = " << spec.churn_events << "\n";
   return os.str();
 }
 

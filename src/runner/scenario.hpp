@@ -37,12 +37,15 @@ namespace lr {
 /// `size` maps to generator arguments) live in make_instance() and are
 /// documented in docs/EXPERIMENTS.md.
 enum class TopologyKind : std::uint8_t {
-  kChain,     ///< away-oriented worst-case chain (E2's gadget)
-  kRandom,    ///< connected random graph, random acyclic orientation
-  kGrid,      ///< size/8+2 rows x 8 columns, random orientation
-  kLayered,   ///< layered all-bad instance (E2's second gadget)
-  kStar,      ///< alternating star with initial sinks and sources (E4)
-  kUnitDisk,  ///< unit-disk MANET instance (the deployment model)
+  kChain,       ///< away-oriented worst-case chain (E2's gadget)
+  kRandom,      ///< connected random graph, random acyclic orientation
+  kGrid,        ///< size/8+2 rows x 8 columns, random orientation
+  kLayered,     ///< layered all-bad instance (E2's second gadget)
+  kStar,        ///< alternating star with initial sinks and sources (E4)
+  kUnitDisk,    ///< unit-disk MANET instance (the deployment model)
+  kTorus,       ///< ~sqrt(size)-sided torus, degree 4 (million-node E10)
+  kWideRandom,  ///< wide random connected graph, avg degree 8 (E10)
+  kWaypoint,    ///< unit-disk + random-waypoint churn schedule (E10)
 };
 
 /// Measurement kernels the sweep axis can name.
@@ -133,6 +136,15 @@ struct RunSpec {
   /// Virtual-tick duration of the service kernel's run.
   std::uint64_t service_duration = 256;
 
+  /// Minimum length of the churn schedule attached to a `waypoint`
+  /// workload (make_churn_instance); 0 = a static instance with an empty
+  /// schedule (the default).  The tora kernel replays the schedule over
+  /// the dynamic-heights core when it is non-empty; every other kernel
+  /// measures the static pre-churn instance.  Part of the workload
+  /// identity: SweepCache keys include it so runs with different churn
+  /// schedules can never alias one cached instance.
+  std::size_t churn_events = 0;
+
   /// Seed of the instance-construction RNG stream.  Depends only on
   /// (topology, size, seed) — *not* on algorithm or scheduler — so all
   /// kernels of one sweep measure the same instances, which is what makes
@@ -153,6 +165,15 @@ std::uint64_t splitmix64(std::uint64_t x);
 /// (topology, size, seed); the recipes are fixed sweep-format contract
 /// (docs/EXPERIMENTS.md) shared with `lr_cli gen`.
 Instance make_instance(const RunSpec& spec);
+
+/// Builds the workload plus its churn schedule: for the `waypoint`
+/// topology the schedule holds at least `spec.churn_events` link events
+/// (empty when churn_events == 0); for every other topology the schedule
+/// is empty and the instance equals make_instance(spec).  The instance is
+/// identical to make_instance(spec) in all cases — churn draws consume
+/// the RNG stream strictly after instance construction — so cached
+/// snapshots of the static part stay byte-identical across churn lengths.
+ChurnInstance make_churn_instance(const RunSpec& spec);
 
 // ---------------------------------------------------------------------------
 // Axis token names (the sweep-spec file vocabulary)
@@ -232,6 +253,10 @@ struct SweepSpec {
   /// `service_duration =` scalar option: the service kernel's virtual-tick
   /// duration stamped on every expanded run.
   std::uint64_t service_duration = 256;
+  /// `churn_events =` scalar option: the waypoint churn-schedule length
+  /// stamped on every expanded run (see RunSpec::churn_events).  A scalar
+  /// because it parameterizes the workload, like service_duration.
+  std::size_t churn_events = 0;
 
   /// Number of runs the spec expands to (the axes' size product).
   std::size_t run_count() const;

@@ -136,6 +136,7 @@ void encode_payload(std::vector<std::uint8_t>& out, const RecordFrame& frame) {
   put_u8(out, static_cast<std::uint8_t>(spec.service_workload));
   put_u64(out, spec.service_clients);
   put_u64(out, spec.service_duration);
+  put_u64(out, spec.churn_events);
   const RunRecord& record = frame.record;
   put_u64(out, record.run_seed);
   put_u64(out, record.nodes);
@@ -155,7 +156,7 @@ RecordFrame decode_record(Cursor& cursor) {
   RecordFrame frame;
   frame.global_index = cursor.u64();
   RunSpec& spec = frame.record.spec;
-  spec.topology = checked_enum(cursor.u8(), TopologyKind::kUnitDisk, "topology");
+  spec.topology = checked_enum(cursor.u8(), TopologyKind::kWaypoint, "topology");
   spec.size = static_cast<std::size_t>(cursor.u64());
   spec.algorithm = checked_enum(cursor.u8(), AlgorithmKind::kService, "algorithm");
   spec.scheduler = checked_enum(cursor.u8(), SchedulerKind::kFarthestFirst, "scheduler");
@@ -168,6 +169,7 @@ RecordFrame decode_record(Cursor& cursor) {
   spec.service_workload = checked_enum(cursor.u8(), ServiceWorkload::kMixed, "service_workload");
   spec.service_clients = static_cast<std::size_t>(cursor.u64());
   spec.service_duration = cursor.u64();
+  spec.churn_events = static_cast<std::size_t>(cursor.u64());
   RunRecord& record = frame.record;
   record.run_seed = cursor.u64();
   record.nodes = cursor.u64();

@@ -51,7 +51,7 @@ inline constexpr std::uint32_t kFrameMagic = 0x4853524cu;
 /// Protocol version carried by the hello frame; parent and worker must
 /// match exactly (the worker is always the same binary, so a mismatch
 /// means a build-skew bug, not a compatibility situation to paper over).
-inline constexpr std::uint32_t kShardProtocolVersion = 1;
+inline constexpr std::uint32_t kShardProtocolVersion = 2;
 
 /// Upper bound on a frame payload.  Records are a few hundred bytes;
 /// anything near this limit is garbage (e.g. random bytes read as a

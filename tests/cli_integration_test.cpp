@@ -324,7 +324,7 @@ TEST_F(CliIntegrationTest, ServeReportIsDeploymentInvariant) {
   const auto reference = run_command(args);
   ASSERT_EQ(reference.exit_code, 0) << reference.output;
   const std::string expected = strip_serve_progress(reference.output);
-  for (const std::string variant :
+  for (const std::string& variant :
        {args + " --threads 4", args + " --scheduler wheel", args + " --threads 2 --scheduler wheel"}) {
     const auto result = run_command(variant);
     EXPECT_EQ(result.exit_code, 0) << result.output;

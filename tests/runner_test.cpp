@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "analysis/bounds.hpp"
 #include "runner/runner.hpp"
@@ -647,6 +651,156 @@ TEST(ReportTableTest, RejectsRaggedRowsAndBadCsv) {
   EXPECT_THROW(read_table_csv(unterminated), std::invalid_argument);
   std::istringstream empty("");
   EXPECT_THROW(read_table_csv(empty), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scale topologies, churn schedules, and snapshot-dir persistence
+// ---------------------------------------------------------------------------
+
+/// Self-cleaning scratch directory for snapshot-dir sweeps.
+struct ScratchDir {
+  std::string path;
+  ScratchDir() {
+    char name[] = "/tmp/lr_runner_test_XXXXXX";
+    if (::mkdtemp(name) == nullptr) throw std::runtime_error("mkdtemp failed");
+    path = name;
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+TEST(RunSpecTest, ScaleTopologyTokensRoundTrip) {
+  for (const TopologyKind kind :
+       {TopologyKind::kTorus, TopologyKind::kWideRandom, TopologyKind::kWaypoint}) {
+    EXPECT_EQ(parse_topology(topology_token(kind)), kind);
+  }
+}
+
+TEST(SweepSpecTest, ChurnEventsRoundTripsThroughFormatAndStampsRuns) {
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = waypoint\n"
+      "size = 32\n"
+      "algorithm = tora\n"
+      "churn_events = 24\n"
+      "seed = 1, 2\n");
+  EXPECT_EQ(spec.churn_events, 24u);
+  for (const RunSpec& run : spec.expand()) EXPECT_EQ(run.churn_events, 24u);
+  const std::string text = format_sweep_spec(spec);
+  EXPECT_EQ(SweepSpec::parse_string(text).churn_events, 24u);
+  EXPECT_THROW(SweepSpec::parse_string("topology = waypoint\nsize = 8\nalgorithm = tora\n"
+                                       "churn_events = 1, 2\n"),
+               std::invalid_argument);
+}
+
+TEST(RunSpecTest, WaypointChurnScheduleSharesTheStaticInstance) {
+  RunSpec spec;
+  spec.topology = TopologyKind::kWaypoint;
+  spec.size = 64;
+  spec.seed = 5;
+  spec.churn_events = 40;
+  const ChurnInstance churned = make_churn_instance(spec);
+  EXPECT_GE(churned.churn.size(), 40u);
+
+  // The schedule draws come strictly after instance construction, so the
+  // static part is identical to make_instance at every churn length.
+  const Instance static_part = make_instance(spec);
+  EXPECT_EQ(churned.instance.graph, static_part.graph);
+  EXPECT_EQ(churned.instance.senses, static_part.senses);
+  RunSpec longer = spec;
+  longer.churn_events = 80;
+  const ChurnInstance more = make_churn_instance(longer);
+  EXPECT_EQ(more.instance.graph, static_part.graph);
+  EXPECT_GE(more.churn.size(), 80u);
+
+  // churn_events = 0 and non-waypoint topologies get empty schedules.
+  RunSpec quiet = spec;
+  quiet.churn_events = 0;
+  EXPECT_TRUE(make_churn_instance(quiet).churn.empty());
+  RunSpec torus = spec;
+  torus.topology = TopologyKind::kTorus;
+  EXPECT_TRUE(make_churn_instance(torus).churn.empty());
+}
+
+TEST(SweepCacheTest, ChurnLengthIsPartOfTheKey) {
+  SweepCache cache;
+  RunSpec spec;
+  spec.topology = TopologyKind::kWaypoint;
+  spec.size = 32;
+  spec.seed = 3;
+  spec.churn_events = 16;
+  const auto short_schedule = cache.get(spec);
+  EXPECT_GE(short_schedule->churn.size(), 16u);
+  spec.churn_events = 32;
+  const auto long_schedule = cache.get(spec);
+  EXPECT_NE(short_schedule.get(), long_schedule.get());
+  EXPECT_GE(long_schedule->churn.size(), 32u);
+  EXPECT_EQ(cache.entries(), 2u);
+  // Same static workload underneath, regardless of schedule length.
+  EXPECT_EQ(short_schedule->csr.fingerprint(), long_schedule->csr.fingerprint());
+}
+
+TEST(SweepCacheTest, SnapshotDirReloadIsByteIdentical) {
+  const ScratchDir dir;
+  RunSpec spec;
+  spec.topology = TopologyKind::kTorus;
+  spec.size = 48;
+  spec.seed = 9;
+
+  SweepCache writer(0, dir.path);
+  const auto generated = writer.get(spec);
+  EXPECT_EQ(writer.snapshot_saves(), 1u);
+  EXPECT_EQ(writer.snapshot_loads(), 0u);
+
+  SweepCache reader(0, dir.path);
+  const auto reloaded = reader.get(spec);
+  EXPECT_EQ(reader.snapshot_loads(), 1u);
+  EXPECT_NE(reloaded->backing, nullptr);
+  EXPECT_TRUE(reloaded->csr.is_borrowed());
+  EXPECT_EQ(reloaded->csr.fingerprint(), generated->csr.fingerprint());
+  EXPECT_EQ(reloaded->instance.graph, generated->instance.graph);
+  EXPECT_EQ(reloaded->instance.senses, generated->instance.senses);
+
+  // Churn workloads bypass the files entirely (schedules are not
+  // persisted) — no saves, no loads.
+  RunSpec churny;
+  churny.topology = TopologyKind::kWaypoint;
+  churny.size = 32;
+  churny.seed = 9;
+  churny.churn_events = 8;
+  SweepCache churn_cache(0, dir.path);
+  const auto churned = churn_cache.get(churny);
+  EXPECT_GE(churned->churn.size(), 8u);
+  EXPECT_EQ(churn_cache.snapshot_saves(), 0u);
+  EXPECT_EQ(churn_cache.snapshot_loads(), 0u);
+}
+
+TEST(ScenarioRunnerTest, SnapshotDirSweepTablesAreByteIdentical) {
+  const ScratchDir dir;
+  const SweepSpec spec = SweepSpec::parse_string(
+      "topology = torus, widerandom\n"
+      "size = 48\n"
+      "algorithm = fr, pr\n"
+      "seed = 1, 2\n");
+
+  const SweepReport plain = ScenarioRunner({.threads = 1}).run(spec);
+  const SweepReport cold = ScenarioRunner({.threads = 1, .snapshot_dir = dir.path}).run(spec);
+  const SweepReport warm = ScenarioRunner({.threads = 1, .snapshot_dir = dir.path}).run(spec);
+
+  std::ostringstream p, c, w;
+  write_table_csv(p, plain.records_table());
+  write_table_csv(c, cold.records_table());
+  write_table_csv(w, warm.records_table());
+  EXPECT_EQ(p.str(), c.str());
+  EXPECT_EQ(p.str(), w.str());
+
+  // The cold pass generated and persisted every workload; the warm pass
+  // served every miss from the files.
+  EXPECT_EQ(cold.cache.snapshot_loads, 0u);
+  EXPECT_GT(cold.cache.snapshot_saves, 0u);
+  EXPECT_EQ(warm.cache.snapshot_loads, warm.cache.misses);
+  EXPECT_GT(warm.cache.snapshot_loads, 0u);
 }
 
 TEST(ReportTableTest, SweepRecordsRoundTripThroughCsv) {

@@ -485,7 +485,9 @@ TEST(TimeIndexTest, WheelMatchesHeapPopOrderUnderRandomizedChurn) {
       SimTime heap_min = 0, wheel_min = 0;
       const bool heap_any = heap.peek_min_time(heap_min);
       ASSERT_EQ(heap_any, wheel.peek_min_time(wheel_min));
-      if (heap_any) ASSERT_EQ(heap_min, wheel_min);
+      if (heap_any) {
+        ASSERT_EQ(heap_min, wheel_min);
+      }
       ASSERT_EQ(heap.size(), wheel.size());
     }
     TimeIndexEntry he{}, we{};

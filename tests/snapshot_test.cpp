@@ -1,0 +1,270 @@
+// Tests for the mmap-backed instance snapshots (graph/snapshot.hpp):
+// save -> load round-trip byte-identity of every CSR array, instance
+// thawing, borrowed-snapshot lifetime rules, and loud rejection of
+// corrupted files (bad magic, bad version, truncation, extent
+// disagreement, payload bit flips) in the style of shard_protocol_test.
+
+#include "graph/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace lr {
+namespace {
+
+/// Self-cleaning scratch directory for snapshot files.
+struct TempDir {
+  std::string path;
+
+  TempDir() {
+    char name[] = "/tmp/lr_snapshot_test_XXXXXX";
+    if (::mkdtemp(name) == nullptr) throw std::runtime_error("mkdtemp failed");
+    path = name;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string file(const std::string& name) const { return path + "/" + name; }
+};
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+Instance sample_instance() {
+  std::mt19937_64 rng(7);
+  Instance instance = make_random_instance(60, 80, rng);
+  instance.name = "snapshot-test-workload";
+  instance.destination = 3;
+  return instance;
+}
+
+template <typename T>
+bool spans_equal(std::span<const T> a, std::span<const T> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+TEST(Snapshot, RoundTripIsByteIdenticalPerArray) {
+  const TempDir dir;
+  const Instance instance = sample_instance();
+  const CsrGraph csr(instance.graph, instance.senses);
+  const std::string path = dir.file("roundtrip.lrsnap");
+  save_snapshot(path, instance, csr);
+
+  const Snapshot loaded = Snapshot::load(path);
+  EXPECT_TRUE(loaded.csr().is_borrowed());
+  EXPECT_EQ(loaded.num_nodes(), csr.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), csr.num_edges());
+  EXPECT_EQ(loaded.destination(), instance.destination);
+  EXPECT_EQ(loaded.name(), instance.name);
+  EXPECT_GT(loaded.file_bytes(), std::size_t{64});
+
+  // The fingerprint covers everything, but the satellite contract is
+  // per-array byte identity — assert each flat window explicitly.
+  const CsrGraph& reloaded = loaded.csr();
+  EXPECT_TRUE(spans_equal(reloaded.raw_offsets(), csr.raw_offsets()));
+  EXPECT_TRUE(spans_equal(reloaded.raw_neighbors(), csr.raw_neighbors()));
+  EXPECT_TRUE(spans_equal(reloaded.raw_edges(), csr.raw_edges()));
+  EXPECT_TRUE(spans_equal(reloaded.raw_mirrors(), csr.raw_mirrors()));
+  EXPECT_TRUE(spans_equal(reloaded.raw_partition_neighbors(), csr.raw_partition_neighbors()));
+  EXPECT_TRUE(spans_equal(reloaded.raw_partition_positions(), csr.raw_partition_positions()));
+  EXPECT_TRUE(spans_equal(reloaded.raw_splits(), csr.raw_splits()));
+  EXPECT_TRUE(spans_equal(reloaded.initial_senses(), csr.initial_senses()));
+  EXPECT_EQ(reloaded.fingerprint(), csr.fingerprint());
+}
+
+TEST(Snapshot, ThawReconstructsTheInstance) {
+  const TempDir dir;
+  const Instance instance = sample_instance();
+  const CsrGraph csr(instance.graph, instance.senses);
+  const std::string path = dir.file("thaw.lrsnap");
+  save_snapshot(path, instance, csr);
+
+  const Snapshot loaded = Snapshot::load(path);
+  const Instance thawed = loaded.thaw_instance();
+  EXPECT_EQ(thawed.graph, instance.graph);
+  EXPECT_EQ(thawed.senses, instance.senses);
+  EXPECT_EQ(thawed.destination, instance.destination);
+  EXPECT_EQ(thawed.name, instance.name);
+}
+
+TEST(Snapshot, MaterializedCopyOutlivesTheMapping) {
+  const TempDir dir;
+  const Instance instance = sample_instance();
+  const CsrGraph csr(instance.graph, instance.senses);
+  const std::string path = dir.file("materialize.lrsnap");
+  save_snapshot(path, instance, csr);
+
+  CsrGraph copy;
+  {
+    const Snapshot loaded = Snapshot::load(path);
+    copy = loaded.csr();  // copies the borrowed views: still aliases the mapping
+    EXPECT_TRUE(copy.is_borrowed());
+    copy.materialize();  // now owns its bytes
+    EXPECT_FALSE(copy.is_borrowed());
+  }  // mapping unmapped here
+  EXPECT_EQ(copy.fingerprint(), csr.fingerprint());
+}
+
+TEST(Snapshot, PatchingABorrowedSnapshotMaterializesFirst) {
+  const TempDir dir;
+  const Instance instance = sample_instance();
+  const CsrGraph csr(instance.graph, instance.senses);
+  const std::string path = dir.file("patch.lrsnap");
+  save_snapshot(path, instance, csr);
+
+  const Snapshot loaded = Snapshot::load(path);
+  CsrGraph patched = loaded.csr();
+  const std::uint64_t initial = patched.fingerprint();
+  const auto [u, v] = instance.graph.edges().front();
+  const EdgeSense sense = instance.senses.front();
+  patched.remove_link(u, v);
+  EXPECT_FALSE(patched.is_borrowed()) << "patching must not write through the mmap";
+  EXPECT_NE(patched.fingerprint(), initial);
+  patched.insert_link(u, v, sense);
+  EXPECT_EQ(patched.fingerprint(), initial);
+  // The mapping itself stayed pristine.
+  EXPECT_EQ(loaded.csr().fingerprint(), initial);
+}
+
+TEST(Snapshot, SaveIsAtomicAndIdempotent) {
+  const TempDir dir;
+  const Instance instance = sample_instance();
+  const CsrGraph csr(instance.graph, instance.senses);
+  const std::string path = dir.file("atomic.lrsnap");
+  save_snapshot(path, instance, csr);
+  save_snapshot(path, instance, csr);  // overwrite in place via tmp+rename
+
+  const Snapshot loaded = Snapshot::load(path);
+  EXPECT_EQ(loaded.csr().fingerprint(), csr.fingerprint());
+
+  // No temp files may survive a completed save.
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."), std::string::npos)
+        << entry.path();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption battery — every tampered file must be rejected loudly.
+// Header layout (snapshot.cpp): magic[8], version u32, reserved u32, then
+// u64 num_nodes / num_edges / destination / name_bytes / payload_bytes /
+// checksum; payload starts at byte 64.
+// ---------------------------------------------------------------------------
+
+class SnapshotCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    instance_ = sample_instance();
+    csr_ = CsrGraph(instance_.graph, instance_.senses);
+    path_ = dir_.file("victim.lrsnap");
+    save_snapshot(path_, instance_, csr_);
+    bytes_ = read_file(path_);
+    ASSERT_GT(bytes_.size(), std::size_t{64});
+  }
+
+  /// Writes a tampered copy and expects load() to reject it.
+  void expect_rejected(const std::vector<std::uint8_t>& bytes, const char* what) {
+    const std::string tampered = dir_.file("tampered.lrsnap");
+    write_file(tampered, bytes);
+    EXPECT_THROW(Snapshot::load(tampered), std::runtime_error) << what;
+  }
+
+  TempDir dir_;
+  Instance instance_;
+  CsrGraph csr_;
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(SnapshotCorruption, PristineFileLoads) {
+  EXPECT_EQ(Snapshot::load(path_).csr().fingerprint(), csr_.fingerprint());
+}
+
+TEST_F(SnapshotCorruption, BadMagicRejected) {
+  std::vector<std::uint8_t> bytes = bytes_;
+  bytes[0] ^= 0x5a;
+  expect_rejected(bytes, "magic");
+}
+
+TEST_F(SnapshotCorruption, WrongVersionRejected) {
+  std::vector<std::uint8_t> bytes = bytes_;
+  bytes[8] ^= 0xff;  // version u32, little end
+  expect_rejected(bytes, "version");
+}
+
+TEST_F(SnapshotCorruption, TruncationRejected) {
+  // Below the header, at the header boundary, and mid-payload.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{17}, std::size_t{64}, bytes_.size() - 1}) {
+    std::vector<std::uint8_t> bytes(bytes_.begin(),
+                                    bytes_.begin() + static_cast<std::ptrdiff_t>(keep));
+    expect_rejected(bytes, "truncation");
+  }
+}
+
+TEST_F(SnapshotCorruption, ExtentDisagreementRejected) {
+  // Bump num_edges: the declared extents no longer match payload_bytes /
+  // the file size, independent of the checksum.
+  std::vector<std::uint8_t> bytes = bytes_;
+  bytes[24] += 1;  // num_edges u64, little end
+  expect_rejected(bytes, "extents");
+}
+
+TEST_F(SnapshotCorruption, PayloadBitFlipRejectedByChecksum) {
+  std::vector<std::uint8_t> bytes = bytes_;
+  bytes[64 + (bytes.size() - 64) / 2] ^= 0x01;
+  expect_rejected(bytes, "checksum");
+
+  // The bench knob skips exactly the checksum, nothing else: the same
+  // flipped file maps fine with verification off (contents are garbage,
+  // but the structural extents still agree).
+  const std::string tampered = dir_.file("tampered.lrsnap");
+  EXPECT_NO_THROW({
+    const Snapshot unchecked = Snapshot::load(tampered, /*verify_checksum=*/false);
+    EXPECT_EQ(unchecked.num_edges(), csr_.num_edges());
+  });
+}
+
+TEST_F(SnapshotCorruption, ChecksumFieldTamperRejected) {
+  std::vector<std::uint8_t> bytes = bytes_;
+  bytes[56] ^= 0x01;  // stored checksum itself
+  expect_rejected(bytes, "stored checksum");
+}
+
+TEST_F(SnapshotCorruption, TrailingGarbageRejected) {
+  std::vector<std::uint8_t> bytes = bytes_;
+  bytes.push_back(0x77);
+  expect_rejected(bytes, "file longer than declared extents");
+}
+
+TEST_F(SnapshotCorruption, MissingFileRejected) {
+  EXPECT_THROW(Snapshot::load(dir_.file("does-not-exist.lrsnap")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lr
