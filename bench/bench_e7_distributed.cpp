@@ -33,6 +33,14 @@
 /// trusted.  This harness is its own sweep worker (main() forwards a
 /// `sweep-worker` argv to sweep_worker_main), so the A/B runs even in
 /// builds without lr_cli.
+///
+/// E7.9 is the multi-host A/B: the same sweep served by loopback-TCP
+/// `shard-server` endpoints (runner/shard_server.hpp, embedded in this
+/// process so the harness stays self-contained) through the
+/// MultiHostShardRunner at 2 hosts x 1 and 2 hosts x 2 workers.  Table
+/// fingerprints must match the in-process baseline exactly; the
+/// sweeps/sec column is the loopback-TCP counterpart of E7.8's fork/exec
+/// figures (docs/PERFORMANCE.md compares the two dataplane overheads).
 
 #include <benchmark/benchmark.h>
 
@@ -43,6 +51,8 @@
 #include "routing/tora.hpp"
 #include "runner/process_runner.hpp"
 #include "runner/runner.hpp"
+#include "runner/shard_coordinator.hpp"
+#include "runner/shard_server.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/dist_lr.hpp"
 #include "sim/dist_router.hpp"
@@ -396,6 +406,74 @@ bool print_process_shard_series(bool smoke) {
   return identical;
 }
 
+// ---------------------------------------------------------------------------
+// E7.9: the multi-host A/B — in-process sweep vs loopback-TCP shard servers
+// ---------------------------------------------------------------------------
+
+/// E7.9 driver; returns false if any multi-host deployment's table
+/// fingerprint diverges from the single-process baseline.  The shard
+/// servers are embedded (real TCP over loopback, no daemons), so the
+/// figure charges connect + framing + heartbeat overhead but not
+/// process spawning — the complement of E7.8.
+bool print_multi_host_series(bool smoke) {
+  bench::print_header("E7.9: multi-host A/B, in-process sweep vs loopback-TCP shard servers",
+                      "identical table fingerprints at every host x worker count; "
+                      "sweeps/sec per deployment (docs/PERFORMANCE.md)");
+  SweepSpec sweep;
+  sweep.topologies = {TopologyKind::kChain, TopologyKind::kRandom};
+  sweep.sizes = smoke ? std::vector<std::size_t>{12} : std::vector<std::size_t>{16, 32};
+  sweep.algorithms = {AlgorithmKind::kDistFR, AlgorithmKind::kDistPR, AlgorithmKind::kTora};
+  sweep.schedulers = {SchedulerKind::kLowestId};
+  sweep.seeds = smoke ? std::vector<std::uint64_t>{1, 2} : std::vector<std::uint64_t>{1, 2, 3, 4};
+  sweep.max_steps = 500'000;
+
+  const auto fingerprint_of = [](const SweepReport& report) {
+    return bench::fnv1a(bench::sweep_report_csv(report));
+  };
+
+  Table table;
+  table.columns = {"deployment", "runs", "sweeps_per_sec", "fingerprint", "identical"};
+  bool identical = true;
+  std::uint64_t reference = 0;
+
+  const auto add_row = [&](const std::string& label, std::uint64_t fingerprint,
+                           double ns_per_sweep, std::size_t runs) {
+    if (reference == 0) reference = fingerprint;
+    identical &= fingerprint == reference;
+    table.add_row({label, bench::fmt_u(runs), bench::fmt(1e9 / ns_per_sweep),
+                   bench::fmt_hex(fingerprint), fingerprint == reference ? "yes" : "NO"});
+  };
+
+  const std::size_t runs = sweep.run_count();
+  {
+    const ScenarioRunner runner({.threads = 1});
+    std::uint64_t fingerprint = 0;
+    const double ns = bench::measure_ns_per_iter(
+        [&] { fingerprint = fingerprint_of(runner.run(sweep)); }, smoke ? 1 : 3,
+        smoke ? 0.0 : 200.0);
+    add_row("in-process t=1", fingerprint, ns, runs);
+  }
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    ShardServer server_a;
+    ShardServer server_b;
+    server_a.start();
+    server_b.start();
+    const std::vector<HostSpec> hosts = {{"127.0.0.1", server_a.port(), workers},
+                                         {"127.0.0.1", server_b.port(), workers}};
+    std::uint64_t fingerprint = 0;
+    const double ns = bench::measure_ns_per_iter(
+        [&] {
+          MultiHostShardRunner runner({.threads = 1}, hosts);
+          fingerprint = fingerprint_of(runner.run(sweep));
+        },
+        smoke ? 1 : 3, smoke ? 0.0 : 200.0);
+    add_row("hosts 2x" + std::to_string(workers), fingerprint, ns, runs);
+  }
+  bench::emit_csv(table);
+  std::printf("table fingerprints: %s\n", identical ? "all identical" : "MISMATCH");
+  return identical;
+}
+
 void BM_DistributedPRConvergence(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(21);
@@ -441,6 +519,10 @@ int main(int argc, char** argv) {
   }
   if (!lr::print_process_shard_series(smoke)) {
     std::fprintf(stderr, "E7.8 process-shard A/B verification FAILED\n");
+    return 1;
+  }
+  if (!lr::print_multi_host_series(smoke)) {
+    std::fprintf(stderr, "E7.9 multi-host A/B verification FAILED\n");
     return 1;
   }
   if (smoke) return 0;

@@ -17,7 +17,8 @@
 ///
 ///   lr_cli sweep <spec.sweep> [--threads N] [--cache-cap N] [--records out.csv]
 ///              [--json out.json] [--processes N] [--retries N]
-///              [--snapshot-dir DIR]
+///              [--snapshot-dir DIR] [--hosts host:port[*W],...]
+///              [--shard-log PATH|-]
 ///       Expands the declarative sweep spec (topology x size x algorithm x
 ///       scheduler x seed; see docs/EXPERIMENTS.md) and executes every run
 ///       on a fixed-size thread pool.  Prints the aggregate table as CSV on
@@ -34,6 +35,24 @@
 ///       worker, which then share one physical copy of the pages.  Purely
 ///       a performance switch: tables are byte-identical with and without
 ///       it.
+///       --hosts shards the sweep across remote `lr_cli shard-server`
+///       daemons over TCP instead of local child processes (entries are
+///       host:port with an optional *W concurrent-connection count, W
+///       default 1).  Heartbeats in both directions bound every partial
+///       failure; dead hosts have their unfinished shards reassigned to
+///       the survivors, and --processes N arms a local N-worker fallback
+///       engaged only if every host dies.  Tables stay byte-identical to
+///       the in-process run at every host and worker count.  --hosts
+///       composes with --retries/--threads/--cache-cap but not with
+///       --snapshot-dir (remote hosts do not share this filesystem).
+///       --shard-log PATH writes a per-attempt CSV log (shard, attempt,
+///       endpoint, outcome, elapsed_ms, backoff_ms) after a sharded
+///       sweep; `-` logs to stderr.  Requires --processes or --hosts.
+///
+///   lr_cli shard-server --listen <port> [--bind <address>]
+///       The worker daemon of `sweep --hosts`: serves shard-protocol v3
+///       connections (one shard per connection) until SIGINT/SIGTERM.
+///       Prints "shard-server listening on <address>:<port>" when ready.
 ///
 ///   lr_cli snapshot save <topology> <size> <seed> <out.lrsnap>
 ///   lr_cli snapshot info <in.lrsnap>
@@ -79,6 +98,9 @@
 #include "runner/process_runner.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
+#include "runner/shard_coordinator.hpp"
+#include "runner/shard_server.hpp"
+#include "runner/shard_transport.hpp"
 #include "service/service_harness.hpp"
 #include "trace/report.hpp"
 
@@ -96,10 +118,19 @@ int usage() {
                "  lr_cli sweep <spec.sweep> [--threads N] [--cache-cap N]"
                " [--records out.csv] [--json out.json]\n"
                "               [--processes N] [--retries N] [--snapshot-dir DIR]\n"
+               "               [--hosts host:port[*W],...] [--shard-log PATH|-]\n"
                "      --processes shards the sweep across N worker processes (>= 1);\n"
                "      tables are byte-identical to the in-process run at every N\n"
                "      --snapshot-dir persists workloads as mmap snapshot files and\n"
                "      reloads them on later sweeps and in every worker process\n"
+               "      --hosts shards across remote `lr_cli shard-server` daemons over\n"
+               "      TCP (dead hosts are reassigned; with --processes N a local\n"
+               "      N-worker fallback engages if every host dies); not combinable\n"
+               "      with --snapshot-dir\n"
+               "      --shard-log writes a per-attempt CSV log (requires --processes\n"
+               "      or --hosts); `-` logs to stderr\n"
+               "  lr_cli shard-server --listen <port> [--bind <address>]\n"
+               "      serves sweep shards to a remote `sweep --hosts` coordinator\n"
                "  lr_cli snapshot save <topology> <size> <seed> <out.lrsnap>\n"
                "  lr_cli snapshot info <in.lrsnap>\n"
                "  lr_cli serve <chain|random|grid|layered|star|unitdisk|torus|"
@@ -219,18 +250,61 @@ int cmd_modelcheck(int argc, char** argv) {
   return usage();
 }
 
+/// Writes the per-attempt shard log (`sweep --shard-log`) as CSV: one
+/// row per dispatched attempt, outcomes quoted.  `-` logs to stderr so
+/// stdout stays byte-identical to an unlogged sweep.
+int write_shard_log(const std::string& path, const std::vector<ShardDiagnostics>& diagnostics) {
+  std::ofstream file;
+  std::ostream* os = &std::cerr;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write shard log '%s'\n", path.c_str());
+      return 1;
+    }
+    os = &file;
+  }
+  *os << "shard,attempt,endpoint,outcome,elapsed_ms,backoff_ms,shard_completed\n";
+  for (const ShardDiagnostics& diag : diagnostics) {
+    for (const ShardAttemptLog& entry : diag.attempt_log) {
+      std::string outcome;
+      outcome.reserve(entry.outcome.size() + 2);
+      for (const char c : entry.outcome) {  // CSV quoting: double the quotes
+        outcome += c;
+        if (c == '"') outcome += '"';
+      }
+      *os << diag.shard << ',' << entry.attempt << ',' << entry.endpoint << ",\"" << outcome
+          << "\"," << entry.elapsed_ms << ',' << entry.backoff_ms << ','
+          << (diag.completed ? "yes" : "no") << '\n';
+    }
+  }
+  return 0;
+}
+
 int cmd_sweep(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string spec_path = argv[2];
   RunnerOptions options;
   std::string records_path;
   std::string json_path;
+  std::string shard_log_path;
+  std::vector<HostSpec> hosts;
   bool threads_given = false;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     if (i + 1 >= argc) return usage();  // every sweep flag takes a value
     const std::string value = argv[++i];
-    if (flag == "--threads" || flag == "--cache-cap" || flag == "--processes" ||
+    if (flag == "--hosts") {
+      try {
+        hosts = parse_host_list(value);
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return usage();
+      }
+    } else if (flag == "--shard-log") {
+      if (value.empty()) return usage();
+      shard_log_path = value;
+    } else if (flag == "--threads" || flag == "--cache-cap" || flag == "--processes" ||
         flag == "--retries") {
       char* end = nullptr;
       const std::size_t parsed = std::strtoull(value.c_str(), &end, 10);
@@ -262,6 +336,19 @@ int cmd_sweep(int argc, char** argv) {
     }
   }
 
+  if (!hosts.empty() && !options.snapshot_dir.empty()) {
+    // Remote shard-servers have no shared filesystem with the
+    // coordinator; silently writing snapshots host-locally would not be
+    // the deployment the user asked for.
+    std::fprintf(stderr, "error: --hosts cannot be combined with --snapshot-dir\n");
+    return usage();
+  }
+  if (!shard_log_path.empty() && hosts.empty() && options.process_workers == 0) {
+    std::fprintf(stderr,
+                 "error: --shard-log requires a sharded backend (--processes or --hosts)\n");
+    return usage();
+  }
+
   std::ifstream spec_file(spec_path);
   if (!spec_file) {
     std::fprintf(stderr, "error: cannot open sweep spec '%s'\n", spec_path.c_str());
@@ -271,8 +358,34 @@ int cmd_sweep(int argc, char** argv) {
 
   SweepReport report;
   std::string deployment;
+  std::vector<ShardDiagnostics> shard_diagnostics;
   const auto started = std::chrono::steady_clock::now();
-  if (options.process_workers > 0) {
+  if (!hosts.empty()) {
+    // Multi-host backend: shards go to remote `lr_cli shard-server`
+    // daemons over TCP.  --threads is per remote worker lane and
+    // defaults to 1, same reasoning as --processes.  --processes N here
+    // means "N-local-worker fallback if every host dies".
+    if (!threads_given) options.threads = 1;
+    MultiHostShardRunner runner(options, hosts);
+    if (runner.total_workers() > spec.run_count()) {
+      std::fprintf(stderr, "note: %zu remote worker(s) clamped to %zu (one shard per run)\n",
+                   runner.total_workers(), spec.run_count());
+    }
+    report = runner.run(spec);
+    shard_diagnostics = runner.shard_diagnostics();
+    std::size_t retries = 0;
+    for (const ShardDiagnostics& diag : shard_diagnostics) {
+      retries += diag.failures.size();
+      for (const std::string& failure : diag.failures) {
+        std::fprintf(stderr, "shard %zu retry: %s\n", diag.shard, failure.c_str());
+      }
+    }
+    deployment = std::to_string(hosts.size()) + " host(s) x " +
+                 std::to_string(runner.total_workers()) + " worker(s) x " +
+                 std::to_string(options.threads) + " thread(s), " + std::to_string(retries) +
+                 " shard retry(ies)";
+    if (runner.fallback_engaged()) deployment += ", local fallback engaged";
+  } else if (options.process_workers > 0) {
     // Multi-process backend: each worker is shared-nothing, so --threads
     // is per worker and defaults to 1 (not hardware concurrency, which
     // would oversubscribe the host N-fold).
@@ -284,8 +397,9 @@ int cmd_sweep(int argc, char** argv) {
                    options.process_workers, workers);
     }
     report = runner.run(spec);
+    shard_diagnostics = runner.shard_diagnostics();
     std::size_t retries = 0;
-    for (const ShardDiagnostics& diag : runner.shard_diagnostics()) {
+    for (const ShardDiagnostics& diag : shard_diagnostics) {
       retries += diag.failures.size();
       for (const std::string& failure : diag.failures) {
         std::fprintf(stderr, "shard %zu retry: %s\n", diag.shard, failure.c_str());
@@ -323,6 +437,11 @@ int cmd_sweep(int argc, char** argv) {
                  static_cast<unsigned long long>(report.cache.snapshot_loads),
                  static_cast<unsigned long long>(report.cache.snapshot_saves),
                  options.snapshot_dir.c_str());
+  }
+
+  if (!shard_log_path.empty()) {
+    const int log_status = write_shard_log(shard_log_path, shard_diagnostics);
+    if (log_status != 0) return log_status;
   }
 
   write_table_csv(std::cout, report.aggregate_table());
@@ -498,6 +617,10 @@ int main(int argc, char** argv) {
   // (sweep_worker_main itself rejects invocations that did not come from
   // a ProcessShardRunner parent, with a readable explanation.)
   if (command == "sweep-worker") return lr::sweep_worker_main(argc, argv);
+  // The shard-server daemon owns its own argv/signal handling and ready
+  // line; it dispatches outside the generic catch so its exit codes (2 on
+  // usage errors, per its own convention) stay under its control.
+  if (command == "shard-server") return lr::shard_server_main(argc, argv);
   try {
     if (command == "gen") return cmd_gen(argc, argv);
     if (command == "info") return cmd_info(argc, argv);

@@ -1,231 +1,33 @@
 #include "runner/process_runner.hpp"
 
-#include <fcntl.h>
-#include <poll.h>
 #include <signal.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "runner/shard_coordinator.hpp"
 #include "runner/shard_protocol.hpp"
+
+// The parent-side dataplane (fork/exec, pipes, poll loop, watchdogs,
+// retries) lives in runner/shard_transport.cpp (ProcessShardTransport)
+// and runner/shard_coordinator.cpp (ShardCoordinator); this file keeps
+// the worker side of the pipe contract and the thin ProcessShardRunner
+// facade over the shared coordinator.
 
 namespace lr {
 
-std::vector<ShardRange> shard_ranges(std::size_t runs, std::size_t shards) {
-  std::vector<ShardRange> ranges;
-  if (runs == 0 || shards == 0) return ranges;
-  shards = std::min(shards, runs);
-  ranges.reserve(shards);
-  const std::size_t base = runs / shards;
-  const std::size_t extra = runs % shards;  // first `extra` shards take one more
-  std::size_t begin = 0;
-  for (std::size_t shard = 0; shard < shards; ++shard) {
-    const std::size_t size = base + (shard < extra ? 1 : 0);
-    ranges.push_back({begin, begin + size});
-    begin += size;
-  }
-  return ranges;
-}
-
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// Human-readable cause of a child's wait status.
-std::string describe_status(int status) {
-  if (WIFEXITED(status)) return "exit code " + std::to_string(WEXITSTATUS(status));
-  if (WIFSIGNALED(status)) {
-    const int sig = WTERMSIG(status);
-    const char* name = strsignal(sig);
-    return "killed by signal " + std::to_string(sig) + (name ? std::string(" (") + name + ")" : "");
-  }
-  return "unknown wait status " + std::to_string(status);
-}
-
-/// The running binary's path: the default worker command, so any binary
-/// that forwards `sweep-worker` argv to sweep_worker_main() self-hosts
-/// its workers.
-std::string self_executable_path() {
-  char buffer[4096];
-  const ssize_t length = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
-  if (length <= 0) {
-    throw std::runtime_error(
-        "ProcessShardRunner: cannot resolve /proc/self/exe; pass worker_command explicitly");
-  }
-  buffer[length] = '\0';
-  return buffer;
-}
-
-/// The spec axes and scalars must survive the text round-trip to the
-/// worker exactly; every record frame is cross-checked against the
-/// parent's own expansion through this.
-bool specs_equal(const RunSpec& a, const RunSpec& b) {
-  return a.topology == b.topology && a.size == b.size && a.algorithm == b.algorithm &&
-         a.scheduler == b.scheduler && a.seed == b.seed && a.max_steps == b.max_steps &&
-         a.path == b.path && a.engine_threads == b.engine_threads &&
-         a.sim_scheduler == b.sim_scheduler && a.sim_threads == b.sim_threads &&
-         a.service_workload == b.service_workload && a.service_clients == b.service_clients &&
-         a.service_duration == b.service_duration && a.churn_events == b.churn_events;
-}
-
-/// Restores the previous SIGPIPE disposition on scope exit.  The parent
-/// ignores SIGPIPE while workers live so a write to a crashed worker's
-/// stdin fails with EPIPE (a per-shard failure) instead of killing the
-/// whole sweep.
-class SigpipeGuard {
- public:
-  SigpipeGuard() {
-    struct sigaction ignore {};
-    ignore.sa_handler = SIG_IGN;
-    ::sigaction(SIGPIPE, &ignore, &previous_);
-  }
-  ~SigpipeGuard() { ::sigaction(SIGPIPE, &previous_, nullptr); }
-  SigpipeGuard(const SigpipeGuard&) = delete;
-  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
-
- private:
-  struct sigaction previous_ {};
-};
-
-/// One live worker process attempt, as the parent tracks it.
-struct LiveWorker {
-  pid_t pid = -1;
-  int fd = -1;                  ///< frame pipe read end (-1 = not running)
-  std::size_t next_index = 0;   ///< next global run index the shard owes
-  bool hello_seen = false;
-  bool done_seen = false;
-  FrameParser parser;
-  Clock::time_point deadline;   ///< inactivity watchdog expiry
-  SweepCacheStats cache;        ///< from the shard-done frame
-};
-
-void close_fd(int& fd) {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
-  }
-}
-
-/// Kills (harmless if already dead), reaps, and closes a worker; returns
-/// the wait-status description for diagnostics.
-std::string kill_and_reap(LiveWorker& worker) {
-  close_fd(worker.fd);
-  if (worker.pid <= 0) return "not running";
-  ::kill(worker.pid, SIGKILL);
-  int status = 0;
-  ::waitpid(worker.pid, &status, 0);
-  worker.pid = -1;
-  return describe_status(status);
-}
-
-/// Forks and execs one sweep-worker attempt and ships it the spec text.
-/// Returns an empty string on success (filling `out`), else a failure
-/// description with the worker already reaped.
-std::string spawn_worker(const std::string& command, const std::string& spec_text,
-                         std::size_t shard, ShardRange range, std::size_t total,
-                         std::size_t attempt, const RunnerOptions& options, int timeout_ms,
-                         LiveWorker& out) {
-  int spec_pipe[2] = {-1, -1};
-  int frame_pipe[2] = {-1, -1};
-  if (::pipe(spec_pipe) != 0) return std::string("pipe() failed: ") + std::strerror(errno);
-  if (::pipe(frame_pipe) != 0) {
-    const std::string reason = std::string("pipe() failed: ") + std::strerror(errno);
-    close_fd(spec_pipe[0]);
-    close_fd(spec_pipe[1]);
-    return reason;
-  }
-
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    const std::string reason = std::string("fork() failed: ") + std::strerror(errno);
-    for (int* fd : {&spec_pipe[0], &spec_pipe[1], &frame_pipe[0], &frame_pipe[1]}) close_fd(*fd);
-    return reason;
-  }
-  if (pid == 0) {
-    // Child: spec on stdin, frames on stdout, stderr passes through so
-    // worker error messages surface in the parent's diagnostics stream.
-    ::dup2(spec_pipe[0], STDIN_FILENO);
-    ::dup2(frame_pipe[1], STDOUT_FILENO);
-    for (const int fd : {spec_pipe[0], spec_pipe[1], frame_pipe[0], frame_pipe[1]}) ::close(fd);
-    ::setenv("LR_SWEEP_WORKER", "1", 1);
-    const std::string shard_arg = std::to_string(shard);
-    const std::string range_arg = std::to_string(range.begin) + ":" + std::to_string(range.end);
-    const std::string total_arg = std::to_string(total);
-    const std::string attempt_arg = std::to_string(attempt);
-    const std::string threads_arg = std::to_string(options.threads);
-    const std::string cap_arg = std::to_string(options.cache_max_entries);
-    std::vector<const char*> argv = {command.c_str(),     "sweep-worker",
-                                     "--shard",           shard_arg.c_str(),
-                                     "--range",           range_arg.c_str(),
-                                     "--total",           total_arg.c_str(),
-                                     "--attempt",         attempt_arg.c_str(),
-                                     "--threads",         threads_arg.c_str(),
-                                     "--cache-cap",       cap_arg.c_str()};
-    if (!options.snapshot_dir.empty()) {
-      // Every shard maps the same snapshot files, so the kernel keeps one
-      // physical copy of each workload's pages across the worker fleet.
-      argv.push_back("--snapshot-dir");
-      argv.push_back(options.snapshot_dir.c_str());
-    }
-    argv.push_back(nullptr);
-    ::execv(command.c_str(), const_cast<char**>(argv.data()));
-    std::fprintf(stderr, "error: cannot exec sweep worker '%s': %s\n", command.c_str(),
-                 std::strerror(errno));
-    ::_exit(127);
-  }
-
-  // Parent.
-  close_fd(spec_pipe[0]);
-  close_fd(frame_pipe[1]);
-  ::fcntl(frame_pipe[0], F_SETFL, O_NONBLOCK);
-  ::fcntl(spec_pipe[1], F_SETFL, O_NONBLOCK);
-
-  out = LiveWorker{};
-  out.pid = pid;
-  out.fd = frame_pipe[0];
-  out.next_index = range.begin;
-  out.deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
-
-  // Ship the spec text; poll-driven so a worker that dies (or wedges)
-  // before reading its stdin becomes a per-shard failure, not a parent
-  // hang.  The worker reads stdin to EOF before emitting any frame.
-  std::size_t written = 0;
-  while (written < spec_text.size()) {
-    struct pollfd pfd {
-      spec_pipe[1], POLLOUT, 0
-    };
-    const auto remaining_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                                  out.deadline - Clock::now())
-                                  .count();
-    if (remaining_ms <= 0 || ::poll(&pfd, 1, static_cast<int>(remaining_ms)) <= 0) {
-      close_fd(spec_pipe[1]);
-      return "timed out shipping sweep spec to worker (" + kill_and_reap(out) + ")";
-    }
-    const ssize_t n =
-        ::write(spec_pipe[1], spec_text.data() + written, spec_text.size() - written);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      const std::string cause = std::strerror(errno);
-      close_fd(spec_pipe[1]);
-      return "worker rejected its sweep spec (write: " + cause + ", " + kill_and_reap(out) + ")";
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  close_fd(spec_pipe[1]);
-  return {};
-}
 
 // ---------------------------------------------------------------------------
 // Worker side: fault injection hooks + the sweep-worker entry point
@@ -473,205 +275,24 @@ std::size_t ProcessShardRunner::resolved_workers(std::size_t runs) const noexcep
 }
 
 SweepReport ProcessShardRunner::run(const SweepSpec& spec) {
-  const std::vector<RunSpec> runs = spec.expand();
-  const std::size_t total = runs.size();
-  diagnostics_.clear();
-  SweepReport report;
-  report.records.resize(total);
-  if (total == 0) return report;
-
-  const std::vector<ShardRange> ranges = shard_ranges(total, options_.process_workers);
-  const std::size_t shards = ranges.size();
-  diagnostics_.resize(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    diagnostics_[s].shard = s;
-    diagnostics_[s].range = ranges[s];
+  CoordinatorOptions coordinator_options;
+  coordinator_options.retry.max_attempts = 1 + options_.worker_retries;
+  coordinator_options.timeout_ms = options_.worker_timeout_ms;
+  coordinator_options.label = "multi-process sweep";
+  coordinator_options.threads = options_.threads;
+  coordinator_options.cache_cap = options_.cache_max_entries;
+  coordinator_options.snapshot_dir = options_.snapshot_dir;
+  ShardCoordinator coordinator(
+      std::move(coordinator_options),
+      {std::make_shared<ProcessShardTransport>(options_.process_workers, worker_command_)});
+  try {
+    SweepReport report = coordinator.run(spec);
+    diagnostics_ = coordinator.shard_diagnostics();
+    return report;
+  } catch (...) {
+    diagnostics_ = coordinator.shard_diagnostics();
+    throw;
   }
-
-  const std::string spec_text = format_sweep_spec(spec);
-  const std::string command = worker_command_.empty() ? self_executable_path() : worker_command_;
-  int timeout_ms = options_.worker_timeout_ms;
-  if (const char* env = std::getenv("LR_TEST_WORKER_TIMEOUT_MS")) {
-    timeout_ms = std::max(1, std::atoi(env));
-  }
-  const std::size_t max_attempts = 1 + options_.worker_retries;
-
-  const SigpipeGuard sigpipe_guard;
-  std::vector<LiveWorker> live(shards);
-  std::size_t completed = 0;
-  std::vector<std::size_t> pending;  // shards awaiting a (re)spawn
-  for (std::size_t s = shards; s > 0; --s) pending.push_back(s - 1);
-  bool exhausted = false;  // some shard ran out of attempts
-
-  // Appends the attempt's failure line and re-queues the shard, or
-  // declares the budget exhausted.  `cause` should already include the
-  // wait-status description.
-  const auto record_failure = [&](std::size_t s, const std::string& cause) {
-    ShardDiagnostics& diag = diagnostics_[s];
-    diag.failures.push_back("attempt " + std::to_string(diag.attempts) + ": " + cause);
-    if (diag.attempts < max_attempts) {
-      pending.push_back(s);
-    } else {
-      exhausted = true;
-    }
-  };
-
-  // Validates and applies one decoded frame from shard `s`; returns a
-  // failure description, or empty when the frame was in contract.
-  const auto apply_frame = [&](std::size_t s, LiveWorker& worker,
-                               const Frame& frame) -> std::string {
-    const ShardRange& range = ranges[s];
-    if (frame.type == FrameType::kHello) {
-      if (worker.hello_seen) return "duplicate hello frame";
-      const HelloFrame& hello = frame.hello;
-      if (hello.version != kShardProtocolVersion) {
-        return "protocol version mismatch (worker " + std::to_string(hello.version) +
-               ", parent " + std::to_string(kShardProtocolVersion) + ")";
-      }
-      if (hello.shard != s || hello.begin != range.begin || hello.end != range.end) {
-        return "hello frame names the wrong shard";
-      }
-      worker.hello_seen = true;
-      return {};
-    }
-    if (!worker.hello_seen) return "frame before hello";
-    if (worker.done_seen) return "frame after shard-done";
-    if (frame.type == FrameType::kRecord) {
-      const RecordFrame& record = frame.record;
-      if (record.global_index != worker.next_index || record.global_index >= range.end) {
-        return "out-of-order record (got run #" + std::to_string(record.global_index) +
-               ", expected #" + std::to_string(worker.next_index) + ")";
-      }
-      if (!specs_equal(record.record.spec, runs[record.global_index])) {
-        return "record #" + std::to_string(record.global_index) +
-               " carries a spec that differs from the parent's expansion";
-      }
-      report.records[record.global_index] = record.record;
-      ++worker.next_index;
-      return {};
-    }
-    // Shard done: every run must be accounted for, exactly once.
-    if (worker.next_index != range.end || frame.done.records_emitted != range.size()) {
-      return "shard-done before all records arrived (" +
-             std::to_string(worker.next_index - range.begin) + "/" +
-             std::to_string(range.size()) + ")";
-    }
-    worker.done_seen = true;
-    worker.cache = frame.done.cache;
-    return {};
-  };
-
-  while (!exhausted && completed < shards) {
-    // (Re)spawn every shard that owes an attempt.
-    while (!exhausted && !pending.empty()) {
-      const std::size_t s = pending.back();
-      pending.pop_back();
-      ShardDiagnostics& diag = diagnostics_[s];
-      ++diag.attempts;
-      const std::string error = spawn_worker(command, spec_text, s, ranges[s], total,
-                                             diag.attempts - 1, options_, timeout_ms, live[s]);
-      if (!error.empty()) record_failure(s, error);
-    }
-    if (exhausted || completed == shards) break;
-
-    // Multiplex all live workers; wake at the earliest watchdog deadline.
-    std::vector<struct pollfd> fds;
-    std::vector<std::size_t> fd_shard;
-    Clock::time_point earliest = Clock::time_point::max();
-    for (std::size_t s = 0; s < shards; ++s) {
-      if (live[s].fd < 0) continue;
-      fds.push_back({live[s].fd, POLLIN, 0});
-      fd_shard.push_back(s);
-      earliest = std::min(earliest, live[s].deadline);
-    }
-    const auto wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                             earliest - Clock::now())
-                             .count();
-    ::poll(fds.data(), fds.size(), static_cast<int>(std::clamp<long long>(wait_ms, 0, 1000)));
-    const Clock::time_point now = Clock::now();
-
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      const std::size_t s = fd_shard[i];
-      LiveWorker& worker = live[s];
-      if (worker.fd < 0) continue;  // already handled this iteration
-      std::string failure;
-      bool shard_complete = false;
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        // Drain the pipe and the parser until EAGAIN, EOF, or an error.
-        while (failure.empty() && !shard_complete) {
-          std::uint8_t buffer[65536];
-          const ssize_t n = ::read(worker.fd, buffer, sizeof(buffer));
-          if (n > 0) {
-            worker.deadline = now + std::chrono::milliseconds(timeout_ms);
-            worker.parser.feed(buffer, static_cast<std::size_t>(n));
-            try {
-              while (auto frame = worker.parser.next()) {
-                failure = apply_frame(s, worker, *frame);
-                if (!failure.empty()) break;
-                if (worker.done_seen) {
-                  shard_complete = true;
-                  break;
-                }
-              }
-            } catch (const ShardProtocolError& error) {
-              failure = error.what();
-            }
-            continue;
-          }
-          if (n == 0) {
-            failure = worker.parser.mid_frame()
-                          ? "stream truncated mid-frame"
-                          : "worker exited before completing its shard";
-            break;
-          }
-          if (errno == EINTR) continue;
-          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-          failure = std::string("read error: ") + std::strerror(errno);
-        }
-      }
-      if (shard_complete) {
-        close_fd(worker.fd);
-        int status = 0;
-        ::waitpid(worker.pid, &status, 0);
-        worker.pid = -1;
-        diagnostics_[s].completed = true;
-        ++completed;
-        continue;
-      }
-      if (failure.empty() && now >= worker.deadline) {
-        failure = "stalled: no frame within " + std::to_string(timeout_ms) + " ms";
-      }
-      if (!failure.empty()) {
-        const std::string status = kill_and_reap(worker);
-        // Invalidate the attempt's partial merge: the retry re-emits the
-        // shard from its beginning (records are pure functions of their
-        // spec, so completed slots are simply overwritten identically).
-        record_failure(s, failure + " (" + status + ")");
-      }
-    }
-  }
-
-  if (exhausted) {
-    for (LiveWorker& worker : live) kill_and_reap(worker);
-    std::string message = "multi-process sweep failed: retry budget exhausted (" +
-                          std::to_string(max_attempts) + " attempt(s) per shard)";
-    for (const ShardDiagnostics& diag : diagnostics_) {
-      if (diag.failures.empty()) continue;
-      message += "\n  shard " + std::to_string(diag.shard) + " (runs [" +
-                 std::to_string(diag.range.begin) + ", " + std::to_string(diag.range.end) +
-                 "), " + (diag.completed ? "completed" : "INCOMPLETE") + "):";
-      for (const std::string& failure : diag.failures) message += "\n    " + failure;
-    }
-    throw std::runtime_error(message);
-  }
-
-  for (const LiveWorker& worker : live) {
-    report.cache.entries += worker.cache.entries;
-    report.cache.hits += worker.cache.hits;
-    report.cache.misses += worker.cache.misses;
-    report.cache.evictions += worker.cache.evictions;
-  }
-  return report;
 }
 
 }  // namespace lr

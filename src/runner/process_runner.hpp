@@ -6,6 +6,7 @@
 
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
+#include "runner/shard_transport.hpp"
 
 /// \file process_runner.hpp
 /// The multi-process sweep backend: shards an expanded SweepSpec across
@@ -48,36 +49,10 @@
 
 namespace lr {
 
-/// One contiguous shard of the expanded run list: global indexes
-/// [begin, end).
-struct ShardRange {
-  std::size_t begin = 0;  ///< first global run index of the shard
-  std::size_t end = 0;    ///< one past the last global run index
-
-  /// Number of runs in the shard.
-  std::size_t size() const noexcept { return end - begin; }
-
-  /// Ranges compare by their bounds.
-  friend bool operator==(const ShardRange&, const ShardRange&) = default;
-};
-
-/// Deterministically partitions `runs` global run indexes into `shards`
-/// contiguous, maximally balanced ranges (sizes differ by at most one,
-/// larger shards first).  `shards` is clamped to `runs` so no shard is
-/// empty; runs = 0 yields no shards.  This is fixed merge contract: run
-/// #k lives in the same shard on every machine and every invocation.
-std::vector<ShardRange> shard_ranges(std::size_t runs, std::size_t shards);
-
-/// What happened to one shard across all its attempts — surfaced so a
-/// failed sweep can say exactly which shard died how, and a recovered
-/// one can report the retries it absorbed.
-struct ShardDiagnostics {
-  std::size_t shard = 0;              ///< shard index
-  ShardRange range;                   ///< the shard's run range
-  std::size_t attempts = 0;           ///< processes spawned for this shard
-  bool completed = false;             ///< shard delivered all its records
-  std::vector<std::string> failures;  ///< one human-readable line per failed attempt
-};
+// ShardRange, shard_ranges(), and ShardDiagnostics moved to
+// runner/shard_transport.hpp (re-exported by the include above) when the
+// dataplane grew transport-agnostic; this header keeps providing them to
+// its historical users.
 
 /// Executes sweeps by sharding them across `sweep-worker` child
 /// processes (see the file comment for the dataplane).  Configured by

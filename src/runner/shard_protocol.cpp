@@ -189,6 +189,64 @@ RecordFrame decode_record(Cursor& cursor) {
   return frame;
 }
 
+void encode_payload(std::vector<std::uint8_t>& out, const HeartbeatFrame& heartbeat) {
+  put_u8(out, heartbeat.from_coordinator);
+  put_u64(out, heartbeat.sequence);
+}
+
+HeartbeatFrame decode_heartbeat(Cursor& cursor) {
+  HeartbeatFrame heartbeat;
+  heartbeat.from_coordinator = cursor.u8();
+  if (heartbeat.from_coordinator > 1) {
+    throw ShardProtocolError("shard frame: bad heartbeat direction flag");
+  }
+  heartbeat.sequence = cursor.u64();
+  cursor.expect_exhausted();
+  return heartbeat;
+}
+
+void encode_payload(std::vector<std::uint8_t>& out, const ShardRequestFrame& request) {
+  put_u32(out, request.version);
+  put_u64(out, request.shard);
+  put_u64(out, request.begin);
+  put_u64(out, request.end);
+  put_u64(out, request.total);
+  put_u64(out, request.attempt);
+  put_u64(out, request.threads);
+  put_u64(out, request.cache_cap);
+  put_u32(out, request.heartbeat_ms);
+  put_u32(out, request.liveness_timeout_ms);
+  put_string(out, request.spec_text);
+}
+
+ShardRequestFrame decode_request(Cursor& cursor) {
+  ShardRequestFrame request;
+  request.version = cursor.u32();
+  request.shard = cursor.u64();
+  request.begin = cursor.u64();
+  request.end = cursor.u64();
+  request.total = cursor.u64();
+  request.attempt = cursor.u64();
+  request.threads = cursor.u64();
+  request.cache_cap = cursor.u64();
+  request.heartbeat_ms = cursor.u32();
+  request.liveness_timeout_ms = cursor.u32();
+  request.spec_text = cursor.string();
+  cursor.expect_exhausted();
+  return request;
+}
+
+void encode_payload(std::vector<std::uint8_t>& out, const ShardErrorFrame& error) {
+  put_string(out, error.message);
+}
+
+ShardErrorFrame decode_error(Cursor& cursor) {
+  ShardErrorFrame error;
+  error.message = cursor.string();
+  cursor.expect_exhausted();
+  return error;
+}
+
 void encode_payload(std::vector<std::uint8_t>& out, const ShardDoneFrame& done) {
   put_u64(out, done.records_emitted);
   put_u64(out, done.cache.entries);
@@ -236,6 +294,18 @@ std::vector<std::uint8_t> encode_frame(const ShardDoneFrame& done) {
   return encode(FrameType::kShardDone, done);
 }
 
+std::vector<std::uint8_t> encode_frame(const HeartbeatFrame& heartbeat) {
+  return encode(FrameType::kHeartbeat, heartbeat);
+}
+
+std::vector<std::uint8_t> encode_frame(const ShardRequestFrame& request) {
+  return encode(FrameType::kShardRequest, request);
+}
+
+std::vector<std::uint8_t> encode_frame(const ShardErrorFrame& error) {
+  return encode(FrameType::kShardError, error);
+}
+
 void FrameParser::feed(const std::uint8_t* data, std::size_t size) {
   // Compact lazily: drop fully decoded bytes once they dominate the
   // buffer so a long-lived worker stream stays O(frame), not O(stream).
@@ -256,7 +326,7 @@ std::optional<Frame> FrameParser::next() {
   if (magic != kFrameMagic) throw ShardProtocolError("shard frame: bad magic");
   const std::uint8_t raw_type = head[4];
   if (raw_type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::kShardDone)) {
+      raw_type > static_cast<std::uint8_t>(FrameType::kShardError)) {
     throw ShardProtocolError("shard frame: unknown frame type " + std::to_string(raw_type));
   }
   std::uint32_t payload_len = 0;
@@ -287,6 +357,15 @@ std::optional<Frame> FrameParser::next() {
       break;
     case FrameType::kShardDone:
       frame.done = decode_done(cursor);
+      break;
+    case FrameType::kHeartbeat:
+      frame.heartbeat = decode_heartbeat(cursor);
+      break;
+    case FrameType::kShardRequest:
+      frame.request = decode_request(cursor);
+      break;
+    case FrameType::kShardError:
+      frame.error = decode_error(cursor);
       break;
   }
   consumed_ += kHeaderSize + payload_len + 8;

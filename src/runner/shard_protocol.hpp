@@ -9,30 +9,45 @@
 #include "runner/runner.hpp"
 
 /// \file shard_protocol.hpp
-/// The wire protocol between a multi-process sweep parent and its
-/// `sweep-worker` child processes (runner/process_runner.hpp): a small
-/// length-prefixed binary framing over a pipe, carrying per-run records
-/// back to the parent as the worker finishes them.
+/// The wire protocol between a sweep coordinator and its shard workers —
+/// fork/exec'd `sweep-worker` child processes (runner/process_runner.hpp)
+/// over pipes, or remote `shard-server` daemons
+/// (runner/shard_server.hpp) over TCP: a small length-prefixed binary
+/// framing carrying per-run records back to the coordinator as a worker
+/// finishes them.
 ///
 /// Frame layout (all integers little-endian):
 ///
 ///     u32 magic ("LRSH")  |  u8 type  |  u32 payload_len  |
 ///     payload_len bytes   |  u64 fnv1a(type || payload)
 ///
-/// Three frame types flow, always in this order per worker attempt:
-/// one kHello (handshake: protocol version, shard index, run range,
-/// attempt), then one kRecord per run of the shard in ascending global
-/// run-index order, then one kShardDone (record count + the worker's
-/// cache counters) — after which the worker exits 0 and the parent sees
-/// EOF.  Everything else — wrong magic, a payload over kMaxFramePayload,
-/// a checksum mismatch, an unknown enum value inside a record, trailing
-/// payload bytes, EOF mid-frame — is a protocol error the parent treats
-/// exactly like a worker crash: kill, reap, retry the shard
+/// Worker -> coordinator, per shard attempt: one kHello (handshake:
+/// protocol version, shard index, run range, attempt), then one kRecord
+/// per run of the shard in ascending global run-index order — with
+/// kHeartbeat frames interleaved at any point after the hello — then one
+/// kShardDone (record count + the worker's cache counters).  A worker
+/// that cannot even start the shard (bad spec, version skew) may answer
+/// with a single kShardError instead of a hello.  Coordinator -> worker
+/// (TCP transport only): one kShardRequest opening the attempt, then
+/// kHeartbeat frames proving the coordinator is still alive.  The pipe
+/// transport ships the same assignment via argv/stdin and needs no
+/// frames in that direction.
+///
+/// Everything else — wrong magic, a payload over kMaxFramePayload, a
+/// checksum mismatch, an unknown enum value inside a record, trailing
+/// payload bytes, EOF mid-frame — is a protocol error the coordinator
+/// treats exactly like a worker crash: kill, reap, retry the shard
 /// (tests/shard_protocol_test.cpp pins the rejection behavior, including
-/// a randomized fuzz over frame boundaries).
+/// randomized fuzzes over frame boundaries and single-byte corruption,
+/// for the v3 frames too).
+///
+/// Version skew is rejected loudly in both directions and can never
+/// hang: a v3 coordinator rejects a v2 hello by its version field, and a
+/// v2 worker's parser rejects a kShardRequest as an unknown frame type,
+/// which closes the connection and surfaces as a failed attempt.
 ///
 /// The parser is deliberately incremental (feed() bytes as the pipe
-/// yields them, next() yields complete frames) so the parent can
+/// yields them, next() yields complete frames) so the coordinator can
 /// multiplex many workers over poll() without threads, and so tests can
 /// replay a stream at any chunking.
 
@@ -40,18 +55,24 @@ namespace lr {
 
 /// Frame discriminator on the wire.
 enum class FrameType : std::uint8_t {
-  kHello = 1,      ///< worker handshake, first frame of every attempt
-  kRecord = 2,     ///< one finished run, in ascending global-index order
-  kShardDone = 3,  ///< shard complete: record count + cache counters
+  kHello = 1,         ///< worker handshake, first frame of every attempt
+  kRecord = 2,        ///< one finished run, in ascending global-index order
+  kShardDone = 3,     ///< shard complete: record count + cache counters
+  kHeartbeat = 4,     ///< liveness beacon, either direction (v3)
+  kShardRequest = 5,  ///< coordinator -> worker shard assignment (v3, TCP)
+  kShardError = 6,    ///< worker -> coordinator loud refusal (v3)
 };
 
 /// Wire magic prefixing every frame ("LRSH" little-endian).
 inline constexpr std::uint32_t kFrameMagic = 0x4853524cu;
 
-/// Protocol version carried by the hello frame; parent and worker must
-/// match exactly (the worker is always the same binary, so a mismatch
-/// means a build-skew bug, not a compatibility situation to paper over).
-inline constexpr std::uint32_t kShardProtocolVersion = 2;
+/// Protocol version carried by the hello and shard-request frames;
+/// coordinator and worker must match exactly (workers are normally the
+/// same binary, so a mismatch means build or deployment skew across
+/// hosts — a situation to reject loudly, never to paper over).
+/// Version 3 added the heartbeat / shard-request / shard-error frames of
+/// the multi-host TCP dataplane.
+inline constexpr std::uint32_t kShardProtocolVersion = 3;
 
 /// Upper bound on a frame payload.  Records are a few hundred bytes;
 /// anything near this limit is garbage (e.g. random bytes read as a
@@ -87,12 +108,51 @@ struct ShardDoneFrame {
   SweepCacheStats cache;              ///< the worker's private cache counters
 };
 
+/// Liveness beacon (v3).  Either end sends one whenever it has produced
+/// no other frame for a while; receiving *any* frame resets the
+/// receiver's inactivity watchdog, so heartbeats only flow when the
+/// channel would otherwise look dead (a worker mid-long-run, a
+/// coordinator waiting on other shards).
+struct HeartbeatFrame {
+  std::uint8_t from_coordinator = 0;  ///< 1 = coordinator -> worker
+  std::uint64_t sequence = 0;         ///< per-connection beacon counter
+};
+
+/// Shard assignment, coordinator -> worker (v3, TCP transport).  Opens
+/// every connection: everything a `shard-server` needs to execute global
+/// runs [begin, end) of the sweep `spec_text` expands to, mirroring the
+/// argv/stdin contract of the pipe transport.
+struct ShardRequestFrame {
+  std::uint32_t version = kShardProtocolVersion;  ///< must equal the worker's
+  std::uint64_t shard = 0;        ///< shard index being assigned
+  std::uint64_t begin = 0;        ///< first global run index of the shard
+  std::uint64_t end = 0;          ///< one past the last global run index
+  std::uint64_t total = 0;        ///< the full sweep's run count (cross-check)
+  std::uint64_t attempt = 0;      ///< 0 = first try, +1 per retry
+  std::uint64_t threads = 1;      ///< worker-internal thread count
+  std::uint64_t cache_cap = 0;    ///< worker SweepCache LRU bound (0 = unbounded)
+  std::uint32_t heartbeat_ms = 0;       ///< worker beacon interval (0 = default)
+  std::uint32_t liveness_timeout_ms = 0;  ///< worker-side coordinator watchdog
+  std::string spec_text;          ///< canonical sweep spec (format_sweep_spec)
+};
+
+/// Loud refusal, worker -> coordinator (v3): the worker cannot serve the
+/// request (version skew, unparseable spec, run-count mismatch) and says
+/// why before closing, so the coordinator's diagnostics name the cause
+/// instead of a bare EOF.
+struct ShardErrorFrame {
+  std::string message;  ///< human-readable reason
+};
+
 /// A decoded frame; `type` selects which member is meaningful.
 struct Frame {
   FrameType type = FrameType::kHello;  ///< which payload member is live
   HelloFrame hello;                    ///< payload when type == kHello
   RecordFrame record;                  ///< payload when type == kRecord
   ShardDoneFrame done;                 ///< payload when type == kShardDone
+  HeartbeatFrame heartbeat;            ///< payload when type == kHeartbeat
+  ShardRequestFrame request;           ///< payload when type == kShardRequest
+  ShardErrorFrame error;               ///< payload when type == kShardError
 };
 
 /// Encodes one frame (header + payload + checksum) to wire bytes.
@@ -101,6 +161,12 @@ std::vector<std::uint8_t> encode_frame(const HelloFrame& hello);
 std::vector<std::uint8_t> encode_frame(const RecordFrame& record);
 /// \copydoc encode_frame(const HelloFrame&)
 std::vector<std::uint8_t> encode_frame(const ShardDoneFrame& done);
+/// \copydoc encode_frame(const HelloFrame&)
+std::vector<std::uint8_t> encode_frame(const HeartbeatFrame& heartbeat);
+/// \copydoc encode_frame(const HelloFrame&)
+std::vector<std::uint8_t> encode_frame(const ShardRequestFrame& request);
+/// \copydoc encode_frame(const HelloFrame&)
+std::vector<std::uint8_t> encode_frame(const ShardErrorFrame& error);
 
 /// Incremental frame decoder: feed() raw pipe bytes in any chunking,
 /// pull complete frames with next().  Throws ShardProtocolError on the

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+/// \file shard_server.hpp
+/// The worker daemon of the multi-host sweep dataplane: a TCP server
+/// that accepts shard-protocol v3 connections from a remote coordinator
+/// (runner/shard_coordinator.hpp via TcpShardTransport), executes the
+/// requested shard with this process's own ScenarioRunner + SweepCache,
+/// and streams hello / record / shard-done frames back — the TCP
+/// counterpart of the fork/exec `sweep-worker` child.
+///
+/// Session contract, per connection: the coordinator opens with one
+/// kShardRequest; the server validates it (protocol version, parseable
+/// spec, run-count and range cross-checks) and either answers with a
+/// single loud kShardError and closes, or replies kHello and executes
+/// the shard in chunks, interleaving kHeartbeat beacons so a
+/// long-running chunk never looks like a dead worker.  A per-session
+/// watchdog reads the coordinator's own beacons; a coordinator silent
+/// past the request's liveness timeout — or a closed connection — makes
+/// the server abandon the session and reclaim its threads, so an
+/// orphaned server never computes for a dead coordinator and never
+/// leaks sessions.  Every wait is deadline-bounded: no peer behavior
+/// can hang the server.
+///
+/// The class is embeddable (tests and benches run real TCP sessions
+/// in-process, no daemon needed); `shard_server_main` wraps it as the
+/// `lr_cli shard-server --listen <port>` subcommand.
+
+namespace lr {
+
+/// Configuration of a ShardServer.
+struct ShardServerOptions {
+  /// Address to bind; the default serves loopback only (the multi-host
+  /// smoke deployments); daemons meant for real remote coordinators
+  /// bind 0.0.0.0 explicitly.
+  std::string bind_address = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+
+  /// Budget for a connected coordinator to deliver its kShardRequest
+  /// before the connection is dropped.
+  int request_timeout_ms = 10'000;
+};
+
+/// A running shard server: binds in the constructor (so the port is
+/// known immediately), serves after start(), drains after stop().
+class ShardServer {
+ public:
+  /// Binds and listens; throws std::runtime_error when the address or
+  /// port cannot be bound.
+  explicit ShardServer(ShardServerOptions options = {});
+
+  /// Stops and joins everything still running.
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// The bound port (the realized one when options asked for 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Starts accepting connections (idempotent).
+  void start();
+
+  /// Stops accepting, cancels every in-flight session (their
+  /// coordinators observe a dropped connection and retry elsewhere —
+  /// this is how tests stage whole-host death), and joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Sessions that ran their shard to completion (served the shard-done
+  /// frame) since construction.
+  std::uint64_t sessions_completed() const noexcept { return sessions_completed_.load(); }
+
+  /// Sessions that ended any other way: refused requests, protocol
+  /// errors, dead coordinators, cancellation by stop().
+  std::uint64_t sessions_failed() const noexcept { return sessions_failed_.load(); }
+
+ private:
+  struct Session;
+
+  void accept_loop();
+  void serve_session(const std::shared_ptr<Session>& session);
+
+  ShardServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::atomic<std::uint64_t> sessions_completed_{0};
+  std::atomic<std::uint64_t> sessions_failed_{0};
+};
+
+/// Entry point of the `shard-server` subcommand: parses
+/// `shard-server --listen <port> [--bind <address>]`, prints one
+/// "shard-server listening on <address>:<port>" line to stdout (the
+/// ready signal deployment scripts wait for), and serves until SIGINT
+/// or SIGTERM.  Returns the process exit code (2 with a usage message
+/// on bad arguments, matching the CLI's validation convention).
+int shard_server_main(int argc, char** argv);
+
+}  // namespace lr

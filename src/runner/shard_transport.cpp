@@ -1,0 +1,664 @@
+#include "runner/shard_transport.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "runner/shard_protocol.hpp"
+
+namespace lr {
+
+std::vector<ShardRange> shard_ranges(std::size_t runs, std::size_t shards) {
+  std::vector<ShardRange> ranges;
+  if (runs == 0 || shards == 0) return ranges;
+  shards = std::min(shards, runs);
+  ranges.reserve(shards);
+  const std::size_t base = runs / shards;
+  const std::size_t extra = runs % shards;  // first `extra` shards take one more
+  std::size_t begin = 0;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const std::size_t size = base + (shard < extra ? 1 : 0);
+    ranges.push_back({begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Human-readable cause of a child's wait status.
+std::string describe_status(int status) {
+  if (WIFEXITED(status)) return "exit code " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    const char* name = strsignal(sig);
+    return "killed by signal " + std::to_string(sig) + (name ? std::string(" (") + name + ")" : "");
+  }
+  return "unknown wait status " + std::to_string(status);
+}
+
+/// The running binary's path: the default worker command, so any binary
+/// that forwards `sweep-worker` argv to sweep_worker_main() self-hosts
+/// its workers.
+std::string self_executable_path() {
+  char buffer[4096];
+  const ssize_t length = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (length <= 0) {
+    throw std::runtime_error(
+        "ProcessShardTransport: cannot resolve /proc/self/exe; pass worker_command explicitly");
+  }
+  buffer[length] = '\0';
+  return buffer;
+}
+
+/// Maps one nonblocking read() on `fd` to the channel-read contract.
+ChannelRead read_fd(int fd, std::uint8_t* buffer, std::size_t capacity) {
+  ChannelRead result;
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, capacity);
+    if (n > 0) {
+      result.kind = ChannelRead::Kind::kData;
+      result.bytes = static_cast<std::size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.kind = ChannelRead::Kind::kEof;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.kind = ChannelRead::Kind::kWouldBlock;
+      return result;
+    }
+    result.kind = ChannelRead::Kind::kError;
+    result.error = std::string("read error: ") + std::strerror(errno);
+    return result;
+  }
+}
+
+/// Writes `size` bytes to a (possibly nonblocking) fd, polling for
+/// writability until `deadline`.  Returns empty on success, else the
+/// failure description.
+std::string write_all_deadline(int fd, const std::uint8_t* data, std::size_t size,
+                               Clock::time_point deadline) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return std::string("write: ") + std::strerror(errno);
+    }
+    const auto remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+    if (remaining_ms <= 0) return "write timed out";
+    struct pollfd pfd {
+      fd, POLLOUT, 0
+    };
+    if (::poll(&pfd, 1, static_cast<int>(std::min<long long>(remaining_ms, 1000))) < 0 &&
+        errno != EINTR) {
+      return std::string("poll: ") + std::strerror(errno);
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Pipe channel: one fork/exec'd sweep-worker child
+// ---------------------------------------------------------------------------
+
+class ProcessShardChannel final : public ShardChannel {
+ public:
+  ProcessShardChannel(pid_t pid, int fd) : pid_(pid), fd_(fd) {}
+  ~ProcessShardChannel() override { abort(); }
+
+  int poll_fd() const noexcept override { return fd_; }
+
+  ChannelRead read_some(std::uint8_t* buffer, std::size_t capacity) override {
+    return read_fd(fd_, buffer, capacity);
+  }
+
+  // A pipe to our own child has implicit liveness (death is an EOF), so
+  // there is no beacon to send.
+  std::string send_heartbeat(std::uint64_t /*sequence*/) override { return {}; }
+
+  std::string abort() override {
+    close_fd(fd_);
+    if (pid_ <= 0) return "not running";
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return describe_status(status);
+  }
+
+  void complete() override {
+    close_fd(fd_);
+    if (pid_ <= 0) return;
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+
+ private:
+  pid_t pid_;
+  int fd_;
+};
+
+// ---------------------------------------------------------------------------
+// TCP channel: one connection to a shard-server
+// ---------------------------------------------------------------------------
+
+class TcpShardChannel final : public ShardChannel {
+ public:
+  explicit TcpShardChannel(int fd) : fd_(fd) {}
+  ~TcpShardChannel() override { abort(); }
+
+  int poll_fd() const noexcept override { return fd_; }
+
+  ChannelRead read_some(std::uint8_t* buffer, std::size_t capacity) override {
+    return read_fd(fd_, buffer, capacity);
+  }
+
+  std::string send_heartbeat(std::uint64_t sequence) override {
+    if (fd_ < 0) return "connection already closed";
+    HeartbeatFrame beacon;
+    beacon.from_coordinator = 1;
+    beacon.sequence = sequence;
+    const std::vector<std::uint8_t> bytes = encode_frame(beacon);
+    // A beacon is tiny; if the socket cannot absorb it within a second
+    // the connection is effectively dead and the coordinator should
+    // treat the attempt as failed.
+    const std::string error = write_all_deadline(
+        fd_, bytes.data(), bytes.size(), Clock::now() + std::chrono::milliseconds(1000));
+    if (!error.empty()) return "heartbeat failed (" + error + ")";
+    return {};
+  }
+
+  std::string abort() override {
+    if (fd_ < 0) return "not connected";
+    close_fd(fd_);
+    return "connection closed by coordinator";
+  }
+
+  void complete() override { close_fd(fd_); }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProcessShardTransport
+// ---------------------------------------------------------------------------
+
+ProcessShardTransport::ProcessShardTransport(std::size_t workers, std::string worker_command)
+    : workers_(workers), worker_command_(std::move(worker_command)) {
+  if (workers_ == 0) {
+    throw std::invalid_argument("ProcessShardTransport: workers must be >= 1");
+  }
+}
+
+ShardStart ProcessShardTransport::start(const ShardAssignment& assignment) {
+  ShardStart result;
+  const std::string command = worker_command_.empty() ? self_executable_path() : worker_command_;
+
+  int spec_pipe[2] = {-1, -1};
+  int frame_pipe[2] = {-1, -1};
+  if (::pipe(spec_pipe) != 0) {
+    result.error = std::string("pipe() failed: ") + std::strerror(errno);
+    return result;
+  }
+  if (::pipe(frame_pipe) != 0) {
+    result.error = std::string("pipe() failed: ") + std::strerror(errno);
+    close_fd(spec_pipe[0]);
+    close_fd(spec_pipe[1]);
+    return result;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    result.error = std::string("fork() failed: ") + std::strerror(errno);
+    for (int* fd : {&spec_pipe[0], &spec_pipe[1], &frame_pipe[0], &frame_pipe[1]}) close_fd(*fd);
+    return result;
+  }
+  if (pid == 0) {
+    // Child: spec on stdin, frames on stdout, stderr passes through so
+    // worker error messages surface in the parent's diagnostics stream.
+    ::dup2(spec_pipe[0], STDIN_FILENO);
+    ::dup2(frame_pipe[1], STDOUT_FILENO);
+    for (const int fd : {spec_pipe[0], spec_pipe[1], frame_pipe[0], frame_pipe[1]}) ::close(fd);
+    ::setenv("LR_SWEEP_WORKER", "1", 1);
+    const std::string shard_arg = std::to_string(assignment.shard);
+    const std::string range_arg =
+        std::to_string(assignment.range.begin) + ":" + std::to_string(assignment.range.end);
+    const std::string total_arg = std::to_string(assignment.total);
+    const std::string attempt_arg = std::to_string(assignment.attempt);
+    const std::string threads_arg = std::to_string(assignment.threads);
+    const std::string cap_arg = std::to_string(assignment.cache_cap);
+    std::vector<const char*> argv = {command.c_str(),     "sweep-worker",
+                                     "--shard",           shard_arg.c_str(),
+                                     "--range",           range_arg.c_str(),
+                                     "--total",           total_arg.c_str(),
+                                     "--attempt",         attempt_arg.c_str(),
+                                     "--threads",         threads_arg.c_str(),
+                                     "--cache-cap",       cap_arg.c_str()};
+    if (!assignment.snapshot_dir.empty()) {
+      // Every shard maps the same snapshot files, so the kernel keeps one
+      // physical copy of each workload's pages across the worker fleet.
+      argv.push_back("--snapshot-dir");
+      argv.push_back(assignment.snapshot_dir.c_str());
+    }
+    argv.push_back(nullptr);
+    ::execv(command.c_str(), const_cast<char**>(argv.data()));
+    std::fprintf(stderr, "error: cannot exec sweep worker '%s': %s\n", command.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+
+  // Parent.
+  close_fd(spec_pipe[0]);
+  close_fd(frame_pipe[1]);
+  ::fcntl(frame_pipe[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(spec_pipe[1], F_SETFL, O_NONBLOCK);
+
+  auto channel = std::make_unique<ProcessShardChannel>(pid, frame_pipe[0]);
+
+  // Ship the spec text; deadline-bounded so a worker that dies (or
+  // wedges) before reading its stdin becomes a per-shard failure, not a
+  // parent hang.  The worker reads stdin to EOF before emitting frames.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(assignment.start_timeout_ms);
+  const std::string error = write_all_deadline(
+      spec_pipe[1], reinterpret_cast<const std::uint8_t*>(assignment.spec_text.data()),
+      assignment.spec_text.size(), deadline);
+  close_fd(spec_pipe[1]);
+  if (!error.empty()) {
+    result.error = "failed shipping sweep spec to worker (" + error + ", " + channel->abort() + ")";
+    return result;
+  }
+  result.channel = std::move(channel);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// TcpShardTransport
+// ---------------------------------------------------------------------------
+
+TcpShardTransport::TcpShardTransport(std::string host, std::uint16_t port, std::size_t workers)
+    : host_(std::move(host)), port_(port), workers_(workers) {
+  if (workers_ == 0) {
+    throw std::invalid_argument("TcpShardTransport: workers must be >= 1");
+  }
+  if (port_ == 0) {
+    throw std::invalid_argument("TcpShardTransport: port must be 1..65535");
+  }
+  endpoint_ = host_ + ":" + std::to_string(port_);
+}
+
+ShardStart TcpShardTransport::start(const ShardAssignment& assignment) {
+  ShardStart result;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(assignment.start_timeout_ms);
+
+  struct addrinfo hints {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  struct addrinfo* addresses = nullptr;
+  const std::string port_text = std::to_string(port_);
+  const int resolve = ::getaddrinfo(host_.c_str(), port_text.c_str(), &hints, &addresses);
+  if (resolve != 0) {
+    result.error = endpoint_ + ": cannot resolve host (" + ::gai_strerror(resolve) + ")";
+    return result;
+  }
+
+  int fd = -1;
+  std::string last_error = "no addresses";
+  for (struct addrinfo* address = addresses; address != nullptr; address = address->ai_next) {
+    fd = ::socket(address->ai_family, address->ai_socktype, address->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    if (::connect(fd, address->ai_addr, address->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS) {
+      // Nonblocking connect: poll for writability, then read SO_ERROR —
+      // a refused or timed-out connection is a returned failure the
+      // coordinator can charge and retry elsewhere, never a hang.
+      const auto remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+      struct pollfd pfd {
+        fd, POLLOUT, 0
+      };
+      const int ready = ::poll(&pfd, 1, static_cast<int>(std::max<long long>(remaining_ms, 0)));
+      int so_error = ETIMEDOUT;
+      socklen_t so_len = sizeof(so_error);
+      if (ready > 0) ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len);
+      if (ready > 0 && so_error == 0) break;
+      last_error = std::string("connect: ") + std::strerror(so_error);
+    } else {
+      last_error = std::string("connect: ") + std::strerror(errno);
+    }
+    close_fd(fd);
+  }
+  ::freeaddrinfo(addresses);
+  if (fd < 0) {
+    result.error = endpoint_ + ": " + last_error;
+    return result;
+  }
+
+  // Records are small and latency-sensitive relative to the watchdogs;
+  // don't let Nagle batch them against delayed ACKs.
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+  auto channel = std::make_unique<TcpShardChannel>(fd);
+
+  ShardRequestFrame request;
+  request.shard = assignment.shard;
+  request.begin = assignment.range.begin;
+  request.end = assignment.range.end;
+  request.total = assignment.total;
+  request.attempt = assignment.attempt;
+  request.threads = assignment.threads;
+  request.cache_cap = assignment.cache_cap;
+  request.heartbeat_ms = static_cast<std::uint32_t>(std::max(assignment.heartbeat_ms, 1));
+  request.liveness_timeout_ms =
+      static_cast<std::uint32_t>(std::max(assignment.liveness_timeout_ms, 1));
+  request.spec_text = assignment.spec_text;
+  const std::vector<std::uint8_t> bytes = encode_frame(request);
+  const std::string error = write_all_deadline(fd, bytes.data(), bytes.size(), deadline);
+  if (!error.empty()) {
+    result.error = endpoint_ + ": failed shipping shard request (" + error + ")";
+    channel->abort();
+    return result;
+  }
+  result.channel = std::move(channel);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Host-list parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_host_entry(const std::string& entry, const std::string& why) {
+  throw std::invalid_argument("bad --hosts entry '" + entry + "': " + why +
+                              " (want host:port[*workers])");
+}
+
+/// Strict non-negative integer parse; returns false on empty input,
+/// non-digits, or overflow past `max`.
+bool parse_uint(const std::string& text, std::uint64_t max, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > max) return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::vector<HostSpec> parse_host_list(const std::string& text) {
+  std::vector<HostSpec> hosts;
+  std::size_t position = 0;
+  while (position <= text.size()) {
+    const std::size_t comma = text.find(',', position);
+    const std::string entry =
+        text.substr(position, comma == std::string::npos ? std::string::npos : comma - position);
+    position = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (entry.empty()) bad_host_entry(entry, "empty entry");
+
+    std::string body = entry;
+    std::uint64_t workers = 1;
+    const std::size_t star = body.find('*');
+    if (star != std::string::npos) {
+      const std::string workers_text = body.substr(star + 1);
+      if (!parse_uint(workers_text, 1024, workers) || workers == 0) {
+        bad_host_entry(entry, "worker count must be an integer in 1..1024");
+      }
+      body.resize(star);
+    }
+    const std::size_t colon = body.rfind(':');
+    if (colon == std::string::npos) bad_host_entry(entry, "missing ':port'");
+    const std::string host = body.substr(0, colon);
+    if (host.empty()) bad_host_entry(entry, "empty host");
+    std::uint64_t port = 0;
+    if (!parse_uint(body.substr(colon + 1), 65535, port) || port == 0) {
+      bad_host_entry(entry, "port must be an integer in 1..65535");
+    }
+    hosts.push_back({host, static_cast<std::uint16_t>(port), static_cast<std::size_t>(workers)});
+  }
+  if (hosts.empty()) throw std::invalid_argument("--hosts list is empty");
+  return hosts;
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+TransportFault parse_transport_fault(const std::string& text) {
+  const auto bad = [&](const std::string& why) -> TransportFault {
+    throw std::invalid_argument("bad transport fault '" + text + "': " + why +
+                                " (want kind:shard[:attempts], kind in "
+                                "connect|drop|corrupt|hbstall|delay)");
+  };
+  const std::size_t first = text.find(':');
+  if (first == std::string::npos) return bad("missing ':shard'");
+  const std::string kind_token = text.substr(0, first);
+  std::string rest = text.substr(first + 1);
+  std::uint64_t attempts = 1;
+  const std::size_t second = rest.find(':');
+  if (second != std::string::npos) {
+    if (!parse_uint(rest.substr(second + 1), 1u << 20, attempts) || attempts == 0) {
+      return bad("attempts must be a positive integer");
+    }
+    rest.resize(second);
+  }
+  std::uint64_t shard = 0;
+  if (!parse_uint(rest, 1u << 20, shard)) return bad("shard must be a non-negative integer");
+
+  TransportFault fault;
+  if (kind_token == "connect") {
+    fault.kind = TransportFault::Kind::kConnectRefuse;
+  } else if (kind_token == "drop") {
+    fault.kind = TransportFault::Kind::kDrop;
+  } else if (kind_token == "corrupt") {
+    fault.kind = TransportFault::Kind::kCorrupt;
+  } else if (kind_token == "hbstall") {
+    fault.kind = TransportFault::Kind::kHeartbeatStall;
+  } else if (kind_token == "delay") {
+    fault.kind = TransportFault::Kind::kDelay;
+  } else {
+    return bad("unknown kind '" + kind_token + "'");
+  }
+  fault.shard = static_cast<std::size_t>(shard);
+  fault.attempts = static_cast<std::size_t>(attempts);
+  return fault;
+}
+
+namespace {
+
+/// Channel decorator applying one armed TransportFault to the byte
+/// stream of the attempt it wraps.
+class FaultyChannel final : public ShardChannel {
+ public:
+  FaultyChannel(std::unique_ptr<ShardChannel> inner, TransportFault fault)
+      : inner_(std::move(inner)), fault_(fault) {
+    if (fault_.kind == TransportFault::Kind::kHeartbeatStall) {
+      // A never-readable fd the coordinator can park its poll() on once
+      // the stream goes silent, so the watchdog fires on schedule
+      // instead of the loop spinning hot.
+      if (::pipe(stall_pipe_) != 0) stall_pipe_[0] = stall_pipe_[1] = -1;
+    }
+  }
+
+  ~FaultyChannel() override {
+    close_fd(stall_pipe_[0]);
+    close_fd(stall_pipe_[1]);
+  }
+
+  int poll_fd() const noexcept override {
+    if (tripped_ && fault_.kind == TransportFault::Kind::kHeartbeatStall && stall_pipe_[0] >= 0) {
+      return stall_pipe_[0];
+    }
+    return inner_->poll_fd();
+  }
+
+  ChannelRead read_some(std::uint8_t* buffer, std::size_t capacity) override {
+    switch (fault_.kind) {
+      case TransportFault::Kind::kDrop: {
+        if (tripped_) {
+          inner_->abort();
+          return {ChannelRead::Kind::kEof, 0, {}};
+        }
+        ChannelRead read = inner_->read_some(buffer, capacity);
+        if (read.kind == ChannelRead::Kind::kData) {
+          if (seen_ + read.bytes >= fault_.at_byte) {
+            // Deliver only up to the cut so the stream dies mid-frame.
+            read.bytes = fault_.at_byte > seen_ ? fault_.at_byte - seen_ : 0;
+            tripped_ = true;
+            if (read.bytes == 0) {
+              inner_->abort();
+              return {ChannelRead::Kind::kEof, 0, {}};
+            }
+          }
+          seen_ += read.bytes;
+        }
+        return read;
+      }
+      case TransportFault::Kind::kCorrupt: {
+        ChannelRead read = inner_->read_some(buffer, capacity);
+        if (read.kind == ChannelRead::Kind::kData) {
+          if (!tripped_ && seen_ <= fault_.at_byte && fault_.at_byte < seen_ + read.bytes) {
+            buffer[fault_.at_byte - seen_] ^= 0x20;  // one flipped bit; checksum must catch it
+            tripped_ = true;
+          }
+          seen_ += read.bytes;
+        }
+        return read;
+      }
+      case TransportFault::Kind::kHeartbeatStall: {
+        if (tripped_) return {ChannelRead::Kind::kWouldBlock, 0, {}};
+        ChannelRead read = inner_->read_some(buffer, capacity);
+        if (read.kind == ChannelRead::Kind::kData) {
+          if (seen_ + read.bytes >= fault_.at_byte) {
+            const std::size_t deliver = fault_.at_byte > seen_ ? fault_.at_byte - seen_ : 0;
+            tripped_ = true;  // stream goes silent from here; watchdog must fire
+            seen_ += deliver;
+            if (deliver == 0) return {ChannelRead::Kind::kWouldBlock, 0, {}};
+            read.bytes = deliver;
+            return read;
+          }
+          seen_ += read.bytes;
+        }
+        return read;
+      }
+      case TransportFault::Kind::kDelay: {
+        // Trickle: tiny reads with a per-read pause, modeling a slow
+        // link.  The shard still completes, just late.
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault_.delay_ms));
+        ChannelRead read = inner_->read_some(buffer, std::min<std::size_t>(capacity, 64));
+        if (read.kind == ChannelRead::Kind::kData) seen_ += read.bytes;
+        return read;
+      }
+      case TransportFault::Kind::kConnectRefuse:
+      case TransportFault::Kind::kNone:
+        break;
+    }
+    return inner_->read_some(buffer, capacity);
+  }
+
+  std::string send_heartbeat(std::uint64_t sequence) override {
+    // Beacons keep flowing during a receive stall — the fault models a
+    // one-directional partition, the harder case for the watchdog.
+    return inner_->send_heartbeat(sequence);
+  }
+
+  std::string abort() override { return inner_->abort(); }
+  void complete() override { inner_->complete(); }
+
+ private:
+  std::unique_ptr<ShardChannel> inner_;
+  TransportFault fault_;
+  std::size_t seen_ = 0;   ///< bytes delivered to the coordinator so far
+  bool tripped_ = false;   ///< the fault has fired
+  int stall_pipe_[2] = {-1, -1};
+};
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(std::shared_ptr<ShardTransport> inner, TransportFault fault)
+    : inner_(std::move(inner)), fault_(fault) {}
+
+ShardStart FaultyTransport::start(const ShardAssignment& assignment) {
+  const bool armed = fault_.kind != TransportFault::Kind::kNone &&
+                     assignment.shard == fault_.shard && assignment.attempt < fault_.attempts;
+  if (armed && fault_.kind == TransportFault::Kind::kConnectRefuse) {
+    ShardStart refused;
+    refused.error = endpoint() + ": connect: Connection refused (injected fault)";
+    return refused;
+  }
+  ShardStart started = inner_->start(assignment);
+  if (armed && started.channel != nullptr) {
+    started.channel = std::make_unique<FaultyChannel>(std::move(started.channel), fault_);
+  }
+  return started;
+}
+
+// ---------------------------------------------------------------------------
+// SigpipeGuard
+// ---------------------------------------------------------------------------
+
+SigpipeGuard::SigpipeGuard() {
+  using Sigaction = struct sigaction;
+  auto* saved = new Sigaction{};
+  Sigaction ignore{};
+  ignore.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &ignore, saved);
+  previous_ = saved;
+}
+
+SigpipeGuard::~SigpipeGuard() {
+  using Sigaction = struct sigaction;
+  auto* saved = static_cast<Sigaction*>(previous_);
+  ::sigaction(SIGPIPE, saved, nullptr);
+  delete saved;
+}
+
+}  // namespace lr

@@ -1,0 +1,287 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file shard_transport.hpp
+/// The transport abstraction of the sharded sweep dataplane: how a
+/// coordinator (runner/shard_coordinator.hpp) reaches the workers that
+/// execute its shards.  The shard/merge/retry contracts are
+/// transport-agnostic by design — a transport only has to (1) start a
+/// shard attempt somewhere and (2) hand back a pollable byte stream
+/// speaking the shard protocol (runner/shard_protocol.hpp).  Two
+/// implementations ship:
+///
+///   - ProcessShardTransport: fork/exec of shared-nothing `sweep-worker`
+///     child processes over pipes (the PR-6 dataplane, extracted here),
+///   - TcpShardTransport: TCP connections to remote `shard-server`
+///     daemons (runner/shard_server.hpp), with heartbeat liveness in
+///     both directions,
+///
+/// plus FaultyTransport, a deterministic fault-injection decorator that
+/// wraps any transport and corrupts / drops / stalls / delays the byte
+/// stream of a chosen shard's first attempts — the network half of the
+/// LR_TEST_WORKER_FAULT battery (process_runner.hpp documents the
+/// worker-process half).
+
+namespace lr {
+
+/// One contiguous shard of the expanded run list: global indexes
+/// [begin, end).
+struct ShardRange {
+  std::size_t begin = 0;  ///< first global run index of the shard
+  std::size_t end = 0;    ///< one past the last global run index
+
+  /// Number of runs in the shard.
+  std::size_t size() const noexcept { return end - begin; }
+
+  /// Ranges compare by their bounds.
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+/// Deterministically partitions `runs` global run indexes into `shards`
+/// contiguous, maximally balanced ranges (sizes differ by at most one,
+/// larger shards first).  `shards` is clamped to `runs` so no shard is
+/// empty; runs = 0 yields no shards.  This is fixed merge contract: run
+/// #k lives in the same shard on every machine and every invocation.
+std::vector<ShardRange> shard_ranges(std::size_t runs, std::size_t shards);
+
+/// One dispatched attempt of a shard, as the coordinator logs it —
+/// surfaced through `lr_cli sweep --shard-log` so operators can see
+/// which endpoint served (or killed) each attempt and how long it took.
+struct ShardAttemptLog {
+  std::size_t attempt = 0;   ///< zero-based attempt number
+  std::string endpoint;      ///< transport endpoint that served the attempt
+  std::string outcome;       ///< "ok" or the failure description
+  long long elapsed_ms = 0;  ///< dispatch to completion / failure
+  long long backoff_ms = 0;  ///< retry-policy delay imposed before dispatch
+};
+
+/// What happened to one shard across all its attempts — surfaced so a
+/// failed sweep can say exactly which shard died how, and a recovered
+/// one can report the retries and reassignments it absorbed.
+struct ShardDiagnostics {
+  std::size_t shard = 0;              ///< shard index
+  ShardRange range;                   ///< the shard's run range
+  std::size_t attempts = 0;           ///< attempts dispatched for this shard
+  bool completed = false;             ///< shard delivered all its records
+  std::vector<std::string> failures;  ///< one human-readable line per failed attempt
+  std::vector<ShardAttemptLog> attempt_log;  ///< every attempt, incl. the successful one
+};
+
+/// Everything a transport needs to start one shard attempt: the
+/// assignment itself plus the worker-side execution knobs, mirroring the
+/// `sweep-worker` argv/stdin contract and the v3 kShardRequest frame.
+struct ShardAssignment {
+  std::size_t shard = 0;     ///< shard index being assigned
+  ShardRange range;          ///< global run range [begin, end)
+  std::size_t total = 0;     ///< full run count of the sweep (cross-check)
+  std::size_t attempt = 0;   ///< 0 = first try, +1 per retry
+  std::string spec_text;     ///< canonical sweep spec (format_sweep_spec)
+  std::size_t threads = 1;   ///< worker-internal thread count
+  std::size_t cache_cap = 0;  ///< worker SweepCache LRU bound (0 = unbounded)
+  std::string snapshot_dir;  ///< worker snapshot dir (pipe transport only)
+  int start_timeout_ms = 5'000;     ///< budget for connect + assignment shipping
+  int heartbeat_ms = 1'000;         ///< worker liveness beacon interval
+  int liveness_timeout_ms = 30'000;  ///< worker-side coordinator watchdog
+};
+
+/// Result of ShardChannel::read_some.
+struct ChannelRead {
+  /// What the read produced.
+  enum class Kind : std::uint8_t {
+    kData,        ///< `bytes` bytes were written into the buffer
+    kWouldBlock,  ///< nothing available right now; poll again
+    kEof,         ///< orderly end of stream
+    kError,       ///< transport failure; `error` describes it
+  };
+  Kind kind = Kind::kWouldBlock;  ///< outcome discriminator
+  std::size_t bytes = 0;          ///< bytes read when kind == kData
+  std::string error;              ///< description when kind == kError
+};
+
+/// One live shard attempt's byte stream, as the coordinator consumes it.
+/// The channel owns the underlying resource (pipe + child process, or
+/// socket); exactly one of abort() / complete() must be called before
+/// destruction ends the attempt implicitly (destructors abort).
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+
+  /// File descriptor to poll for readability.
+  virtual int poll_fd() const noexcept = 0;
+
+  /// Nonblocking read of up to `capacity` bytes into `buffer`.
+  virtual ChannelRead read_some(std::uint8_t* buffer, std::size_t capacity) = 0;
+
+  /// Sends a coordinator -> worker liveness beacon.  Returns an empty
+  /// string on success, else a failure description (the coordinator
+  /// treats a failed heartbeat like any other channel failure).
+  /// Transports with implicit liveness (a pipe to our own child) no-op.
+  virtual std::string send_heartbeat(std::uint64_t sequence) = 0;
+
+  /// Abandons the attempt — kills / disconnects the worker and releases
+  /// the channel.  Returns a status description for diagnostics (e.g.
+  /// the child's wait status).  Idempotent.
+  virtual std::string abort() = 0;
+
+  /// Releases the channel after a clean shard completion (reaps the
+  /// child / closes the socket).  Idempotent.
+  virtual void complete() = 0;
+};
+
+/// Result of ShardTransport::start.
+struct ShardStart {
+  std::unique_ptr<ShardChannel> channel;  ///< live channel, or null on failure
+  std::string error;  ///< failure description when channel is null
+};
+
+/// A place that can execute shard attempts: a factory of ShardChannels.
+/// `capacity()` is how many attempts the coordinator may run there
+/// concurrently (worker processes for the pipe transport, connections
+/// for a TCP host).
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Human-readable endpoint name ("process", "127.0.0.1:7071") used in
+  /// diagnostics and the shard log.
+  virtual const std::string& endpoint() const noexcept = 0;
+
+  /// Concurrent attempts this transport can serve.
+  virtual std::size_t capacity() const noexcept = 0;
+
+  /// Starts one shard attempt; blocks at most
+  /// `assignment.start_timeout_ms` establishing it.  A failure (fork
+  /// failure, connection refused, timeout shipping the assignment) is
+  /// returned, not thrown — the coordinator charges it against the
+  /// shard's retry budget and the endpoint's liveness score.
+  virtual ShardStart start(const ShardAssignment& assignment) = 0;
+};
+
+/// The fork/exec pipe transport (the PR-6 dataplane): every start() is a
+/// fresh shared-nothing `sweep-worker` child of this process, its
+/// assignment shipped via argv + stdin and its frames read from a
+/// nonblocking stdout pipe.  Crash isolation is the process boundary;
+/// liveness is implicit (a dead child is an EOF), so send_heartbeat() is
+/// a no-op.
+class ProcessShardTransport : public ShardTransport {
+ public:
+  /// `worker_command` is the executable fork/exec'd as
+  /// `<worker_command> sweep-worker ...`; empty means this process's own
+  /// binary (/proc/self/exe).  `workers` is the concurrent-attempt
+  /// capacity.
+  explicit ProcessShardTransport(std::size_t workers, std::string worker_command = {});
+
+  const std::string& endpoint() const noexcept override { return endpoint_; }
+  std::size_t capacity() const noexcept override { return workers_; }
+  ShardStart start(const ShardAssignment& assignment) override;
+
+ private:
+  std::size_t workers_;
+  std::string worker_command_;  ///< empty = resolve /proc/self/exe lazily
+  std::string endpoint_ = "process";
+};
+
+/// One remote `shard-server` endpoint (runner/shard_server.hpp): every
+/// start() opens a fresh TCP connection, ships a v3 kShardRequest, and
+/// returns the socket as the channel.  Heartbeats flow both ways; the
+/// coordinator's inactivity watchdog and the server's coordinator
+/// watchdog bound every partial-failure mode (drop, partition, stall)
+/// to a deadline.
+class TcpShardTransport : public ShardTransport {
+ public:
+  /// Endpoint `host:port` with `workers` concurrent connections.
+  TcpShardTransport(std::string host, std::uint16_t port, std::size_t workers);
+
+  const std::string& endpoint() const noexcept override { return endpoint_; }
+  std::size_t capacity() const noexcept override { return workers_; }
+  ShardStart start(const ShardAssignment& assignment) override;
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  std::size_t workers_;
+  std::string endpoint_;
+};
+
+/// One `host:port[*workers]` entry of `lr_cli sweep --hosts`.
+struct HostSpec {
+  std::string host;          ///< hostname or dotted-quad address
+  std::uint16_t port = 0;    ///< TCP port, 1..65535
+  std::size_t workers = 1;   ///< concurrent shard connections to the host
+
+  /// Specs compare field-wise.
+  friend bool operator==(const HostSpec&, const HostSpec&) = default;
+};
+
+/// Parses a `--hosts` list: comma-separated `host:port[*workers]`
+/// entries, e.g. "10.0.0.1:7071*4,10.0.0.2:7071*4".  Throws
+/// std::invalid_argument, naming the offending entry, on an empty list,
+/// a missing/empty host or port, a port outside 1..65535, a zero or
+/// non-numeric worker count, or trailing garbage.
+std::vector<HostSpec> parse_host_list(const std::string& text);
+
+/// A deterministic network fault, armed for the first `attempts`
+/// attempts of one shard.  Parsed from the LR_TEST_TRANSPORT_FAULT
+/// environment knob (`kind:shard[:attempts]`), mirroring
+/// LR_TEST_WORKER_FAULT's shape for the worker-process faults.
+struct TransportFault {
+  /// Network fault classes.
+  enum class Kind : std::uint8_t {
+    kNone,            ///< no fault
+    kConnectRefuse,   ///< `connect`: start() fails as if the host were down
+    kDrop,            ///< `drop`: connection closed mid-shard
+    kCorrupt,         ///< `corrupt`: one byte of the stream flipped
+    kHeartbeatStall,  ///< `hbstall`: stream goes silent mid-shard
+    kDelay,           ///< `delay`: bytes trickle through a slowed link
+  };
+  Kind kind = Kind::kNone;    ///< which fault to inject
+  std::size_t shard = 0;      ///< target shard
+  std::size_t attempts = 1;   ///< arm on attempts [0, attempts)
+  std::size_t at_byte = 200;  ///< stream offset where drop/corrupt/stall triggers
+  std::uint32_t delay_ms = 2;  ///< per-read delay of the `delay` fault
+};
+
+/// Parses `kind:shard[:attempts]` (kind in connect|drop|corrupt|hbstall|
+/// delay); throws std::invalid_argument on malformed input.
+TransportFault parse_transport_fault(const std::string& text);
+
+/// Decorator injecting one TransportFault into an inner transport's byte
+/// stream, deterministically: attempt k of shard s either is or is not
+/// faulted as a pure function of the plan, so every test run exercises
+/// the identical failure schedule.  Attempts outside the plan pass
+/// through untouched.
+class FaultyTransport : public ShardTransport {
+ public:
+  /// Wraps `inner`, injecting `fault`.
+  FaultyTransport(std::shared_ptr<ShardTransport> inner, TransportFault fault);
+
+  const std::string& endpoint() const noexcept override { return inner_->endpoint(); }
+  std::size_t capacity() const noexcept override { return inner_->capacity(); }
+  ShardStart start(const ShardAssignment& assignment) override;
+
+ private:
+  std::shared_ptr<ShardTransport> inner_;
+  TransportFault fault_;
+};
+
+/// Restores the previous SIGPIPE disposition on scope exit.  A shard
+/// coordinator ignores SIGPIPE while attempts live so a write to a dead
+/// worker's stdin or socket fails with EPIPE (a per-shard failure)
+/// instead of killing the whole sweep.
+class SigpipeGuard {
+ public:
+  SigpipeGuard();
+  ~SigpipeGuard();
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+
+ private:
+  void* previous_;  ///< opaque saved struct sigaction
+};
+
+}  // namespace lr

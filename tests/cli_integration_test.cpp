@@ -1,6 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -380,6 +388,151 @@ TEST_F(CliIntegrationTest, ServiceSweepShardsMatchSingleProcessByteForByte) {
   std::filesystem::remove(spec_path);
   std::filesystem::remove(records1);
   std::filesystem::remove(records2);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-host sweep: --hosts / --shard-log / shard-server
+// ---------------------------------------------------------------------------
+
+TEST_F(CliIntegrationTest, SweepHostsFlagValidation) {
+  const std::string spec_path = write_small_sweep_spec("cli_it_hosts_val.sweep");
+  // Malformed endpoint lists: exit 2 and name the offending entry.
+  const auto missing_port = run_command("sweep " + spec_path + " --hosts hostonly");
+  EXPECT_EQ(missing_port.exit_code, 2);
+  EXPECT_NE(missing_port.output.find("hostonly"), std::string::npos) << missing_port.output;
+  for (const std::string hosts :
+       {"a:0", "a:65536", "a:port", ":9000", "a:9000*0", "a:9000*1025", "a:9000,,b:9001", ""}) {
+    const auto result = run_command("sweep " + spec_path + " --hosts '" + hosts + "'");
+    EXPECT_EQ(result.exit_code, 2) << "--hosts '" << hosts << "' accepted: " << result.output;
+  }
+  // Remote workers have no shared filesystem: snapshots cannot compose.
+  const auto with_snapshots =
+      run_command("sweep " + spec_path + " --hosts 127.0.0.1:9000 --snapshot-dir /tmp/x");
+  EXPECT_EQ(with_snapshots.exit_code, 2);
+  EXPECT_NE(with_snapshots.output.find("--snapshot-dir"), std::string::npos)
+      << with_snapshots.output;
+  std::filesystem::remove(spec_path);
+}
+
+TEST_F(CliIntegrationTest, SweepShardLogRequiresShardedBackend) {
+  const std::string spec_path = write_small_sweep_spec("cli_it_shardlog_val.sweep");
+  const auto in_process = run_command("sweep " + spec_path + " --shard-log -");
+  EXPECT_EQ(in_process.exit_code, 2);
+  EXPECT_NE(in_process.output.find("--shard-log"), std::string::npos) << in_process.output;
+  // With a sharded backend the same flag is accepted and produces the
+  // per-attempt CSV (on stderr for `-`).
+  const auto sharded = run_command("sweep " + spec_path + " --processes 2 --shard-log -");
+  EXPECT_EQ(sharded.exit_code, 0) << sharded.output;
+  EXPECT_NE(sharded.output.find("shard,attempt,endpoint,outcome"), std::string::npos)
+      << sharded.output;
+  std::filesystem::remove(spec_path);
+}
+
+TEST_F(CliIntegrationTest, ShardServerArgvValidation) {
+  EXPECT_EQ(run_command("shard-server").exit_code, 2);
+  EXPECT_EQ(run_command("shard-server --listen 0").exit_code, 2);
+  EXPECT_EQ(run_command("shard-server --listen 70000").exit_code, 2);
+  EXPECT_EQ(run_command("shard-server --listen a_port").exit_code, 2);
+  EXPECT_EQ(run_command("shard-server --listen").exit_code, 2);
+  EXPECT_EQ(run_command("shard-server --listen 9000 --unknown x").exit_code, 2);
+}
+
+/// Fork/execs a real `lr_cli shard-server --listen <port>` daemon and
+/// waits until it accepts connections.  Returns the child pid, or -1.
+pid_t spawn_shard_server(std::uint16_t port) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      ::dup2(null_fd, STDOUT_FILENO);
+      ::dup2(null_fd, STDERR_FILENO);
+      ::close(null_fd);
+    }
+    ::execl(LR_CLI_PATH, LR_CLI_PATH, "shard-server", "--listen",
+            std::to_string(port).c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  if (pid < 0) return -1;
+  // Readiness probe: connect until accepted (bounded, never a hang).
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    const bool up = ::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) == 0;
+    ::close(fd);
+    if (up) return pid;
+    usleep(50'000);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+void stop_shard_server(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGTERM);
+  ::waitpid(pid, nullptr, 0);
+}
+
+TEST_F(CliIntegrationTest, SweepHostsMatchesProcessesByteForByte) {
+  const std::string spec_path = write_small_sweep_spec("cli_it_hosts_e2e.sweep");
+  const std::string records_local = temp_file("cli_it_hosts_local.csv");
+  const std::string records_tcp = temp_file("cli_it_hosts_tcp.csv");
+  const std::string shard_log = temp_file("cli_it_hosts_shards.csv");
+
+  // Ports in the dynamic range, offset by pid so parallel CI jobs on one
+  // host do not collide.
+  const std::uint16_t base = static_cast<std::uint16_t>(40000 + (getpid() % 10000));
+  const pid_t server1 = spawn_shard_server(base);
+  const pid_t server2 = spawn_shard_server(static_cast<std::uint16_t>(base + 1));
+  ASSERT_GT(server1, 0) << "shard-server on port " << base << " did not come up";
+  ASSERT_GT(server2, 0) << "shard-server on port " << base + 1 << " did not come up";
+
+  const auto local =
+      run_command("sweep " + spec_path + " --processes 1 --records " + records_local);
+  EXPECT_EQ(local.exit_code, 0) << local.output;
+  const auto remote = run_command(
+      "sweep " + spec_path + " --hosts 127.0.0.1:" + std::to_string(base) + "*2,127.0.0.1:" +
+      std::to_string(base + 1) + "*2 --records " + records_tcp + " --shard-log " + shard_log);
+  stop_shard_server(server1);
+  stop_shard_server(server2);
+  EXPECT_EQ(remote.exit_code, 0) << remote.output;
+  EXPECT_NE(remote.output.find("2 host(s) x 4 worker(s)"), std::string::npos) << remote.output;
+
+  EXPECT_EQ(strip_sweep_progress(local.output), strip_sweep_progress(remote.output));
+  std::ifstream r_local(records_local), r_tcp(records_tcp);
+  std::stringstream s_local, s_tcp;
+  s_local << r_local.rdbuf();
+  s_tcp << r_tcp.rdbuf();
+  EXPECT_FALSE(s_local.str().empty());
+  EXPECT_EQ(s_local.str(), s_tcp.str());
+
+  std::ifstream log(shard_log);
+  std::stringstream log_contents;
+  log_contents << log.rdbuf();
+  EXPECT_NE(log_contents.str().find("shard,attempt,endpoint,outcome"), std::string::npos)
+      << log_contents.str();
+  EXPECT_NE(log_contents.str().find("127.0.0.1:" + std::to_string(base)), std::string::npos)
+      << log_contents.str();
+  EXPECT_NE(log_contents.str().find(",\"ok\","), std::string::npos) << log_contents.str();
+
+  std::filesystem::remove(spec_path);
+  std::filesystem::remove(records_local);
+  std::filesystem::remove(records_tcp);
+  std::filesystem::remove(shard_log);
+}
+
+TEST_F(CliIntegrationTest, SweepHostsAllDeadFailsLoudlyWithoutFallback) {
+  const std::string spec_path = write_small_sweep_spec("cli_it_hosts_dead.sweep");
+  // Port 1 on loopback: connects are refused, the sweep must fail with
+  // a readable diagnosis, and must not hang (the 60 s timeout of this
+  // test binary is the backstop).
+  const auto result = run_command("sweep " + spec_path + " --hosts 127.0.0.1:1");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("multi-host sweep failed"), std::string::npos) << result.output;
+  std::filesystem::remove(spec_path);
 }
 
 }  // namespace

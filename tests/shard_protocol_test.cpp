@@ -114,6 +114,71 @@ TEST(ShardProtocol, ShardDoneRoundTrip) {
   EXPECT_EQ(frame.done.cache.evictions, 1u);
 }
 
+TEST(ShardProtocol, HeartbeatRoundTripBothDirections) {
+  for (const std::uint8_t from_coordinator : {0, 1}) {
+    HeartbeatFrame beacon;
+    beacon.from_coordinator = from_coordinator;
+    beacon.sequence = 0x0123456789abcdefULL;
+    const Frame frame = decode_single(encode_frame(beacon));
+    ASSERT_EQ(frame.type, FrameType::kHeartbeat);
+    EXPECT_EQ(frame.heartbeat.from_coordinator, from_coordinator);
+    EXPECT_EQ(frame.heartbeat.sequence, 0x0123456789abcdefULL);
+  }
+}
+
+TEST(ShardProtocol, ShardRequestRoundTripPreservesEveryField) {
+  ShardRequestFrame request;
+  request.shard = 7;
+  request.begin = 1000;
+  request.end = 1250;
+  request.total = 4000;
+  request.attempt = 3;
+  request.threads = 16;
+  request.cache_cap = 512;
+  request.heartbeat_ms = 750;
+  request.liveness_timeout_ms = 30000;
+  request.spec_text = "topology = chain\nsize = 8, 16\nseed = 1\nalgorithm = fr\n";
+  const Frame frame = decode_single(encode_frame(request));
+  ASSERT_EQ(frame.type, FrameType::kShardRequest);
+  EXPECT_EQ(frame.request.version, kShardProtocolVersion);
+  EXPECT_EQ(frame.request.shard, 7u);
+  EXPECT_EQ(frame.request.begin, 1000u);
+  EXPECT_EQ(frame.request.end, 1250u);
+  EXPECT_EQ(frame.request.total, 4000u);
+  EXPECT_EQ(frame.request.attempt, 3u);
+  EXPECT_EQ(frame.request.threads, 16u);
+  EXPECT_EQ(frame.request.cache_cap, 512u);
+  EXPECT_EQ(frame.request.heartbeat_ms, 750u);
+  EXPECT_EQ(frame.request.liveness_timeout_ms, 30000u);
+  EXPECT_EQ(frame.request.spec_text, request.spec_text);
+}
+
+TEST(ShardProtocol, ShardErrorRoundTripIncludingAwkwardMessages) {
+  for (const std::string& message :
+       {std::string{}, std::string{"spec expands to 4 runs but coordinator expected 8"},
+        std::string{"quotes \" and\nnewlines \x01 survive"}}) {
+    ShardErrorFrame error;
+    error.message = message;
+    const Frame frame = decode_single(encode_frame(error));
+    ASSERT_EQ(frame.type, FrameType::kShardError);
+    EXPECT_EQ(frame.error.message, message);
+  }
+}
+
+TEST(ShardProtocol, SkewedVersionsDecodeFaithfullyForLoudRejection) {
+  // The parser itself decodes old-version handshakes; rejecting them is
+  // the receiver's job (coordinator for hellos, shard-server for
+  // requests) so the failure names the skew instead of a bare parse
+  // error.  The version field must therefore survive the round trip.
+  HelloFrame hello;
+  hello.version = 2;
+  EXPECT_EQ(decode_single(encode_frame(hello)).hello.version, 2u);
+  ShardRequestFrame request;
+  request.version = 2;
+  request.spec_text = "topology = chain\n";
+  EXPECT_EQ(decode_single(encode_frame(request)).request.version, 2u);
+}
+
 TEST(ShardProtocol, TruncatedFrameIsIncompleteNotAFrame) {
   const std::vector<std::uint8_t> bytes = encode_frame(HelloFrame{});
   for (const std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{9},
@@ -218,36 +283,60 @@ TEST(ShardProtocol, TrailingPayloadBytesRejected) {
   EXPECT_THROW(parser.next(), ShardProtocolError);
 }
 
-/// The boundary fuzz: a realistic multi-frame stream fed at every
-/// chunking a pipe might produce must decode identically.
+/// The boundary fuzz: a realistic multi-frame stream — now with the v3
+/// frames (shard-request, heartbeats either direction, shard-error)
+/// interleaved — fed at every chunking a pipe or TCP socket might
+/// produce must decode identically.
 TEST(ShardProtocol, FuzzRandomChunkBoundaries) {
   std::mt19937_64 rng(20260808);
-  // Build a reference stream: hello, 40 records, done.
   std::vector<std::uint8_t> stream;
+  std::vector<FrameType> expected_types;
   std::vector<std::uint64_t> indexes;
+  const auto append = [&stream, &expected_types](const std::vector<std::uint8_t>& bytes,
+                                                 FrameType type) {
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    expected_types.push_back(type);
+  };
+  {
+    ShardRequestFrame request;
+    request.shard = 1;
+    request.begin = 100;
+    request.end = 140;
+    request.total = 400;
+    request.spec_text = "topology = chain\nsize = 8\nseed = 1\nalgorithm = fr\n";
+    append(encode_frame(request), FrameType::kShardRequest);
+  }
   {
     HelloFrame hello;
     hello.shard = 1;
     hello.begin = 100;
     hello.end = 140;
-    const auto bytes = encode_frame(hello);
-    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    append(encode_frame(hello), FrameType::kHello);
   }
   for (std::uint64_t i = 0; i < 40; ++i) {
+    if (i % 8 == 0) {
+      HeartbeatFrame beacon;
+      beacon.from_coordinator = i % 16 == 0 ? 1 : 0;
+      beacon.sequence = i / 8;
+      append(encode_frame(beacon), FrameType::kHeartbeat);
+    }
     RecordFrame record;
     record.global_index = 100 + i;
     record.record = sample_record();
     record.record.work = i * 17;
     record.record.error = (i % 3 == 0) ? "" : std::string(i, 'x');
     indexes.push_back(record.global_index);
-    const auto bytes = encode_frame(record);
-    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    append(encode_frame(record), FrameType::kRecord);
+  }
+  {
+    ShardErrorFrame error;
+    error.message = "not actually an error, just exercising the framing";
+    append(encode_frame(error), FrameType::kShardError);
   }
   {
     ShardDoneFrame done;
     done.records_emitted = 40;
-    const auto bytes = encode_frame(done);
-    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    append(encode_frame(done), FrameType::kShardDone);
   }
 
   for (int round = 0; round < 50; ++round) {
@@ -261,14 +350,17 @@ TEST(ShardProtocol, FuzzRandomChunkBoundaries) {
       fed += n;
       while (auto frame = parser.next()) frames.push_back(*frame);
     }
-    ASSERT_EQ(frames.size(), 42u) << "round " << round;
-    EXPECT_EQ(frames.front().type, FrameType::kHello);
-    EXPECT_EQ(frames.back().type, FrameType::kShardDone);
-    for (std::size_t i = 0; i < 40; ++i) {
-      ASSERT_EQ(frames[1 + i].type, FrameType::kRecord);
-      EXPECT_EQ(frames[1 + i].record.global_index, indexes[i]);
-      EXPECT_EQ(frames[1 + i].record.record.work, i * 17);
+    ASSERT_EQ(frames.size(), expected_types.size()) << "round " << round;
+    std::size_t record_index = 0;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      ASSERT_EQ(frames[i].type, expected_types[i]) << "round " << round << " frame " << i;
+      if (frames[i].type == FrameType::kRecord) {
+        EXPECT_EQ(frames[i].record.global_index, indexes[record_index]);
+        EXPECT_EQ(frames[i].record.record.work, record_index * 17);
+        ++record_index;
+      }
     }
+    EXPECT_EQ(record_index, 40u);
     EXPECT_FALSE(parser.mid_frame());
   }
 }
@@ -310,6 +402,68 @@ TEST(ShardProtocol, FuzzSingleByteCorruptionNeverSilentlyAccepted) {
     // Either some frame was rejected/diverged, or the stream no longer
     // parses to completion (mid-frame at EOF = truncation, also loud).
     EXPECT_TRUE(rejected || decoded < 5 || parser.mid_frame()) << "round " << round;
+  }
+}
+
+/// Same single-byte-corruption guarantee over a stream of the v3 frame
+/// types (shard-request with an embedded spec, heartbeats both ways,
+/// shard-error): corruption is always loud, never a silent identical
+/// decode and never a crash or hang.
+TEST(ShardProtocol, FuzzSingleByteCorruptionV3FramesNeverSilentlyAccepted) {
+  std::vector<std::uint8_t> stream;
+  std::vector<FrameType> expected_types;
+  const auto append = [&stream, &expected_types](const std::vector<std::uint8_t>& bytes,
+                                                 FrameType type) {
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    expected_types.push_back(type);
+  };
+  {
+    ShardRequestFrame request;
+    request.shard = 2;
+    request.begin = 10;
+    request.end = 20;
+    request.total = 40;
+    request.heartbeat_ms = 500;
+    request.liveness_timeout_ms = 10000;
+    request.spec_text = "topology = chain, random\nsize = 8\nseed = 1, 2\nalgorithm = fr\n";
+    append(encode_frame(request), FrameType::kShardRequest);
+  }
+  for (const std::uint8_t direction : {1, 0}) {
+    HeartbeatFrame beacon;
+    beacon.from_coordinator = direction;
+    beacon.sequence = direction + 5u;
+    append(encode_frame(beacon), FrameType::kHeartbeat);
+  }
+  {
+    ShardErrorFrame error;
+    error.message = "protocol version mismatch (coordinator 2, worker 3)";
+    append(encode_frame(error), FrameType::kShardError);
+  }
+
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<std::size_t> position(0, stream.size() - 1);
+  std::uniform_int_distribution<int> bit(0, 7);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> mutated = stream;
+    const std::size_t at = position(rng);
+    mutated[at] ^= static_cast<std::uint8_t>(1u << bit(rng));
+    FrameParser parser;
+    parser.feed(mutated.data(), mutated.size());
+    std::size_t decoded = 0;
+    bool rejected = false;
+    try {
+      while (auto frame = parser.next()) {
+        if (decoded >= expected_types.size() || frame->type != expected_types[decoded]) {
+          rejected = true;
+          break;
+        }
+        ++decoded;
+      }
+    } catch (const ShardProtocolError&) {
+      rejected = true;
+    }
+    EXPECT_TRUE(rejected || decoded < expected_types.size() || parser.mid_frame())
+        << "round " << round << " corrupting byte " << at;
   }
 }
 
